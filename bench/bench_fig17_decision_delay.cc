@@ -1,0 +1,120 @@
+// Figure 17: per-request decision delay under E2E (basic), + spatial
+// coarsening, + temporal coarsening, with the QoE gain of each variant.
+// Paper: spatial coarsening cuts decision delay by ~4 orders of magnitude,
+// temporal coarsening by ~2 more (final < 100 us, < 0.15% of Cassandra's
+// response delay), at only a marginal QoE cost.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "core/policy.h"
+#include "testbed/db_experiment.h"
+#include "testbed/metrics.h"
+
+namespace {
+
+using namespace e2e;
+using namespace e2e::bench;
+
+double WallMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int window_requests = flags.GetInt("window", 300);
+
+  PrintHeader("Figure 17 — Decision-delay reduction from coarsening",
+              "basic ~10^4 ms -> spatial ~1 ms -> +temporal <0.1 ms per "
+              "request; QoE impact marginal",
+              "decision path timed on this host for one controller window "
+              "of " + std::to_string(window_requests) + " requests; QoE "
+              "gain from the db testbed at the reference speed-up");
+
+  const auto& slice = TestbedSlice();
+  const QoeModel& qoe = QoeForPage(PageType::kType1);
+  const auto config = StandardDbConfig(DbPolicy::kE2e, kDbReferenceSpeedup);
+  const auto server_model = BuildDbServerModel(config);
+
+  std::vector<double> externals;
+  for (int i = 0; i < window_requests; ++i) {
+    externals.push_back(slice[static_cast<std::size_t>(i)].external_delay_ms);
+  }
+  const double rps = 200.0;
+
+  // --- (1) E2E basic: per-request-granularity solve on each arrival.
+  // The full hill climb over per-request matchings is intractable (that is
+  // the point of Fig. 17); bound the search so one solve finishes, and time
+  // that solve — each arriving request would pay it.
+  PolicyConfig basic = config.controller.policy;
+  basic.per_request = true;
+  basic.max_hill_climb_steps = 4;
+  basic.refine_fractions = false;
+  const auto t_basic = std::chrono::steady_clock::now();
+  const auto basic_result =
+      ComputePolicy(qoe, *server_model, externals, rps, basic);
+  const double basic_ms = WallMs(t_basic);
+
+  // --- (2) Spatial coarsening: bucket-granularity solve on each arrival. --
+  PolicyConfig spatial = config.controller.policy;
+  const auto t_spatial = std::chrono::steady_clock::now();
+  constexpr int kSpatialReps = 20;
+  PolicyResult spatial_result;
+  for (int i = 0; i < kSpatialReps; ++i) {
+    spatial_result = ComputePolicy(qoe, *server_model, externals, rps, spatial);
+  }
+  const double spatial_ms = WallMs(t_spatial) / kSpatialReps;
+
+  // --- (3) + temporal coarsening: cached table lookup per request. --------
+  const DecisionTable& table = spatial_result.table;
+  volatile int sink = 0;
+  constexpr int kLookups = 2000000;
+  const auto t_lookup = std::chrono::steady_clock::now();
+  for (int i = 0; i < kLookups; ++i) {
+    sink += table.Lookup(
+        externals[static_cast<std::size_t>(i) % externals.size()]);
+  }
+  const double lookup_ms = WallMs(t_lookup) / kLookups;
+  (void)sink;
+
+  // --- QoE gains: run the db testbed with each coarsening setting. --------
+  const auto def = RunDbExperiment(
+      slice, qoe, StandardDbConfig(DbPolicy::kDefault, kDbReferenceSpeedup));
+  auto gain_with = [&](int buckets, double max_span) {
+    auto c = StandardDbConfig(DbPolicy::kE2e, kDbReferenceSpeedup);
+    c.controller.policy.target_buckets = buckets;
+    c.controller.policy.max_bucket_span_ms = max_span;
+    const auto r = RunDbExperiment(slice, qoe, c);
+    return QoeGainPercent(def.mean_qoe, r.mean_qoe);
+  };
+  // Coarser bucketizations trade decision delay against fidelity.
+  const double gain_fine = gain_with(48, 600.0);
+  const double gain_standard = gain_with(24, 1200.0);
+
+  TextTable table_out({"Variant", "Per-request decision delay (ms)",
+                       "QoE gain (%)"});
+  table_out.AddRow({"E2E (basic, per-request matching)",
+                    TextTable::Num(basic_ms, 1),
+                    TextTable::Num(gain_fine, 1) + " (approx.)"});
+  table_out.AddRow({"+ spatial coarsening (bucket matching)",
+                    TextTable::Num(spatial_ms, 3),
+                    TextTable::Num(gain_standard, 1)});
+  table_out.AddRow({"+ temporal coarsening (cached lookup)",
+                    TextTable::Num(lookup_ms, 6),
+                    TextTable::Num(gain_standard, 1)});
+  table_out.Render(std::cout);
+
+  std::cout << "\nReductions: spatial " << TextTable::Num(basic_ms / spatial_ms, 0)
+            << "x, temporal another "
+            << TextTable::Num(spatial_ms / lookup_ms, 0) << "x; final "
+            << TextTable::Num(lookup_ms * 1000.0, 2)
+            << " us/request (paper: well below 100 us, <0.15% of the "
+               "database's response delay; basic solve n="
+            << basic_result.stats.buckets << ").\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Section 7.4 "QoE fairness": Jain's fairness index of per-request QoE
+// under E2E vs the default policy.
+// Paper: E2E's index (0.68) is lower but very close to the default's
+// (0.70), because E2E only deprioritizes requests whose QoE barely improves
+// under the default anyway.
+#include <iostream>
+
+#include "common.h"
+#include "stats/fairness.h"
+#include "testbed/counterfactual.h"
+#include "testbed/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace e2e;
+  using namespace e2e::bench;
+  const Flags flags(argc, argv);
+  const double window_ms = flags.GetDouble("window_ms", kWindowMs);
+
+  PrintHeader("Sec 7.4 — QoE fairness (Jain index)",
+              "E2E 0.68 vs default 0.70: nearly as fair",
+              "per-request QoE from the page-type-1 trace simulator and "
+              "from the db testbed at the reference speed-up");
+
+  TextTable table({"Setting", "Default Jain index", "E2E Jain index",
+                   "Difference"});
+
+  // --- Trace simulator -----------------------------------------------------
+  {
+    const Trace& trace = StandardTrace();
+    const auto records = trace.FilterByPage(PageType::kType1);
+    const auto selector = PageQoeSelector();
+    const auto recorded = ReshuffleWithinWindows(
+        records, selector, ReshufflePolicy::kRecorded, window_ms);
+    const auto e2e = ReshuffleWithinWindows(
+        records, selector, ReshufflePolicy::kOptimalMatching, window_ms);
+    std::vector<double> q_def, q_e2e;
+    for (const auto& r : recorded.requests) q_def.push_back(r.new_qoe);
+    for (const auto& r : e2e.requests) q_e2e.push_back(r.new_qoe);
+    const double j_def = JainFairnessIndex(q_def);
+    const double j_e2e = JainFairnessIndex(q_e2e);
+    table.AddRow({"Traces (page type 1)", TextTable::Num(j_def, 3),
+                  TextTable::Num(j_e2e, 3),
+                  TextTable::Num(j_e2e - j_def, 3)});
+  }
+
+  // --- Testbed --------------------------------------------------------------
+  {
+    const auto& slice = TestbedSlice();
+    const QoeModel& qoe = QoeForPage(PageType::kType1);
+    const auto def = RunDbExperiment(
+        slice, qoe, StandardDbConfig(DbPolicy::kDefault, kDbReferenceSpeedup));
+    const auto e2e = RunDbExperiment(
+        slice, qoe, StandardDbConfig(DbPolicy::kE2e, kDbReferenceSpeedup));
+    const double j_def = JainFairnessIndex(QoeValues(def.outcomes));
+    const double j_e2e = JainFairnessIndex(QoeValues(e2e.outcomes));
+    table.AddRow({"Cassandra testbed", TextTable::Num(j_def, 3),
+                  TextTable::Num(j_e2e, 3),
+                  TextTable::Num(j_e2e - j_def, 3)});
+  }
+  table.Render(std::cout);
+
+  std::cout << "\nExpected shape: E2E's index slightly below the default's "
+               "(paper: 0.68 vs 0.70) — the deprioritized requests were "
+               "barely helped by the default policy to begin with.\n";
+  return 0;
+}

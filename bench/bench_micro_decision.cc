@@ -1,0 +1,101 @@
+// Microbenchmarks (google-benchmark) of the decision-path building blocks:
+// the assignment solver's cubic scaling, bucketization, full policy
+// computation, and the cached table lookup — the quantities behind the
+// Fig. 16/17 overhead claims.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/server_delay_model.h"
+#include "matching/assignment.h"
+#include "qoe/sigmoid_model.h"
+#include "stats/bucketizer.h"
+#include "util/rng.h"
+
+namespace e2e {
+namespace {
+
+WeightMatrix RandomMatrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  WeightMatrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m.At(r, c) = rng.Uniform(0.0, 1.0);
+    }
+  }
+  return m;
+}
+
+void BM_Assignment(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const WeightMatrix m = RandomMatrix(n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMaxWeightAssignment(m));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Assignment)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_Bucketizer(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.LogNormal(8.1, 0.8));
+  const int buckets = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bucketizer(samples, buckets, 1200.0));
+  }
+}
+BENCHMARK(BM_Bucketizer)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// A cheap analytic G for the policy benchmark.
+class LinearModel final : public ServerDelayModel {
+ public:
+  int NumDecisions() const override { return 3; }
+  DiscreteDistribution DelayDistribution(
+      int decision, std::span<const double> fractions,
+      double total_rps) const override {
+    return DiscreteDistribution::PointMass(
+        50.0 + 20.0 * fractions[static_cast<std::size_t>(decision)] *
+                   total_rps);
+  }
+  std::string Name() const override { return "bench-linear"; }
+};
+
+void BM_ComputePolicy(benchmark::State& state) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearModel g;
+  Rng rng(13);
+  std::vector<double> externals;
+  for (int i = 0; i < 2000; ++i) externals.push_back(rng.LogNormal(8.1, 0.8));
+  PolicyConfig config;
+  config.target_buckets = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputePolicy(qoe, g, externals, 100.0, config));
+  }
+}
+BENCHMARK(BM_ComputePolicy)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_TableLookup(benchmark::State& state) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearModel g;
+  Rng rng(17);
+  std::vector<double> externals;
+  for (int i = 0; i < 2000; ++i) externals.push_back(rng.LogNormal(8.1, 0.8));
+  PolicyConfig config;
+  config.target_buckets = 24;
+  const auto result = ComputePolicy(qoe, g, externals, 100.0, config);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        result.table.Lookup(externals[i++ % externals.size()]));
+  }
+}
+BENCHMARK(BM_TableLookup);
+
+}  // namespace
+}  // namespace e2e
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+#include "broker/broker.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace e2e::broker {
+
+MessageBroker::MessageBroker(EventLoop& loop, BrokerParams params,
+                             std::shared_ptr<MessageScheduler> scheduler)
+    : loop_(loop), params_(params), scheduler_(std::move(scheduler)) {
+  if (params_.priority_levels < 1) {
+    throw std::invalid_argument("MessageBroker: priority_levels < 1");
+  }
+  if (params_.num_consumers < 1) {
+    throw std::invalid_argument("MessageBroker: num_consumers < 1");
+  }
+  if (params_.consume_interval_ms <= 0.0) {
+    throw std::invalid_argument("MessageBroker: consume_interval_ms <= 0");
+  }
+  if (scheduler_ == nullptr) {
+    throw std::invalid_argument("MessageBroker: null scheduler");
+  }
+  queues_.resize(static_cast<std::size_t>(params_.priority_levels));
+  per_priority_stats_.resize(static_cast<std::size_t>(params_.priority_levels));
+  consumer_timers_.resize(static_cast<std::size_t>(params_.num_consumers), 0);
+  for (int c = 0; c < params_.num_consumers; ++c) {
+    ScheduleNextPull(c);
+  }
+}
+
+MessageBroker::~MessageBroker() { StopConsumers(); }
+
+void MessageBroker::StopConsumers() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (EventId id : consumer_timers_) {
+    if (id != 0) loop_.Cancel(id);
+  }
+}
+
+void MessageBroker::ScheduleNextPull(int consumer) {
+  if (stopped_) return;
+  consumer_timers_[static_cast<std::size_t>(consumer)] =
+      loop_.ScheduleAfter(params_.consume_interval_ms,
+                          [this, consumer]() { PullOne(consumer); });
+}
+
+void MessageBroker::PullOne(int consumer) {
+  TryPull();
+  ScheduleNextPull(consumer);
+}
+
+std::optional<Delivery> MessageBroker::TryPull() {
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    Queued item = std::move(queue.front());
+    queue.pop_front();
+    Delivery delivery;
+    delivery.message = item.message;
+    delivery.priority = item.priority;
+    delivery.publish_ms = item.publish_ms;
+    delivery.deliver_ms = loop_.Now() + params_.handling_cost_ms;
+    ++delivered_;
+    queue_stats_.Add(delivery.QueueingDelayMs());
+    per_priority_stats_[static_cast<std::size_t>(item.priority)].Add(
+        delivery.QueueingDelayMs());
+    if (item.confirm) {
+      loop_.Schedule(delivery.deliver_ms, [confirm = std::move(item.confirm),
+                                           delivery]() { confirm(delivery); });
+    }
+    return delivery;
+  }
+  return std::nullopt;
+}
+
+void MessageBroker::RequeueFront(const Message& message, int priority,
+                                 double publish_ms) {
+  if (priority < 0 || priority >= params_.priority_levels) {
+    throw std::out_of_range("MessageBroker::RequeueFront: bad priority");
+  }
+  Queued item;
+  item.message = message;
+  item.publish_ms = publish_ms;
+  item.priority = priority;
+  queues_[static_cast<std::size_t>(priority)].push_front(std::move(item));
+}
+
+void MessageBroker::Publish(const Message& message, ConfirmCallback confirm) {
+  const BrokerView view = View();
+  int priority = scheduler_->AssignPriority(message, view);
+  if (priority < 0 || priority >= params_.priority_levels) {
+    throw std::out_of_range("MessageBroker::Publish: scheduler returned " +
+                            std::to_string(priority));
+  }
+  Queued item;
+  item.message = message;
+  item.confirm = std::move(confirm);
+  item.publish_ms = loop_.Now();
+  item.priority = priority;
+  queues_[static_cast<std::size_t>(priority)].push_back(std::move(item));
+}
+
+void MessageBroker::SetScheduler(std::shared_ptr<MessageScheduler> scheduler) {
+  if (scheduler == nullptr) {
+    throw std::invalid_argument("MessageBroker::SetScheduler: null scheduler");
+  }
+  scheduler_ = std::move(scheduler);
+}
+
+BrokerView MessageBroker::View() const {
+  BrokerView view;
+  view.queue_depths.reserve(queues_.size());
+  for (const auto& queue : queues_) {
+    view.queue_depths.push_back(static_cast<int>(queue.size()));
+  }
+  return view;
+}
+
+}  // namespace e2e::broker

@@ -1,0 +1,119 @@
+// Message broker with priority queues (the paper's RabbitMQ use case, §6).
+//
+// Publishers hand messages to the broker; a pluggable MessageScheduler (the
+// paper's queue_bind policy hook) assigns each message a priority level;
+// consumers pull one message per fixed interval (the paper: every 5 ms),
+// always draining higher priorities first. A per-message confirm callback
+// (the paper's confirm_delivery change) reports the queueing delay, which is
+// the server-side delay of this use case.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/scheduler.h"
+#include "sim/event_loop.h"
+#include "stats/summary.h"
+#include "util/types.h"
+
+namespace e2e::broker {
+
+/// Broker configuration. Defaults follow §7.1: one consumer pulling every
+/// 5 ms, 1 KiB messages.
+struct BrokerParams {
+  int priority_levels = 8;
+  int num_consumers = 1;
+  double consume_interval_ms = 5.0;
+  /// Fixed per-message handling cost added to the queueing delay.
+  double handling_cost_ms = 0.5;
+};
+
+/// Delivery confirmation for one message.
+struct Delivery {
+  Message message;
+  int priority = 0;
+  double publish_ms = 0.0;
+  double deliver_ms = 0.0;
+
+  /// The broker-induced (server-side) delay.
+  DelayMs QueueingDelayMs() const { return deliver_ms - publish_ms; }
+};
+
+/// The broker. Consumers start pulling on construction and stop when the
+/// broker is destroyed or StopConsumers() is called.
+class MessageBroker {
+ public:
+  using ConfirmCallback = std::function<void(const Delivery&)>;
+
+  /// `loop` must outlive the broker.
+  MessageBroker(EventLoop& loop, BrokerParams params,
+                std::shared_ptr<MessageScheduler> scheduler);
+  ~MessageBroker();
+
+  MessageBroker(const MessageBroker&) = delete;
+  MessageBroker& operator=(const MessageBroker&) = delete;
+
+  /// Publishes a message; `confirm` fires when a consumer delivers it.
+  void Publish(const Message& message, ConfirmCallback confirm);
+
+  /// Replaces the scheduling policy (used when the E2E controller refreshes
+  /// its decision table, and by failover tests).
+  void SetScheduler(std::shared_ptr<MessageScheduler> scheduler);
+
+  /// Current queue depths per priority level (0 = highest priority).
+  BrokerView View() const;
+
+  /// Stops the consumer timers (pending messages stay queued).
+  void StopConsumers();
+
+  /// Pulls the highest-priority queued message immediately (for external
+  /// consumers such as AckingConsumer; bypasses the internal timers).
+  /// Returns nullopt when every queue is empty.
+  std::optional<Delivery> TryPull();
+
+  /// Returns a message to the *front* of its priority queue (redelivery
+  /// after a consumer nack). The original publish time is preserved so the
+  /// queueing-delay accounting reflects the full wait.
+  void RequeueFront(const Message& message, int priority, double publish_ms);
+
+  /// Messages delivered so far.
+  std::uint64_t delivered_count() const { return delivered_; }
+
+  /// Queueing-delay statistics across all deliveries.
+  const StreamingSummary& queueing_delay_stats() const { return queue_stats_; }
+
+  /// Queueing-delay statistics for one priority level.
+  const StreamingSummary& queueing_delay_stats(int priority) const {
+    return per_priority_stats_.at(static_cast<std::size_t>(priority));
+  }
+
+  int priority_levels() const { return params_.priority_levels; }
+
+ private:
+  struct Queued {
+    Message message;
+    ConfirmCallback confirm;
+    double publish_ms;
+    int priority;
+  };
+
+  void ScheduleNextPull(int consumer);
+  void PullOne(int consumer);
+
+  EventLoop& loop_;
+  BrokerParams params_;
+  std::shared_ptr<MessageScheduler> scheduler_;
+  std::vector<std::deque<Queued>> queues_;  // queues_[0] = highest priority.
+  std::vector<EventId> consumer_timers_;
+  bool stopped_ = false;
+  std::uint64_t delivered_ = 0;
+  StreamingSummary queue_stats_;
+  std::vector<StreamingSummary> per_priority_stats_;
+};
+
+}  // namespace e2e::broker

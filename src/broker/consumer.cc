@@ -1,0 +1,56 @@
+#include "broker/consumer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace e2e::broker {
+
+AckingConsumer::AckingConsumer(EventLoop& loop, MessageBroker& broker,
+                               AckingConsumerParams params, Rng rng)
+    : loop_(loop), broker_(broker), params_(params), rng_(rng) {
+  if (params_.prefetch < 1 || params_.processing_mean_ms <= 0.0 ||
+      params_.idle_poll_ms <= 0.0 || params_.nack_probability < 0.0 ||
+      params_.nack_probability >= 1.0) {
+    throw std::invalid_argument("AckingConsumer: bad parameters");
+  }
+  loop_.ScheduleAfter(0.0, [this]() { Poll(); });
+}
+
+AckingConsumer::~AckingConsumer() { Stop(); }
+
+void AckingConsumer::Stop() { stopped_ = true; }
+
+void AckingConsumer::Poll() {
+  poll_scheduled_ = false;
+  if (stopped_) return;
+  // Fill the prefetch window.
+  while (in_flight_ < params_.prefetch) {
+    auto delivery = broker_.TryPull();
+    if (!delivery.has_value()) break;
+    ++in_flight_;
+    const double s = params_.processing_sigma;
+    const double processing =
+        params_.processing_mean_ms * std::exp(rng_.Normal(-0.5 * s * s, s));
+    loop_.ScheduleAfter(processing, [this, d = *delivery]() { FinishOne(d); });
+  }
+  if (in_flight_ < params_.prefetch && !poll_scheduled_ && !stopped_) {
+    // Queue was empty: poll again shortly.
+    poll_scheduled_ = true;
+    loop_.ScheduleAfter(params_.idle_poll_ms, [this]() { Poll(); });
+  }
+}
+
+void AckingConsumer::FinishOne(const Delivery& delivery) {
+  --in_flight_;
+  if (!stopped_ && rng_.Bernoulli(params_.nack_probability)) {
+    // Nack: the broker redelivers at the head of the original priority.
+    ++redelivered_;
+    broker_.RequeueFront(delivery.message, delivery.priority,
+                         delivery.publish_ms);
+  } else {
+    ++acked_;
+  }
+  Poll();
+}
+
+}  // namespace e2e::broker

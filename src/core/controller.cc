@@ -1,0 +1,98 @@
+#include "core/controller.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace e2e {
+namespace {
+
+double WallMicrosSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+}  // namespace
+
+Controller::Controller(std::string name, ControllerConfig config,
+                       QoeModelPtr qoe,
+                       std::shared_ptr<const ServerDelayModel> server_model,
+                       std::uint64_t seed)
+    : name_(std::move(name)),
+      config_(config),
+      qoe_(std::move(qoe)),
+      server_model_(std::move(server_model)),
+      external_model_(config.external),
+      cache_(config.cache),
+      rng_(seed) {
+  if (qoe_ == nullptr) {
+    throw std::invalid_argument("Controller: null QoE model");
+  }
+  if (server_model_ == nullptr) {
+    throw std::invalid_argument("Controller: null server-delay model");
+  }
+}
+
+void Controller::ObserveArrival(DelayMs external_delay_ms, double now_ms) {
+  ++stats_.observations;
+  external_model_.Observe(external_delay_ms, now_ms);
+}
+
+bool Controller::Tick(double now_ms) {
+  ++stats_.ticks;
+  if (failed_) return false;
+  external_model_.MaybeRoll(now_ms);
+  if (!external_model_.HasDistribution()) return false;
+
+  const double rps =
+      external_model_.PredictedRps(rng_) * config_.rps_planning_factor;
+  if (rps <= 0.0) return false;
+  if (!cache_.NeedsRefresh(external_model_.Samples(), rps)) return false;
+
+  // Estimate each sample as the controller would see it (error-injected).
+  std::vector<double> estimated;
+  estimated.reserve(external_model_.Samples().size());
+  for (double c : external_model_.Samples()) {
+    estimated.push_back(external_model_.EstimateForRequest(c, rng_));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  PolicyResult result =
+      ComputePolicy(*qoe_, *server_model_, estimated, rps, config_.policy);
+  stats_.total_recompute_wall_us += WallMicrosSince(start);
+  ++stats_.recomputes;
+  stats_.last_policy_stats = result.stats;
+
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogStream log(LogLevel::kDebug, name_);
+    log << "t=" << now_ms << " rps=" << rps << " buckets="
+        << result.stats.buckets << " expectedQ="
+        << result.table.expected_mean_qoe << " fractions:";
+    for (double f : result.table.load_fractions) log << ' ' << f;
+  }
+  cache_.Install(std::move(result.table),
+                 std::vector<double>(external_model_.Samples().begin(),
+                                     external_model_.Samples().end()),
+                 rps);
+  return true;
+}
+
+int Controller::Decide(DelayMs true_external_delay_ms) {
+  const DecisionTable* table = cache_.Get();
+  if (table == nullptr) return -1;
+  const auto start = std::chrono::steady_clock::now();
+  const DelayMs estimate =
+      external_model_.EstimateForRequest(true_external_delay_ms, rng_);
+  const int decision = table->Lookup(estimate);
+  stats_.total_lookup_wall_us += WallMicrosSince(start);
+  ++stats_.decisions;
+  return decision;
+}
+
+void Controller::AdoptStateFrom(const Controller& other) {
+  cache_ = other.cache_;
+  external_model_ = other.external_model_;
+}
+
+}  // namespace e2e

@@ -1,0 +1,114 @@
+// The E2E controller (§3.1, Fig. 9): consumes the three input models (QoE,
+// external delay, server-side delay), periodically recomputes the decision
+// lookup table via the two-level policy, and serves per-request decisions
+// from the cached table at O(log k) cost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/external_delay_model.h"
+#include "core/policy.h"
+#include "core/server_delay_model.h"
+#include "core/table_cache.h"
+#include "qoe/qoe_model.h"
+#include "util/rng.h"
+
+namespace e2e {
+
+/// Controller configuration.
+struct ControllerConfig {
+  PolicyConfig policy;
+  ExternalDelayModelParams external;
+  TableCacheParams cache;
+
+  /// Headroom applied to the measured offered load when planning: the
+  /// policy is computed as if the next window carried `rps_planning_factor`
+  /// times the last window's rate, so minute-scale bursts between table
+  /// refreshes do not push a deliberately-loaded decision into sustained
+  /// overload.
+  double rps_planning_factor = 1.0;
+};
+
+/// Controller bookkeeping, including wall-clock decision costs used for the
+/// overhead evaluation (Fig. 16, Fig. 17).
+struct ControllerStats {
+  std::uint64_t observations = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t recomputes = 0;
+  std::uint64_t ticks = 0;
+  double total_recompute_wall_us = 0.0;
+  double total_lookup_wall_us = 0.0;
+  PolicyStats last_policy_stats;
+
+  double MeanRecomputeWallUs() const {
+    return recomputes == 0 ? 0.0
+                           : total_recompute_wall_us /
+                                 static_cast<double>(recomputes);
+  }
+  double MeanLookupWallUs() const {
+    return decisions == 0
+               ? 0.0
+               : total_lookup_wall_us / static_cast<double>(decisions);
+  }
+};
+
+/// One controller instance serving one shared-resource service.
+class Controller {
+ public:
+  Controller(std::string name, ControllerConfig config, QoeModelPtr qoe,
+             std::shared_ptr<const ServerDelayModel> server_model,
+             std::uint64_t seed);
+
+  /// Feeds the measured external delay of an arriving request.
+  void ObserveArrival(DelayMs external_delay_ms, double now_ms);
+
+  /// Periodic maintenance: rolls the external-delay window and, when the
+  /// cached table is stale, recomputes it. Returns true when a new table
+  /// was installed. No-op while failed.
+  bool Tick(double now_ms);
+
+  /// The current decision table (nullptr before the first computation).
+  const DecisionTable* CurrentTable() const { return cache_.Get(); }
+
+  /// Per-request decision: estimates the external delay (with injected
+  /// error, Fig. 20a) and looks it up in the cached table. Returns -1 when
+  /// no table exists yet (callers fall back to the default policy, §5).
+  int Decide(DelayMs true_external_delay_ms);
+
+  /// Fault injection (Fig. 18): a failed controller stops updating its
+  /// table; Decide() keeps serving the stale cache.
+  void Fail() { failed_ = true; }
+  void Recover() { failed_ = false; }
+  bool failed() const { return failed_; }
+
+  /// Error injection for the robustness study (Fig. 20).
+  void SetExternalDelayError(double rel) {
+    external_model_.SetExternalDelayError(rel);
+  }
+  void SetRpsError(double rel) { external_model_.SetRpsError(rel); }
+
+  const ControllerStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  const ExternalDelayModel& external_model() const { return external_model_; }
+  const ServerDelayModel& server_model() const { return *server_model_; }
+  const QoeModel& qoe_model() const { return *qoe_; }
+
+  /// Copies the current table/cache state from another controller (backup
+  /// replication: replicas share input state, §5).
+  void AdoptStateFrom(const Controller& other);
+
+ private:
+  std::string name_;
+  ControllerConfig config_;
+  QoeModelPtr qoe_;
+  std::shared_ptr<const ServerDelayModel> server_model_;
+  ExternalDelayModel external_model_;
+  DecisionTableCache cache_;
+  Rng rng_;
+  bool failed_ = false;
+  ControllerStats stats_;
+};
+
+}  // namespace e2e

@@ -1,0 +1,74 @@
+// External-delay model (§3.1, §6).
+//
+// Maintains the distribution of external delays across recent requests with
+// batched updates: observations accumulate in the current window (paper:
+// 10 s, "enough requests to reliably estimate the distribution, and the
+// distribution remains stable within this window"), and the published
+// distribution rolls over at window boundaries. Per-request estimates can be
+// perturbed with a configurable relative error to reproduce the robustness
+// study (Fig. 20).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace e2e {
+
+/// Configuration for the external-delay model.
+struct ExternalDelayModelParams {
+  double window_ms = 10000.0;   ///< Batched-update window length.
+  std::size_t min_samples = 20; ///< Windows with fewer samples are skipped.
+};
+
+/// Windowed empirical external-delay distribution plus request-rate
+/// estimation.
+class ExternalDelayModel {
+ public:
+  explicit ExternalDelayModel(ExternalDelayModelParams params);
+
+  /// Records the (measured) external delay of a request arriving now.
+  void Observe(DelayMs external_delay_ms, double now_ms);
+
+  /// Rolls the window if `now_ms` has passed its end; returns true when a
+  /// new distribution was published. Windows with too few samples extend
+  /// the current published distribution instead of replacing it.
+  bool MaybeRoll(double now_ms);
+
+  /// True once at least one window has been published.
+  bool HasDistribution() const { return !published_.empty(); }
+
+  /// External-delay samples of the last published window.
+  std::span<const double> Samples() const { return published_; }
+
+  /// Offered load (requests/second) of the last published window.
+  double PublishedRps() const { return published_rps_; }
+
+  /// The controller's estimate of one request's external delay: the true
+  /// value perturbed by the configured relative error (uniform in
+  /// [-err, +err]), never below zero.
+  DelayMs EstimateForRequest(DelayMs true_external_ms, Rng& rng) const;
+
+  /// The controller's RPS prediction, perturbed like EstimateForRequest.
+  double PredictedRps(Rng& rng) const;
+
+  /// Sets the relative external-delay estimation error (Fig. 20a).
+  void SetExternalDelayError(double relative_error);
+
+  /// Sets the relative RPS prediction error (Fig. 20b).
+  void SetRpsError(double relative_error);
+
+ private:
+  ExternalDelayModelParams params_;
+  double window_start_ms_ = 0.0;
+  bool window_open_ = false;
+  std::vector<double> current_;
+  std::vector<double> published_;
+  double published_rps_ = 0.0;
+  double external_error_ = 0.0;
+  double rps_error_ = 0.0;
+};
+
+}  // namespace e2e

@@ -1,0 +1,388 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "matching/assignment.h"
+#include "stats/bucketizer.h"
+
+namespace e2e {
+namespace {
+
+// Internal bucket view used by the solver.
+struct PolicyBucket {
+  DelayMs lo = 0.0;
+  DelayMs hi = 0.0;
+  DelayMs representative = 0.0;
+  double weight = 0.0;
+};
+
+std::vector<PolicyBucket> BuildBuckets(std::span<const DelayMs> externals,
+                                       const PolicyConfig& config) {
+  std::vector<PolicyBucket> buckets;
+  if (config.per_request) {
+    // E2E (basic): one bucket per request, sorted by external delay.
+    std::vector<double> sorted(externals.begin(), externals.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double w = 1.0 / static_cast<double>(sorted.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const double hi =
+          i + 1 < sorted.size() ? sorted[i + 1] : sorted[i] + 1.0;
+      buckets.push_back(PolicyBucket{sorted[i], hi, sorted[i], w});
+    }
+    return buckets;
+  }
+  const Bucketizer bucketizer(externals, config.target_buckets,
+                              config.max_bucket_span_ms);
+  for (const Bucket& b : bucketizer.buckets()) {
+    buckets.push_back(PolicyBucket{b.lo, b.hi, b.representative, b.weight});
+  }
+  return buckets;
+}
+
+// Expected QoE of serving external delay c at a slot with delay
+// distribution f: E_{s~f}[Q(c + s)].
+double ExpectedQoe(const QoeModel& qoe, DelayMs c,
+                   const DiscreteDistribution& f) {
+  double total = 0.0;
+  const auto values = f.values();
+  const auto probs = f.probabilities();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    total += qoe.Qoe(c + values[i]) * probs[i];
+  }
+  return total;
+}
+
+// Result of evaluating one allocation.
+struct Evaluation {
+  double mean_qoe = 0.0;
+  std::vector<int> decision_of_bucket;
+  std::vector<double> expected_qoe_of_bucket;
+};
+
+class AllocationEvaluator {
+ public:
+  AllocationEvaluator(const QoeModel& qoe, const ServerDelayModel& g,
+                      std::span<const PolicyBucket> buckets, double total_rps,
+                      const PolicyConfig& config, PolicyStats& stats)
+      : qoe_(qoe),
+        g_(g),
+        buckets_(buckets),
+        total_rps_(total_rps),
+        config_(config),
+        stats_(stats) {}
+
+  // Evaluates the allocation `units` (buckets per decision, summing to
+  // buckets_.size()), caching by allocation vector.
+  //
+  // Each evaluation is a small fixed point between the two subproblems
+  // ("E2E solves the two subproblems iteratively", §4.2): the mapping is
+  // solved against G at some load split, and the split implied by the
+  // mapping (sum of the *population weights* of the buckets routed to each
+  // decision — NOT the unit counts, which diverge once the max-span rule
+  // splits buckets unevenly) is fed back into G until it stops moving. The
+  // reported QoE is therefore consistent with the load the installed table
+  // would actually create.
+  const Evaluation& Evaluate(const std::vector<int>& units) {
+    const auto it = cache_.find(units);
+    if (it != cache_.end()) return it->second;
+    ++stats_.allocations_evaluated;
+
+    // Seed split: unit share (exact when buckets are equal-population).
+    const double total_units = static_cast<double>(buckets_.size());
+    std::vector<double> fractions(units.size());
+    for (std::size_t d = 0; d < units.size(); ++d) {
+      fractions[d] = static_cast<double>(units[d]) / total_units;
+    }
+
+    Evaluation eval = SolveWithFractions(units, fractions);
+    const int max_rounds = config_.refine_fractions ? 3 : 0;
+    for (int round = 0; round < max_rounds; ++round) {
+      std::vector<double> actual(units.size(), 0.0);
+      for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        actual[static_cast<std::size_t>(eval.decision_of_bucket[b])] +=
+            buckets_[b].weight;
+      }
+      double moved = 0.0;
+      for (std::size_t d = 0; d < actual.size(); ++d) {
+        moved += std::abs(actual[d] - fractions[d]);
+      }
+      if (moved < 0.02) break;  // Converged.
+      fractions = std::move(actual);
+      eval = SolveWithFractions(units, fractions);
+    }
+    // Score at the split the final mapping actually creates, docked by the
+    // elective-overload safety margin (see PolicyConfig).
+    {
+      std::vector<double> actual(units.size(), 0.0);
+      for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        actual[static_cast<std::size_t>(eval.decision_of_bucket[b])] +=
+            buckets_[b].weight;
+      }
+      eval.mean_qoe = ScoreMapping(eval.decision_of_bucket, actual);
+      if (config_.stress_weight > 0.0 && config_.stress_factor > 1.0) {
+        const double stressed = ScoreMapping(eval.decision_of_bucket, actual,
+                                             config_.stress_factor);
+        eval.mean_qoe = (1.0 - config_.stress_weight) * eval.mean_qoe +
+                        config_.stress_weight * stressed;
+      }
+      if (config_.instability_penalty > 0.0) {
+        double overloaded_mass = 0.0;
+        for (std::size_t b = 0; b < buckets_.size(); ++b) {
+          if (g_.IsOverloaded(eval.decision_of_bucket[b], actual,
+                              total_rps_ * config_.overload_headroom)) {
+            overloaded_mass += buckets_[b].weight;
+          }
+        }
+        eval.mean_qoe -=
+            config_.instability_penalty * qoe_.Qoe(0.0) * overloaded_mass;
+      }
+    }
+    return cache_.emplace(units, std::move(eval)).first->second;
+  }
+
+ private:
+  // Mean QoE of a fixed mapping when G is driven by `fractions`, at
+  // `rate_factor` times the planned load.
+  double ScoreMapping(const std::vector<int>& decision_of_bucket,
+                      const std::vector<double>& fractions,
+                      double rate_factor = 1.0) const {
+    std::vector<DiscreteDistribution> delay_of_decision;
+    const int num_decisions = g_.NumDecisions();
+    delay_of_decision.reserve(static_cast<std::size_t>(num_decisions));
+    for (int d = 0; d < num_decisions; ++d) {
+      delay_of_decision.push_back(
+          g_.DelayDistribution(d, fractions, total_rps_ * rate_factor));
+    }
+    double total = 0.0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      total += buckets_[b].weight *
+               ExpectedQoe(qoe_, buckets_[b].representative,
+                           delay_of_decision[static_cast<std::size_t>(
+                               decision_of_bucket[b])]);
+    }
+    return total;
+  }
+
+  Evaluation SolveWithFractions(const std::vector<int>& units,
+                                const std::vector<double>& fractions) {
+    const int num_decisions = g_.NumDecisions();
+    const std::size_t n = buckets_.size();
+
+    // Per-decision delay distributions under this allocation.
+    std::vector<DiscreteDistribution> delay_of_decision;
+    delay_of_decision.reserve(static_cast<std::size_t>(num_decisions));
+    for (int d = 0; d < num_decisions; ++d) {
+      delay_of_decision.push_back(g_.DelayDistribution(d, fractions,
+                                                       total_rps_));
+    }
+
+    // Edge weights depend only on (bucket, decision).
+    std::vector<std::vector<double>> qoe_of(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      qoe_of[b].resize(static_cast<std::size_t>(num_decisions));
+      for (int d = 0; d < num_decisions; ++d) {
+        qoe_of[b][static_cast<std::size_t>(d)] = ExpectedQoe(
+            qoe_, buckets_[b].representative,
+            delay_of_decision[static_cast<std::size_t>(d)]);
+      }
+    }
+
+    // Slot list: units[d] slots per decision.
+    std::vector<int> decision_of_slot;
+    decision_of_slot.reserve(n);
+    for (std::size_t d = 0; d < units.size(); ++d) {
+      for (int u = 0; u < units[d]; ++u) {
+        decision_of_slot.push_back(static_cast<int>(d));
+      }
+    }
+    if (decision_of_slot.size() != n) {
+      throw std::logic_error("AllocationEvaluator: allocation != buckets");
+    }
+
+    Evaluation eval;
+    eval.decision_of_bucket.resize(n);
+    eval.expected_qoe_of_bucket.resize(n);
+
+    if (config_.mapping == MappingAlgorithm::kOptimalMatching) {
+      WeightMatrix weights(n, n);
+      for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t s = 0; s < n; ++s) {
+          weights.At(b, s) =
+              buckets_[b].weight *
+              qoe_of[b][static_cast<std::size_t>(decision_of_slot[s])];
+        }
+      }
+      const AssignmentResult matching = SolveMaxWeightAssignment(weights);
+      ++stats_.matchings_solved;
+      for (std::size_t b = 0; b < n; ++b) {
+        const int d = decision_of_slot[matching.column_of_row[b]];
+        eval.decision_of_bucket[b] = d;
+        eval.expected_qoe_of_bucket[b] =
+            qoe_of[b][static_cast<std::size_t>(d)];
+      }
+    } else {
+      // Slope-based mapping: steepest-slope bucket gets the lowest-mean-
+      // delay slot (§7.1). This is exactly the policy that ignores the
+      // magnitude of server-side delays (§3.2).
+      std::vector<std::size_t> bucket_order(n);
+      std::iota(bucket_order.begin(), bucket_order.end(), std::size_t{0});
+      std::sort(bucket_order.begin(), bucket_order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return qoe_.Sensitivity(buckets_[a].representative) >
+                         qoe_.Sensitivity(buckets_[b].representative);
+                });
+      std::vector<std::size_t> slot_order(n);
+      std::iota(slot_order.begin(), slot_order.end(), std::size_t{0});
+      std::vector<double> slot_mean(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        slot_mean[s] =
+            delay_of_decision[static_cast<std::size_t>(decision_of_slot[s])]
+                .Mean();
+      }
+      std::sort(slot_order.begin(), slot_order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return slot_mean[a] < slot_mean[b];
+                });
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t b = bucket_order[i];
+        const int d = decision_of_slot[slot_order[i]];
+        eval.decision_of_bucket[b] = d;
+        eval.expected_qoe_of_bucket[b] =
+            qoe_of[b][static_cast<std::size_t>(d)];
+      }
+    }
+
+    for (std::size_t b = 0; b < n; ++b) {
+      eval.mean_qoe += buckets_[b].weight * eval.expected_qoe_of_bucket[b];
+    }
+    return eval;
+  }
+
+  const QoeModel& qoe_;
+  const ServerDelayModel& g_;
+  std::span<const PolicyBucket> buckets_;
+  double total_rps_;
+  const PolicyConfig& config_;
+  PolicyStats& stats_;
+  std::map<std::vector<int>, Evaluation> cache_;
+};
+
+PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
+                       std::span<const DelayMs> external_delays,
+                       double total_rps, const PolicyConfig& config) {
+  if (external_delays.empty()) {
+    throw std::invalid_argument("ComputePolicy: no external delays");
+  }
+  if (total_rps <= 0.0) {
+    throw std::invalid_argument("ComputePolicy: total_rps <= 0");
+  }
+  PolicyResult result;
+  const std::vector<PolicyBucket> buckets =
+      BuildBuckets(external_delays, config);
+  result.stats.buckets = static_cast<int>(buckets.size());
+
+  const int num_decisions = g.NumDecisions();
+  AllocationEvaluator evaluator(qoe, g, buckets, total_rps, config,
+                                result.stats);
+
+  // Best-improvement hill climbing over single-unit transfers.
+  auto climb = [&](std::vector<int> start) {
+    double qoe_now = evaluator.Evaluate(start).mean_qoe;
+    for (int step = 0; step < config.max_hill_climb_steps; ++step) {
+      std::vector<int> best_neighbor;
+      double best_neighbor_qoe = qoe_now;
+      for (std::size_t from = 0; from < start.size(); ++from) {
+        if (start[from] == 0) continue;
+        for (std::size_t to = 0; to < start.size(); ++to) {
+          if (to == from) continue;
+          std::vector<int> neighbor = start;
+          --neighbor[from];
+          ++neighbor[to];
+          const double q = evaluator.Evaluate(neighbor).mean_qoe;
+          if (q > best_neighbor_qoe) {
+            best_neighbor_qoe = q;
+            best_neighbor = std::move(neighbor);
+          }
+        }
+      }
+      if (best_neighbor.empty()) break;  // Local optimum.
+      start = std::move(best_neighbor);
+      qoe_now = best_neighbor_qoe;
+      ++result.stats.hill_climb_steps;
+    }
+    return std::pair<std::vector<int>, double>(std::move(start), qoe_now);
+  };
+
+  // Algorithm 1 starts from the degenerate allocation (n, 0, ..., 0); we
+  // additionally climb from the balanced allocation, because with unequal
+  // bucket weights the landscape has sacrificial local optima the
+  // degenerate start can get trapped in. Keep the better local optimum.
+  std::vector<int> degenerate(static_cast<std::size_t>(num_decisions), 0);
+  degenerate[0] = static_cast<int>(buckets.size());
+  std::vector<int> balanced(static_cast<std::size_t>(num_decisions), 0);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    ++balanced[b % static_cast<std::size_t>(num_decisions)];
+  }
+  auto [best_a, qoe_a] = climb(std::move(degenerate));
+  auto [best_b, qoe_b] = climb(std::move(balanced));
+  std::vector<int> best = qoe_a >= qoe_b ? std::move(best_a) : std::move(best_b);
+  double best_qoe = std::max(qoe_a, qoe_b);
+  (void)best_qoe;
+
+  // Materialize the decision table from the winning allocation.
+  const Evaluation& eval = evaluator.Evaluate(best);
+  DecisionTable& table = result.table;
+  table.rows.reserve(buckets.size());
+  table.load_fractions.assign(static_cast<std::size_t>(num_decisions), 0.0);
+  table.expected_mean_qoe = eval.mean_qoe;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    DecisionTableRow row;
+    row.lo = buckets[b].lo;
+    row.hi = buckets[b].hi;
+    row.decision = eval.decision_of_bucket[b];
+    row.expected_qoe = eval.expected_qoe_of_bucket[b];
+    row.weight = buckets[b].weight;
+    table.rows.push_back(row);
+    table.load_fractions[static_cast<std::size_t>(row.decision)] +=
+        row.weight;
+  }
+  return result;
+}
+
+}  // namespace
+
+int DecisionTable::Lookup(DelayMs external_delay_ms) const {
+  if (rows.empty()) {
+    throw std::logic_error("DecisionTable::Lookup: empty table");
+  }
+  std::size_t lo = 0;
+  std::size_t hi = rows.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (external_delay_ms >= rows[mid].lo) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return rows[lo].decision;
+}
+
+PolicyResult ComputePolicy(const QoeModel& qoe, const ServerDelayModel& g,
+                           std::span<const DelayMs> external_delays,
+                           double total_rps, const PolicyConfig& config) {
+  return RunPolicy(qoe, g, external_delays, total_rps, config);
+}
+
+PolicyResult ComputeSlopePolicy(const QoeModel& qoe, const ServerDelayModel& g,
+                                std::span<const DelayMs> external_delays,
+                                double total_rps, PolicyConfig config) {
+  config.mapping = MappingAlgorithm::kSlopeBased;
+  return RunPolicy(qoe, g, external_delays, total_rps, config);
+}
+
+}  // namespace e2e

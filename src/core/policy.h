@@ -1,0 +1,123 @@
+// E2E's two-level decision-making policy (§4, Algorithm 1).
+//
+// Top level: hill-climbing over *decision allocations* (how many units of
+// load each decision carries) — valid because requests are functionally
+// identical, so the server-delay model depends only on the allocation, not
+// on which request goes where. Bottom level: for a fixed allocation, the
+// optimal request→decision mapping is a maximum-weight bipartite matching
+// between external-delay buckets and decision "slots", with edge weight
+// equal to the expected QoE of serving that bucket at that slot's delay
+// distribution (§4.3, Fig. 12).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/server_delay_model.h"
+#include "qoe/qoe_model.h"
+#include "util/types.h"
+
+namespace e2e {
+
+/// Bottom-level mapping algorithm: E2E's optimal matching, or the
+/// slope-based heuristic baseline (§7.1) that ranks requests by the QoE
+/// derivative at their external delay.
+enum class MappingAlgorithm {
+  kOptimalMatching,
+  kSlopeBased,
+};
+
+/// Policy configuration.
+struct PolicyConfig {
+  /// Spatial coarsening (§5): number of equal-population external-delay
+  /// buckets (k) and the maximum span of any bucket (delta).
+  int target_buckets = 16;
+  DelayMs max_bucket_span_ms = 1200.0;
+
+  /// When true, skip coarsening entirely: one bucket per request
+  /// ("E2E (basic)" in Fig. 17).
+  bool per_request = false;
+
+  MappingAlgorithm mapping = MappingAlgorithm::kOptimalMatching;
+
+  /// Hill-climbing bound; the search almost always converges much earlier.
+  int max_hill_climb_steps = 512;
+
+  /// Refine load fractions once from the matched bucket weights and re-run
+  /// the mapping ("E2E solves the two subproblems iteratively").
+  bool refine_fractions = true;
+
+  /// Safety margin against elective overload: the allocation score is
+  /// docked this fraction of Q(0) per unit of population routed to a
+  /// decision with no steady state. Overload backlogs persist across
+  /// decision windows (hysteresis the stateless G cannot predict), so an
+  /// allocation that overloads a replica is only chosen when every
+  /// allocation must (offered load above total capacity).
+  double instability_penalty = 0.15;
+
+  /// Burst headroom used only by the instability check: a decision counts
+  /// as overloaded if it would have no steady state at `overload_headroom`
+  /// times the planned rate. Delay predictions themselves stay at the
+  /// planned rate.
+  double overload_headroom = 1.0;
+
+  /// Robust allocation scoring: the hill-climb objective is a mix of the
+  /// expected QoE at the planned rate and at `stress_factor` times it
+  /// (weight `stress_weight` on the stressed term). Offered load in a real
+  /// window swings well above its mean at minute scale; an allocation that
+  /// only works at the mean is fragile.
+  double stress_factor = 1.3;
+  double stress_weight = 0.0;
+};
+
+/// One row of the decision lookup table (§5): requests whose (estimated)
+/// external delay falls in [lo, hi) take `decision`.
+struct DecisionTableRow {
+  DelayMs lo = 0.0;
+  DelayMs hi = 0.0;
+  int decision = 0;
+  double expected_qoe = 0.0;  ///< E[Q] for this bucket under the plan.
+  double weight = 0.0;        ///< Population fraction of the bucket.
+};
+
+/// The cached artifact the shared-resource service consumes.
+struct DecisionTable {
+  std::vector<DecisionTableRow> rows;   ///< Sorted by lo.
+  std::vector<double> load_fractions;   ///< Resulting per-decision split.
+  double expected_mean_qoe = 0.0;       ///< Weighted mean E[Q].
+
+  /// O(log n) decision lookup (out-of-range delays clamp to the
+  /// first/last row). Requires a non-empty table.
+  int Lookup(DelayMs external_delay_ms) const;
+};
+
+/// Bookkeeping from one policy computation.
+struct PolicyStats {
+  int buckets = 0;
+  int hill_climb_steps = 0;
+  int allocations_evaluated = 0;
+  int matchings_solved = 0;
+};
+
+/// Result of one policy computation.
+struct PolicyResult {
+  DecisionTable table;
+  PolicyStats stats;
+};
+
+/// Computes the QoE-optimizing decision table for the requests described by
+/// `external_delays` arriving at `total_rps`, against the given QoE curve
+/// and server-delay model. Throws when inputs are empty/invalid.
+PolicyResult ComputePolicy(const QoeModel& qoe, const ServerDelayModel& g,
+                           std::span<const DelayMs> external_delays,
+                           double total_rps, const PolicyConfig& config);
+
+/// Builds the slope-based baseline's table directly (§7.1): the request
+/// bucket with the steepest QoE slope gets the decision with the smallest
+/// expected delay. Shares the top-level allocation search with E2E.
+PolicyResult ComputeSlopePolicy(const QoeModel& qoe, const ServerDelayModel& g,
+                                std::span<const DelayMs> external_delays,
+                                double total_rps, PolicyConfig config);
+
+}  // namespace e2e

@@ -1,0 +1,86 @@
+#include "core/profiler.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/server.h"
+
+namespace e2e {
+
+LoadProfile ProfileServerOffline(const ProfilerConfig& config) {
+  if (config.levels < 1 || config.max_rps <= 0.0 ||
+      config.duration_ms <= 0.0 || config.distribution_points < 1) {
+    throw std::invalid_argument("ProfileServerOffline: bad config");
+  }
+  LoadProfile profile;
+  profile.max_rps = config.max_rps;
+  Rng root(config.seed);
+
+  for (int level = 1; level <= config.levels; ++level) {
+    const double rps = config.max_rps * static_cast<double>(level) /
+                       static_cast<double>(config.levels);
+    EventLoop loop;
+    SimServer server(
+        "profilee", loop, config.concurrency,
+        MakeConvexLoadProfile(config.base_service_ms, config.capacity,
+                              config.service_alpha, config.service_beta,
+                              config.jitter_sigma),
+        root.Fork(static_cast<std::uint64_t>(level)));
+    Rng arrivals = root.Fork(1000 + static_cast<std::uint64_t>(level));
+
+    std::vector<double> samples;
+    const double mean_gap_ms = 1000.0 / rps;
+    // Poisson (exponential-gap) open-loop arrivals across the window.
+    double t = arrivals.ExponentialMean(mean_gap_ms);
+    while (t < config.duration_ms) {
+      loop.Schedule(t, [&server, &samples]() {
+        server.Submit([&samples](const JobTiming& timing) {
+          samples.push_back(timing.TotalDelayMs());
+        });
+      });
+      t += arrivals.ExponentialMean(mean_gap_ms);
+    }
+    loop.Run();
+
+    // Discard the warm-up half when the level is heavily loaded and the
+    // sample count allows it, so transients do not bias the profile.
+    std::vector<double> steady;
+    if (samples.size() >= 200) {
+      steady.assign(samples.begin() + static_cast<std::ptrdiff_t>(
+                                          samples.size() / 5),
+                    samples.end());
+    } else {
+      steady = samples;
+    }
+    if (steady.empty()) {
+      steady.push_back(config.base_service_ms);
+    }
+    profile.level_rps.push_back(rps);
+    profile.delays.push_back(DiscreteDistribution::FromSamples(
+        steady, config.distribution_points));
+
+    // Stationarity check: a level whose delays keep climbing through the
+    // window has no steady state (the server is overloaded there). Record
+    // the last stable level so interpolation treats anything beyond it as
+    // sustained overload.
+    if (steady.size() >= 40) {
+      const std::size_t half = steady.size() / 2;
+      double first = 0.0, second = 0.0;
+      for (std::size_t i = 0; i < half; ++i) first += steady[i];
+      for (std::size_t i = half; i < steady.size(); ++i) second += steady[i];
+      first /= static_cast<double>(half);
+      second /= static_cast<double>(steady.size() - half);
+      if (second > first * 1.4 &&
+          profile.max_stable_rps >
+              profile.level_rps[profile.level_rps.size() - 1]) {
+        const std::size_t idx = profile.level_rps.size();
+        profile.max_stable_rps =
+            idx >= 2 ? profile.level_rps[idx - 2] : profile.level_rps[0];
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace e2e

@@ -1,0 +1,138 @@
+// Server-side delay models: G(z, Z) in the paper's formulation (§4.1).
+//
+// Given a decision (replica index / priority level) and the full allocation
+// of load across decisions, the model returns the *distribution* of
+// server-side delay a request assigned to that decision will experience
+// (§4.3 uses the distribution, not a point estimate, when weighting edges).
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/distribution.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace e2e {
+
+/// Abstract G(.): per-decision server-side delay distribution as a function
+/// of how the offered load is split across decisions.
+class ServerDelayModel {
+ public:
+  virtual ~ServerDelayModel() = default;
+
+  /// Number of possible decisions (replicas or priority levels).
+  virtual int NumDecisions() const = 0;
+
+  /// Delay distribution for a request assigned to `decision` when the
+  /// offered load splits as `load_fractions` (one entry per decision,
+  /// summing to ~1) at `total_rps` requests/second overall.
+  virtual DiscreteDistribution DelayDistribution(
+      int decision, std::span<const double> load_fractions,
+      double total_rps) const = 0;
+
+  /// Model name for reports.
+  virtual std::string Name() const = 0;
+
+  /// True when a request routed to `decision` under this split faces a
+  /// server with no steady state (sustained overload). The policy uses this
+  /// to avoid *electively* overloading a decision: predicted QoE alone
+  /// cannot see the backlog hysteresis overload causes across windows.
+  virtual bool IsOverloaded(int decision,
+                            std::span<const double> load_fractions,
+                            double total_rps) const {
+    (void)decision;
+    (void)load_fractions;
+    (void)total_rps;
+    return false;
+  }
+};
+
+/// A load→delay profile for one server, measured offline (§6: "we measure
+/// the processing delays of one server under different input loads:
+/// {5%, 10%, ..., 100%} of the maximum number of requests per second").
+struct LoadProfile {
+  double max_rps = 0.0;                       ///< Load of the last level.
+  std::vector<double> level_rps;              ///< Ascending profiled loads.
+  std::vector<DiscreteDistribution> delays;   ///< One distribution per level.
+
+  /// Largest profiled load at which delays were *stationary* (no steady
+  /// growth through the measurement window). Levels beyond this have no
+  /// steady state; the profiler detects them by comparing first- and
+  /// second-half means. Infinity when every level was stable.
+  double max_stable_rps = std::numeric_limits<double>::infinity();
+
+  /// Sustained-overload model: offered load beyond the stable region builds
+  /// backlog for the rest of the update horizon, adding
+  /// (rps/stable - 1) * overload_horizon_ms of queueing delay. Linear
+  /// extrapolation would badly underestimate this.
+  double overload_horizon_ms = 120000.0;
+};
+
+/// Interpolates a profile at an arbitrary offered load. Loads beyond the
+/// profiled maximum add horizon-bounded backlog delay (see
+/// LoadProfile::overload_horizon_ms). Distributions interpolate pointwise
+/// across equal-size quantile supports.
+DiscreteDistribution InterpolateProfile(const LoadProfile& profile,
+                                        double rps);
+
+/// G(.) for the replicated database: each replica follows the same offline
+/// profile; a replica's delay depends only on the RPS routed to it.
+class ProfiledReplicaModel final : public ServerDelayModel {
+ public:
+  /// `replicas` identical replicas sharing one `profile`.
+  ProfiledReplicaModel(int replicas, LoadProfile profile);
+
+  int NumDecisions() const override { return replicas_; }
+  DiscreteDistribution DelayDistribution(
+      int decision, std::span<const double> load_fractions,
+      double total_rps) const override;
+  std::string Name() const override { return "profiled-replica"; }
+  bool IsOverloaded(int decision, std::span<const double> load_fractions,
+                    double total_rps) const override;
+
+  const LoadProfile& profile() const { return profile_; }
+
+ private:
+  int replicas_;
+  LoadProfile profile_;
+};
+
+/// G(.) for the priority-queue broker, from non-preemptive priority
+/// queueing theory: a message at priority p waits behind the residual
+/// service plus the backlogs of levels <= p, i.e.
+///   W_p = W0 / ((1 - sigma_{p-1}) (1 - sigma_p)),  sigma_p = sum_{k<=p} rho_k
+/// with deterministic service (one pull per consume interval). Overload is
+/// clamped to a horizon-bounded backlog delay.
+class PriorityQueueModel final : public ServerDelayModel {
+ public:
+  /// `levels` priority levels; consumers drain one message every
+  /// `consume_interval_ms` across `num_consumers` consumers.
+  PriorityQueueModel(int levels, double consume_interval_ms, int num_consumers,
+                     double handling_cost_ms = 0.5,
+                     double overload_horizon_ms = 10000.0);
+
+  int NumDecisions() const override { return levels_; }
+  DiscreteDistribution DelayDistribution(
+      int decision, std::span<const double> load_fractions,
+      double total_rps) const override;
+  std::string Name() const override { return "priority-queue"; }
+  bool IsOverloaded(int decision, std::span<const double> load_fractions,
+                    double total_rps) const override;
+
+  /// Mean waiting time at a priority level (exposed for tests).
+  double MeanWaitMs(int decision, std::span<const double> load_fractions,
+                    double total_rps) const;
+
+ private:
+  int levels_;
+  double consume_interval_ms_;
+  int num_consumers_;
+  double handling_cost_ms_;
+  double overload_horizon_ms_;
+};
+
+}  // namespace e2e

@@ -1,0 +1,183 @@
+#include "db/cluster.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace e2e::db {
+
+ReplicaGroup::ReplicaGroup(int index, EventLoop& loop,
+                           const ClusterParams& params, Rng rng)
+    : index_(index),
+      server_("replica-" + std::to_string(index), loop,
+              params.concurrency_per_replica,
+              MakeConvexLoadProfile(params.base_service_ms, params.capacity,
+                                    params.service_alpha, params.service_beta,
+                                    params.jitter_sigma),
+              rng) {}
+
+Cluster::Cluster(EventLoop& loop, ClusterParams params, Rng rng)
+    : loop_(loop), params_(params) {
+  if (params_.replica_groups < 1) {
+    throw std::invalid_argument("Cluster: replica_groups < 1");
+  }
+  for (int i = 0; i < params_.replica_groups; ++i) {
+    replicas_.push_back(std::make_unique<ReplicaGroup>(
+        i, loop_, params_, rng.Fork(static_cast<std::uint64_t>(i))));
+  }
+}
+
+void Cluster::LoadDataset(std::size_t num_keys, std::size_t value_bytes) {
+  // Every replica group stores a full copy (the replication strategy the
+  // paper adopts for E2E: choose a replica group per request).
+  const std::string payload(value_bytes, 'v');
+  for (auto& replica : replicas_) {
+    for (std::size_t k = 0; k < num_keys; ++k) {
+      replica->storage().Put(static_cast<Key>(k), payload);
+    }
+    replica->storage().Flush();
+    replica->storage().Compact();
+  }
+}
+
+void Cluster::RangeRead(Key start, std::size_t count, int replica,
+                        std::function<void(ReadResult)> done) {
+  if (replica < 0 || replica >= NumReplicas()) {
+    throw std::out_of_range("Cluster::RangeRead: bad replica index");
+  }
+  if (!done) {
+    throw std::invalid_argument("Cluster::RangeRead: empty callback");
+  }
+  ReplicaGroup& group = *replicas_[static_cast<std::size_t>(replica)];
+  group.server().Submit(
+      [&group, start, count, replica, done = std::move(done)](
+          const JobTiming& timing) {
+        ReadResult result;
+        result.rows = group.storage().RangeQuery(start, count);
+        result.replica = replica;
+        result.timing = timing;
+        done(std::move(result));
+      });
+}
+
+void Cluster::Read(Key key, int replica,
+                   std::function<void(PointReadResult)> done) {
+  if (replica < 0 || replica >= NumReplicas()) {
+    throw std::out_of_range("Cluster::Read: bad replica index");
+  }
+  if (!done) {
+    throw std::invalid_argument("Cluster::Read: empty callback");
+  }
+  ReplicaGroup& group = *replicas_[static_cast<std::size_t>(replica)];
+  group.server().Submit([&group, key, replica,
+                         done = std::move(done)](const JobTiming& timing) {
+    PointReadResult result;
+    result.value = group.storage().Get(key);
+    result.replica = replica;
+    result.timing = timing;
+    done(std::move(result));
+  });
+}
+
+namespace {
+
+// Shared fan-out state for a replicated mutation.
+struct WriteFanout {
+  WriteResult result;
+  int quorum = 1;
+  int acked = 0;
+  std::function<void(WriteResult)> done;
+};
+
+}  // namespace
+
+void Cluster::Write(Key key, std::string value, int quorum,
+                    std::function<void(WriteResult)> done) {
+  if (quorum < 1 || quorum > NumReplicas()) {
+    throw std::invalid_argument("Cluster::Write: bad quorum");
+  }
+  if (!done) {
+    throw std::invalid_argument("Cluster::Write: empty callback");
+  }
+  auto fanout = std::make_shared<WriteFanout>();
+  fanout->result.key = key;
+  fanout->result.start_ms = loop_.Now();
+  fanout->quorum = quorum;
+  fanout->done = std::move(done);
+  for (auto& replica : replicas_) {
+    ReplicaGroup& group = *replica;
+    group.server().Submit(
+        [&group, key, value, fanout, this](const JobTiming&) {
+          group.storage().Put(key, value);
+          if (++fanout->acked == fanout->quorum) {
+            fanout->result.acked_replicas = fanout->acked;
+            fanout->result.quorum_ms = loop_.Now();
+            fanout->done(fanout->result);
+          }
+        });
+  }
+}
+
+void Cluster::Delete(Key key, int quorum,
+                     std::function<void(WriteResult)> done) {
+  if (quorum < 1 || quorum > NumReplicas()) {
+    throw std::invalid_argument("Cluster::Delete: bad quorum");
+  }
+  if (!done) {
+    throw std::invalid_argument("Cluster::Delete: empty callback");
+  }
+  auto fanout = std::make_shared<WriteFanout>();
+  fanout->result.key = key;
+  fanout->result.start_ms = loop_.Now();
+  fanout->quorum = quorum;
+  fanout->done = std::move(done);
+  for (auto& replica : replicas_) {
+    ReplicaGroup& group = *replica;
+    group.server().Submit([&group, key, fanout, this](const JobTiming&) {
+      group.storage().Delete(key);
+      if (++fanout->acked == fanout->quorum) {
+        fanout->result.acked_replicas = fanout->acked;
+        fanout->result.quorum_ms = loop_.Now();
+        fanout->done(fanout->result);
+      }
+    });
+  }
+}
+
+ClusterView Cluster::View() const {
+  ClusterView view;
+  view.loads.reserve(replicas_.size());
+  view.recent_delay_ms.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    view.loads.push_back(replica->server().Load());
+    view.recent_delay_ms.push_back(
+        replica->server().total_delay_stats().count() == 0
+            ? 0.0
+            : replica->server().total_delay_stats().mean());
+  }
+  return view;
+}
+
+ReadExecutor::ReadExecutor(Cluster& cluster,
+                           std::shared_ptr<ReplicaSelector> selector)
+    : cluster_(cluster), selector_(std::move(selector)) {
+  if (selector_ == nullptr) {
+    throw std::invalid_argument("ReadExecutor: null selector");
+  }
+}
+
+void ReadExecutor::ExecuteRangeRead(const DbRequest& request,
+                                    std::function<void(ReadResult)> done) {
+  const ClusterView view = cluster_.View();
+  const int replica = selector_->SelectReplica(request, view);
+  cluster_.RangeRead(request.range_start, request.range_count, replica,
+                     std::move(done));
+}
+
+void ReadExecutor::SetSelector(std::shared_ptr<ReplicaSelector> selector) {
+  if (selector == nullptr) {
+    throw std::invalid_argument("ReadExecutor::SetSelector: null selector");
+  }
+  selector_ = std::move(selector);
+}
+
+}  // namespace e2e::db

@@ -1,0 +1,150 @@
+// Replica groups and the cluster read path.
+//
+// Mirrors the paper's Cassandra deployment (§6, §7.1): the table is fully
+// replicated to each replica group; a client-side read executor picks one
+// group per request through a pluggable ReplicaSelector (the paper's
+// getReadExecutor hook) and tracks per-replica load and observed delay
+// (the paper's RequestHandler callback change).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/selector.h"
+#include "db/storage.h"
+#include "sim/event_loop.h"
+#include "sim/server.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace e2e::db {
+
+/// Cluster construction parameters. The defaults approximate the paper's
+/// Emulab nodes: ~40 ms base range-query service time, inflating with
+/// in-service contention up to `capacity` concurrent jobs (set equal to the
+/// service concurrency); offered load beyond saturation accrues queueing
+/// delay.
+struct ClusterParams {
+  int replica_groups = 3;
+  int concurrency_per_replica = 8;
+  double base_service_ms = 40.0;
+  double capacity = 8.0;
+  double service_alpha = 1.0;
+  double service_beta = 1.6;
+  double jitter_sigma = 0.35;
+};
+
+/// One replica group: a full copy of the dataset behind a load-dependent
+/// server.
+class ReplicaGroup {
+ public:
+  ReplicaGroup(int index, EventLoop& loop, const ClusterParams& params,
+               Rng rng);
+
+  /// The replica's storage (loaded by Cluster::LoadDataset).
+  StorageEngine& storage() { return storage_; }
+  const StorageEngine& storage() const { return storage_; }
+
+  SimServer& server() { return server_; }
+  const SimServer& server() const { return server_; }
+
+  int index() const { return index_; }
+
+ private:
+  int index_;
+  StorageEngine storage_;
+  SimServer server_;
+};
+
+/// Result of a range read.
+struct ReadResult {
+  std::vector<Row> rows;
+  int replica = 0;
+  JobTiming timing;
+};
+
+/// Result of a point read.
+struct PointReadResult {
+  std::optional<std::string> value;
+  int replica = 0;
+  JobTiming timing;
+};
+
+/// Result of a replicated write, reported at quorum.
+struct WriteResult {
+  Key key = 0;
+  int acked_replicas = 0;   ///< Replicas acked when the quorum fired.
+  double start_ms = 0.0;    ///< Submission time.
+  double quorum_ms = 0.0;   ///< Time the quorum-th ack arrived.
+
+  DelayMs QuorumDelayMs() const { return quorum_ms - start_ms; }
+};
+
+/// The distributed database: N replica groups, each a full copy.
+class Cluster {
+ public:
+  Cluster(EventLoop& loop, ClusterParams params, Rng rng);
+
+  /// Populates every replica with `num_keys` rows of `value_bytes` payload.
+  void LoadDataset(std::size_t num_keys, std::size_t value_bytes);
+
+  /// Executes a range read on the given replica; `done` fires on the event
+  /// loop with rows and timing. Throws on an invalid replica index.
+  void RangeRead(Key start, std::size_t count, int replica,
+                 std::function<void(ReadResult)> done);
+
+  /// Executes a point read on the given replica.
+  void Read(Key key, int replica, std::function<void(PointReadResult)> done);
+
+  /// Replicates a write to every replica group; `done` fires when `quorum`
+  /// replicas have applied it (remaining replicas still apply eventually).
+  /// Throws when quorum is outside [1, NumReplicas()] or `done` is empty.
+  void Write(Key key, std::string value, int quorum,
+             std::function<void(WriteResult)> done);
+
+  /// Replicates a delete (tombstone) like Write.
+  void Delete(Key key, int quorum, std::function<void(WriteResult)> done);
+
+  int NumReplicas() const { return static_cast<int>(replicas_.size()); }
+
+  /// Snapshot of per-replica loads (queued + in service), the signal the
+  /// paper's modified client tracks.
+  ClusterView View() const;
+
+  ReplicaGroup& replica(int index) { return *replicas_.at(static_cast<std::size_t>(index)); }
+  const ReplicaGroup& replica(int index) const {
+    return *replicas_.at(static_cast<std::size_t>(index));
+  }
+
+ private:
+  EventLoop& loop_;
+  ClusterParams params_;
+  std::vector<std::unique_ptr<ReplicaGroup>> replicas_;
+};
+
+/// Client-side read executor: selection + load/delay tracking.
+class ReadExecutor {
+ public:
+  /// `selector` decides the replica per request. Both references must
+  /// outlive the executor.
+  ReadExecutor(Cluster& cluster, std::shared_ptr<ReplicaSelector> selector);
+
+  /// Routes one request: consults the selector with the request's external
+  /// delay and the current cluster view, then issues the range read.
+  void ExecuteRangeRead(const DbRequest& request,
+                        std::function<void(ReadResult)> done);
+
+  /// Swaps the selection policy at runtime (used by failover tests).
+  void SetSelector(std::shared_ptr<ReplicaSelector> selector);
+
+  const ReplicaSelector& selector() const { return *selector_; }
+
+ private:
+  Cluster& cluster_;
+  std::shared_ptr<ReplicaSelector> selector_;
+};
+
+}  // namespace e2e::db

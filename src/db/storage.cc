@@ -1,0 +1,161 @@
+#include "db/storage.h"
+
+#include <algorithm>
+#include <set>
+
+namespace e2e::db {
+
+StorageEngine::StorageEngine(std::size_t memtable_limit, std::size_t max_runs)
+    : memtable_limit_(std::max<std::size_t>(memtable_limit, 1)),
+      max_runs_(std::max<std::size_t>(max_runs, 1)) {}
+
+void StorageEngine::Put(Key key, std::string value) {
+  memtable_[key] = std::move(value);
+  if (memtable_.size() >= memtable_limit_) Flush();
+}
+
+void StorageEngine::Delete(Key key) {
+  memtable_[key] = std::nullopt;
+  if (memtable_.size() >= memtable_limit_) Flush();
+}
+
+const StorageEngine::Versioned* StorageEngine::FindNewest(Key key) const {
+  if (const auto it = memtable_.find(key); it != memtable_.end()) {
+    return &it->second;
+  }
+  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
+    const auto it = std::lower_bound(
+        run->begin(), run->end(), key,
+        [](const auto& entry, Key k) { return entry.first < k; });
+    if (it != run->end() && it->first == key) return &it->second;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> StorageEngine::Get(Key key) const {
+  const Versioned* v = FindNewest(key);
+  if (v == nullptr || !v->has_value()) return std::nullopt;
+  return **v;
+}
+
+std::vector<Row> StorageEngine::RangeQuery(Key start,
+                                           std::size_t count) const {
+  std::vector<Row> out;
+  if (count == 0) return out;
+
+  // Cursors over memtable and each run, all positioned at >= start; at each
+  // step take the smallest key, resolving the newest version across sources.
+  struct Cursor {
+    // Newer sources get higher priority; memtable is newest.
+    int priority;
+    std::size_t pos;
+    const Run* run;                                 // null for memtable
+    std::map<Key, Versioned>::const_iterator mem_it;  // memtable only
+  };
+
+  std::vector<Cursor> cursors;
+  Cursor mem{.priority = static_cast<int>(runs_.size()),
+             .pos = 0,
+             .run = nullptr,
+             .mem_it = memtable_.lower_bound(start)};
+  cursors.push_back(mem);
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    const Run& run = runs_[i];
+    const auto it = std::lower_bound(
+        run.begin(), run.end(), start,
+        [](const auto& entry, Key k) { return entry.first < k; });
+    cursors.push_back(Cursor{.priority = static_cast<int>(i),
+                             .pos = static_cast<std::size_t>(it - run.begin()),
+                             .run = &run,
+                             .mem_it = {}});
+  }
+
+  auto current_key = [&](const Cursor& c) -> std::optional<Key> {
+    if (c.run == nullptr) {
+      if (c.mem_it == memtable_.end()) return std::nullopt;
+      return c.mem_it->first;
+    }
+    if (c.pos >= c.run->size()) return std::nullopt;
+    return (*c.run)[c.pos].first;
+  };
+  auto current_value = [&](const Cursor& c) -> const Versioned& {
+    return c.run == nullptr ? c.mem_it->second : (*c.run)[c.pos].second;
+  };
+  auto advance = [&](Cursor& c) {
+    if (c.run == nullptr) {
+      ++c.mem_it;
+    } else {
+      ++c.pos;
+    }
+  };
+
+  while (out.size() < count) {
+    std::optional<Key> next;
+    for (const Cursor& c : cursors) {
+      const auto k = current_key(c);
+      if (k.has_value() && (!next.has_value() || *k < *next)) next = k;
+    }
+    if (!next.has_value()) break;
+
+    // Resolve newest version of `next` and advance every cursor sitting on it.
+    const Versioned* winner = nullptr;
+    int best_priority = -1;
+    for (Cursor& c : cursors) {
+      const auto k = current_key(c);
+      if (!k.has_value() || *k != *next) continue;
+      if (c.priority > best_priority) {
+        best_priority = c.priority;
+        winner = &current_value(c);
+      }
+      advance(c);
+    }
+    if (winner != nullptr && winner->has_value()) {
+      out.push_back(Row{*next, **winner});
+    }
+  }
+  return out;
+}
+
+void StorageEngine::Flush() {
+  if (memtable_.empty()) return;
+  Run run;
+  run.reserve(memtable_.size());
+  for (auto& [key, value] : memtable_) {
+    run.emplace_back(key, std::move(value));
+  }
+  memtable_.clear();
+  runs_.push_back(std::move(run));
+  if (runs_.size() > max_runs_) Compact();
+}
+
+void StorageEngine::Compact() {
+  // Full merge: collect newest versions, drop tombstones.
+  std::map<Key, Versioned> merged;
+  for (const Run& run : runs_) {  // oldest first; later writes overwrite.
+    for (const auto& [key, value] : run) merged[key] = value;
+  }
+  for (const auto& [key, value] : memtable_) merged[key] = value;
+  memtable_.clear();
+  runs_.clear();
+  Run combined;
+  combined.reserve(merged.size());
+  for (auto& [key, value] : merged) {
+    if (value.has_value()) combined.emplace_back(key, std::move(value));
+  }
+  if (!combined.empty()) runs_.push_back(std::move(combined));
+}
+
+std::size_t StorageEngine::LiveKeyCount() const {
+  std::set<Key> seen;
+  std::size_t live = 0;
+  auto visit = [&](Key key, const Versioned& value) {
+    if (seen.insert(key).second && value.has_value()) ++live;
+  };
+  for (const auto& [key, value] : memtable_) visit(key, value);
+  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
+    for (const auto& [key, value] : *run) visit(key, value);
+  }
+  return live;
+}
+
+}  // namespace e2e::db

@@ -1,0 +1,178 @@
+#include "matching/assignment.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace e2e {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Cost lookup with implicit zero-cost padding columns for rectangular
+// instances solved as square (size = max(rows, cols)).
+class PaddedCost {
+ public:
+  explicit PaddedCost(const WeightMatrix& cost)
+      : cost_(cost), size_(std::max(cost.rows(), cost.cols())) {}
+
+  double At(std::size_t r, std::size_t c) const {
+    if (r < cost_.rows() && c < cost_.cols()) return cost_.At(r, c);
+    return 0.0;  // Padding rows/columns cost nothing.
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  const WeightMatrix& cost_;
+  std::size_t size_;
+};
+
+}  // namespace
+
+AssignmentResult SolveMinCostAssignment(const WeightMatrix& cost) {
+  if (cost.rows() > cost.cols()) {
+    throw std::invalid_argument(
+        "SolveMinCostAssignment: more rows than columns");
+  }
+  const PaddedCost padded(cost);
+  const std::size_t n = padded.size();
+
+  // Dual potentials and matching state, 1-indexed with a virtual 0 slot.
+  std::vector<double> row_potential(n + 1, 0.0);
+  std::vector<double> col_potential(n + 1, 0.0);
+  std::vector<std::size_t> row_of_col(n + 1, 0);  // 0 = unmatched.
+  std::vector<std::size_t> path_col(n + 1, 0);
+
+  for (std::size_t row = 1; row <= n; ++row) {
+    // Grow an alternating tree from `row` until a free column is found,
+    // maintaining reduced-cost minima per column (Dijkstra with potentials).
+    row_of_col[0] = row;
+    std::size_t cur_col = 0;
+    std::vector<double> min_reduced(n + 1, kInf);
+    std::vector<bool> visited(n + 1, false);
+    do {
+      visited[cur_col] = true;
+      const std::size_t cur_row = row_of_col[cur_col];
+      double delta = kInf;
+      std::size_t next_col = 0;
+      for (std::size_t col = 1; col <= n; ++col) {
+        if (visited[col]) continue;
+        const double reduced = padded.At(cur_row - 1, col - 1) -
+                               row_potential[cur_row] - col_potential[col];
+        if (reduced < min_reduced[col]) {
+          min_reduced[col] = reduced;
+          path_col[col] = cur_col;
+        }
+        if (min_reduced[col] < delta) {
+          delta = min_reduced[col];
+          next_col = col;
+        }
+      }
+      for (std::size_t col = 0; col <= n; ++col) {
+        if (visited[col]) {
+          row_potential[row_of_col[col]] += delta;
+          col_potential[col] -= delta;
+        } else {
+          min_reduced[col] -= delta;
+        }
+      }
+      cur_col = next_col;
+    } while (row_of_col[cur_col] != 0);
+
+    // Augment along the found path.
+    while (cur_col != 0) {
+      const std::size_t prev_col = path_col[cur_col];
+      row_of_col[cur_col] = row_of_col[prev_col];
+      cur_col = prev_col;
+    }
+  }
+
+  AssignmentResult result;
+  result.column_of_row.assign(cost.rows(), 0);
+  for (std::size_t col = 1; col <= n; ++col) {
+    const std::size_t row = row_of_col[col];
+    if (row >= 1 && row <= cost.rows() && col - 1 < cost.cols()) {
+      result.column_of_row[row - 1] = col - 1;
+      result.total += cost.At(row - 1, col - 1);
+    }
+  }
+  return result;
+}
+
+AssignmentResult SolveMaxWeightAssignment(const WeightMatrix& weight) {
+  WeightMatrix negated(weight.rows(), weight.cols());
+  for (std::size_t r = 0; r < weight.rows(); ++r) {
+    for (std::size_t c = 0; c < weight.cols(); ++c) {
+      negated.At(r, c) = -weight.At(r, c);
+    }
+  }
+  AssignmentResult result = SolveMinCostAssignment(negated);
+  result.total = -result.total;
+  return result;
+}
+
+AssignmentResult GreedyMaxWeightAssignment(const WeightMatrix& weight) {
+  if (weight.rows() > weight.cols()) {
+    throw std::invalid_argument(
+        "GreedyMaxWeightAssignment: more rows than columns");
+  }
+  struct Edge {
+    double w;
+    std::size_t r;
+    std::size_t c;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(weight.rows() * weight.cols());
+  for (std::size_t r = 0; r < weight.rows(); ++r) {
+    for (std::size_t c = 0; c < weight.cols(); ++c) {
+      edges.push_back({weight.At(r, c), r, c});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.w > b.w; });
+  std::vector<bool> row_used(weight.rows(), false);
+  std::vector<bool> col_used(weight.cols(), false);
+  AssignmentResult result;
+  result.column_of_row.assign(weight.rows(), 0);
+  std::size_t assigned = 0;
+  for (const Edge& e : edges) {
+    if (row_used[e.r] || col_used[e.c]) continue;
+    row_used[e.r] = true;
+    col_used[e.c] = true;
+    result.column_of_row[e.r] = e.c;
+    result.total += e.w;
+    if (++assigned == weight.rows()) break;
+  }
+  return result;
+}
+
+AssignmentResult BruteForceMaxWeightAssignment(const WeightMatrix& weight) {
+  if (weight.rows() > 9) {
+    throw std::invalid_argument("BruteForceMaxWeightAssignment: too large");
+  }
+  if (weight.rows() > weight.cols()) {
+    throw std::invalid_argument(
+        "BruteForceMaxWeightAssignment: more rows than columns");
+  }
+  std::vector<std::size_t> cols(weight.cols());
+  std::iota(cols.begin(), cols.end(), std::size_t{0});
+  AssignmentResult best;
+  best.total = -kInf;
+  do {
+    double total = 0.0;
+    for (std::size_t r = 0; r < weight.rows(); ++r) {
+      total += weight.At(r, cols[r]);
+    }
+    if (total > best.total) {
+      best.total = total;
+      best.column_of_row.assign(cols.begin(),
+                                cols.begin() +
+                                    static_cast<std::ptrdiff_t>(weight.rows()));
+    }
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+}  // namespace e2e

@@ -1,0 +1,40 @@
+// Maximum-weight bipartite assignment (§4.3).
+//
+// The request-decision mapping step casts "which request gets which slot"
+// as a maximum bipartite matching; we solve the equivalent linear assignment
+// problem with a shortest-augmenting-path / dual-potential algorithm in the
+// style of Jonker & Volgenant (O(n^3) worst case, fast in practice on the
+// dense matrices the controller produces).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matching/weight_matrix.h"
+
+namespace e2e {
+
+/// Result of an assignment solve over an n x m matrix with n <= m: every
+/// row is assigned a distinct column.
+struct AssignmentResult {
+  /// column_of_row[r] = column assigned to row r.
+  std::vector<std::size_t> column_of_row;
+  /// Sum of the selected entries (weight for max solvers, cost for min).
+  double total = 0.0;
+};
+
+/// Solves the minimum-cost assignment for `cost` (rows <= cols required;
+/// rectangular instances are handled by implicit padding). Optimal.
+AssignmentResult SolveMinCostAssignment(const WeightMatrix& cost);
+
+/// Solves the maximum-weight assignment (negates and delegates). Optimal.
+AssignmentResult SolveMaxWeightAssignment(const WeightMatrix& weight);
+
+/// Greedy max-weight heuristic (repeatedly picks the globally heaviest
+/// remaining edge). Used as a baseline and as a lower-bound check in tests.
+AssignmentResult GreedyMaxWeightAssignment(const WeightMatrix& weight);
+
+/// Exhaustive optimal max-weight assignment; only for tests (rows <= 9).
+AssignmentResult BruteForceMaxWeightAssignment(const WeightMatrix& weight);
+
+}  // namespace e2e

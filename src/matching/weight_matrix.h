@@ -1,0 +1,37 @@
+// Dense weight/cost matrix for the assignment solver.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace e2e {
+
+/// Row-major dense matrix of doubles. Rows index requests (or buckets),
+/// columns index decision slots.
+class WeightMatrix {
+ public:
+  /// Creates a rows x cols matrix filled with `fill`.
+  WeightMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    if (rows == 0 || cols == 0) {
+      throw std::invalid_argument("WeightMatrix: zero dimension");
+    }
+  }
+
+  /// Mutable element access (bounds-checked in debug builds only via vector).
+  double& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+  /// Const element access.
+  double At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace e2e

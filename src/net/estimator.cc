@@ -1,0 +1,65 @@
+#include "net/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace e2e::net {
+
+ConnectionObservation ObserveConnection(const ExternalDelayTruth& truth,
+                                        std::size_t response_bytes,
+                                        Rng& rng) {
+  ConnectionObservation obs;
+  // The handshake RTT is one noisy sample of the true RTT.
+  obs.handshake_rtt_ms =
+      std::max(1.0, truth.wan_rtt_ms * std::exp(rng.Normal(0.0, 0.08)));
+  // The smoothed RTT averages later samples that include queueing delay.
+  obs.smoothed_rtt_ms =
+      std::max(1.0, truth.wan_rtt_ms * (1.0 + std::abs(rng.Normal(0.0, 0.06))));
+  obs.response_bytes = response_bytes;
+  obs.cwnd_segments = 10;
+  obs.device = truth.device;
+  return obs;
+}
+
+DelayMs WanDelayEstimator::Estimate(const ConnectionObservation& obs) const {
+  // Blend the two RTT views: the handshake sample is unbiased but noisy,
+  // the smoothed RTT is stable but biased high.
+  const DelayMs rtt =
+      0.6 * obs.handshake_rtt_ms + 0.4 * obs.smoothed_rtt_ms;
+  // Slow-start style window growth: the number of round trips needed for
+  // the response is the number of window doublings from the initial cwnd
+  // until the remaining bytes fit, plus one RTT for request + first bytes.
+  double remaining = static_cast<double>(obs.response_bytes);
+  double window_bytes =
+      static_cast<double>(std::max(1, obs.cwnd_segments)) * kSegmentBytes;
+  int round_trips = 1;
+  while (remaining > window_bytes && round_trips < 16) {
+    remaining -= window_bytes;
+    window_bytes *= 2.0;  // Slow start.
+    ++round_trips;
+  }
+  return rtt * static_cast<double>(round_trips);
+}
+
+void RenderTimeEstimator::Train(DeviceClass device, DelayMs render_ms) {
+  per_class_[static_cast<std::size_t>(device)].Add(render_ms);
+  global_.Add(render_ms);
+}
+
+DelayMs RenderTimeEstimator::Estimate(DeviceClass device) const {
+  const auto& cls = per_class_[static_cast<std::size_t>(device)];
+  if (cls.count() >= 10) return cls.mean();
+  if (global_.count() >= 10) return global_.mean();
+  return 400.0;  // Cold-start prior.
+}
+
+std::size_t RenderTimeEstimator::TrainingCount(DeviceClass device) const {
+  return per_class_[static_cast<std::size_t>(device)].count();
+}
+
+DelayMs ExternalDelayEstimator::Estimate(
+    const ConnectionObservation& obs) const {
+  return wan_.Estimate(obs) + render_.Estimate(obs.device);
+}
+
+}  // namespace e2e::net

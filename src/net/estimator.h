@@ -1,0 +1,113 @@
+// Real-time external-delay estimation (§9, "Deployment at scale").
+//
+// The paper's prototype reads external delays from its traces; a production
+// deployment must estimate them per request. The paper sketches two
+// borrowed methods, both built here:
+//  * Timecard-style WAN estimation: derive the wide-area latency from the
+//    TCP handshake round-trip time and the congestion-window progression of
+//    the ongoing connection.
+//  * Mystery-Machine-style rendering estimation: predict the client-side
+//    processing/rendering time from historical observations keyed by a
+//    coarse device class, without any client cooperation.
+// The combined estimator's relative error feeds Fig. 20's robustness story:
+// E2E tolerates the ~10-20% errors these methods produce.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "stats/summary.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace e2e::net {
+
+/// Coarse client device classes used to stratify rendering estimates.
+enum class DeviceClass : std::uint8_t {
+  kDesktop = 0,
+  kMobileHighEnd = 1,
+  kMobileLowEnd = 2,
+};
+
+inline constexpr int kNumDeviceClasses = 3;
+
+/// Ground truth for one request's external delay, as the simulation knows
+/// it (the estimator never sees these fields directly).
+struct ExternalDelayTruth {
+  DelayMs wan_rtt_ms = 0.0;        ///< One round trip, client <-> frontend.
+  double wan_transfer_rtts = 3.0;  ///< RTTs the page transfer takes.
+  DelayMs render_ms = 0.0;         ///< Client-side processing/rendering.
+  DeviceClass device = DeviceClass::kDesktop;
+
+  /// The actual external delay implied by the truth.
+  DelayMs TotalMs() const {
+    return wan_rtt_ms * wan_transfer_rtts + render_ms;
+  }
+};
+
+/// What the frontend can actually observe about a connection.
+struct ConnectionObservation {
+  /// SYN->ACK round-trip measured during the TCP handshake; includes
+  /// kernel/NIC jitter.
+  DelayMs handshake_rtt_ms = 0.0;
+  /// Smoothed RTT once the connection is established (more samples, less
+  /// jitter, but biased upward by queueing).
+  DelayMs smoothed_rtt_ms = 0.0;
+  /// Bytes of response payload (drives the transfer-RTT estimate).
+  std::size_t response_bytes = 0;
+  /// Negotiated congestion window in segments at send time.
+  int cwnd_segments = 10;
+  DeviceClass device = DeviceClass::kDesktop;
+};
+
+/// Draws an observation for a given truth (adds measurement noise).
+ConnectionObservation ObserveConnection(const ExternalDelayTruth& truth,
+                                        std::size_t response_bytes, Rng& rng);
+
+/// Timecard-style WAN estimator: transfer time ~= RTT * ceil(log growth of
+/// the window until the response fits) + 1 RTT for the request itself.
+class WanDelayEstimator {
+ public:
+  /// Estimated WAN component of the external delay.
+  DelayMs Estimate(const ConnectionObservation& obs) const;
+
+ private:
+  static constexpr std::size_t kSegmentBytes = 1460;
+};
+
+/// Mystery-Machine-style rendering estimator: maintains per-device-class
+/// running statistics from historical (instrumented) sessions and predicts
+/// the mean for the class; no client cooperation needed at decision time.
+class RenderTimeEstimator {
+ public:
+  /// Records one measured rendering time (from instrumented sessions).
+  void Train(DeviceClass device, DelayMs render_ms);
+
+  /// Predicted rendering time; falls back to the global mean (or a prior of
+  /// 400 ms) for classes without history.
+  DelayMs Estimate(DeviceClass device) const;
+
+  /// Number of training observations for a class.
+  std::size_t TrainingCount(DeviceClass device) const;
+
+ private:
+  std::array<StreamingSummary, kNumDeviceClasses> per_class_;
+  StreamingSummary global_;
+};
+
+/// Combined per-request external-delay estimator.
+class ExternalDelayEstimator {
+ public:
+  /// Full estimate: WAN (Timecard) + rendering (Mystery Machine).
+  DelayMs Estimate(const ConnectionObservation& obs) const;
+
+  RenderTimeEstimator& render_estimator() { return render_; }
+  const RenderTimeEstimator& render_estimator() const { return render_; }
+
+ private:
+  WanDelayEstimator wan_;
+  RenderTimeEstimator render_;
+};
+
+}  // namespace e2e::net

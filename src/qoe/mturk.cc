@@ -1,0 +1,160 @@
+#include "qoe/mturk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/types.h"
+
+namespace e2e {
+namespace {
+
+double ClampGrade(double g) { return std::clamp(std::round(g), 1.0, 5.0); }
+
+}  // namespace
+
+TabulatedQoeModel MTurkStudyResult::ToModel(const std::string& name) const {
+  std::vector<QoeCurvePoint> points;
+  points.reserve(curve.size());
+  for (const auto& c : curve) {
+    QoeCurvePoint p;
+    p.delay_ms = SecToMs(c.plt_sec);
+    p.mean_qoe = c.mean_grade;
+    p.std_error = c.std_error;
+    p.count = c.responses;
+    points.push_back(p);
+  }
+  return TabulatedQoeModel(name, std::move(points));
+}
+
+MTurkStudyResult RunMTurkStudy(const QoeModel& ground_truth,
+                               const MTurkStudyParams& params, Rng& rng) {
+  if (params.num_raters < 1 || params.plt_seconds.empty()) {
+    throw std::invalid_argument("RunMTurkStudy: invalid params");
+  }
+  MTurkStudyResult result;
+
+  for (int rater = 0; rater < params.num_raters; ++rater) {
+    const bool spammer = rng.Bernoulli(params.spammer_fraction);
+    const double bias = rng.Normal(0.0, params.rater_bias_sigma);
+    // Randomize video order per rater (paper: avoid ordering bias).
+    std::vector<double> order = params.plt_seconds;
+    rng.Shuffle(order);
+    for (double plt : order) {
+      MTurkResponse r;
+      r.rater = rater;
+      r.plt_sec = plt;
+      if (spammer) {
+        // Spammers answer fast (or implausibly slowly) and randomly.
+        r.grade = static_cast<double>(rng.UniformInt(1, 5));
+        r.view_time_sec = rng.Bernoulli(0.5) ? rng.Uniform(0.2, 1.9)
+                                             : rng.Uniform(36.0, 90.0);
+      } else {
+        const double truth = ground_truth.Qoe(SecToMs(plt));
+        r.grade = ClampGrade(truth + bias +
+                             rng.Normal(0.0, params.response_noise_sigma));
+        // Engaged raters watch the full video plus a short decision pause.
+        r.view_time_sec = std::min(plt + rng.Uniform(1.0, 6.0),
+                                   params.max_view_time_sec - 0.5);
+        r.view_time_sec = std::max(r.view_time_sec,
+                                   params.min_view_time_sec + 0.1);
+      }
+      result.raw.push_back(r);
+    }
+  }
+
+  // --- Validation stage 1: engagement (view-time window). A rater is
+  // dropped entirely when most of their responses are outside the window.
+  std::map<int, int> bad_view_counts;
+  std::map<int, int> total_counts;
+  for (const auto& r : result.raw) {
+    ++total_counts[r.rater];
+    if (r.view_time_sec > params.max_view_time_sec ||
+        r.view_time_sec < params.min_view_time_sec) {
+      ++bad_view_counts[r.rater];
+    }
+  }
+  std::vector<bool> engaged(static_cast<std::size_t>(params.num_raters), true);
+  for (const auto& [rater, bad] : bad_view_counts) {
+    if (bad * 2 >= total_counts[rater]) {
+      engaged[static_cast<std::size_t>(rater)] = false;
+      ++result.raters_dropped_engagement;
+    }
+  }
+
+  // --- Validation stage 2: outliers. "Ground truth" = mean grade over the
+  // surviving raters per PLT; drop raters who deviate by >= the threshold
+  // consistently (on every video).
+  struct Mean {
+    double sum = 0.0;
+    int n = 0;
+  };
+  std::map<double, Mean> means;
+  for (const auto& r : result.raw) {
+    if (!engaged[static_cast<std::size_t>(r.rater)]) continue;
+    if (r.view_time_sec > params.max_view_time_sec ||
+        r.view_time_sec < params.min_view_time_sec) {
+      continue;
+    }
+    auto& m = means[r.plt_sec];
+    m.sum += r.grade;
+    ++m.n;
+  }
+  std::vector<bool> outlier(static_cast<std::size_t>(params.num_raters),
+                            false);
+  for (int rater = 0; rater < params.num_raters; ++rater) {
+    if (!engaged[static_cast<std::size_t>(rater)]) continue;
+    bool all_deviate = true;
+    bool any_response = false;
+    for (const auto& r : result.raw) {
+      if (r.rater != rater) continue;
+      const auto it = means.find(r.plt_sec);
+      if (it == means.end() || it->second.n == 0) continue;
+      any_response = true;
+      const double mean = it->second.sum / it->second.n;
+      if (std::abs(r.grade - mean) < params.outlier_grade_deviation) {
+        all_deviate = false;
+        break;
+      }
+    }
+    if (any_response && all_deviate) {
+      outlier[static_cast<std::size_t>(rater)] = true;
+      ++result.raters_dropped_outlier;
+    }
+  }
+
+  // --- Surviving responses and aggregation.
+  std::map<double, std::vector<double>> grades_by_plt;
+  for (const auto& r : result.raw) {
+    const auto idx = static_cast<std::size_t>(r.rater);
+    if (!engaged[idx] || outlier[idx]) continue;
+    if (r.view_time_sec > params.max_view_time_sec ||
+        r.view_time_sec < params.min_view_time_sec) {
+      continue;
+    }
+    result.validated.push_back(r);
+    grades_by_plt[r.plt_sec].push_back(r.grade);
+  }
+  for (const auto& [plt, grades] : grades_by_plt) {
+    MTurkCurvePoint p;
+    p.plt_sec = plt;
+    p.responses = grades.size();
+    double sum = 0.0;
+    for (double g : grades) sum += g;
+    p.mean_grade = sum / static_cast<double>(grades.size());
+    double sq = 0.0;
+    for (double g : grades) sq += (g - p.mean_grade) * (g - p.mean_grade);
+    const double stddev =
+        std::sqrt(sq / static_cast<double>(grades.size()));
+    p.std_error = stddev / std::sqrt(static_cast<double>(grades.size()));
+    result.curve.push_back(p);
+  }
+  std::sort(result.curve.begin(), result.curve.end(),
+            [](const MTurkCurvePoint& a, const MTurkCurvePoint& b) {
+              return a.plt_sec < b.plt_sec;
+            });
+  return result;
+}
+
+}  // namespace e2e

@@ -1,0 +1,73 @@
+// MTurk user-study simulator (paper Appendix B).
+//
+// The paper derives grade-vs-PLT curves by showing ~50 crowd workers videos
+// of a page loading at controlled page-load times (randomized order) and
+// collecting 1-5 grades, then filtering unengaged raters and outliers. We
+// reproduce the *pipeline* with a synthetic rater panel: each rater grades
+// around a ground-truth sigmoid with personal bias and noise; a small
+// fraction are "spammers" (random grades / implausible viewing times) that
+// the validation stage must remove.
+#pragma once
+
+#include <vector>
+
+#include "qoe/qoe_model.h"
+#include "qoe/tabulated_model.h"
+#include "util/rng.h"
+
+namespace e2e {
+
+/// Study configuration mirroring Appendix B.
+struct MTurkStudyParams {
+  int num_raters = 50;
+  /// Page-load times shown to each rater (seconds). Randomized per rater.
+  std::vector<double> plt_seconds = {0.5, 1, 2, 3, 4, 5, 6, 8,
+                                     10, 12, 15, 20, 25, 30};
+  /// Per-rater additive grade bias stddev.
+  double rater_bias_sigma = 0.35;
+  /// Per-response grade noise stddev.
+  double response_noise_sigma = 0.45;
+  /// Fraction of raters that answer randomly (to be filtered).
+  double spammer_fraction = 0.08;
+  /// Engagement filter (paper: drop responses > 35 s or < 2 s view time).
+  double max_view_time_sec = 35.0;
+  double min_view_time_sec = 2.0;
+  /// Outlier filter (paper: drop raters deviating by >= 3 grades
+  /// consistently across all videos).
+  double outlier_grade_deviation = 3.0;
+};
+
+/// One rater's response to one video.
+struct MTurkResponse {
+  int rater = 0;
+  double plt_sec = 0.0;
+  double grade = 0.0;          ///< Integer grade in [1, 5].
+  double view_time_sec = 0.0;  ///< Time spent on the video page.
+};
+
+/// Aggregated study output for one PLT.
+struct MTurkCurvePoint {
+  double plt_sec = 0.0;
+  double mean_grade = 0.0;
+  double std_error = 0.0;
+  std::size_t responses = 0;
+};
+
+/// Result of running the study: raw responses, validated responses, and the
+/// aggregated curve.
+struct MTurkStudyResult {
+  std::vector<MTurkResponse> raw;
+  std::vector<MTurkResponse> validated;
+  std::vector<MTurkCurvePoint> curve;
+  int raters_dropped_engagement = 0;
+  int raters_dropped_outlier = 0;
+
+  /// Converts the aggregated curve into a tabulated QoE model.
+  TabulatedQoeModel ToModel(const std::string& name) const;
+};
+
+/// Runs the simulated study against a ground-truth grade curve (1-5 scale).
+MTurkStudyResult RunMTurkStudy(const QoeModel& ground_truth,
+                               const MTurkStudyParams& params, Rng& rng);
+
+}  // namespace e2e

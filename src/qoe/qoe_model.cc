@@ -1,0 +1,61 @@
+#include "qoe/qoe_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace e2e {
+
+std::string ToString(SensitivityClass cls) {
+  switch (cls) {
+    case SensitivityClass::kTooFastToMatter:
+      return "too-fast-to-matter";
+    case SensitivityClass::kSensitive:
+      return "sensitive";
+    case SensitivityClass::kTooSlowToMatter:
+      return "too-slow-to-matter";
+  }
+  return "?";
+}
+
+double QoeModel::Derivative(DelayMs total_delay) const {
+  constexpr DelayMs kStep = 1.0;  // 1 ms is far below any curve feature.
+  const DelayMs lo = std::max(0.0, total_delay - kStep);
+  const DelayMs hi = total_delay + kStep;
+  return (Qoe(hi) - Qoe(lo)) / (hi - lo);
+}
+
+SensitivityClass QoeModel::Classify(DelayMs total_delay) const {
+  if (total_delay < SensitiveLo()) return SensitivityClass::kTooFastToMatter;
+  if (total_delay > SensitiveHi()) return SensitivityClass::kTooSlowToMatter;
+  return SensitivityClass::kSensitive;
+}
+
+NormalizedQoeModel::NormalizedQoeModel(QoeModelPtr base, double offset,
+                                       double scale)
+    : base_(std::move(base)), offset_(offset), scale_(scale) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("NormalizedQoeModel: null base");
+  }
+  if (scale_ <= 0.0) {
+    throw std::invalid_argument("NormalizedQoeModel: scale <= 0");
+  }
+}
+
+NormalizedQoeModel NormalizedQoeModel::FromGradeScale(QoeModelPtr base) {
+  return NormalizedQoeModel(std::move(base), 1.0, 4.0);
+}
+
+double NormalizedQoeModel::Qoe(DelayMs total_delay) const {
+  return (base_->Qoe(total_delay) - offset_) / scale_;
+}
+
+double NormalizedQoeModel::Derivative(DelayMs total_delay) const {
+  return base_->Derivative(total_delay) / scale_;
+}
+
+std::string NormalizedQoeModel::Name() const {
+  return base_->Name() + "-normalized";
+}
+
+}  // namespace e2e

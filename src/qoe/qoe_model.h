@@ -1,0 +1,92 @@
+// QoE models: the mapping Q(total delay) -> expected quality of experience.
+//
+// The paper derives sigmoid-like curves from production traces (time-on-site,
+// Fig. 3a) and an MTurk study (1-5 grades, Fig. 3b / Fig. 22). The E2E
+// controller consumes only Q(.) and its derivative; the three sensitivity
+// classes (too-fast-to-matter / sensitive / too-slow-to-matter) follow from
+// the curve shape.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/types.h"
+
+namespace e2e {
+
+/// The paper's three sensitivity classes (§2.2, Fig. 3).
+enum class SensitivityClass : std::uint8_t {
+  kTooFastToMatter,  ///< Total delay below the sensitive region.
+  kSensitive,        ///< Total delay inside the steep region of the curve.
+  kTooSlowToMatter,  ///< Total delay beyond the sensitive region.
+};
+
+/// Human-readable class name.
+std::string ToString(SensitivityClass cls);
+
+/// Abstract QoE curve. Implementations must be monotonically non-increasing
+/// in total delay. Thread-compatible: const methods are safe to call
+/// concurrently.
+class QoeModel {
+ public:
+  virtual ~QoeModel() = default;
+
+  /// Expected QoE at the given total delay. Units depend on the model
+  /// (normalized [0,1] for trace models, grades [1,5] for MTurk models).
+  virtual double Qoe(DelayMs total_delay) const = 0;
+
+  /// Model name for reports.
+  virtual std::string Name() const = 0;
+
+  /// Lower edge of the sensitive region (paper: ~2,000 ms).
+  virtual DelayMs SensitiveLo() const = 0;
+
+  /// Upper edge of the sensitive region (paper: ~5,800 ms).
+  virtual DelayMs SensitiveHi() const = 0;
+
+  /// Largest attainable QoE (the value as delay -> 0).
+  virtual double MaxQoe() const { return Qoe(0.0); }
+
+  /// dQ/dd at `total_delay` (central finite difference; <= 0 everywhere for
+  /// a valid model). Override when a closed form exists.
+  virtual double Derivative(DelayMs total_delay) const;
+
+  /// The paper's "QoE sensitivity" of a request with external delay c:
+  /// the magnitude of the curve slope at c, i.e. -dQ/dd |_{d=c}. Larger
+  /// means saving server-side delay helps this request more.
+  double Sensitivity(DelayMs external_delay) const {
+    return -Derivative(external_delay);
+  }
+
+  /// Classifies a total delay into the paper's three regions.
+  SensitivityClass Classify(DelayMs total_delay) const;
+};
+
+using QoeModelPtr = std::shared_ptr<const QoeModel>;
+
+/// Affine rescaling of another model: Q'(d) = (Q(d) - offset) / scale.
+/// Used to map 1-5 grade curves onto the normalized [0, 1] scale so QoE
+/// gains are comparable across metrics (the paper's per-page-type gains
+/// are reported on a common relative scale).
+class NormalizedQoeModel final : public QoeModel {
+ public:
+  /// Wraps `base` (not owned through this wrapper; shared). `scale` must be
+  /// positive.
+  NormalizedQoeModel(QoeModelPtr base, double offset, double scale);
+
+  /// Convenience for 1-5 grade models: (Q - 1) / 4.
+  static NormalizedQoeModel FromGradeScale(QoeModelPtr base);
+
+  double Qoe(DelayMs total_delay) const override;
+  double Derivative(DelayMs total_delay) const override;
+  std::string Name() const override;
+  DelayMs SensitiveLo() const override { return base_->SensitiveLo(); }
+  DelayMs SensitiveHi() const override { return base_->SensitiveHi(); }
+
+ private:
+  QoeModelPtr base_;
+  double offset_;
+  double scale_;
+};
+
+}  // namespace e2e

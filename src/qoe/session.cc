@@ -1,0 +1,44 @@
+#include "qoe/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace e2e {
+
+SessionModel::SessionModel(QoeModelPtr qoe, SessionModelParams params)
+    : qoe_(std::move(qoe)), params_(params) {
+  if (qoe_ == nullptr) {
+    throw std::invalid_argument("SessionModel: null QoE model");
+  }
+  if (params_.max_time_on_site_sec <= params_.min_time_on_site_sec) {
+    throw std::invalid_argument("SessionModel: max <= min time-on-site");
+  }
+  qoe_at_zero_ = qoe_->Qoe(0.0);
+  if (qoe_at_zero_ <= 0.0) {
+    throw std::invalid_argument("SessionModel: QoE at zero delay <= 0");
+  }
+}
+
+double SessionModel::ExpectedTimeOnSiteSec(DelayMs total_delay) const {
+  const double relative = std::clamp(qoe_->Qoe(total_delay) / qoe_at_zero_,
+                                     0.0, 1.0);
+  return params_.min_time_on_site_sec +
+         (params_.max_time_on_site_sec - params_.min_time_on_site_sec) *
+             relative;
+}
+
+double SessionModel::SampleTimeOnSiteSec(DelayMs total_delay,
+                                         Rng& rng) const {
+  const double mean = ExpectedTimeOnSiteSec(total_delay);
+  // Lognormal multiplicative noise with unit mean: exp(N(-s^2/2, s)).
+  const double s = params_.noise_sigma;
+  const double noise = std::exp(rng.Normal(-0.5 * s * s, s));
+  return std::max(1.0, mean * noise);
+}
+
+double SessionModel::NormalizeTimeOnSite(double time_on_site_sec) const {
+  return std::clamp(time_on_site_sec / params_.max_time_on_site_sec, 0.0, 1.2);
+}
+
+}  // namespace e2e

@@ -1,0 +1,50 @@
+// Web-session / time-on-site model (§2.2).
+//
+// The paper estimates QoE as "time-on-site": the span of a user's web
+// session (all engagement with <= 30 min inactivity gaps). This module
+// generates per-session engagement durations whose expectation follows a
+// QoE curve, which the trace generator uses so that the Fig. 3a pipeline
+// (bucket sessions by page-load time, average) recovers the curve.
+#pragma once
+
+#include <vector>
+
+#include "qoe/qoe_model.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace e2e {
+
+/// Parameters for session synthesis.
+struct SessionModelParams {
+  /// Expected time-on-site (seconds) of a perfectly satisfied user.
+  double max_time_on_site_sec = 600.0;
+  /// Floor time-on-site: even frustrated users spend a little time.
+  double min_time_on_site_sec = 20.0;
+  /// Lognormal sigma of per-user multiplicative noise.
+  double noise_sigma = 0.35;
+  /// The paper's session-inactivity cutoff (minutes), recorded for clarity.
+  double inactivity_cutoff_min = 30.0;
+};
+
+/// Generates session engagement durations conditioned on page-load time.
+class SessionModel {
+ public:
+  SessionModel(QoeModelPtr qoe, SessionModelParams params);
+
+  /// Expected time-on-site (seconds) at the given total page-load delay.
+  double ExpectedTimeOnSiteSec(DelayMs total_delay) const;
+
+  /// Draws one session duration (seconds) at the given total delay.
+  double SampleTimeOnSiteSec(DelayMs total_delay, Rng& rng) const;
+
+  /// Normalizes a time-on-site back to the [0,1] QoE scale used in Fig. 3a.
+  double NormalizeTimeOnSite(double time_on_site_sec) const;
+
+ private:
+  QoeModelPtr qoe_;
+  SessionModelParams params_;
+  double qoe_at_zero_;
+};
+
+}  // namespace e2e

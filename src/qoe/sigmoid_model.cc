@@ -1,0 +1,134 @@
+#include "qoe/sigmoid_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace e2e {
+namespace {
+
+double Logistic(DelayMs d, const LogisticComponent& c) {
+  return 1.0 / (1.0 + std::exp((d - c.midpoint_ms) / c.scale_ms));
+}
+
+double LogisticDerivative(DelayMs d, const LogisticComponent& c) {
+  const double f = Logistic(d, c);
+  return -f * (1.0 - f) / c.scale_ms;
+}
+
+}  // namespace
+
+SigmoidQoeModel::SigmoidQoeModel(std::string name, double floor, double span,
+                                 std::vector<LogisticComponent> components,
+                                 DelayMs sensitive_lo, DelayMs sensitive_hi)
+    : name_(std::move(name)),
+      floor_(floor),
+      span_(span),
+      components_(std::move(components)),
+      sensitive_lo_(sensitive_lo),
+      sensitive_hi_(sensitive_hi) {
+  if (components_.empty()) {
+    throw std::invalid_argument("SigmoidQoeModel: no components");
+  }
+  if (span_ <= 0.0) {
+    throw std::invalid_argument("SigmoidQoeModel: span <= 0");
+  }
+  if (!(sensitive_lo_ < sensitive_hi_)) {
+    throw std::invalid_argument("SigmoidQoeModel: inverted sensitive region");
+  }
+  double total = 0.0;
+  for (const auto& c : components_) {
+    if (c.scale_ms <= 0.0) {
+      throw std::invalid_argument("SigmoidQoeModel: scale <= 0");
+    }
+    if (c.weight < 0.0) {
+      throw std::invalid_argument("SigmoidQoeModel: negative weight");
+    }
+    total += c.weight;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("SigmoidQoeModel: zero total weight");
+  }
+  for (auto& c : components_) c.weight /= total;
+}
+
+double SigmoidQoeModel::Qoe(DelayMs total_delay) const {
+  double mix = 0.0;
+  for (const auto& c : components_) mix += c.weight * Logistic(total_delay, c);
+  return floor_ + span_ * mix;
+}
+
+double SigmoidQoeModel::Derivative(DelayMs total_delay) const {
+  double mix = 0.0;
+  for (const auto& c : components_) {
+    mix += c.weight * LogisticDerivative(total_delay, c);
+  }
+  return span_ * mix;
+}
+
+SigmoidQoeModel SigmoidQoeModel::TraceTimeOnSite() {
+  // Main drop across [2 s, 5.8 s] with steepest slope near 2.5 s, plus a
+  // shallow tail component that keeps QoE declining out past 20 s. Delay 0
+  // maps to ~0.97 normalized time-on-site; very long delays approach ~0.05.
+  return SigmoidQoeModel(
+      "trace-time-on-site", /*floor=*/0.05, /*span=*/0.92,
+      {{.weight = 0.78, .midpoint_ms = 3100.0, .scale_ms = 620.0},
+       {.weight = 0.22, .midpoint_ms = 11000.0, .scale_ms = 4200.0}},
+      /*sensitive_lo=*/2000.0, /*sensitive_hi=*/5800.0);
+}
+
+SigmoidQoeModel SigmoidQoeModel::MTurkMicrosoftPage() {
+  // Grades 1-5; same region boundaries as the trace curve (Fig. 3b).
+  return SigmoidQoeModel(
+      "mturk-microsoft", /*floor=*/1.1, /*span=*/3.8,
+      {{.weight = 0.80, .midpoint_ms = 3200.0, .scale_ms = 700.0},
+       {.weight = 0.20, .midpoint_ms = 12000.0, .scale_ms = 4500.0}},
+      /*sensitive_lo=*/2000.0, /*sensitive_hi=*/5800.0);
+}
+
+SigmoidQoeModel SigmoidQoeModel::Amazon() {
+  return SigmoidQoeModel(
+      "mturk-amazon", /*floor=*/1.1, /*span=*/3.9,
+      {{.weight = 0.80, .midpoint_ms = 4200.0, .scale_ms = 900.0},
+       {.weight = 0.20, .midpoint_ms = 14000.0, .scale_ms = 5200.0}},
+      /*sensitive_lo=*/2400.0, /*sensitive_hi=*/7500.0);
+}
+
+SigmoidQoeModel SigmoidQoeModel::Cnn() {
+  // News pages tolerate slightly longer loads before grades collapse.
+  return SigmoidQoeModel(
+      "mturk-cnn", /*floor=*/1.2, /*span=*/3.7,
+      {{.weight = 0.76, .midpoint_ms = 5200.0, .scale_ms = 1100.0},
+       {.weight = 0.24, .midpoint_ms = 16000.0, .scale_ms = 6000.0}},
+      /*sensitive_lo=*/3000.0, /*sensitive_hi=*/9000.0);
+}
+
+SigmoidQoeModel SigmoidQoeModel::Google() {
+  // Search pages: users expect near-instant loads; the curve is the
+  // steepest and earliest of the four sites.
+  return SigmoidQoeModel(
+      "mturk-google", /*floor=*/1.1, /*span=*/3.9,
+      {{.weight = 0.84, .midpoint_ms = 3000.0, .scale_ms = 650.0},
+       {.weight = 0.16, .midpoint_ms = 10000.0, .scale_ms = 4000.0}},
+      /*sensitive_lo=*/1700.0, /*sensitive_hi=*/5200.0);
+}
+
+SigmoidQoeModel SigmoidQoeModel::Youtube() {
+  return SigmoidQoeModel(
+      "mturk-youtube", /*floor=*/1.2, /*span=*/3.8,
+      {{.weight = 0.78, .midpoint_ms = 4600.0, .scale_ms = 1000.0},
+       {.weight = 0.22, .midpoint_ms = 15000.0, .scale_ms = 5600.0}},
+      /*sensitive_lo=*/2600.0, /*sensitive_hi=*/8200.0);
+}
+
+SigmoidQoeModel SigmoidQoeModel::ForPageType(PageType type) {
+  switch (type) {
+    case PageType::kType1:
+    case PageType::kType2:
+      return TraceTimeOnSite();
+    case PageType::kType3:
+      return MTurkMicrosoftPage();
+  }
+  return TraceTimeOnSite();
+}
+
+}  // namespace e2e

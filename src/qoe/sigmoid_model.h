@@ -1,0 +1,75 @@
+// Parametric sigmoid-like QoE curves.
+//
+// A single logistic cannot capture the paper's observation that QoE keeps
+// declining gradually past the sensitive region (§2.2: "the QoE does not
+// drop to zero immediately, and instead decreases gradually"), so the model
+// is a weighted mixture of logistic components: a steep main drop across the
+// sensitive region plus a shallow long-tail decline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qoe/qoe_model.h"
+
+namespace e2e {
+
+/// One decreasing logistic component:
+///   f(d) = 1 / (1 + exp((d - midpoint_ms) / scale_ms)).
+struct LogisticComponent {
+  double weight = 1.0;      ///< Contribution to the total drop.
+  DelayMs midpoint_ms = 0;  ///< Delay of steepest descent for the component.
+  DelayMs scale_ms = 1;     ///< Spread; smaller means steeper.
+};
+
+/// QoE curve of the form
+///   Q(d) = floor + span * sum_i w_i * logistic_i(d),   sum_i w_i = 1,
+/// mapping delay 0 to ~(floor + span) and delay -> inf to floor.
+class SigmoidQoeModel final : public QoeModel {
+ public:
+  /// Builds a mixture model. `components` weights are normalized. The
+  /// sensitive region [sensitive_lo, sensitive_hi] is stored for
+  /// classification and reporting. Throws on empty components, non-positive
+  /// scales, span <= 0, or an inverted region.
+  SigmoidQoeModel(std::string name, double floor, double span,
+                  std::vector<LogisticComponent> components,
+                  DelayMs sensitive_lo, DelayMs sensitive_hi);
+
+  double Qoe(DelayMs total_delay) const override;
+  double Derivative(DelayMs total_delay) const override;
+  std::string Name() const override { return name_; }
+  DelayMs SensitiveLo() const override { return sensitive_lo_; }
+  DelayMs SensitiveHi() const override { return sensitive_hi_; }
+
+  // ---- Presets fit to the paper's published curves --------------------
+
+  /// Fig. 3a: normalized time-on-site for the production traces. Flat near
+  /// 1.0 below ~2 s, steepest around 2-3 s, ~insensitive past ~5.8 s, gentle
+  /// tail decline out to 24 s.
+  static SigmoidQoeModel TraceTimeOnSite();
+
+  /// Fig. 3b: MTurk grades (1-5) for the same page; same shape as 3a.
+  static SigmoidQoeModel MTurkMicrosoftPage();
+
+  /// Fig. 22 presets: grade (1-5) curves for four popular sites. Region
+  /// boundaries vary slightly per site, as the paper reports.
+  static SigmoidQoeModel Amazon();
+  static SigmoidQoeModel Cnn();
+  static SigmoidQoeModel Google();
+  static SigmoidQoeModel Youtube();
+
+  /// Per-page-type QoE model used by the evaluation: page types 1 and 2 use
+  /// the trace time-on-site curve; page type 3 uses the MTurk grade curve
+  /// (matching §7.2's metric choice).
+  static SigmoidQoeModel ForPageType(PageType type);
+
+ private:
+  std::string name_;
+  double floor_;
+  double span_;
+  std::vector<LogisticComponent> components_;
+  DelayMs sensitive_lo_;
+  DelayMs sensitive_hi_;
+};
+
+}  // namespace e2e

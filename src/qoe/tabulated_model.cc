@@ -1,0 +1,140 @@
+#include "qoe/tabulated_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace e2e {
+namespace {
+
+// Pool-adjacent-violators for a *decreasing* sequence: merges adjacent
+// points that violate monotonicity into their weighted mean.
+void IsotonicDecreasing(std::vector<QoeCurvePoint>& pts) {
+  struct Block {
+    double sum = 0.0;
+    double weight = 0.0;
+    std::size_t begin = 0;
+    std::size_t end = 0;  // exclusive
+    double value() const { return sum / weight; }
+  };
+  std::vector<Block> blocks;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto w = static_cast<double>(std::max<std::size_t>(pts[i].count, 1));
+    blocks.push_back({pts[i].mean_qoe * w, w, i, i + 1});
+    while (blocks.size() >= 2 &&
+           blocks[blocks.size() - 2].value() < blocks.back().value()) {
+      Block top = blocks.back();
+      blocks.pop_back();
+      blocks.back().sum += top.sum;
+      blocks.back().weight += top.weight;
+      blocks.back().end = top.end;
+    }
+  }
+  for (const Block& b : blocks) {
+    for (std::size_t i = b.begin; i < b.end; ++i) pts[i].mean_qoe = b.value();
+  }
+}
+
+}  // namespace
+
+TabulatedQoeModel::TabulatedQoeModel(std::string name,
+                                     std::vector<QoeCurvePoint> points,
+                                     double slope_fraction)
+    : name_(std::move(name)), points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("TabulatedQoeModel: need >= 2 points");
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const QoeCurvePoint& a, const QoeCurvePoint& b) {
+              return a.delay_ms < b.delay_ms;
+            });
+  IsotonicDecreasing(points_);
+
+  // Detect the sensitive region from local slopes.
+  double peak_slope = 0.0;
+  std::vector<double> slopes(points_.size() - 1, 0.0);
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const double dd = points_[i + 1].delay_ms - points_[i].delay_ms;
+    if (dd <= 0.0) continue;
+    slopes[i] = std::abs(points_[i + 1].mean_qoe - points_[i].mean_qoe) / dd;
+    peak_slope = std::max(peak_slope, slopes[i]);
+  }
+  const double threshold = peak_slope * slope_fraction;
+  sensitive_lo_ = points_.front().delay_ms;
+  sensitive_hi_ = points_.back().delay_ms;
+  for (std::size_t i = 0; i < slopes.size(); ++i) {
+    if (slopes[i] >= threshold && peak_slope > 0.0) {
+      sensitive_lo_ = points_[i].delay_ms;
+      break;
+    }
+  }
+  for (std::size_t i = slopes.size(); i-- > 0;) {
+    if (slopes[i] >= threshold && peak_slope > 0.0) {
+      sensitive_hi_ = points_[i + 1].delay_ms;
+      break;
+    }
+  }
+  if (sensitive_lo_ >= sensitive_hi_) {
+    sensitive_hi_ = sensitive_lo_ + 1.0;
+  }
+}
+
+TabulatedQoeModel TabulatedQoeModel::FromSamples(
+    std::string name, std::span<const std::pair<DelayMs, double>> samples,
+    std::size_t min_bucket_count) {
+  if (samples.size() < 2 * std::max<std::size_t>(min_bucket_count, 1)) {
+    throw std::invalid_argument("TabulatedQoeModel::FromSamples: too few");
+  }
+  std::vector<std::pair<DelayMs, double>> sorted(samples.begin(),
+                                                 samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t per_bucket = std::max<std::size_t>(min_bucket_count, 2);
+  std::vector<QoeCurvePoint> points;
+  for (std::size_t begin = 0; begin + per_bucket <= sorted.size();
+       begin += per_bucket) {
+    const std::size_t end = std::min(begin + per_bucket, sorted.size());
+    QoeCurvePoint p;
+    p.count = end - begin;
+    double sum_d = 0.0, sum_q = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      sum_d += sorted[i].first;
+      sum_q += sorted[i].second;
+    }
+    p.delay_ms = sum_d / static_cast<double>(p.count);
+    p.mean_qoe = sum_q / static_cast<double>(p.count);
+    double sq = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      sq += (sorted[i].second - p.mean_qoe) * (sorted[i].second - p.mean_qoe);
+    }
+    p.std_error = std::sqrt(sq / static_cast<double>(p.count)) /
+                  std::sqrt(static_cast<double>(p.count));
+    points.push_back(p);
+  }
+  return TabulatedQoeModel(std::move(name), std::move(points));
+}
+
+double TabulatedQoeModel::Qoe(DelayMs total_delay) const {
+  if (total_delay <= points_.front().delay_ms) {
+    return points_.front().mean_qoe;
+  }
+  if (total_delay >= points_.back().delay_ms) {
+    return points_.back().mean_qoe;
+  }
+  // Binary search for the surrounding segment.
+  std::size_t lo = 0;
+  std::size_t hi = points_.size() - 1;
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (points_[mid].delay_ms <= total_delay) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const auto& a = points_[lo];
+  const auto& b = points_[hi];
+  const double frac = (total_delay - a.delay_ms) / (b.delay_ms - a.delay_ms);
+  return a.mean_qoe * (1.0 - frac) + b.mean_qoe * frac;
+}
+
+}  // namespace e2e

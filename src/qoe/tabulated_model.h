@@ -1,0 +1,59 @@
+// Empirical QoE curve built from (delay, qoe) observations, as the paper
+// does in Fig. 3a: bucket page-load times (each bucket with a minimum user
+// count) and take the mean QoE per bucket. Queries interpolate linearly.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qoe/qoe_model.h"
+
+namespace e2e {
+
+/// One curve point: mean QoE of a delay bucket plus the standard error used
+/// for error bars in the figures.
+struct QoeCurvePoint {
+  DelayMs delay_ms = 0.0;
+  double mean_qoe = 0.0;
+  double std_error = 0.0;
+  std::size_t count = 0;
+};
+
+/// Piecewise-linear QoE model over tabulated points. To keep the model a
+/// valid (non-increasing) QoE curve even with sampling noise in the inputs,
+/// the constructor applies an isotonic (decreasing) regression pass.
+class TabulatedQoeModel final : public QoeModel {
+ public:
+  /// Builds from curve points (sorted by delay internally). Sensitive-region
+  /// edges are detected from the curve: the region where the local slope
+  /// magnitude exceeds `slope_fraction` (default 15%) of the peak slope.
+  /// Throws when fewer than two points are given.
+  TabulatedQoeModel(std::string name, std::vector<QoeCurvePoint> points,
+                    double slope_fraction = 0.15);
+
+  /// Builds the Fig. 3a pipeline: groups (delay, qoe) samples into
+  /// equal-population delay buckets of at least `min_bucket_count` samples
+  /// and tabulates mean/SE per bucket.
+  static TabulatedQoeModel FromSamples(
+      std::string name,
+      std::span<const std::pair<DelayMs, double>> samples,
+      std::size_t min_bucket_count);
+
+  double Qoe(DelayMs total_delay) const override;
+  std::string Name() const override { return name_; }
+  DelayMs SensitiveLo() const override { return sensitive_lo_; }
+  DelayMs SensitiveHi() const override { return sensitive_hi_; }
+
+  /// The tabulated points after isotonic smoothing (for plotting).
+  std::span<const QoeCurvePoint> points() const { return points_; }
+
+ private:
+  std::string name_;
+  std::vector<QoeCurvePoint> points_;
+  DelayMs sensitive_lo_ = 0.0;
+  DelayMs sensitive_hi_ = 0.0;
+};
+
+}  // namespace e2e

@@ -1,0 +1,75 @@
+#include "sim/event_loop.h"
+
+#include <stdexcept>
+
+namespace e2e {
+
+EventId EventLoop::Schedule(double at_ms, Callback cb) {
+  if (at_ms < now_ms_) {
+    throw std::invalid_argument("EventLoop::Schedule: time in the past");
+  }
+  if (!cb) {
+    throw std::invalid_argument("EventLoop::Schedule: empty callback");
+  }
+  const EventId id = next_id_++;
+  heap_.push(Entry{at_ms, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_pending_;
+  return id;
+}
+
+EventId EventLoop::ScheduleAfter(double delay_ms, Callback cb) {
+  if (delay_ms < 0.0) {
+    throw std::invalid_argument("EventLoop::ScheduleAfter: negative delay");
+  }
+  return Schedule(now_ms_ + delay_ms, std::move(cb));
+}
+
+bool EventLoop::Cancel(EventId id) {
+  const auto erased = callbacks_.erase(id);
+  if (erased > 0) --live_pending_;
+  return erased > 0;
+}
+
+bool EventLoop::Step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    const auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      heap_.pop();  // Cancelled; skip lazily.
+      continue;
+    }
+    heap_.pop();
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --live_pending_;
+    now_ms_ = top.at_ms;
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::Run() {
+  while (Step()) {
+  }
+}
+
+void EventLoop::RunUntil(double until_ms) {
+  if (until_ms < now_ms_) {
+    throw std::invalid_argument("EventLoop::RunUntil: time in the past");
+  }
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    if (callbacks_.find(top.id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.at_ms > until_ms) break;
+    Step();
+  }
+  now_ms_ = until_ms;
+}
+
+}  // namespace e2e

@@ -1,0 +1,81 @@
+// Deterministic discrete-event simulator.
+//
+// The testbed (DESIGN.md §1) runs the database replicas, broker consumers,
+// and trace replay on a virtual clock: events fire in (time, insertion)
+// order, so whole experiments are bit-reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace e2e {
+
+/// Identifier of a scheduled event (usable with Cancel()).
+using EventId = std::uint64_t;
+
+/// A virtual-time event loop. Not thread-safe; a simulation is single-
+/// threaded by design.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute virtual time `at_ms` (must be >= Now()).
+  /// Events with equal times run in scheduling order. Returns an id that
+  /// can be passed to Cancel().
+  EventId Schedule(double at_ms, Callback cb);
+
+  /// Schedules `cb` after a relative delay (>= 0) from Now().
+  EventId ScheduleAfter(double delay_ms, Callback cb);
+
+  /// Cancels a pending event; returns false when the event already ran,
+  /// was cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// Current virtual time in milliseconds.
+  double Now() const { return now_ms_; }
+
+  /// Runs until no events remain.
+  void Run();
+
+  /// Runs events with time <= `until_ms`, then advances the clock to
+  /// exactly `until_ms`.
+  void RunUntil(double until_ms);
+
+  /// Runs at most one event; returns false when none remain.
+  bool Step();
+
+  /// Number of events executed so far.
+  std::uint64_t processed_count() const { return processed_; }
+
+  /// Number of events currently pending (excluding cancelled ones lazily
+  /// still in the heap).
+  std::size_t pending_count() const { return live_pending_; }
+
+ private:
+  struct Entry {
+    double at_ms;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at_ms != b.at_ms) return a.at_ms > b.at_ms;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ms_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::size_t live_pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Callbacks keyed by id; erased on run/cancel. Cancelled heap entries are
+  // skipped lazily.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace e2e

@@ -1,0 +1,78 @@
+#include "sim/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace e2e {
+
+SimServer::SimServer(std::string name, EventLoop& loop, int concurrency,
+                     ServiceTimeFn service_time, Rng rng)
+    : name_(std::move(name)),
+      loop_(loop),
+      concurrency_(concurrency),
+      service_time_(std::move(service_time)),
+      rng_(rng) {
+  if (concurrency_ < 1) {
+    throw std::invalid_argument("SimServer: concurrency < 1");
+  }
+  if (!service_time_) {
+    throw std::invalid_argument("SimServer: no service-time function");
+  }
+}
+
+void SimServer::Submit(Completion done) {
+  if (!done) {
+    throw std::invalid_argument("SimServer::Submit: empty completion");
+  }
+  queue_.push_back(Pending{std::move(done), loop_.Now()});
+  TryStart();
+}
+
+void SimServer::TryStart() {
+  while (in_service_ < concurrency_ && !queue_.empty()) {
+    Pending job = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_service_;
+    // Contention signal: jobs being served concurrently (including this
+    // one). Queue depth deliberately excluded — otherwise service slowdown
+    // and queue growth feed each other into a metastable collapse that no
+    // real server exhibits; waiting requests cost queueing delay instead.
+    const double service_ms = std::max(0.0, service_time_(in_service_, rng_));
+    JobTiming timing;
+    timing.enqueue_ms = job.enqueue_ms;
+    timing.start_ms = loop_.Now();
+    timing.finish_ms = loop_.Now() + service_ms;
+    loop_.Schedule(timing.finish_ms,
+                   [this, timing, done = std::move(job.done)]() {
+                     --in_service_;
+                     ++completed_;
+                     total_stats_.Add(timing.TotalDelayMs());
+                     service_stats_.Add(timing.ServiceDelayMs());
+                     done(timing);
+                     TryStart();
+                   });
+  }
+}
+
+ServiceTimeFn MakeConvexLoadProfile(double base_ms, double capacity,
+                                    double alpha, double beta,
+                                    double jitter_sigma) {
+  if (base_ms <= 0.0 || capacity <= 0.0) {
+    throw std::invalid_argument("MakeConvexLoadProfile: bad parameters");
+  }
+  return [=](int in_service, Rng& rng) {
+    // Contention saturates at `capacity` concurrent jobs: a fully busy
+    // server serves at base * (1 + alpha); overload beyond that shows up
+    // as queueing delay, matching real servers.
+    const double utilization = std::min(
+        1.0, std::max(0.0, static_cast<double>(in_service)) / capacity);
+    const double inflation = 1.0 + alpha * std::pow(utilization, beta);
+    const double jitter =
+        std::exp(rng.Normal(-0.5 * jitter_sigma * jitter_sigma, jitter_sigma));
+    return base_ms * inflation * jitter;
+  };
+}
+
+}  // namespace e2e

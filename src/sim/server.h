@@ -1,0 +1,90 @@
+// A simulated processing station with load-dependent service times.
+//
+// Database replicas (src/db) are built on this: jobs queue FIFO behind a
+// bounded number of service slots, and each job's service time is drawn
+// from a caller-supplied profile of the *current* load, reproducing the
+// convex load→latency curves the paper profiles offline (§6).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/event_loop.h"
+#include "stats/summary.h"
+#include "util/rng.h"
+
+namespace e2e {
+
+/// Timing of one completed job.
+struct JobTiming {
+  double enqueue_ms = 0.0;  ///< Virtual time the job was submitted.
+  double start_ms = 0.0;    ///< Virtual time service began.
+  double finish_ms = 0.0;   ///< Virtual time service completed.
+
+  double QueueDelayMs() const { return start_ms - enqueue_ms; }
+  double ServiceDelayMs() const { return finish_ms - start_ms; }
+  double TotalDelayMs() const { return finish_ms - enqueue_ms; }
+};
+
+/// Draws a service time (ms) given the number of jobs being served
+/// concurrently (including the starting job) at service start. Queued jobs
+/// are excluded: they contribute queueing delay, not service contention.
+using ServiceTimeFn = std::function<double(int in_service, Rng& rng)>;
+
+/// FIFO station with `concurrency` parallel service slots.
+class SimServer {
+ public:
+  using Completion = std::function<void(const JobTiming&)>;
+
+  /// `loop` must outlive the server.
+  SimServer(std::string name, EventLoop& loop, int concurrency,
+            ServiceTimeFn service_time, Rng rng);
+
+  /// Submits a job; `done` fires on the event loop when service completes.
+  void Submit(Completion done);
+
+  /// Jobs currently queued or in service.
+  int Load() const { return in_service_ + static_cast<int>(queue_.size()); }
+
+  /// Jobs waiting (not yet in service).
+  int QueueLength() const { return static_cast<int>(queue_.size()); }
+
+  /// Completed-job statistics.
+  const StreamingSummary& total_delay_stats() const { return total_stats_; }
+  const StreamingSummary& service_delay_stats() const { return service_stats_; }
+  std::uint64_t completed_count() const { return completed_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Pending {
+    Completion done;
+    double enqueue_ms;
+  };
+
+  void TryStart();
+
+  std::string name_;
+  EventLoop& loop_;
+  int concurrency_;
+  ServiceTimeFn service_time_;
+  Rng rng_;
+  std::deque<Pending> queue_;
+  int in_service_ = 0;
+  std::uint64_t completed_ = 0;
+  StreamingSummary total_stats_;
+  StreamingSummary service_stats_;
+};
+
+/// Contention-based service-time profile with lognormal jitter:
+///   t = base * (1 + alpha * (min(in_service, capacity)/capacity)^beta) * jitter.
+/// `capacity` is the in-service concurrency at which contention saturates
+/// (typically the server's concurrency); total delay under offered load then
+/// rises through queueing, giving the convex load→delay curves the paper
+/// profiles offline at {5%,...,100%} of a server's maximum request rate.
+ServiceTimeFn MakeConvexLoadProfile(double base_ms, double capacity,
+                                    double alpha = 1.0, double beta = 1.6,
+                                    double jitter_sigma = 0.35);
+
+}  // namespace e2e

@@ -1,0 +1,47 @@
+// Spatial coarsening (§5): split the external-delay range into k intervals
+// so that (1) the request population is evenly split across intervals and
+// (2) no interval spans more than a threshold delta. The decision policy then
+// runs over buckets instead of individual requests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace e2e {
+
+/// One external-delay interval [lo, hi) plus its population statistics.
+struct Bucket {
+  double lo = 0.0;            ///< Inclusive lower edge.
+  double hi = 0.0;            ///< Exclusive upper edge (inclusive for last).
+  double representative = 0;  ///< Mean of the member samples.
+  std::size_t population = 0; ///< Number of member samples.
+
+  /// Fraction of total population in this bucket.
+  double weight = 0.0;
+};
+
+/// Immutable bucketization of a sample set.
+class Bucketizer {
+ public:
+  /// Builds buckets from `samples` targeting `target_buckets` equal-population
+  /// intervals; any interval wider than `max_span` is split further, so the
+  /// result can have more than `target_buckets` buckets. Throws when samples
+  /// are empty, target_buckets < 1, or max_span <= 0.
+  Bucketizer(std::span<const double> samples, int target_buckets,
+             double max_span);
+
+  /// The buckets, ordered by interval.
+  std::span<const Bucket> buckets() const { return buckets_; }
+
+  /// Number of buckets.
+  std::size_t size() const { return buckets_.size(); }
+
+  /// Index of the bucket containing x (clamped to first/last bucket).
+  std::size_t BucketIndex(double x) const;
+
+ private:
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace e2e

@@ -1,0 +1,88 @@
+#include "stats/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace e2e {
+namespace {
+
+// Fractional ranks with ties sharing their average rank.
+std::vector<double> FractionalRanks(std::span<const double> xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                                2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double JainFairnessIndex(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("JainFairnessIndex: empty input");
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    if (v < 0.0) {
+      throw std::invalid_argument("JainFairnessIndex: negative value");
+    }
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // All-zero allocation is trivially fair.
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double PearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("PearsonCorrelation: size mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("PearsonCorrelation: need >= 2 points");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double SpearmanCorrelation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("SpearmanCorrelation: size mismatch");
+  }
+  const auto rx = FractionalRanks(xs);
+  const auto ry = FractionalRanks(ys);
+  return PearsonCorrelation(rx, ry);
+}
+
+}  // namespace e2e

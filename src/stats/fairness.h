@@ -1,0 +1,23 @@
+// Fairness and correlation metrics used by the evaluation (§7.4).
+#pragma once
+
+#include <span>
+
+namespace e2e {
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]. Equal values
+/// give 1; a single non-zero value among n gives 1/n. Throws when empty or
+/// any value is negative.
+double JainFairnessIndex(std::span<const double> values);
+
+/// Pearson product-moment correlation of two equal-length series. Returns 0
+/// when either series has zero variance. Throws on size mismatch or < 2
+/// points.
+double PearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson over fractional ranks; ties averaged).
+double SpearmanCorrelation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+}  // namespace e2e

@@ -1,0 +1,147 @@
+#include "testbed/broker_experiment.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/event_loop.h"
+
+namespace e2e {
+
+std::shared_ptr<const ServerDelayModel> BuildBrokerServerModel(
+    const broker::BrokerParams& params) {
+  return std::make_shared<PriorityQueueModel>(
+      params.priority_levels, params.consume_interval_ms, params.num_consumers,
+      params.handling_cost_ms);
+}
+
+std::vector<broker::TableScheduler::Entry> ToSchedulerEntries(
+    const DecisionTable& table) {
+  std::vector<broker::TableScheduler::Entry> entries;
+  entries.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    entries.push_back(broker::TableScheduler::Entry{
+        .lo = row.lo, .hi = row.hi, .priority = row.decision});
+  }
+  return entries;
+}
+
+ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
+                                     const QoeModel& qoe,
+                                     const BrokerExperimentConfig& config) {
+  if (records.empty()) {
+    throw std::invalid_argument("RunBrokerExperiment: no records");
+  }
+  Rng root(config.seed);
+  EventLoop loop;
+
+  // --- Policy wiring -----------------------------------------------------
+  std::shared_ptr<broker::MessageScheduler> scheduler;
+  std::shared_ptr<broker::TableScheduler> table_scheduler;
+  std::unique_ptr<ReplicatedControllerGroup> controllers;
+
+  const bool uses_controller =
+      config.policy == BrokerPolicy::kE2e || config.policy == BrokerPolicy::kSlope;
+  switch (config.policy) {
+    case BrokerPolicy::kDefault:
+      scheduler = std::make_shared<broker::FifoScheduler>();
+      break;
+    case BrokerPolicy::kDeadline:
+      scheduler = std::make_shared<broker::DeadlineScheduler>(
+          config.deadline_ms, config.deadline_max_slack_ms);
+      break;
+    case BrokerPolicy::kSlope:
+    case BrokerPolicy::kE2e:
+      table_scheduler = std::make_shared<broker::TableScheduler>(
+          config.policy == BrokerPolicy::kSlope ? "slope-table" : "e2e-table");
+      scheduler = table_scheduler;
+      break;
+  }
+  if (uses_controller) {
+    auto qoe_shared = std::shared_ptr<const QoeModel>(&qoe, [](auto*) {});
+    auto server_model = BuildBrokerServerModel(config.broker);
+    ControllerConfig cc = config.controller;
+    if (config.policy == BrokerPolicy::kSlope) {
+      cc.policy.mapping = MappingAlgorithm::kSlopeBased;
+    }
+    auto make = [&](const char* name, std::uint64_t salt) {
+      auto c = std::make_unique<Controller>(name, cc, qoe_shared, server_model,
+                                            config.seed ^ salt);
+      c->SetExternalDelayError(config.external_delay_error);
+      c->SetRpsError(config.rps_error);
+      return c;
+    };
+    controllers = std::make_unique<ReplicatedControllerGroup>(
+        make("primary", 0x61ULL), make("backup", 0x62ULL),
+        FailoverParams{.election_delay_ms = config.election_delay_ms});
+  }
+
+  broker::MessageBroker broker(loop, config.broker, scheduler);
+
+  // --- Replay ------------------------------------------------------------
+  const auto schedule = BuildReplaySchedule(records, config.speedup);
+  ExperimentResult result;
+  result.outcomes.reserve(schedule.size());
+
+  for (const auto& arrival : schedule) {
+    loop.Schedule(arrival.testbed_time_ms, [&, arrival]() {
+      const TraceRecord& rec = arrival.record;
+      if (controllers != nullptr) {
+        controllers->ObserveArrival(rec.external_delay_ms, loop.Now());
+      }
+      broker::Message message;
+      message.id = rec.request_id;
+      message.external_delay_ms = rec.external_delay_ms;
+      const double publish_ms = loop.Now();
+      broker.Publish(message, [&result, rec, publish_ms,
+                               &qoe](const broker::Delivery& delivery) {
+        RequestOutcome outcome;
+        outcome.id = rec.request_id;
+        outcome.arrival_ms = publish_ms;
+        outcome.external_delay_ms = rec.external_delay_ms;
+        outcome.server_delay_ms = delivery.QueueingDelayMs();
+        outcome.qoe = qoe.Qoe(rec.external_delay_ms + outcome.server_delay_ms);
+        outcome.decision = delivery.priority;
+        result.outcomes.push_back(outcome);
+      });
+    });
+  }
+
+  const double horizon_ms = schedule.back().testbed_time_ms + 60000.0;
+  if (controllers != nullptr) {
+    for (double t = config.tick_interval_ms; t <= horizon_ms;
+         t += config.tick_interval_ms) {
+      loop.Schedule(t, [&, t]() {
+        if (config.fail_primary_at_ms.has_value() &&
+            t >= *config.fail_primary_at_ms &&
+            t < *config.fail_primary_at_ms + config.tick_interval_ms) {
+          controllers->FailPrimary(loop.Now());
+        }
+        if (controllers->Tick(loop.Now())) {
+          const DecisionTable* table = controllers->active().CurrentTable();
+          if (table != nullptr) {
+            table_scheduler->SetTable(ToSchedulerEntries(*table));
+          }
+        }
+      });
+    }
+  }
+
+  // Run to the horizon, then stop consumers so the loop can drain.
+  loop.RunUntil(horizon_ms);
+  broker.StopConsumers();
+  loop.Run();
+
+  // Broker busy time: one handling cost per delivered message.
+  result.service_busy_ms =
+      static_cast<double>(broker.delivered_count()) *
+      config.broker.handling_cost_ms;
+  if (controllers != nullptr) {
+    result.controller_stats = controllers->active().stats();
+  }
+  result.Finalize();
+  return result;
+}
+
+}  // namespace e2e

@@ -1,0 +1,63 @@
+// RabbitMQ-testbed experiment (§7.1): replay a trace slice as published
+// messages; the scheduling policy assigns priorities; a fixed-rate consumer
+// drains the queues; QoE is scored from the measured queueing delay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "broker/broker.h"
+#include "core/controller.h"
+#include "core/failover.h"
+#include "qoe/qoe_model.h"
+#include "testbed/metrics.h"
+#include "trace/replay.h"
+
+namespace e2e {
+
+/// Which message-scheduling policy the experiment runs.
+enum class BrokerPolicy {
+  kDefault,   ///< FIFO (the paper's default).
+  kSlope,     ///< Slope-based priorities.
+  kE2e,       ///< E2E's full policy.
+  kDeadline,  ///< Timecard-style deadline scheduler (Fig. 21).
+};
+
+/// Experiment configuration.
+struct BrokerExperimentConfig {
+  broker::BrokerParams broker;
+  double speedup = 20.0;
+  BrokerPolicy policy = BrokerPolicy::kE2e;
+  ControllerConfig controller;
+  double tick_interval_ms = 1000.0;
+  std::uint64_t seed = 13;
+
+  /// Deadline policy parameters (Fig. 21).
+  DelayMs deadline_ms = 3400.0;
+  DelayMs deadline_max_slack_ms = 4000.0;
+
+  /// Error injection (Fig. 20).
+  double external_delay_error = 0.0;
+  double rps_error = 0.0;
+
+  /// Controller failure injection (Fig. 18).
+  std::optional<double> fail_primary_at_ms;
+  double election_delay_ms = 25000.0;
+};
+
+/// Runs the experiment over `records` scored against `qoe`.
+ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
+                                     const QoeModel& qoe,
+                                     const BrokerExperimentConfig& config);
+
+/// Builds the queueing-theoretic server-delay model matching the broker.
+std::shared_ptr<const ServerDelayModel> BuildBrokerServerModel(
+    const broker::BrokerParams& params);
+
+/// Converts a decision table into TableScheduler entries.
+std::vector<broker::TableScheduler::Entry> ToSchedulerEntries(
+    const DecisionTable& table);
+
+}  // namespace e2e

@@ -1,0 +1,180 @@
+#include "testbed/db_experiment.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/profiler.h"
+#include "sim/event_loop.h"
+
+namespace e2e {
+
+std::shared_ptr<const ServerDelayModel> BuildDbServerModel(
+    const DbExperimentConfig& config) {
+  ProfilerConfig profiler;
+  profiler.base_service_ms = config.cluster.base_service_ms;
+  profiler.capacity = config.cluster.capacity;
+  profiler.service_alpha = config.cluster.service_alpha;
+  profiler.service_beta = config.cluster.service_beta;
+  profiler.jitter_sigma = config.cluster.jitter_sigma;
+  profiler.concurrency = config.cluster.concurrency_per_replica;
+  profiler.max_rps = config.profile_max_rps;
+  profiler.levels = config.profile_levels;
+  profiler.duration_ms = config.profile_duration_ms;
+  profiler.seed = config.seed ^ 0x90f1ULL;
+  LoadProfile profile = ProfileServerOffline(profiler);
+  return std::make_shared<ProfiledReplicaModel>(config.cluster.replica_groups,
+                                                std::move(profile));
+}
+
+std::vector<db::TableSelector::Entry> ToSelectorEntries(
+    const DecisionTable& table, double epsilon) {
+  std::vector<db::TableSelector::Entry> entries;
+  entries.reserve(table.rows.size());
+  const std::size_t decisions = table.load_fractions.size();
+  for (const auto& row : table.rows) {
+    db::TableSelector::Entry entry;
+    entry.lo = row.lo;
+    entry.hi = row.hi;
+    // Probabilistic rows (the paper's Sec 5 table stores per-replica
+    // probabilities): mostly the matched replica, with an epsilon spread
+    // that keeps every bucket sampling every replica. The spread both
+    // smooths bursts and keeps the sacrificial replica's backlog bounded.
+    entry.probabilities.assign(decisions,
+                               decisions > 1 ? epsilon / (decisions - 1) : 0.0);
+    entry.probabilities[static_cast<std::size_t>(row.decision)] =
+        1.0 - epsilon;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
+                                 const QoeModel& qoe,
+                                 const DbExperimentConfig& config) {
+  if (records.empty()) {
+    throw std::invalid_argument("RunDbExperiment: no records");
+  }
+  Rng root(config.seed);
+  EventLoop loop;
+  db::Cluster cluster(loop, config.cluster, root.Fork(1));
+  cluster.LoadDataset(config.dataset_keys, config.value_bytes);
+
+  // Sec 9 deployment mode: estimate external delays mechanistically at the
+  // frontend instead of reading the oracle values.
+  std::unique_ptr<Frontend> frontend;
+  if (config.external_source == ExternalSource::kMechanisticEstimator) {
+    frontend = std::make_unique<Frontend>(config.frontend);
+    frontend->TrainRenderModel(records);
+  }
+
+  // --- Policy wiring -----------------------------------------------------
+  std::shared_ptr<db::ReplicaSelector> selector;
+  std::shared_ptr<db::TableSelector> table_selector;
+  std::unique_ptr<ReplicatedControllerGroup> controllers;
+
+  const bool uses_controller =
+      config.policy == DbPolicy::kSlope || config.policy == DbPolicy::kE2e;
+  if (uses_controller) {
+    auto qoe_shared = std::shared_ptr<const QoeModel>(&qoe, [](auto*) {});
+    auto server_model = BuildDbServerModel(config);
+    ControllerConfig cc = config.controller;
+    if (config.policy == DbPolicy::kSlope) {
+      cc.policy.mapping = MappingAlgorithm::kSlopeBased;
+    }
+    auto make = [&](const char* name, std::uint64_t salt) {
+      auto c = std::make_unique<Controller>(name, cc, qoe_shared, server_model,
+                                            config.seed ^ salt);
+      c->SetExternalDelayError(config.external_delay_error);
+      c->SetRpsError(config.rps_error);
+      return c;
+    };
+    controllers = std::make_unique<ReplicatedControllerGroup>(
+        make("primary", 0x51ULL), make("backup", 0x52ULL),
+        FailoverParams{.election_delay_ms = config.election_delay_ms});
+    table_selector = std::make_shared<db::TableSelector>(
+        config.policy == DbPolicy::kSlope ? "slope-table" : "e2e-table",
+        root.Fork(2));
+    selector = table_selector;
+  } else if (config.policy == DbPolicy::kLatencyAware) {
+    selector = std::make_shared<db::LatencyAwareSelector>();
+  } else {
+    selector = std::make_shared<db::LoadBalancedSelector>();
+  }
+  db::ReadExecutor executor(cluster, selector);
+
+  // --- Replay ------------------------------------------------------------
+  const auto schedule = BuildReplaySchedule(records, config.speedup);
+  ExperimentResult result;
+  result.outcomes.reserve(schedule.size());
+  Rng keys = root.Fork(3);
+
+  for (const auto& arrival : schedule) {
+    loop.Schedule(arrival.testbed_time_ms, [&, arrival]() {
+      const TraceRecord& rec = arrival.record;
+      const DelayMs tagged_external =
+          frontend != nullptr ? frontend->EstimateExternal(rec)
+                              : rec.external_delay_ms;
+      if (controllers != nullptr) {
+        controllers->ObserveArrival(tagged_external, loop.Now());
+      }
+      db::DbRequest request;
+      request.id = rec.request_id;
+      request.external_delay_ms = tagged_external;
+      request.range_start = static_cast<db::Key>(keys.UniformInt(
+          0, static_cast<std::int64_t>(config.dataset_keys) - 1));
+      request.range_count = config.range_count;
+      executor.ExecuteRangeRead(
+          request, [&result, rec, &qoe](db::ReadResult read) {
+            RequestOutcome outcome;
+            outcome.id = rec.request_id;
+            outcome.arrival_ms = read.timing.enqueue_ms;
+            outcome.external_delay_ms = rec.external_delay_ms;
+            outcome.server_delay_ms = read.timing.TotalDelayMs();
+            outcome.qoe =
+                qoe.Qoe(rec.external_delay_ms + outcome.server_delay_ms);
+            outcome.decision = read.replica;
+            result.outcomes.push_back(outcome);
+          });
+    });
+  }
+
+  // Controller maintenance ticks across the whole replay horizon.
+  const double horizon_ms =
+      schedule.back().testbed_time_ms + 30000.0;  // Drain margin.
+  if (controllers != nullptr) {
+    for (double t = config.tick_interval_ms; t <= horizon_ms;
+         t += config.tick_interval_ms) {
+      loop.Schedule(t, [&, t]() {
+        if (config.fail_primary_at_ms.has_value() &&
+            t >= *config.fail_primary_at_ms &&
+            t < *config.fail_primary_at_ms + config.tick_interval_ms) {
+          controllers->FailPrimary(loop.Now());
+        }
+        if (controllers->Tick(loop.Now())) {
+          const DecisionTable* table =
+              controllers->active().CurrentTable();
+          if (table != nullptr) {
+            table_selector->SetTable(ToSelectorEntries(*table, config.table_epsilon));
+          }
+        }
+      });
+    }
+  }
+
+  loop.Run();
+
+  // Service busy time: sum of service delays across replicas.
+  for (int r = 0; r < cluster.NumReplicas(); ++r) {
+    result.service_busy_ms +=
+        cluster.replica(r).server().service_delay_stats().sum();
+  }
+  if (controllers != nullptr) {
+    result.controller_stats = controllers->active().stats();
+  }
+  result.Finalize();
+  return result;
+}
+
+}  // namespace e2e

@@ -1,0 +1,87 @@
+// Cassandra-testbed experiment (§7.1): replay a trace slice against the
+// replicated database at a speed-up ratio, with replica selection driven by
+// one of the policies, and measure per-request QoE from the *actual*
+// testbed processing delays.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "core/controller.h"
+#include "testbed/frontend.h"
+#include "core/failover.h"
+#include "db/cluster.h"
+#include "qoe/qoe_model.h"
+#include "testbed/metrics.h"
+#include "trace/replay.h"
+
+namespace e2e {
+
+/// Where the controller's per-request external delays come from.
+enum class ExternalSource {
+  kOracle,                 ///< Trace ground truth (the paper's prototype).
+  kMechanisticEstimator,   ///< Frontend estimators (Sec 9 deployment mode).
+};
+
+/// Which replica-selection policy the experiment runs.
+enum class DbPolicy {
+  kDefault,       ///< Perfect load balancing (the paper's default).
+  kLatencyAware,  ///< C3-style delay-percentile minimization (related work).
+  kSlope,         ///< Slope-based table (§7.1 baseline).
+  kE2e,           ///< E2E's full policy.
+};
+
+/// Experiment configuration.
+struct DbExperimentConfig {
+  db::ClusterParams cluster;
+  std::size_t dataset_keys = 20000;
+  std::size_t value_bytes = 64;
+  std::size_t range_count = 100;   ///< Rows per range query (paper: 100).
+  double speedup = 20.0;           ///< Trace replay speed-up ratio.
+  DbPolicy policy = DbPolicy::kE2e;
+  ControllerConfig controller;
+  double tick_interval_ms = 1000.0;  ///< Controller maintenance cadence.
+  std::uint64_t seed = 11;
+
+  /// Offline-profiling grid for the server-delay model (E2E/slope only).
+  double profile_max_rps = 120.0;
+  int profile_levels = 16;
+  double profile_duration_ms = 30000.0;
+
+  /// Error injection (Fig. 20); relative fractions.
+  double external_delay_error = 0.0;
+  double rps_error = 0.0;
+
+  /// Controller failure injection (Fig. 18): fail the primary at this
+  /// testbed time, with the given election delay.
+  std::optional<double> fail_primary_at_ms;
+  double election_delay_ms = 25000.0;
+
+  /// Epsilon spread of the probabilistic table rows (see ToSelectorEntries).
+  double table_epsilon = 0.10;
+
+  /// External-delay source for the controller (QoE is always scored with
+  /// the ground truth).
+  ExternalSource external_source = ExternalSource::kOracle;
+  FrontendParams frontend;
+};
+
+/// Runs the experiment over `records` (one page type, arrival-ordered)
+/// scored against `qoe`. Deterministic in the seed.
+ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
+                                 const QoeModel& qoe,
+                                 const DbExperimentConfig& config);
+
+/// Builds the profiled server-delay model matching `config`'s cluster.
+std::shared_ptr<const ServerDelayModel> BuildDbServerModel(
+    const DbExperimentConfig& config);
+
+/// Converts a decision table into TableSelector entries: each bucket row
+/// routes to its matched replica with probability 1 - epsilon and spreads
+/// epsilon across the others (probabilistic rows, Sec 5).
+std::vector<db::TableSelector::Entry> ToSelectorEntries(
+    const DecisionTable& table, double epsilon = 0.0);
+
+}  // namespace e2e

@@ -1,0 +1,68 @@
+#include "testbed/frontend.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace e2e {
+namespace {
+
+// Device class from a stable per-user hash: 55% desktop, 30% high-end
+// mobile, 15% low-end mobile.
+net::DeviceClass DeviceOf(UserId user) {
+  const std::uint64_t h = user * 0x9e3779b97f4a7c15ULL;
+  const double u = static_cast<double>(h % 1000) / 1000.0;
+  if (u < 0.55) return net::DeviceClass::kDesktop;
+  if (u < 0.85) return net::DeviceClass::kMobileHighEnd;
+  return net::DeviceClass::kMobileLowEnd;
+}
+
+// Rendering share of the external delay by device class.
+double RenderShare(net::DeviceClass device) {
+  switch (device) {
+    case net::DeviceClass::kDesktop:
+      return 0.20;
+    case net::DeviceClass::kMobileHighEnd:
+      return 0.30;
+    case net::DeviceClass::kMobileLowEnd:
+      return 0.45;
+  }
+  return 0.25;
+}
+
+}  // namespace
+
+Frontend::Frontend(FrontendParams params)
+    : params_(params), rng_(params.seed) {}
+
+net::ExternalDelayTruth Frontend::Decompose(const TraceRecord& record) const {
+  net::ExternalDelayTruth truth;
+  truth.device = DeviceOf(record.user_id);
+  const double render_share = RenderShare(truth.device);
+  truth.render_ms = record.external_delay_ms * render_share;
+  truth.wan_transfer_rtts = 3.0;
+  truth.wan_rtt_ms = record.external_delay_ms * (1.0 - render_share) /
+                     truth.wan_transfer_rtts;
+  return truth;
+}
+
+void Frontend::TrainRenderModel(std::span<const TraceRecord> sample) {
+  const int budget = std::min<int>(params_.render_training_sessions,
+                                   static_cast<int>(sample.size()));
+  for (int i = 0; i < budget; ++i) {
+    const auto& record = sample[static_cast<std::size_t>(i)];
+    const auto truth = Decompose(record);
+    // Instrumented sessions report a noisy rendering measurement.
+    const double measured =
+        truth.render_ms * std::exp(rng_.Normal(0.0, 0.10));
+    estimator_.render_estimator().Train(truth.device, measured);
+  }
+}
+
+DelayMs Frontend::EstimateExternal(const TraceRecord& record) {
+  const auto truth = Decompose(record);
+  const auto observation =
+      net::ObserveConnection(truth, params_.response_bytes, rng_);
+  return estimator_.Estimate(observation);
+}
+
+}  // namespace e2e

@@ -1,0 +1,58 @@
+// Frontend web server stage (Fig. 2): the component that measures a
+// request's external delay and tags it before forwarding to the
+// shared-resource service.
+//
+// The paper's prototype reads external delays from traces; §9 sketches how
+// a deployment would estimate them per request (Timecard's RTT method +
+// Mystery Machine's history-trained rendering model, both in src/net).
+// This stage wires those estimators into the experiment harness: it
+// decomposes each trace record's (ground-truth) external delay into WAN and
+// rendering components, simulates what the frontend could actually observe
+// about the connection, and produces the estimate the controller consumes.
+#pragma once
+
+#include <cstdint>
+
+#include "net/estimator.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace e2e {
+
+/// Frontend configuration.
+struct FrontendParams {
+  /// Instrumented sessions used to train the rendering model before the
+  /// experiment starts (Mystery Machine trains on historical traces).
+  int render_training_sessions = 2000;
+  /// Response payload assumed for the transfer-RTT estimate.
+  std::size_t response_bytes = 60000;
+  std::uint64_t seed = 311;
+};
+
+/// The frontend: decomposes trace externals into ground-truth components
+/// and estimates them back from simulated connection observations.
+class Frontend {
+ public:
+  explicit Frontend(FrontendParams params);
+
+  /// Deterministically decomposes a record's external delay into WAN RTTs
+  /// and client rendering, with a device class derived from the user id.
+  /// The decomposition is exact: truth.TotalMs() == record.external_delay_ms.
+  net::ExternalDelayTruth Decompose(const TraceRecord& record) const;
+
+  /// Trains the rendering estimator on `sessions` synthetic instrumented
+  /// sessions drawn from the same population as `sample`.
+  void TrainRenderModel(std::span<const TraceRecord> sample);
+
+  /// The per-request estimate the frontend would tag the request with.
+  DelayMs EstimateExternal(const TraceRecord& record);
+
+  const net::ExternalDelayEstimator& estimator() const { return estimator_; }
+
+ private:
+  FrontendParams params_;
+  net::ExternalDelayEstimator estimator_;
+  Rng rng_;
+};
+
+}  // namespace e2e

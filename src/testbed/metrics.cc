@@ -1,0 +1,42 @@
+#include "testbed/metrics.h"
+
+#include <stdexcept>
+
+namespace e2e {
+
+void ExperimentResult::Finalize() {
+  mean_qoe = 0.0;
+  mean_server_delay_ms = 0.0;
+  if (outcomes.empty()) {
+    throughput_rps = 0.0;
+    return;
+  }
+  double first = outcomes.front().arrival_ms;
+  double last = first;
+  for (const auto& o : outcomes) {
+    mean_qoe += o.qoe;
+    mean_server_delay_ms += o.server_delay_ms;
+    first = std::min(first, o.arrival_ms);
+    last = std::max(last, o.arrival_ms);
+  }
+  const auto n = static_cast<double>(outcomes.size());
+  mean_qoe /= n;
+  mean_server_delay_ms /= n;
+  throughput_rps = last > first ? n / ((last - first) / 1000.0) : 0.0;
+}
+
+double QoeGainPercent(double baseline_mean_qoe, double treatment_mean_qoe) {
+  if (baseline_mean_qoe <= 0.0) {
+    throw std::invalid_argument("QoeGainPercent: baseline <= 0");
+  }
+  return (treatment_mean_qoe - baseline_mean_qoe) / baseline_mean_qoe * 100.0;
+}
+
+std::vector<double> QoeValues(std::span<const RequestOutcome> outcomes) {
+  std::vector<double> values;
+  values.reserve(outcomes.size());
+  for (const auto& o : outcomes) values.push_back(o.qoe);
+  return values;
+}
+
+}  // namespace e2e

@@ -1,0 +1,46 @@
+// Shared experiment metric types.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/controller.h"
+#include "util/types.h"
+
+namespace e2e {
+
+/// Per-request outcome of an experiment run.
+struct RequestOutcome {
+  RequestId id = 0;
+  double arrival_ms = 0.0;        ///< Testbed arrival time.
+  DelayMs external_delay_ms = 0.0;
+  DelayMs server_delay_ms = 0.0;  ///< Measured on the testbed.
+  double qoe = 0.0;               ///< Q(external + server).
+  int decision = -1;              ///< Replica / priority chosen (-1 default).
+};
+
+/// Aggregate result of one experiment run.
+struct ExperimentResult {
+  std::vector<RequestOutcome> outcomes;
+  double mean_qoe = 0.0;
+  double mean_server_delay_ms = 0.0;
+  double throughput_rps = 0.0;
+  ControllerStats controller_stats;
+
+  /// Virtual service busy time across all servers (ms) — the testbed's own
+  /// resource consumption, for overhead comparisons (Fig. 16).
+  double service_busy_ms = 0.0;
+
+  /// Recomputes aggregate fields from `outcomes`.
+  void Finalize();
+};
+
+/// Relative QoE gain of `treatment` over `baseline` in percent:
+/// (Q_t - Q_b) / Q_b * 100 (§7.1's metric).
+double QoeGainPercent(double baseline_mean_qoe, double treatment_mean_qoe);
+
+/// Per-request QoE values of a result.
+std::vector<double> QoeValues(std::span<const RequestOutcome> outcomes);
+
+}  // namespace e2e

@@ -1,0 +1,38 @@
+// Workload preparation helpers shared by the benchmark binaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/generator.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace e2e {
+
+/// Generates the standard one-day trace at the given scale (deterministic).
+Trace MakeStandardTrace(double scale, std::uint64_t seed = 1);
+
+/// Extracts one page type's records within an hour-of-day slice
+/// [begin_hour, end_hour), arrival-ordered.
+std::vector<TraceRecord> HourSlice(const Trace& trace, PageType page,
+                                   int begin_hour, int end_hour);
+
+/// Parameters for the Fig. 19 synthetic workload: normal external and
+/// server-side delays with controllable moments.
+struct SyntheticWorkloadParams {
+  std::size_t num_requests = 4000;
+  double external_mean_ms = 3800.0;
+  double external_cov = 0.55;  ///< stddev / mean.
+  double server_mean_ms = 300.0;
+  double server_cov = 0.80;
+  double rps = 50.0;           ///< Arrival rate (uniform spacing + jitter).
+  std::uint64_t seed = 17;
+};
+
+/// Generates synthetic records drawing external and server delays from
+/// truncated normal distributions (Fig. 19's setup). Page type 1.
+std::vector<TraceRecord> MakeSyntheticWorkload(
+    const SyntheticWorkloadParams& params);
+
+}  // namespace e2e

@@ -1,0 +1,217 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "qoe/sigmoid_model.h"
+
+namespace e2e {
+namespace {
+
+// Lognormal quartile fit: with underlying N(mu, sigma), the 25th/75th
+// percentiles sit at mu -/+ 0.6745 sigma. Solving for quartiles at the
+// 2,000 ms and 5,800 ms region edges gives the Fig. 4 class split.
+constexpr double kExternalMu = 8.132;     // ln(3400 ms) median.
+constexpr double kExternalSigma = 0.790;  // quartiles ~2.0 s / ~5.8 s.
+
+}  // namespace
+
+std::array<PageTypeParams, kNumPageTypes> TraceGenParams::DefaultPages() {
+  std::array<PageTypeParams, kNumPageTypes> pages;
+  // Table 1 volumes (thousands): sessions 564.8 / 265.7 / 512.2;
+  // URLs 3.8k / 1.5k / 3.2k. Server delays are heavy-tailed lognormals
+  // (median a few hundred ms, mean ~0.2x the mean external delay, matching
+  // Fig. 7 medians against the Fig. 19a server/external ratio); sigmas
+  // differ per page type so the Fig. 8 stdev/mean CDFs separate.
+  pages[0] = {.sessions_at_full_scale = 564800,
+              .urls_at_full_scale = 3800,
+              .extra_loads_per_session = 0.209,
+              .repeat_user_fraction = 0.077,
+              .external_mu = kExternalMu,
+              .external_sigma = kExternalSigma,
+              .server_mu = std::log(330.0),
+              .server_sigma = 1.10};
+  pages[1] = {.sessions_at_full_scale = 265700,
+              .urls_at_full_scale = 1500,
+              .extra_loads_per_session = 0.182,
+              .repeat_user_fraction = 0.006,
+              .external_mu = kExternalMu + 0.04,
+              .external_sigma = kExternalSigma,
+              .server_mu = std::log(340.0),
+              .server_sigma = 1.25};
+  pages[2] = {.sessions_at_full_scale = 512200,
+              .urls_at_full_scale = 3200,
+              .extra_loads_per_session = 0.172,
+              .repeat_user_fraction = 0.059,
+              .external_mu = kExternalMu - 0.03,
+              .external_sigma = kExternalSigma,
+              .server_mu = std::log(320.0),
+              .server_sigma = 0.95};
+  return pages;
+}
+
+const std::array<double, 24>& DiurnalLoadFactors() {
+  // Hour-of-day (ET) load factors; peaks at 16:00 and 21:00.
+  static const std::array<double, 24> kFactors = {
+      0.70,  // 00
+      0.62,  // 01
+      0.58,  // 02
+      0.66,  // 03
+      0.60,  // 04
+      0.62,  // 05
+      0.66,  // 06
+      0.72,  // 07
+      0.78,  // 08
+      0.84,  // 09
+      0.87,  // 10
+      0.89,  // 11
+      0.92,  // 12
+      0.90,  // 13
+      0.93,  // 14
+      0.96,  // 15
+      1.00,  // 16  peak
+      0.95,  // 17
+      0.92,  // 18
+      0.93,  // 19
+      0.96,  // 20
+      1.00,  // 21  peak
+      0.78,  // 22
+      0.73,  // 23
+  };
+  return kFactors;
+}
+
+TraceGenerator::TraceGenerator(TraceGenParams params)
+    : params_(std::move(params)) {
+  if (params_.scale <= 0.0) {
+    throw std::invalid_argument("TraceGenerator: scale <= 0");
+  }
+}
+
+Trace TraceGenerator::Generate() const {
+  Trace trace;
+  Rng root(params_.seed);
+  RequestId next_request = 1;
+  std::uint64_t next_session = 1;
+  UserId next_user = 1;
+
+  const auto& diurnal = DiurnalLoadFactors();
+  const double diurnal_total =
+      std::accumulate(diurnal.begin(), diurnal.end(), 0.0);
+
+  for (int p = 0; p < kNumPageTypes; ++p) {
+    const PageTypeParams& page = params_.pages[static_cast<std::size_t>(p)];
+    Rng rng = root.Fork(static_cast<std::uint64_t>(p));
+    const auto sessions = static_cast<std::size_t>(
+        std::llround(page.sessions_at_full_scale * params_.scale));
+    const auto url_pool = std::max<std::uint32_t>(
+        4, static_cast<std::uint32_t>(page.urls_at_full_scale * params_.scale));
+
+    // Session engagement follows the page type's QoE model, so the Fig. 3a
+    // pipeline (bucket sessions by PLT, average) recovers the curve.
+    const auto qoe = std::make_shared<const SigmoidQoeModel>(
+        SigmoidQoeModel::ForPageType(PageTypeFromIndex(p)));
+    const SessionModel session_model(qoe, SessionModelParams{});
+
+    std::vector<UserId> seen_users;
+    seen_users.reserve(sessions);
+
+    // Minute-scale burstiness: real web traffic is doubly stochastic, with
+    // some minutes ~2x busier than others. Weight each minute of the day
+    // by an independent lognormal factor; testbed replays then see the
+    // transient queue build-ups that make load-aware allocation matter.
+    std::array<std::vector<double>, 24> minute_weights;
+    for (auto& weights : minute_weights) {
+      weights.resize(60);
+      for (double& w : weights) w = rng.LogNormal(0.0, 0.3);
+    }
+
+    for (std::size_t s = 0; s < sessions; ++s) {
+      // Arrival hour drawn from the diurnal profile; minute from the
+      // burst weights; uniform within the minute.
+      const auto hour = rng.Categorical(
+          std::span<const double>(diurnal.data(), diurnal.size()));
+      const auto minute = rng.Categorical(minute_weights[hour]);
+      const double arrival_base =
+          (static_cast<double>(hour) * 60.0 + static_cast<double>(minute) +
+           rng.Uniform(0.0, 1.0)) *
+          60.0 * 1000.0;
+      const double load_factor = diurnal[hour] / (diurnal_total / 24.0);
+
+      // User identity: mostly fresh users, some repeats (Table 1 ratios).
+      UserId user;
+      if (!seen_users.empty() && rng.Bernoulli(page.repeat_user_fraction)) {
+        user = seen_users[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(seen_users.size()) - 1))];
+      } else {
+        user = next_user++;
+        seen_users.push_back(user);
+      }
+      const std::uint64_t session_id = next_session++;
+
+      // Page loads in this session: 1 + Poisson(extra).
+      int loads = 1;
+      {
+        const double lambda = page.extra_loads_per_session;
+        double acc = std::exp(-lambda);
+        double u = rng.Uniform(0.0, 1.0);
+        double cdf = acc;
+        int k = 0;
+        while (u > cdf && k < 20) {
+          ++k;
+          acc *= lambda / k;
+          cdf += acc;
+        }
+        loads += k;
+      }
+
+      // A session's loads share a base external delay (same last-mile path)
+      // with per-load jitter; this is what makes external delay an inherent
+      // per-user property.
+      const double session_external =
+          rng.LogNormal(page.external_mu, page.external_sigma);
+
+      DelayMs first_total = 0.0;
+      double session_time_on_site = 0.0;
+      for (int l = 0; l < loads; ++l) {
+        TraceRecord rec;
+        rec.request_id = next_request++;
+        rec.user_id = user;
+        rec.session_id = session_id;
+        rec.page_type = PageTypeFromIndex(p);
+        rec.url_id = static_cast<std::uint32_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(url_pool) - 1));
+        rec.arrival_ms = arrival_base + static_cast<double>(l) *
+                                            rng.Uniform(4000.0, 30000.0);
+        rec.external_delay_ms =
+            std::max(50.0, session_external * std::exp(rng.Normal(0.0, 0.12)));
+
+        // Server delay: independent of external delay, load-coupled.
+        const double load_inflation =
+            1.0 + params_.server_load_coupling * (load_factor - 1.0);
+        rec.server_delay_ms = std::max(
+            1.0, rng.LogNormal(page.server_mu, page.server_sigma) *
+                     std::max(0.2, load_inflation));
+
+        if (l == 0) {
+          first_total = rec.TotalDelayMs();
+          session_time_on_site =
+              session_model.SampleTimeOnSiteSec(first_total, rng);
+        }
+        rec.time_on_site_sec = session_time_on_site;
+        trace.records.push_back(rec);
+      }
+    }
+  }
+
+  std::sort(trace.records.begin(), trace.records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.arrival_ms < b.arrival_ms;
+            });
+  return trace;
+}
+
+}  // namespace e2e

@@ -1,0 +1,86 @@
+#include "trace/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace e2e {
+namespace {
+
+constexpr const char* kHeader =
+    "request_id,user_id,session_id,url_id,page_type,arrival_ms,"
+    "external_delay_ms,server_delay_ms,time_on_site_sec";
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+void WriteTraceCsv(const Trace& trace, std::ostream& out) {
+  // Full round-trip precision for the double fields.
+  out.precision(17);
+  out << kHeader << '\n';
+  for (const auto& r : trace.records) {
+    out << r.request_id << ',' << r.user_id << ',' << r.session_id << ','
+        << r.url_id << ',' << Index(r.page_type) << ',' << r.arrival_ms << ','
+        << r.external_delay_ms << ',' << r.server_delay_ms << ','
+        << r.time_on_site_sec << '\n';
+  }
+}
+
+void WriteTraceCsvFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("WriteTraceCsvFile: cannot open " + path);
+  WriteTraceCsv(trace, out);
+  if (!out) throw std::runtime_error("WriteTraceCsvFile: write failed");
+}
+
+Trace ReadTraceCsv(std::istream& in) {
+  Trace trace;
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("ReadTraceCsv: missing or unexpected header");
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 9) {
+      throw std::runtime_error("ReadTraceCsv: bad field count at line " +
+                               std::to_string(line_no));
+    }
+    try {
+      TraceRecord r;
+      r.request_id = std::stoull(fields[0]);
+      r.user_id = std::stoull(fields[1]);
+      r.session_id = std::stoull(fields[2]);
+      r.url_id = static_cast<std::uint32_t>(std::stoul(fields[3]));
+      r.page_type = PageTypeFromIndex(std::stoi(fields[4]));
+      r.arrival_ms = std::stod(fields[5]);
+      r.external_delay_ms = std::stod(fields[6]);
+      r.server_delay_ms = std::stod(fields[7]);
+      r.time_on_site_sec = std::stod(fields[8]);
+      trace.records.push_back(r);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("ReadTraceCsv: parse error at line " +
+                               std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return trace;
+}
+
+Trace ReadTraceCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ReadTraceCsvFile: cannot open " + path);
+  return ReadTraceCsv(in);
+}
+
+}  // namespace e2e

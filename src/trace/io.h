@@ -1,0 +1,25 @@
+// CSV persistence for traces, so generated datasets can be inspected or
+// re-used across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.h"
+
+namespace e2e {
+
+/// Writes a trace as CSV with a header row.
+void WriteTraceCsv(const Trace& trace, std::ostream& out);
+
+/// Writes a trace to a file; throws std::runtime_error on I/O failure.
+void WriteTraceCsvFile(const Trace& trace, const std::string& path);
+
+/// Parses a trace from CSV produced by WriteTraceCsv. Throws
+/// std::runtime_error on malformed input.
+Trace ReadTraceCsv(std::istream& in);
+
+/// Reads a trace from a file; throws std::runtime_error on I/O failure.
+Trace ReadTraceCsvFile(const std::string& path);
+
+}  // namespace e2e

@@ -1,0 +1,49 @@
+#include "trace/record.h"
+
+#include <algorithm>
+#include <set>
+
+namespace e2e {
+
+std::vector<TraceRecord> Trace::FilterByPage(PageType type) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records) {
+    if (r.page_type == type) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> Trace::FilterByTime(double begin_ms,
+                                             double end_ms) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records) {
+    if (r.arrival_ms >= begin_ms && r.arrival_ms < end_ms) out.push_back(r);
+  }
+  return out;
+}
+
+TraceSummary Summarize(const Trace& trace) {
+  TraceSummary summary;
+  std::set<UserId> all_users;
+  std::set<UserId> users[kNumPageTypes];
+  std::set<std::uint64_t> sessions[kNumPageTypes];
+  std::set<std::uint32_t> urls[kNumPageTypes];
+  for (const auto& r : trace.records) {
+    const int p = Index(r.page_type);
+    ++summary.per_page[p].page_loads;
+    users[p].insert(r.user_id);
+    sessions[p].insert(r.session_id);
+    urls[p].insert(r.url_id);
+    all_users.insert(r.user_id);
+  }
+  for (int p = 0; p < kNumPageTypes; ++p) {
+    summary.per_page[p].web_sessions = sessions[p].size();
+    summary.per_page[p].unique_urls = urls[p].size();
+    summary.per_page[p].unique_users = users[p].size();
+    summary.total_page_loads += summary.per_page[p].page_loads;
+  }
+  summary.total_unique_users = all_users.size();
+  return summary;
+}
+
+}  // namespace e2e

@@ -1,0 +1,68 @@
+// Trace record types: one day of synthesized web requests with client-side
+// and server-side timing, standing in for the paper's production dataset
+// (Table 1). See DESIGN.md §1 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace e2e {
+
+/// One page-load event. Delays follow the paper's decomposition (Fig. 2):
+/// total = external + server-side; external includes WAN, last-mile, DNS,
+/// and browser rendering; server-side is the backend processing time.
+struct TraceRecord {
+  RequestId request_id = 0;
+  UserId user_id = 0;
+  std::uint64_t session_id = 0;
+  std::uint32_t url_id = 0;
+  PageType page_type = PageType::kType1;
+
+  /// Arrival time at the frontend, milliseconds since midnight (trace-day
+  /// local time).
+  double arrival_ms = 0.0;
+
+  /// External delay (inherent to the request; the service cannot change it).
+  DelayMs external_delay_ms = 0.0;
+
+  /// Server-side delay recorded under the production default policy.
+  DelayMs server_delay_ms = 0.0;
+
+  /// Session engagement (time-on-site, seconds) observed for this user's
+  /// session; the QoE ground truth for trace-driven analysis.
+  double time_on_site_sec = 0.0;
+
+  /// Total page-load time under the recorded delays.
+  DelayMs TotalDelayMs() const { return external_delay_ms + server_delay_ms; }
+};
+
+/// A full synthesized trace (one day), sorted by arrival time.
+struct Trace {
+  std::vector<TraceRecord> records;
+
+  /// Returns records of one page type (arrival order preserved).
+  std::vector<TraceRecord> FilterByPage(PageType type) const;
+
+  /// Returns records with arrival in [begin_ms, end_ms).
+  std::vector<TraceRecord> FilterByTime(double begin_ms, double end_ms) const;
+};
+
+/// Table 1-style dataset summary.
+struct TraceSummary {
+  struct PerPage {
+    std::size_t page_loads = 0;
+    std::size_t web_sessions = 0;
+    std::size_t unique_urls = 0;
+    std::size_t unique_users = 0;
+  };
+  PerPage per_page[kNumPageTypes];
+  std::size_t total_page_loads = 0;
+  std::size_t total_unique_users = 0;
+};
+
+/// Computes the Table 1 summary of a trace.
+TraceSummary Summarize(const Trace& trace);
+
+}  // namespace e2e

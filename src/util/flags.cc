@@ -1,0 +1,49 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+#include <string_view>
+
+namespace e2e {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      throw std::invalid_argument("Flags: unexpected positional argument '" +
+                                  std::string(arg) + "'");
+    }
+    const std::string_view body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(body)] = "true";
+    } else {
+      values_[std::string(body.substr(0, eq))] = std::string(body.substr(eq + 1));
+    }
+  }
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+int Flags::GetInt(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoi(it->second);
+}
+
+bool Flags::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second != "false" && it->second != "0";
+}
+
+bool Flags::Has(const std::string& key) const { return values_.contains(key); }
+
+}  // namespace e2e

@@ -1,0 +1,35 @@
+// Minimal --key=value command-line parsing for examples and bench binaries.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace e2e {
+
+/// Parses arguments of the form `--key=value` (and bare `--flag`, stored as
+/// "true"). Unrecognized positional arguments raise std::invalid_argument.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// Returns the string value for `key`, or `fallback` if absent.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// Returns the value for `key` parsed as double, or `fallback` if absent.
+  double GetDouble(const std::string& key, double fallback) const;
+
+  /// Returns the value for `key` parsed as int, or `fallback` if absent.
+  int GetInt(const std::string& key, int fallback) const;
+
+  /// Returns true when `key` is present and not "false"/"0".
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// True when the flag was given on the command line.
+  bool Has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace e2e

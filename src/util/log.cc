@@ -1,0 +1,65 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+namespace e2e {
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("E2E_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  const std::string_view value(env);
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+std::atomic<int>& LevelStorage() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+const char* Name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  LevelStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      LevelStorage().load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GetLogLevel()) &&
+         level != LogLevel::kOff;
+}
+
+void LogLine(LogLevel level, const std::string& component,
+             const std::string& message) {
+  std::cerr << '[' << Name(level) << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace e2e

@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// Intended for operational visibility (controller table installs, failover
+// transitions), not for data output — benches print their results
+// explicitly. Off by default; enable globally via SetLogLevel or the
+// E2E_LOG environment variable ("debug", "info", "warn", "error").
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace e2e {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Current threshold (initialized from E2E_LOG on first use; default off).
+LogLevel GetLogLevel();
+
+/// True when `level` would be emitted.
+bool LogEnabled(LogLevel level);
+
+/// Writes one line to stderr as "[level] component: message".
+void LogLine(LogLevel level, const std::string& component,
+             const std::string& message);
+
+/// Stream-style helper: LogStream(LogLevel::kInfo, "controller") << ...;
+/// emits on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() {
+    if (LogEnabled(level_)) LogLine(level_, component_, stream_.str());
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (LogEnabled(level_)) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace e2e

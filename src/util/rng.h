@@ -1,0 +1,109 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component in the reproduction (trace synthesis, service
+// jitter, MTurk rater panel, ...) draws from an explicitly seeded `Rng`
+// passed in by its owner, so whole experiments replay bit-identically from a
+// single top-level seed. Never use global RNG state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace e2e {
+
+/// A seeded pseudo-random generator with the distribution helpers the
+/// reproduction needs. Cheap to copy; fork() derives independent streams.
+class Rng {
+ public:
+  /// Creates a generator from an explicit seed.
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derives an independent child stream. Children created with distinct
+  /// `stream` values from the same parent state do not overlap in practice.
+  Rng Fork(std::uint64_t stream) {
+    const std::uint64_t base = engine_();
+    return Rng(base ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Normal truncated below at `floor` (re-draws; floor must be plausible).
+  double TruncatedNormal(double mean, double stddev, double floor) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const double x = Normal(mean, stddev);
+      if (x >= floor) return x;
+    }
+    return floor;
+  }
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Exponential with the given mean (= 1/rate).
+  double ExponentialMean(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Index drawn from the categorical distribution given by `weights`.
+  /// Weights must be non-negative with a positive sum.
+  std::size_t Categorical(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) throw std::invalid_argument("Categorical: negative weight");
+      total += w;
+    }
+    if (total <= 0.0) {
+      throw std::invalid_argument("Categorical: weights sum to zero");
+    }
+    double x = Uniform(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Raw 64-bit draw (for seeding sub-components).
+  std::uint64_t NextU64() { return engine_(); }
+
+  /// Access to the underlying engine for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace e2e

@@ -1,0 +1,127 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace e2e {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable: need at least one column");
+  }
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row has " +
+                                std::to_string(cells.size()) + " cells, want " +
+                                std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string TextTable::Int(long long value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (value < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string TextTable::Pct(double value) { return Num(value, 1) + "%"; }
+
+void TextTable::Render(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size()) {
+        out << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void TextTable::RenderCsv(std::ostream& out) const {
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string AsciiChart(const std::vector<double>& ys, int height, int width) {
+  if (ys.empty() || height < 1 || width < 1) return "";
+  double lo = ys.front();
+  double hi = ys.front();
+  for (double y : ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+  const int columns = std::min<int>(width, static_cast<int>(ys.size()));
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(columns),
+                                            ' '));
+  for (int x = 0; x < columns; ++x) {
+    // Sample ys evenly across the requested width.
+    const auto i = static_cast<std::size_t>(
+        static_cast<double>(x) * static_cast<double>(ys.size() - 1) /
+        std::max(1, columns - 1));
+    const double norm = (ys[i] - lo) / (hi - lo);
+    const int level = std::clamp(
+        static_cast<int>(std::lround(norm * (height - 1))), 0, height - 1);
+    grid[static_cast<std::size_t>(height - 1 - level)]
+        [static_cast<std::size_t>(x)] = '*';
+  }
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  for (int r = 0; r < height; ++r) {
+    const char* label = r == 0 ? "max " : (r == height - 1 ? "min " : "    ");
+    os << label << '|' << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << "     (y in [" << lo << ", " << hi << "], " << ys.size()
+     << " points)\n";
+  return os.str();
+}
+
+}  // namespace e2e

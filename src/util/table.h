@@ -1,0 +1,51 @@
+// Console table / CSV rendering used by the benchmark binaries to print the
+// rows and series of each paper table/figure.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace e2e {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision. Render() pads columns to their widest cell.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string Num(double value, int precision = 3);
+
+  /// Formats an integer with thousands separators (e.g. "1,234,567").
+  static std::string Int(long long value);
+
+  /// Formats `value` as a percentage with one decimal (e.g. "12.3%").
+  static std::string Pct(double value);
+
+  /// Renders the table with a header underline to `out`.
+  void Render(std::ostream& out) const;
+
+  /// Renders the table as CSV (no padding) to `out`.
+  void RenderCsv(std::ostream& out) const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an ASCII sparkline-style chart of `ys` (one row of block glyphs),
+/// useful for eyeballing curve shapes in bench output. Returns the chart as
+/// a string with `height` text rows.
+std::string AsciiChart(const std::vector<double>& ys, int height = 8,
+                       int width = 72);
+
+}  // namespace e2e

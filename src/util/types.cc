@@ -1,0 +1,27 @@
+#include "util/types.h"
+
+#include <stdexcept>
+
+namespace e2e {
+
+std::string ToString(PageType type) {
+  switch (type) {
+    case PageType::kType1:
+      return "Page Type 1";
+    case PageType::kType2:
+      return "Page Type 2";
+    case PageType::kType3:
+      return "Page Type 3";
+  }
+  return "Page Type ?";
+}
+
+PageType PageTypeFromIndex(int index) {
+  if (index < 0 || index >= kNumPageTypes) {
+    throw std::out_of_range("PageTypeFromIndex: index " +
+                            std::to_string(index) + " out of range");
+  }
+  return static_cast<PageType>(index);
+}
+
+}  // namespace e2e

@@ -1,0 +1,48 @@
+// Common vocabulary types shared across the E2E reproduction.
+//
+// The paper works in two time units: milliseconds for request delays and
+// seconds for figure axes. Internally everything is a `DelayMs` (double
+// milliseconds); conversion helpers live here so the unit is explicit at
+// module boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace e2e {
+
+/// Delay in milliseconds. All delay arithmetic in the library uses this unit.
+using DelayMs = double;
+
+/// Convert seconds to DelayMs.
+constexpr DelayMs SecToMs(double sec) { return sec * 1000.0; }
+
+/// Convert DelayMs to seconds (for reporting; figures use seconds).
+constexpr double MsToSec(DelayMs ms) { return ms / 1000.0; }
+
+/// Monotonic identifier for a web request within a run.
+using RequestId = std::uint64_t;
+
+/// Identifier of a user (trace synthesis only; never used by the policy).
+using UserId = std::uint64_t;
+
+/// The three page types of the paper's dataset (Table 1).
+enum class PageType : std::uint8_t {
+  kType1 = 0,
+  kType2 = 1,
+  kType3 = 2,
+};
+
+/// Number of page types in the dataset.
+inline constexpr int kNumPageTypes = 3;
+
+/// Human-readable page-type name ("Page Type 1" ...).
+std::string ToString(PageType type);
+
+/// Index (0-based) of a page type, for array subscripting.
+constexpr int Index(PageType type) { return static_cast<int>(type); }
+
+/// Page type from 0-based index; throws std::out_of_range when invalid.
+PageType PageTypeFromIndex(int index);
+
+}  // namespace e2e

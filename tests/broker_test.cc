@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "broker/broker.h"
+#include "broker/consumer.h"
+#include "broker/scheduler.h"
+#include "sim/event_loop.h"
+
+namespace e2e::broker {
+namespace {
+
+BrokerParams FastParams() {
+  BrokerParams params;
+  params.priority_levels = 4;
+  params.consume_interval_ms = 5.0;
+  params.handling_cost_ms = 0.5;
+  return params;
+}
+
+TEST(FifoScheduler, SinglePriority) {
+  FifoScheduler scheduler;
+  BrokerView view{.queue_depths = {0, 0, 0}};
+  EXPECT_EQ(scheduler.AssignPriority(Message{}, view), 0);
+  EXPECT_THROW(scheduler.AssignPriority(Message{}, BrokerView{}),
+               std::invalid_argument);
+}
+
+TEST(MessageBroker, FifoDeliversInPublishOrder) {
+  EventLoop loop;
+  MessageBroker broker(loop, FastParams(),
+                       std::make_shared<FifoScheduler>());
+  std::vector<RequestId> delivered;
+  loop.Schedule(0.0, [&] {
+    for (RequestId id = 1; id <= 5; ++id) {
+      broker.Publish(Message{.id = id},
+                     [&](const Delivery& d) { delivered.push_back(d.message.id); });
+    }
+  });
+  loop.RunUntil(100.0);
+  broker.StopConsumers();
+  loop.Run();
+  EXPECT_EQ(delivered, (std::vector<RequestId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(broker.delivered_count(), 5u);
+}
+
+TEST(MessageBroker, OneMessagePerPullInterval) {
+  EventLoop loop;
+  MessageBroker broker(loop, FastParams(),
+                       std::make_shared<FifoScheduler>());
+  std::vector<double> deliver_times;
+  loop.Schedule(0.0, [&] {
+    for (int i = 0; i < 4; ++i) {
+      broker.Publish(Message{.id = static_cast<RequestId>(i)},
+                     [&](const Delivery& d) {
+                       deliver_times.push_back(d.deliver_ms);
+                     });
+    }
+  });
+  loop.RunUntil(100.0);
+  broker.StopConsumers();
+  loop.Run();
+  ASSERT_EQ(deliver_times.size(), 4u);
+  for (std::size_t i = 1; i < deliver_times.size(); ++i) {
+    EXPECT_NEAR(deliver_times[i] - deliver_times[i - 1], 5.0, 1e-9);
+  }
+}
+
+TEST(MessageBroker, HigherPriorityDrainsFirst) {
+  EventLoop loop;
+  auto table = std::make_shared<TableScheduler>("t");
+  // Sensitive band (2000-5800) gets priority 0; the rest priority 3.
+  table->SetTable({{.lo = 0.0, .hi = 2000.0, .priority = 3},
+                   {.lo = 2000.0, .hi = 5800.0, .priority = 0},
+                   {.lo = 5800.0, .hi = 1e9, .priority = 3}});
+  MessageBroker broker(loop, FastParams(), table);
+  std::vector<RequestId> delivered;
+  loop.Schedule(0.0, [&] {
+    broker.Publish(Message{.id = 1, .external_delay_ms = 500.0},
+                   [&](const Delivery& d) { delivered.push_back(d.message.id); });
+    broker.Publish(Message{.id = 2, .external_delay_ms = 9000.0},
+                   [&](const Delivery& d) { delivered.push_back(d.message.id); });
+    broker.Publish(Message{.id = 3, .external_delay_ms = 3000.0},
+                   [&](const Delivery& d) { delivered.push_back(d.message.id); });
+  });
+  loop.RunUntil(100.0);
+  broker.StopConsumers();
+  loop.Run();
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0], 3u);  // Sensitive request jumps the queue.
+}
+
+TEST(MessageBroker, QueueingDelayTracked) {
+  EventLoop loop;
+  MessageBroker broker(loop, FastParams(),
+                       std::make_shared<FifoScheduler>());
+  loop.Schedule(0.0, [&] {
+    for (int i = 0; i < 10; ++i) broker.Publish(Message{}, nullptr);
+  });
+  loop.RunUntil(200.0);
+  broker.StopConsumers();
+  loop.Run();
+  EXPECT_EQ(broker.queueing_delay_stats().count(), 10u);
+  // The 10th message waits ~10 pull intervals.
+  EXPECT_NEAR(broker.queueing_delay_stats().max(), 50.5, 1.0);
+  EXPECT_GT(broker.queueing_delay_stats(0).count(), 0u);
+}
+
+TEST(MessageBroker, ViewReportsDepths) {
+  EventLoop loop;
+  auto table = std::make_shared<TableScheduler>("t");
+  table->SetTable({{.lo = 0.0, .hi = 1e9, .priority = 2}});
+  MessageBroker broker(loop, FastParams(), table);
+  loop.Schedule(0.0, [&] {
+    broker.Publish(Message{}, nullptr);
+    broker.Publish(Message{}, nullptr);
+    const BrokerView view = broker.View();
+    EXPECT_EQ(view.queue_depths[2], 2);
+    EXPECT_EQ(view.queue_depths[0], 0);
+  });
+  loop.RunUntil(1.0);
+  broker.StopConsumers();
+  loop.Run();
+}
+
+TEST(MessageBroker, SchedulerSwapTakesEffect) {
+  EventLoop loop;
+  MessageBroker broker(loop, FastParams(),
+                       std::make_shared<FifoScheduler>());
+  auto table = std::make_shared<TableScheduler>("t");
+  table->SetTable({{.lo = 0.0, .hi = 1e9, .priority = 1}});
+  std::vector<int> priorities;
+  loop.Schedule(0.0, [&] {
+    broker.Publish(Message{},
+                   [&](const Delivery& d) { priorities.push_back(d.priority); });
+    broker.SetScheduler(table);
+    broker.Publish(Message{},
+                   [&](const Delivery& d) { priorities.push_back(d.priority); });
+  });
+  loop.RunUntil(100.0);
+  broker.StopConsumers();
+  loop.Run();
+  ASSERT_EQ(priorities.size(), 2u);
+  EXPECT_EQ(priorities[0], 0);
+  EXPECT_EQ(priorities[1], 1);
+  EXPECT_THROW(broker.SetScheduler(nullptr), std::invalid_argument);
+}
+
+TEST(MessageBroker, InvalidConstructionThrows) {
+  EventLoop loop;
+  BrokerParams bad = FastParams();
+  bad.priority_levels = 0;
+  EXPECT_THROW(MessageBroker(loop, bad, std::make_shared<FifoScheduler>()),
+               std::invalid_argument);
+  bad = FastParams();
+  bad.consume_interval_ms = 0.0;
+  EXPECT_THROW(MessageBroker(loop, bad, std::make_shared<FifoScheduler>()),
+               std::invalid_argument);
+  EXPECT_THROW(MessageBroker(loop, FastParams(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(TableScheduler, FallsBackToFifoWithoutTable) {
+  TableScheduler scheduler("t");
+  BrokerView view{.queue_depths = {0, 0}};
+  EXPECT_EQ(scheduler.AssignPriority(Message{.external_delay_ms = 9999.0},
+                                     view),
+            0);
+  EXPECT_FALSE(scheduler.HasTable());
+}
+
+TEST(TableScheduler, ClampsPriorityToLevels) {
+  TableScheduler scheduler("t");
+  scheduler.SetTable({{.lo = 0.0, .hi = 1e9, .priority = 7}});
+  BrokerView view{.queue_depths = {0, 0, 0}};  // Only 3 levels.
+  EXPECT_EQ(scheduler.AssignPriority(Message{}, view), 2);
+}
+
+TEST(TableScheduler, RejectsBadTables) {
+  TableScheduler scheduler("t");
+  EXPECT_THROW(scheduler.SetTable({{.lo = 5.0, .hi = 9.0, .priority = 0},
+                                   {.lo = 1.0, .hi = 5.0, .priority = 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(scheduler.SetTable({{.lo = 0.0, .hi = 1.0, .priority = -1}}),
+               std::invalid_argument);
+}
+
+TEST(DeadlineScheduler, SmallerSlackGetsHigherPriority) {
+  DeadlineScheduler scheduler(3400.0, 4000.0);
+  BrokerView view{.queue_depths = {0, 0, 0, 0, 0, 0, 0, 0}};
+  const int urgent = scheduler.AssignPriority(
+      Message{.external_delay_ms = 3200.0}, view);  // 200 ms slack.
+  const int relaxed = scheduler.AssignPriority(
+      Message{.external_delay_ms = 500.0}, view);  // 2900 ms slack.
+  EXPECT_LT(urgent, relaxed);
+}
+
+TEST(DeadlineScheduler, ExpiredRequestsAllShareLowestPriority) {
+  DeadlineScheduler scheduler(2000.0, 4000.0);
+  BrokerView view{.queue_depths = {0, 0, 0, 0}};
+  const int a = scheduler.AssignPriority(
+      Message{.external_delay_ms = 2500.0}, view);
+  const int b = scheduler.AssignPriority(
+      Message{.external_delay_ms = 25000.0}, view);
+  EXPECT_EQ(a, 3);
+  EXPECT_EQ(b, 3);  // The deadline policy cannot tell these apart (§7.4).
+}
+
+TEST(DeadlineScheduler, InvalidParamsThrow) {
+  EXPECT_THROW(DeadlineScheduler(0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(DeadlineScheduler(100.0, 0.0), std::invalid_argument);
+}
+
+
+TEST(MessageBroker, TryPullReturnsHighestPriority) {
+  EventLoop loop;
+  BrokerParams params = FastParams();
+  params.num_consumers = 1;
+  auto table = std::make_shared<TableScheduler>("t");
+  table->SetTable({{.lo = 0.0, .hi = 1000.0, .priority = 2},
+                   {.lo = 1000.0, .hi = 1e9, .priority = 0}});
+  MessageBroker broker(loop, params, table);
+  broker.StopConsumers();  // Drive manually.
+  loop.Schedule(0.0, [&] {
+    broker.Publish(Message{.id = 1, .external_delay_ms = 500.0}, nullptr);
+    broker.Publish(Message{.id = 2, .external_delay_ms = 2000.0}, nullptr);
+    auto first = broker.TryPull();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->message.id, 2u);  // Priority 0 before priority 2.
+    auto second = broker.TryPull();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->message.id, 1u);
+    EXPECT_FALSE(broker.TryPull().has_value());
+  });
+  loop.Run();
+}
+
+TEST(MessageBroker, RequeueFrontPreservesPublishTime) {
+  EventLoop loop;
+  BrokerParams params = FastParams();
+  MessageBroker broker(loop, params, std::make_shared<FifoScheduler>());
+  broker.StopConsumers();
+  double measured = -1.0;
+  loop.Schedule(0.0, [&] {
+    broker.Publish(Message{.id = 9},
+                   [&](const Delivery& d) { measured = d.QueueingDelayMs(); });
+  });
+  loop.Schedule(10.0, [&] {
+    auto d = broker.TryPull();
+    ASSERT_TRUE(d.has_value());
+    broker.RequeueFront(d->message, d->priority, d->publish_ms);
+  });
+  loop.Schedule(30.0, [&] {
+    auto d = broker.TryPull();
+    ASSERT_TRUE(d.has_value());
+    // The second delivery's queueing delay spans from the ORIGINAL publish.
+    EXPECT_NEAR(d->QueueingDelayMs(), 30.0 + params.handling_cost_ms, 1e-9);
+  });
+  loop.Run();
+  EXPECT_THROW(broker.RequeueFront(Message{}, 99, 0.0), std::out_of_range);
+}
+
+TEST(AckingConsumer, ProcessesEverythingWithPrefetchBound) {
+  EventLoop loop;
+  BrokerParams params = FastParams();
+  MessageBroker broker(loop, params, std::make_shared<FifoScheduler>());
+  broker.StopConsumers();  // The acking consumer is the only consumer.
+  AckingConsumerParams cp;
+  cp.prefetch = 3;
+  cp.processing_mean_ms = 4.0;
+  AckingConsumer consumer(loop, broker, cp, Rng(7));
+  loop.Schedule(0.0, [&] {
+    for (int i = 0; i < 50; ++i) {
+      broker.Publish(Message{.id = static_cast<RequestId>(i)}, nullptr);
+    }
+  });
+  loop.Schedule(1.0, [&] { EXPECT_LE(consumer.in_flight(), 3); });
+  loop.RunUntil(5000.0);
+  consumer.Stop();
+  loop.Run();
+  EXPECT_EQ(consumer.acked_count(), 50u);
+  EXPECT_EQ(consumer.redelivered_count(), 0u);
+}
+
+TEST(AckingConsumer, NacksCauseRedeliveryButEventualCompletion) {
+  EventLoop loop;
+  BrokerParams params = FastParams();
+  MessageBroker broker(loop, params, std::make_shared<FifoScheduler>());
+  broker.StopConsumers();
+  AckingConsumerParams cp;
+  cp.prefetch = 2;
+  cp.processing_mean_ms = 2.0;
+  cp.nack_probability = 0.3;
+  AckingConsumer consumer(loop, broker, cp, Rng(11));
+  loop.Schedule(0.0, [&] {
+    for (int i = 0; i < 30; ++i) {
+      broker.Publish(Message{.id = static_cast<RequestId>(i)}, nullptr);
+    }
+  });
+  loop.RunUntil(20000.0);
+  consumer.Stop();
+  loop.Run();
+  EXPECT_EQ(consumer.acked_count(), 30u);   // Everything eventually acked.
+  EXPECT_GT(consumer.redelivered_count(), 0u);
+}
+
+TEST(AckingConsumer, InvalidParamsThrow) {
+  EventLoop loop;
+  MessageBroker broker(loop, FastParams(), std::make_shared<FifoScheduler>());
+  AckingConsumerParams bad;
+  bad.prefetch = 0;
+  EXPECT_THROW(AckingConsumer(loop, broker, bad, Rng(1)),
+               std::invalid_argument);
+  bad = AckingConsumerParams{};
+  bad.nack_probability = 1.0;
+  EXPECT_THROW(AckingConsumer(loop, broker, bad, Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace e2e::broker

@@ -1,0 +1,590 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/external_delay_model.h"
+#include "core/failover.h"
+#include "core/policy.h"
+#include "core/profiler.h"
+#include "core/server_delay_model.h"
+#include "core/table_cache.h"
+#include "qoe/sigmoid_model.h"
+#include "util/rng.h"
+
+namespace e2e {
+namespace {
+
+// A synthetic replica model with analytically known behaviour: delay mean
+// grows linearly with the fraction routed to the replica.
+class LinearReplicaModel final : public ServerDelayModel {
+ public:
+  LinearReplicaModel(int replicas, double base_ms, double slope_ms)
+      : replicas_(replicas), base_ms_(base_ms), slope_ms_(slope_ms) {}
+
+  int NumDecisions() const override { return replicas_; }
+
+  DiscreteDistribution DelayDistribution(
+      int decision, std::span<const double> load_fractions,
+      double total_rps) const override {
+    const double rps =
+        load_fractions[static_cast<std::size_t>(decision)] * total_rps;
+    return DiscreteDistribution::PointMass(base_ms_ + slope_ms_ * rps);
+  }
+
+  std::string Name() const override { return "linear"; }
+
+ private:
+  int replicas_;
+  double base_ms_;
+  double slope_ms_;
+};
+
+std::vector<double> SensitiveHeavyExternals(int n, Rng& rng) {
+  std::vector<double> externals;
+  for (int i = 0; i < n; ++i) {
+    const double r = rng.Uniform(0.0, 1.0);
+    if (r < 0.25) {
+      externals.push_back(rng.Uniform(200.0, 1500.0));
+    } else if (r < 0.75) {
+      externals.push_back(rng.Uniform(2000.0, 5500.0));
+    } else {
+      externals.push_back(rng.Uniform(6500.0, 20000.0));
+    }
+  }
+  return externals;
+}
+
+// ---- ExternalDelayModel --------------------------------------------------
+
+TEST(ExternalDelayModel, PublishesAfterWindow) {
+  ExternalDelayModel model({.window_ms = 1000.0, .min_samples = 3});
+  model.Observe(100.0, 0.0);
+  model.Observe(200.0, 500.0);
+  model.Observe(300.0, 900.0);
+  EXPECT_FALSE(model.HasDistribution());
+  EXPECT_TRUE(model.MaybeRoll(1000.0));
+  ASSERT_TRUE(model.HasDistribution());
+  EXPECT_EQ(model.Samples().size(), 3u);
+  EXPECT_DOUBLE_EQ(model.PublishedRps(), 3.0);
+}
+
+TEST(ExternalDelayModel, SkipsSparseWindows) {
+  ExternalDelayModel model({.window_ms = 1000.0, .min_samples = 5});
+  model.Observe(100.0, 0.0);
+  EXPECT_FALSE(model.MaybeRoll(1500.0));
+  EXPECT_FALSE(model.HasDistribution());
+  // A dense later window publishes.
+  for (int i = 0; i < 6; ++i) {
+    model.Observe(100.0 + i, 1600.0 + i * 10.0);
+  }
+  EXPECT_TRUE(model.MaybeRoll(2600.0));
+  EXPECT_EQ(model.Samples().size(), 6u);
+}
+
+TEST(ExternalDelayModel, ErrorInjectionBounds) {
+  ExternalDelayModel model({});
+  model.SetExternalDelayError(0.2);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double est = model.EstimateForRequest(1000.0, rng);
+    EXPECT_GE(est, 800.0 - 1e-9);
+    EXPECT_LE(est, 1200.0 + 1e-9);
+  }
+  EXPECT_THROW(model.SetExternalDelayError(-0.1), std::invalid_argument);
+  EXPECT_THROW(model.SetRpsError(-0.1), std::invalid_argument);
+}
+
+TEST(ExternalDelayModel, NoErrorMeansExact) {
+  ExternalDelayModel model({});
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(model.EstimateForRequest(1234.0, rng), 1234.0);
+}
+
+// ---- Server delay models -------------------------------------------------
+
+TEST(InterpolateProfile, BlendsBetweenLevels) {
+  LoadProfile profile;
+  profile.max_rps = 100.0;
+  profile.level_rps = {50.0, 100.0};
+  profile.delays = {DiscreteDistribution::PointMass(10.0),
+                    DiscreteDistribution::PointMass(30.0)};
+  EXPECT_DOUBLE_EQ(InterpolateProfile(profile, 50.0).Mean(), 10.0);
+  EXPECT_DOUBLE_EQ(InterpolateProfile(profile, 75.0).Mean(), 20.0);
+  EXPECT_DOUBLE_EQ(InterpolateProfile(profile, 25.0).Mean(), 10.0);
+  // Sustained overload adds horizon-bounded backlog delay:
+  // 30 + (200/100 - 1) * overload_horizon_ms.
+  EXPECT_DOUBLE_EQ(InterpolateProfile(profile, 200.0).Mean(),
+                   30.0 + profile.overload_horizon_ms);
+}
+
+TEST(InterpolateProfile, UnstableLevelsCapTheStableRegion) {
+  LoadProfile profile;
+  profile.max_rps = 100.0;
+  profile.level_rps = {50.0, 100.0};
+  profile.delays = {DiscreteDistribution::PointMass(10.0),
+                    DiscreteDistribution::PointMass(30.0)};
+  profile.max_stable_rps = 50.0;  // The 100-rps level never stabilized.
+  profile.overload_horizon_ms = 1000.0;
+  // Beyond the stable cap, delay grows from the cap's distribution.
+  EXPECT_DOUBLE_EQ(InterpolateProfile(profile, 50.0).Mean(), 10.0);
+  EXPECT_DOUBLE_EQ(InterpolateProfile(profile, 100.0).Mean(),
+                   10.0 + 1.0 * 1000.0);
+}
+
+TEST(ProfileServerOffline, DetectsUnstableLevels) {
+  // Profile far past the server's saturation point: the top levels cannot
+  // be stationary, so max_stable_rps must be finite and below max_rps.
+  ProfilerConfig config;
+  config.concurrency = 2;
+  config.base_service_ms = 100.0;  // Saturation ~20/s fully busy.
+  config.capacity = 2.0;
+  config.levels = 8;
+  config.max_rps = 60.0;
+  config.duration_ms = 30000.0;
+  const LoadProfile profile = ProfileServerOffline(config);
+  EXPECT_LT(profile.max_stable_rps, config.max_rps);
+  EXPECT_GT(profile.max_stable_rps, 0.0);
+}
+
+TEST(ProfiledReplicaModel, DelayGrowsWithFraction) {
+  LoadProfile profile;
+  profile.max_rps = 100.0;
+  for (int i = 1; i <= 10; ++i) {
+    profile.level_rps.push_back(i * 10.0);
+    profile.delays.push_back(
+        DiscreteDistribution::PointMass(10.0 + i * i * 2.0));
+  }
+  const ProfiledReplicaModel model(3, profile);
+  const std::vector<double> even = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  const std::vector<double> skewed = {0.8, 0.1, 0.1};
+  const double rps = 150.0;
+  EXPECT_GT(model.DelayDistribution(0, skewed, rps).Mean(),
+            model.DelayDistribution(0, even, rps).Mean());
+  EXPECT_LT(model.DelayDistribution(1, skewed, rps).Mean(),
+            model.DelayDistribution(1, even, rps).Mean());
+  EXPECT_THROW(model.DelayDistribution(3, even, rps), std::out_of_range);
+  const std::vector<double> wrong_size = {0.5, 0.5};
+  EXPECT_THROW(model.DelayDistribution(0, wrong_size, rps),
+               std::invalid_argument);
+}
+
+TEST(ProfileServerOffline, ProducesMonotoneCongestionCurve) {
+  ProfilerConfig config;
+  config.levels = 6;
+  config.max_rps = 120.0;
+  config.duration_ms = 20000.0;
+  const LoadProfile profile = ProfileServerOffline(config);
+  ASSERT_EQ(profile.level_rps.size(), 6u);
+  // Delay at the highest load clearly exceeds delay at the lowest.
+  EXPECT_GT(profile.delays.back().Mean(), profile.delays.front().Mean() * 2.0);
+  // Levels ascend.
+  for (std::size_t i = 1; i < profile.level_rps.size(); ++i) {
+    EXPECT_GT(profile.level_rps[i], profile.level_rps[i - 1]);
+  }
+}
+
+TEST(PriorityQueueModel, HigherPriorityWaitsLess) {
+  const PriorityQueueModel model(4, 5.0, 1);
+  const std::vector<double> even = {0.25, 0.25, 0.25, 0.25};
+  const double rps = 150.0;  // Capacity is 200/s.
+  double prev = 0.0;
+  for (int p = 0; p < 4; ++p) {
+    const double wait = model.MeanWaitMs(p, even, rps);
+    EXPECT_GT(wait, prev);
+    prev = wait;
+  }
+}
+
+TEST(PriorityQueueModel, WaitGrowsWithLoad) {
+  const PriorityQueueModel model(2, 5.0, 1);
+  const std::vector<double> even = {0.5, 0.5};
+  EXPECT_LT(model.MeanWaitMs(1, even, 50.0), model.MeanWaitMs(1, even, 180.0));
+}
+
+TEST(PriorityQueueModel, OverloadIsClampedNotInfinite) {
+  const PriorityQueueModel model(2, 5.0, 1, 0.5, 10000.0);
+  const std::vector<double> even = {0.5, 0.5};
+  const double wait = model.MeanWaitMs(1, even, 500.0);  // 2.5x capacity.
+  EXPECT_LE(wait, 10000.0);
+  EXPECT_GT(wait, 1000.0);
+}
+
+TEST(PriorityQueueModel, DistributionIsRightSkewedAroundMean) {
+  const PriorityQueueModel model(2, 5.0, 1);
+  const std::vector<double> even = {0.5, 0.5};
+  const auto dist = model.DelayDistribution(0, even, 100.0);
+  const double mean_wait = model.MeanWaitMs(0, even, 100.0);
+  EXPECT_NEAR(dist.Mean(), mean_wait + 0.5, mean_wait * 0.25 + 1.0);
+  EXPECT_GT(dist.values().back(), dist.Mean());
+}
+
+// ---- Policy ----------------------------------------------------------------
+
+TEST(DecisionTable, LookupClampsAndSearches) {
+  DecisionTable table;
+  table.rows = {{.lo = 0.0, .hi = 10.0, .decision = 0},
+                {.lo = 10.0, .hi = 20.0, .decision = 1},
+                {.lo = 20.0, .hi = 30.0, .decision = 2}};
+  EXPECT_EQ(table.Lookup(-5.0), 0);
+  EXPECT_EQ(table.Lookup(15.0), 1);
+  EXPECT_EQ(table.Lookup(100.0), 2);
+  EXPECT_THROW(DecisionTable{}.Lookup(1.0), std::logic_error);
+}
+
+TEST(ComputePolicy, ValidatesInputs) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearReplicaModel g(3, 50.0, 10.0);
+  EXPECT_THROW(ComputePolicy(qoe, g, {}, 100.0, PolicyConfig{}),
+               std::invalid_argument);
+  const std::vector<double> externals = {1000.0, 2000.0};
+  EXPECT_THROW(ComputePolicy(qoe, g, externals, 0.0, PolicyConfig{}),
+               std::invalid_argument);
+}
+
+TEST(ComputePolicy, SpreadsLoadAcrossReplicasUnderPressure) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  // Steep congestion: concentrating load is very costly.
+  const LinearReplicaModel g(3, 50.0, 40.0);
+  Rng rng(3);
+  const auto externals = SensitiveHeavyExternals(600, rng);
+  PolicyConfig config;
+  config.target_buckets = 12;
+  const auto result = ComputePolicy(qoe, g, externals, 60.0, config);
+  // The hill climb must have moved off the degenerate (all, 0, 0) start.
+  int used = 0;
+  for (double f : result.table.load_fractions) {
+    if (f > 0.0) ++used;
+  }
+  EXPECT_GE(used, 2);
+  EXPECT_GT(result.stats.hill_climb_steps, 0);
+  // Fractions sum to one.
+  double total = 0.0;
+  for (double f : result.table.load_fractions) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Rows cover the whole external range in order.
+  for (std::size_t i = 1; i < result.table.rows.size(); ++i) {
+    EXPECT_GE(result.table.rows[i].lo, result.table.rows[i - 1].lo);
+  }
+}
+
+TEST(ComputePolicy, SensitiveRequestsGetFasterDecisions) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearReplicaModel g(2, 30.0, 25.0);
+  Rng rng(4);
+  const auto externals = SensitiveHeavyExternals(600, rng);
+  PolicyConfig config;
+  config.target_buckets = 16;
+  const auto result = ComputePolicy(qoe, g, externals, 50.0, config);
+  const DecisionTable& table = result.table;
+  // Identify each decision's mean delay under the final fractions.
+  std::vector<double> mean_delay;
+  for (int d = 0; d < 2; ++d) {
+    mean_delay.push_back(
+        g.DelayDistribution(d, table.load_fractions, 50.0).Mean());
+  }
+  // A mid-region (sensitive) request's decision should not be slower than
+  // a far-tail (insensitive) request's decision.
+  const int mid = table.Lookup(3500.0);
+  const int tail = table.Lookup(19000.0);
+  EXPECT_LE(mean_delay[static_cast<std::size_t>(mid)],
+            mean_delay[static_cast<std::size_t>(tail)] + 1e-9);
+}
+
+TEST(ComputePolicy, OptimalMatchingBeatsSlopeMapping) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearReplicaModel g(3, 40.0, 30.0);
+  Rng rng(5);
+  const auto externals = SensitiveHeavyExternals(800, rng);
+  PolicyConfig config;
+  config.target_buckets = 16;
+  const auto e2e_result = ComputePolicy(qoe, g, externals, 70.0, config);
+  const auto slope_result =
+      ComputeSlopePolicy(qoe, g, externals, 70.0, config);
+  EXPECT_GE(e2e_result.table.expected_mean_qoe,
+            slope_result.table.expected_mean_qoe - 1e-9);
+}
+
+TEST(ComputePolicy, PerRequestModeUsesOneBucketPerRequest) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearReplicaModel g(2, 30.0, 10.0);
+  const std::vector<double> externals = {500.0, 2500.0, 4000.0, 9000.0};
+  PolicyConfig config;
+  config.per_request = true;
+  const auto result = ComputePolicy(qoe, g, externals, 10.0, config);
+  EXPECT_EQ(result.stats.buckets, 4);
+  EXPECT_EQ(result.table.rows.size(), 4u);
+}
+
+TEST(ComputePolicy, BucketCountRespectsSpatialCoarsening) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearReplicaModel g(2, 30.0, 10.0);
+  Rng rng(6);
+  const auto externals = SensitiveHeavyExternals(2000, rng);
+  PolicyConfig config;
+  config.target_buckets = 8;
+  config.max_bucket_span_ms = 1e9;  // No span splitting.
+  const auto result = ComputePolicy(qoe, g, externals, 100.0, config);
+  EXPECT_LE(result.stats.buckets, 9);
+}
+
+TEST(ComputePolicy, HillClimbImprovesOverDegenerateStart) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearReplicaModel g(3, 50.0, 60.0);
+  Rng rng(7);
+  const auto externals = SensitiveHeavyExternals(500, rng);
+  PolicyConfig config;
+  config.target_buckets = 12;
+  config.max_hill_climb_steps = 0;  // Degenerate allocation only.
+  const auto degenerate = ComputePolicy(qoe, g, externals, 80.0, config);
+  config.max_hill_climb_steps = 512;
+  const auto climbed = ComputePolicy(qoe, g, externals, 80.0, config);
+  EXPECT_GT(climbed.table.expected_mean_qoe,
+            degenerate.table.expected_mean_qoe);
+}
+
+
+TEST(ComputePolicy, DecisionsInvariantUnderQoeScaling) {
+  // Scaling the QoE curve (units change: seconds of engagement vs hours)
+  // must not change any decision: matching totals, hill-climb comparisons,
+  // and the instability penalty all scale together.
+  const auto base = std::make_shared<const SigmoidQoeModel>(
+      SigmoidQoeModel::TraceTimeOnSite());
+  const NormalizedQoeModel scaled(base, 0.0, 0.25);  // 4x the base curve.
+  const LinearReplicaModel g(3, 40.0, 30.0);
+  Rng rng(23);
+  const auto externals = SensitiveHeavyExternals(500, rng);
+  PolicyConfig config;
+  config.target_buckets = 12;
+  const auto a = ComputePolicy(*base, g, externals, 70.0, config);
+  const auto b = ComputePolicy(scaled, g, externals, 70.0, config);
+  ASSERT_EQ(a.table.rows.size(), b.table.rows.size());
+  for (std::size_t i = 0; i < a.table.rows.size(); ++i) {
+    EXPECT_EQ(a.table.rows[i].decision, b.table.rows[i].decision)
+        << "row " << i;
+  }
+  EXPECT_NEAR(b.table.expected_mean_qoe, a.table.expected_mean_qoe * 4.0,
+              1e-6);
+}
+
+TEST(ComputePolicy, SlopePolicySetsMappingAlgorithm) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearReplicaModel g(2, 40.0, 30.0);
+  Rng rng(29);
+  const auto externals = SensitiveHeavyExternals(300, rng);
+  PolicyConfig config;
+  config.target_buckets = 8;
+  config.mapping = MappingAlgorithm::kOptimalMatching;  // Overridden below.
+  const auto result = ComputeSlopePolicy(qoe, g, externals, 50.0, config);
+  EXPECT_FALSE(result.table.rows.empty());
+  EXPECT_EQ(result.stats.matchings_solved, 0);  // Slope mapping, no solver.
+}
+
+// ---- Table cache -----------------------------------------------------------
+
+DecisionTable OneRowTable() {
+  DecisionTable table;
+  table.rows = {{.lo = 0.0, .hi = 1e9, .decision = 0}};
+  table.load_fractions = {1.0};
+  return table;
+}
+
+TEST(DecisionTableCache, RefreshesOnFirstUse) {
+  DecisionTableCache cache(TableCacheParams{});
+  EXPECT_EQ(cache.Get(), nullptr);
+  EXPECT_TRUE(cache.NeedsRefresh({}, 0.0));
+  cache.Install(OneRowTable(), {100.0, 200.0}, 10.0);
+  EXPECT_NE(cache.Get(), nullptr);
+  EXPECT_EQ(cache.installs(), 1u);
+}
+
+TEST(DecisionTableCache, StableDistributionHitsCache) {
+  DecisionTableCache cache(TableCacheParams{});
+  Rng rng(8);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.LogNormal(8.0, 0.8));
+    b.push_back(rng.LogNormal(8.0, 0.8));
+  }
+  cache.Install(OneRowTable(), a, 200.0);
+  EXPECT_FALSE(cache.NeedsRefresh(b, 205.0));
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(DecisionTableCache, DivergedDistributionInvalidates) {
+  DecisionTableCache cache(TableCacheParams{});
+  Rng rng(9);
+  std::vector<double> a, shifted;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.LogNormal(8.0, 0.8));
+    shifted.push_back(rng.LogNormal(8.9, 0.8));  // ~2.5x larger delays.
+  }
+  cache.Install(OneRowTable(), a, 200.0);
+  EXPECT_TRUE(cache.NeedsRefresh(shifted, 200.0));
+}
+
+TEST(DecisionTableCache, RpsJumpInvalidates) {
+  DecisionTableCache cache(TableCacheParams{});
+  Rng rng(10);
+  std::vector<double> a;
+  for (int i = 0; i < 2000; ++i) a.push_back(rng.LogNormal(8.0, 0.8));
+  cache.Install(OneRowTable(), a, 100.0);
+  EXPECT_TRUE(cache.NeedsRefresh(a, 140.0));   // +40% load.
+  EXPECT_FALSE(cache.NeedsRefresh(a, 110.0));  // +10% load.
+}
+
+TEST(DecisionTableCache, InvalidInputs) {
+  EXPECT_THROW(DecisionTableCache(TableCacheParams{.js_threshold = -1.0}),
+               std::invalid_argument);
+  DecisionTableCache cache(TableCacheParams{});
+  EXPECT_THROW(cache.Install(DecisionTable{}, {}, 0.0),
+               std::invalid_argument);
+  cache.Install(OneRowTable(), {1.0}, 1.0);
+  cache.Invalidate();
+  EXPECT_EQ(cache.Get(), nullptr);
+}
+
+// ---- Controller and failover ----------------------------------------------
+
+ControllerConfig FastControllerConfig() {
+  ControllerConfig config;
+  config.external.window_ms = 1000.0;
+  config.external.min_samples = 10;
+  config.policy.target_buckets = 8;
+  return config;
+}
+
+std::unique_ptr<Controller> MakeController(const char* name,
+                                           std::uint64_t seed = 77) {
+  auto qoe = std::make_shared<const SigmoidQoeModel>(
+      SigmoidQoeModel::TraceTimeOnSite());
+  auto g = std::make_shared<const LinearReplicaModel>(3, 40.0, 20.0);
+  return std::make_unique<Controller>(name, FastControllerConfig(), qoe, g,
+                                      seed);
+}
+
+void FeedWindow(Controller& controller, double start_ms, Rng& rng,
+                int n = 400) {
+  for (int i = 0; i < n; ++i) {
+    controller.ObserveArrival(rng.LogNormal(8.1, 0.8),
+                              start_ms + i * (1000.0 / n));
+  }
+}
+
+TEST(Controller, ComputesTableAfterFirstWindow) {
+  auto controller = MakeController("c");
+  Rng rng(11);
+  EXPECT_EQ(controller->Decide(3000.0), -1);  // No table yet.
+  FeedWindow(*controller, 0.0, rng);
+  EXPECT_TRUE(controller->Tick(1000.0));
+  EXPECT_NE(controller->CurrentTable(), nullptr);
+  const int decision = controller->Decide(3000.0);
+  EXPECT_GE(decision, 0);
+  EXPECT_LT(decision, 3);
+  EXPECT_EQ(controller->stats().recomputes, 1u);
+  // Only table-served lookups count (the first Decide had no table).
+  EXPECT_EQ(controller->stats().decisions, 1u);
+}
+
+TEST(Controller, StableTrafficDoesNotRecompute) {
+  auto controller = MakeController("c");
+  Rng rng(12);
+  FeedWindow(*controller, 0.0, rng);
+  EXPECT_TRUE(controller->Tick(1000.0));
+  FeedWindow(*controller, 1000.0, rng);
+  EXPECT_FALSE(controller->Tick(2000.0));  // Same distribution: cache hit.
+  EXPECT_EQ(controller->stats().recomputes, 1u);
+}
+
+TEST(Controller, DistributionShiftTriggersRecompute) {
+  auto controller = MakeController("c");
+  Rng rng(13);
+  FeedWindow(*controller, 0.0, rng);
+  EXPECT_TRUE(controller->Tick(1000.0));
+  // Shifted external delays in the next window.
+  for (int i = 0; i < 400; ++i) {
+    controller->ObserveArrival(rng.LogNormal(9.1, 0.8), 1000.0 + i * 2.0);
+  }
+  EXPECT_TRUE(controller->Tick(2000.0));
+  EXPECT_EQ(controller->stats().recomputes, 2u);
+}
+
+TEST(Controller, FailedControllerServesStaleTable) {
+  auto controller = MakeController("c");
+  Rng rng(14);
+  FeedWindow(*controller, 0.0, rng);
+  controller->Tick(1000.0);
+  controller->Fail();
+  // Still decides from the stale cache.
+  EXPECT_GE(controller->Decide(3000.0), 0);
+  // But no longer recomputes.
+  for (int i = 0; i < 400; ++i) {
+    controller->ObserveArrival(rng.LogNormal(9.3, 0.8), 1000.0 + i * 2.0);
+  }
+  EXPECT_FALSE(controller->Tick(2000.0));
+  controller->Recover();
+  EXPECT_FALSE(controller->failed());
+}
+
+TEST(Controller, NullModelsThrow) {
+  auto qoe = std::make_shared<const SigmoidQoeModel>(
+      SigmoidQoeModel::TraceTimeOnSite());
+  auto g = std::make_shared<const LinearReplicaModel>(3, 40.0, 20.0);
+  EXPECT_THROW(Controller("c", FastControllerConfig(), nullptr, g, 1),
+               std::invalid_argument);
+  EXPECT_THROW(Controller("c", FastControllerConfig(), qoe, nullptr, 1),
+               std::invalid_argument);
+}
+
+TEST(Failover, BackupTakesOverAfterElection) {
+  ReplicatedControllerGroup group(MakeController("primary", 1),
+                                  MakeController("backup", 2),
+                                  FailoverParams{.election_delay_ms = 5000.0});
+  Rng rng(15);
+  for (int i = 0; i < 400; ++i) {
+    group.ObserveArrival(rng.LogNormal(8.1, 0.8), i * 2.0);
+  }
+  EXPECT_TRUE(group.Tick(1000.0));
+  const int before = group.Decide(3000.0);
+  EXPECT_GE(before, 0);
+
+  group.FailPrimary(2000.0);
+  EXPECT_TRUE(group.InElection());
+  // During the election the stale table still answers.
+  EXPECT_GE(group.Decide(3000.0), 0);
+  EXPECT_FALSE(group.Tick(3000.0));
+
+  // After the election the backup resumes updates.
+  for (int i = 0; i < 400; ++i) {
+    group.ObserveArrival(rng.LogNormal(8.6, 0.8), 7000.0 + i * 2.0);
+  }
+  group.Tick(8000.0);
+  EXPECT_FALSE(group.InElection());
+  EXPECT_EQ(group.active().name(), "backup");
+  EXPECT_GE(group.Decide(3000.0), 0);
+}
+
+TEST(Failover, DoubleFailureIsIdempotent) {
+  ReplicatedControllerGroup group(MakeController("primary", 1),
+                                  MakeController("backup", 2),
+                                  FailoverParams{.election_delay_ms = 1000.0});
+  group.FailPrimary(0.0);
+  group.FailPrimary(500.0);  // No effect.
+  group.Tick(2000.0);
+  EXPECT_EQ(group.active().name(), "backup");
+}
+
+TEST(Failover, InvalidConstructionThrows) {
+  EXPECT_THROW(ReplicatedControllerGroup(nullptr, MakeController("b"),
+                                         FailoverParams{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ReplicatedControllerGroup(MakeController("a"), MakeController("b"),
+                                FailoverParams{.election_delay_ms = -1.0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace e2e

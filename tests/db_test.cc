@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "db/cluster.h"
+#include "db/selector.h"
+#include "db/storage.h"
+#include "sim/event_loop.h"
+#include "util/rng.h"
+
+namespace e2e::db {
+namespace {
+
+TEST(StorageEngine, PutGetOverwrite) {
+  StorageEngine store;
+  store.Put(1, "a");
+  store.Put(2, "b");
+  store.Put(1, "a2");
+  EXPECT_EQ(store.Get(1), "a2");
+  EXPECT_EQ(store.Get(2), "b");
+  EXPECT_EQ(store.Get(3), std::nullopt);
+}
+
+TEST(StorageEngine, DeleteCreatesTombstone) {
+  StorageEngine store;
+  store.Put(1, "a");
+  store.Flush();
+  store.Delete(1);
+  EXPECT_EQ(store.Get(1), std::nullopt);
+  // After flushing the tombstone, the key stays deleted across runs.
+  store.Flush();
+  EXPECT_EQ(store.Get(1), std::nullopt);
+  // Compaction reclaims the tombstone.
+  store.Compact();
+  EXPECT_EQ(store.Get(1), std::nullopt);
+  EXPECT_EQ(store.LiveKeyCount(), 0u);
+}
+
+TEST(StorageEngine, NewestVersionWinsAcrossRuns) {
+  StorageEngine store;
+  store.Put(7, "v1");
+  store.Flush();
+  store.Put(7, "v2");
+  store.Flush();
+  store.Put(7, "v3");  // Memtable is newest.
+  EXPECT_EQ(store.Get(7), "v3");
+  EXPECT_EQ(store.RunCount(), 2u);
+}
+
+TEST(StorageEngine, AutoFlushAtLimit) {
+  StorageEngine store(/*memtable_limit=*/4, /*max_runs=*/100);
+  for (Key k = 0; k < 10; ++k) store.Put(k, "x");
+  EXPECT_GT(store.RunCount(), 0u);
+  EXPECT_LT(store.MemtableSize(), 4u);
+  for (Key k = 0; k < 10; ++k) EXPECT_EQ(store.Get(k), "x");
+}
+
+TEST(StorageEngine, AutoCompactionBoundsRuns) {
+  StorageEngine store(/*memtable_limit=*/2, /*max_runs=*/3);
+  for (Key k = 0; k < 40; ++k) store.Put(k, "x");
+  EXPECT_LE(store.RunCount(), 3u);
+  EXPECT_EQ(store.LiveKeyCount(), 40u);
+}
+
+TEST(StorageEngine, RangeQueryMergesSources) {
+  StorageEngine store;
+  store.Put(1, "m1");
+  store.Put(3, "m3");
+  store.Flush();
+  store.Put(2, "m2");
+  store.Put(3, "m3-new");  // Newer version in memtable.
+  const auto rows = store.RangeQuery(1, 10);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].key, 1u);
+  EXPECT_EQ(rows[1].key, 2u);
+  EXPECT_EQ(rows[2].key, 3u);
+  EXPECT_EQ(rows[2].value, "m3-new");
+}
+
+TEST(StorageEngine, RangeQuerySkipsTombstones) {
+  StorageEngine store;
+  for (Key k = 0; k < 10; ++k) store.Put(k, "v");
+  store.Flush();
+  store.Delete(4);
+  store.Delete(5);
+  const auto rows = store.RangeQuery(2, 5);
+  ASSERT_EQ(rows.size(), 5u);
+  // 4 and 5 are skipped but the query still returns 5 live rows (2,3,6,7,8).
+  EXPECT_EQ(rows[0].key, 2u);
+  EXPECT_EQ(rows[2].key, 6u);
+  EXPECT_EQ(rows[4].key, 8u);
+}
+
+TEST(StorageEngine, RangeQueryRespectsStartAndCount) {
+  StorageEngine store;
+  for (Key k = 0; k < 100; ++k) store.Put(k, "v");
+  const auto rows = store.RangeQuery(40, 10);
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows.front().key, 40u);
+  EXPECT_EQ(rows.back().key, 49u);
+  EXPECT_TRUE(store.RangeQuery(200, 5).empty());
+  EXPECT_TRUE(store.RangeQuery(0, 0).empty());
+}
+
+TEST(StorageEngine, CompactionPreservesData) {
+  StorageEngine store(/*memtable_limit=*/8, /*max_runs=*/100);
+  Rng rng(3);
+  std::map<Key, std::string> reference;
+  for (int i = 0; i < 500; ++i) {
+    const Key k = static_cast<Key>(rng.UniformInt(0, 99));
+    if (rng.Bernoulli(0.2)) {
+      store.Delete(k);
+      reference.erase(k);
+    } else {
+      const std::string v = "v" + std::to_string(i);
+      store.Put(k, v);
+      reference[k] = v;
+    }
+  }
+  store.Compact();
+  EXPECT_EQ(store.LiveKeyCount(), reference.size());
+  for (const auto& [k, v] : reference) EXPECT_EQ(store.Get(k), v);
+  const auto rows = store.RangeQuery(0, 200);
+  EXPECT_EQ(rows.size(), reference.size());
+}
+
+TEST(LoadBalancedSelector, PicksLeastLoaded) {
+  LoadBalancedSelector selector;
+  ClusterView view{.loads = {5, 1, 3}};
+  EXPECT_EQ(selector.SelectReplica(DbRequest{}, view), 1);
+}
+
+TEST(LoadBalancedSelector, RotatesOnTies) {
+  LoadBalancedSelector selector;
+  ClusterView view{.loads = {0, 0, 0}};
+  std::set<int> picks;
+  for (int i = 0; i < 3; ++i) {
+    picks.insert(selector.SelectReplica(DbRequest{}, view));
+  }
+  EXPECT_EQ(picks.size(), 3u);  // All replicas used under equal load.
+  EXPECT_THROW(selector.SelectReplica(DbRequest{}, ClusterView{}),
+               std::invalid_argument);
+}
+
+TEST(TableSelector, RoutesByExternalDelayBucket) {
+  TableSelector selector("t", Rng(1));
+  selector.SetTable({{.lo = 0.0, .hi = 2000.0, .probabilities = {1, 0, 0}},
+                     {.lo = 2000.0, .hi = 5800.0, .probabilities = {0, 1, 0}},
+                     {.lo = 5800.0, .hi = 1e9, .probabilities = {0, 0, 1}}});
+  ClusterView view{.loads = {0, 0, 0}};
+  DbRequest fast{.id = 1, .external_delay_ms = 500.0};
+  DbRequest mid{.id = 2, .external_delay_ms = 3000.0};
+  DbRequest slow{.id = 3, .external_delay_ms = 9000.0};
+  EXPECT_EQ(selector.SelectReplica(fast, view), 0);
+  EXPECT_EQ(selector.SelectReplica(mid, view), 1);
+  EXPECT_EQ(selector.SelectReplica(slow, view), 2);
+  // Out-of-range delays clamp to edge buckets.
+  DbRequest tiny{.id = 4, .external_delay_ms = -5.0};
+  EXPECT_EQ(selector.SelectReplica(tiny, view), 0);
+}
+
+TEST(TableSelector, FallsBackRoundRobinWithoutTable) {
+  TableSelector selector("t", Rng(1));
+  ClusterView view{.loads = {0, 0, 0}};
+  std::set<int> picks;
+  for (int i = 0; i < 3; ++i) {
+    picks.insert(selector.SelectReplica(DbRequest{}, view));
+  }
+  EXPECT_EQ(picks.size(), 3u);
+  EXPECT_FALSE(selector.HasTable());
+}
+
+TEST(TableSelector, RejectsBadTables) {
+  TableSelector selector("t", Rng(1));
+  EXPECT_THROW(
+      selector.SetTable({{.lo = 5.0, .hi = 9.0, .probabilities = {1.0}},
+                         {.lo = 1.0, .hi = 5.0, .probabilities = {1.0}}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      selector.SetTable({{.lo = 0.0, .hi = 1.0, .probabilities = {}}}),
+      std::invalid_argument);
+}
+
+TEST(Cluster, ReplicasHoldFullCopies) {
+  EventLoop loop;
+  ClusterParams params;
+  params.replica_groups = 3;
+  Cluster cluster(loop, params, Rng(5));
+  cluster.LoadDataset(500, 16);
+  for (int r = 0; r < cluster.NumReplicas(); ++r) {
+    EXPECT_EQ(cluster.replica(r).storage().LiveKeyCount(), 500u);
+  }
+}
+
+TEST(Cluster, RangeReadReturnsRowsAndTiming) {
+  EventLoop loop;
+  ClusterParams params;
+  Cluster cluster(loop, params, Rng(5));
+  cluster.LoadDataset(1000, 8);
+  bool done = false;
+  loop.Schedule(0.0, [&] {
+    cluster.RangeRead(100, 50, 1, [&](ReadResult result) {
+      done = true;
+      EXPECT_EQ(result.rows.size(), 50u);
+      EXPECT_EQ(result.rows.front().key, 100u);
+      EXPECT_EQ(result.replica, 1);
+      EXPECT_GT(result.timing.finish_ms, result.timing.start_ms);
+    });
+  });
+  loop.Run();
+  EXPECT_TRUE(done);
+  EXPECT_THROW(cluster.RangeRead(0, 1, 9, [](ReadResult) {}),
+               std::out_of_range);
+}
+
+TEST(Cluster, ViewReflectsOutstandingLoad) {
+  EventLoop loop;
+  ClusterParams params;
+  params.concurrency_per_replica = 1;
+  Cluster cluster(loop, params, Rng(5));
+  cluster.LoadDataset(100, 8);
+  loop.Schedule(0.0, [&] {
+    for (int i = 0; i < 4; ++i) {
+      cluster.RangeRead(0, 10, 0, [](ReadResult) {});
+    }
+    const ClusterView view = cluster.View();
+    EXPECT_EQ(view.loads[0], 4);
+    EXPECT_EQ(view.loads[1], 0);
+  });
+  loop.Run();
+  EXPECT_EQ(cluster.View().loads[0], 0);
+}
+
+TEST(ReadExecutor, UsesSelectorDecision) {
+  EventLoop loop;
+  ClusterParams params;
+  Cluster cluster(loop, params, Rng(5));
+  cluster.LoadDataset(100, 8);
+  auto selector = std::make_shared<TableSelector>("t", Rng(2));
+  selector->SetTable({{.lo = 0.0, .hi = 1e9, .probabilities = {0, 0, 1}}});
+  ReadExecutor executor(cluster, selector);
+  int observed_replica = -1;
+  loop.Schedule(0.0, [&] {
+    executor.ExecuteRangeRead(
+        DbRequest{.id = 1, .external_delay_ms = 100.0},
+        [&](ReadResult r) { observed_replica = r.replica; });
+  });
+  loop.Run();
+  EXPECT_EQ(observed_replica, 2);
+  EXPECT_THROW(ReadExecutor(cluster, nullptr), std::invalid_argument);
+  EXPECT_THROW(executor.SetSelector(nullptr), std::invalid_argument);
+}
+
+TEST(Cluster, UnevenLoadYieldsUnevenDelays) {
+  // The E2E mechanism relies on this: a lightly loaded replica answers
+  // faster than a heavily loaded one.
+  EventLoop loop;
+  ClusterParams params;
+  params.concurrency_per_replica = 2;
+  Cluster cluster(loop, params, Rng(5));
+  cluster.LoadDataset(200, 8);
+  Rng arrivals(9);
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    t += arrivals.ExponentialMean(12.0);
+    loop.Schedule(t, [&cluster, i] {
+      // 5/6 of traffic to replica 0, 1/6 to replica 2.
+      const int replica = (i % 6 == 0) ? 2 : 0;
+      cluster.RangeRead(0, 10, replica, [](ReadResult) {});
+    });
+  }
+  loop.Run();
+  const auto& busy = cluster.replica(0).server().total_delay_stats();
+  const auto& idle = cluster.replica(2).server().total_delay_stats();
+  EXPECT_GT(busy.mean(), idle.mean() * 1.5);
+}
+
+
+TEST(Cluster, PointReadSeesLoadedData) {
+  EventLoop loop;
+  ClusterParams params;
+  Cluster cluster(loop, params, Rng(5));
+  cluster.LoadDataset(100, 8);
+  std::optional<std::string> seen;
+  loop.Schedule(0.0, [&] {
+    cluster.Read(42, 2, [&](PointReadResult r) {
+      seen = r.value;
+      EXPECT_EQ(r.replica, 2);
+    });
+  });
+  loop.Run();
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->size(), 8u);
+  EXPECT_THROW(cluster.Read(0, 9, [](PointReadResult) {}), std::out_of_range);
+}
+
+TEST(Cluster, QuorumWriteReplicatesEverywhere) {
+  EventLoop loop;
+  ClusterParams params;
+  params.replica_groups = 3;
+  Cluster cluster(loop, params, Rng(5));
+  bool acked = false;
+  loop.Schedule(0.0, [&] {
+    cluster.Write(7, "value", /*quorum=*/2, [&](WriteResult result) {
+      acked = true;
+      EXPECT_EQ(result.acked_replicas, 2);
+      EXPECT_GT(result.QuorumDelayMs(), 0.0);
+    });
+  });
+  loop.Run();
+  EXPECT_TRUE(acked);
+  // After the loop drains, ALL replicas applied the write.
+  for (int r = 0; r < cluster.NumReplicas(); ++r) {
+    EXPECT_EQ(cluster.replica(r).storage().Get(7), "value") << "replica " << r;
+  }
+}
+
+TEST(Cluster, QuorumAckPrecedesFullReplication) {
+  EventLoop loop;
+  ClusterParams params;
+  params.replica_groups = 3;
+  params.jitter_sigma = 0.6;  // Spread the per-replica apply times.
+  Cluster cluster(loop, params, Rng(5));
+  double quorum1_ms = 0.0;
+  double quorum3_ms = 0.0;
+  loop.Schedule(0.0, [&] {
+    cluster.Write(1, "a", 1, [&](WriteResult r) { quorum1_ms = r.quorum_ms; });
+    cluster.Write(2, "b", 3, [&](WriteResult r) { quorum3_ms = r.quorum_ms; });
+  });
+  loop.Run();
+  EXPECT_GT(quorum1_ms, 0.0);
+  EXPECT_GT(quorum3_ms, 0.0);
+  EXPECT_LE(quorum1_ms, quorum3_ms);
+}
+
+TEST(Cluster, ReplicatedDeleteRemovesEverywhere) {
+  EventLoop loop;
+  ClusterParams params;
+  Cluster cluster(loop, params, Rng(5));
+  cluster.LoadDataset(10, 4);
+  loop.Schedule(0.0, [&] {
+    cluster.Delete(3, cluster.NumReplicas(), [](WriteResult) {});
+  });
+  loop.Run();
+  for (int r = 0; r < cluster.NumReplicas(); ++r) {
+    EXPECT_EQ(cluster.replica(r).storage().Get(3), std::nullopt);
+  }
+}
+
+TEST(Cluster, WriteValidation) {
+  EventLoop loop;
+  ClusterParams params;
+  Cluster cluster(loop, params, Rng(5));
+  EXPECT_THROW(cluster.Write(1, "v", 0, [](WriteResult) {}),
+               std::invalid_argument);
+  EXPECT_THROW(cluster.Write(1, "v", 4, [](WriteResult) {}),
+               std::invalid_argument);
+  EXPECT_THROW(cluster.Write(1, "v", 1, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace e2e::db

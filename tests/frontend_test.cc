@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "testbed/frontend.h"
+#include "testbed/workloads.h"
+
+namespace e2e {
+namespace {
+
+std::vector<TraceRecord> Sample(std::size_t n = 3000) {
+  SyntheticWorkloadParams params;
+  params.num_requests = n;
+  params.seed = 71;
+  return MakeSyntheticWorkload(params);
+}
+
+TEST(Frontend, DecompositionIsExactAndDeterministic) {
+  const Frontend frontend{FrontendParams{}};
+  for (const auto& record : Sample(500)) {
+    const auto truth = frontend.Decompose(record);
+    EXPECT_NEAR(truth.TotalMs(), record.external_delay_ms, 1e-6);
+    EXPECT_GT(truth.wan_rtt_ms, 0.0);
+    EXPECT_GT(truth.render_ms, 0.0);
+    // Same record -> same decomposition (device from the user id).
+    const auto again = frontend.Decompose(record);
+    EXPECT_EQ(truth.wan_rtt_ms, again.wan_rtt_ms);
+    EXPECT_EQ(static_cast<int>(truth.device),
+              static_cast<int>(again.device));
+  }
+}
+
+TEST(Frontend, DeviceMixCoversAllClasses) {
+  const Frontend frontend{FrontendParams{}};
+  int counts[net::kNumDeviceClasses] = {0, 0, 0};
+  for (const auto& record : Sample(3000)) {
+    ++counts[static_cast<int>(frontend.Decompose(record).device)];
+  }
+  for (int c = 0; c < net::kNumDeviceClasses; ++c) {
+    EXPECT_GT(counts[c], 100) << "class " << c;
+  }
+  // Desktop dominates (55%).
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+}
+
+TEST(Frontend, EstimatesTrackTruthAfterTraining) {
+  Frontend frontend{FrontendParams{}};
+  const auto records = Sample(6000);
+  frontend.TrainRenderModel(records);
+  std::vector<double> rel_errors;
+  for (std::size_t i = 3000; i < records.size(); ++i) {
+    const double est = frontend.EstimateExternal(records[i]);
+    rel_errors.push_back(std::abs(est - records[i].external_delay_ms) /
+                         records[i].external_delay_ms);
+  }
+  std::sort(rel_errors.begin(), rel_errors.end());
+  // Median error comfortably inside the Fig. 20 robustness budget.
+  EXPECT_LT(rel_errors[rel_errors.size() / 2], 0.25);
+}
+
+TEST(Frontend, UntrainedEstimatorStillProducesPositiveEstimates) {
+  Frontend frontend{FrontendParams{}};
+  const auto records = Sample(50);
+  for (const auto& record : records) {
+    EXPECT_GT(frontend.EstimateExternal(record), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "matching/assignment.h"
+#include "util/rng.h"
+
+namespace e2e {
+namespace {
+
+WeightMatrix RandomMatrix(std::size_t rows, std::size_t cols, Rng& rng,
+                          double lo = -10.0, double hi = 10.0) {
+  WeightMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.At(r, c) = rng.Uniform(lo, hi);
+    }
+  }
+  return m;
+}
+
+bool IsPermutation(const std::vector<std::size_t>& cols, std::size_t limit) {
+  std::vector<bool> used(limit, false);
+  for (std::size_t c : cols) {
+    if (c >= limit || used[c]) return false;
+    used[c] = true;
+  }
+  return true;
+}
+
+TEST(WeightMatrix, StoresValues) {
+  WeightMatrix m(2, 3, 1.5);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), -4.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_THROW(WeightMatrix(0, 3), std::invalid_argument);
+}
+
+TEST(Assignment, TrivialOneByOne) {
+  WeightMatrix m(1, 1);
+  m.At(0, 0) = 5.0;
+  const auto r = SolveMaxWeightAssignment(m);
+  EXPECT_EQ(r.column_of_row[0], 0u);
+  EXPECT_DOUBLE_EQ(r.total, 5.0);
+}
+
+TEST(Assignment, KnownThreeByThree) {
+  // Classic example: optimal is the anti-diagonal.
+  WeightMatrix m(3, 3);
+  const double values[3][3] = {{1, 2, 9}, {2, 9, 3}, {9, 4, 5}};
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m.At(r, c) = values[r][c];
+  }
+  const auto result = SolveMaxWeightAssignment(m);
+  EXPECT_DOUBLE_EQ(result.total, 27.0);
+  EXPECT_EQ(result.column_of_row[0], 2u);
+  EXPECT_EQ(result.column_of_row[1], 1u);
+  EXPECT_EQ(result.column_of_row[2], 0u);
+}
+
+TEST(Assignment, MinCostKnown) {
+  WeightMatrix m(2, 2);
+  m.At(0, 0) = 1.0;
+  m.At(0, 1) = 10.0;
+  m.At(1, 0) = 10.0;
+  m.At(1, 1) = 1.0;
+  const auto result = SolveMinCostAssignment(m);
+  EXPECT_DOUBLE_EQ(result.total, 2.0);
+  EXPECT_EQ(result.column_of_row[0], 0u);
+  EXPECT_EQ(result.column_of_row[1], 1u);
+}
+
+TEST(Assignment, RejectsMoreRowsThanCols) {
+  WeightMatrix m(3, 2);
+  EXPECT_THROW(SolveMaxWeightAssignment(m), std::invalid_argument);
+  EXPECT_THROW(GreedyMaxWeightAssignment(m), std::invalid_argument);
+  EXPECT_THROW(BruteForceMaxWeightAssignment(m), std::invalid_argument);
+}
+
+TEST(Assignment, RectangularUsesBestColumns) {
+  WeightMatrix m(2, 4);
+  // Best columns are 3 (row 0) and 2 (row 1).
+  const double values[2][4] = {{1, 2, 3, 10}, {1, 2, 8, 3}};
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) m.At(r, c) = values[r][c];
+  }
+  const auto result = SolveMaxWeightAssignment(m);
+  EXPECT_DOUBLE_EQ(result.total, 18.0);
+  EXPECT_EQ(result.column_of_row[0], 3u);
+  EXPECT_EQ(result.column_of_row[1], 2u);
+}
+
+TEST(Assignment, NegativeWeightsHandled) {
+  WeightMatrix m(2, 2);
+  m.At(0, 0) = -1.0;
+  m.At(0, 1) = -5.0;
+  m.At(1, 0) = -5.0;
+  m.At(1, 1) = -2.0;
+  const auto result = SolveMaxWeightAssignment(m);
+  EXPECT_DOUBLE_EQ(result.total, -3.0);
+}
+
+// Property: the solver matches brute force on random instances.
+class AssignmentOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignmentOptimality, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.UniformInt(1, 7));
+    const auto cols = static_cast<std::size_t>(
+        rng.UniformInt(static_cast<std::int64_t>(n),
+                       static_cast<std::int64_t>(n) + 2));
+    const WeightMatrix m = RandomMatrix(n, cols, rng);
+    const auto fast = SolveMaxWeightAssignment(m);
+    const auto exact = BruteForceMaxWeightAssignment(m);
+    EXPECT_NEAR(fast.total, exact.total, 1e-9)
+        << "n=" << n << " cols=" << cols << " trial=" << trial;
+    EXPECT_TRUE(IsPermutation(fast.column_of_row, cols));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentOptimality,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Assignment, GreedyNeverBeatsOptimal) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.UniformInt(2, 12));
+    const WeightMatrix m = RandomMatrix(n, n, rng, 0.0, 100.0);
+    const auto optimal = SolveMaxWeightAssignment(m);
+    const auto greedy = GreedyMaxWeightAssignment(m);
+    EXPECT_GE(optimal.total + 1e-9, greedy.total);
+    EXPECT_TRUE(IsPermutation(greedy.column_of_row, n));
+  }
+}
+
+TEST(Assignment, LargeInstanceIsConsistent) {
+  Rng rng(123);
+  const WeightMatrix m = RandomMatrix(64, 64, rng);
+  const auto result = SolveMaxWeightAssignment(m);
+  EXPECT_TRUE(IsPermutation(result.column_of_row, 64));
+  double recomputed = 0.0;
+  for (std::size_t r = 0; r < 64; ++r) {
+    recomputed += m.At(r, result.column_of_row[r]);
+  }
+  EXPECT_NEAR(result.total, recomputed, 1e-9);
+  // The result must beat a simple identity assignment almost surely.
+  double identity = 0.0;
+  for (std::size_t r = 0; r < 64; ++r) identity += m.At(r, r);
+  EXPECT_GE(result.total, identity);
+}
+
+TEST(Assignment, DuplicateColumnsTieSafely) {
+  // Columns with identical weights (as produced by slots of the same
+  // decision) must still produce a valid permutation.
+  WeightMatrix m(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      m.At(r, c) = (c < 2) ? 1.0 + static_cast<double>(r) : 5.0;
+    }
+  }
+  const auto result = SolveMaxWeightAssignment(m);
+  EXPECT_TRUE(IsPermutation(result.column_of_row, 4));
+  EXPECT_DOUBLE_EQ(result.total, 5.0 + 5.0 + 3.0 + 4.0);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "net/estimator.h"
+#include "util/rng.h"
+
+namespace e2e::net {
+namespace {
+
+ExternalDelayTruth MakeTruth(DelayMs rtt, double transfer_rtts, DelayMs render,
+                             DeviceClass device) {
+  ExternalDelayTruth truth;
+  truth.wan_rtt_ms = rtt;
+  truth.wan_transfer_rtts = transfer_rtts;
+  truth.render_ms = render;
+  truth.device = device;
+  return truth;
+}
+
+TEST(ObserveConnection, HandshakeRttTracksTruth) {
+  Rng rng(3);
+  const auto truth = MakeTruth(80.0, 3.0, 300.0, DeviceClass::kDesktop);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += ObserveConnection(truth, 40000, rng).handshake_rtt_ms;
+  }
+  EXPECT_NEAR(sum / n, 80.0, 2.5);
+}
+
+TEST(ObserveConnection, SmoothedRttIsBiasedHigh) {
+  Rng rng(5);
+  const auto truth = MakeTruth(100.0, 3.0, 300.0, DeviceClass::kDesktop);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += ObserveConnection(truth, 40000, rng).smoothed_rtt_ms;
+  }
+  EXPECT_GT(sum / n, 100.0);  // Queueing bias is one-sided.
+}
+
+TEST(WanDelayEstimator, MoreBytesNeedMoreRoundTrips) {
+  WanDelayEstimator estimator;
+  ConnectionObservation small;
+  small.handshake_rtt_ms = 100.0;
+  small.smoothed_rtt_ms = 100.0;
+  small.response_bytes = 8000;  // Fits the initial window.
+  ConnectionObservation large = small;
+  large.response_bytes = 400000;  // Needs several doublings.
+  EXPECT_GT(estimator.Estimate(large), estimator.Estimate(small));
+  EXPECT_NEAR(estimator.Estimate(small), 100.0, 1e-9);  // One round trip.
+}
+
+TEST(WanDelayEstimator, ScalesWithRtt) {
+  WanDelayEstimator estimator;
+  ConnectionObservation obs;
+  obs.response_bytes = 100000;
+  obs.handshake_rtt_ms = 50.0;
+  obs.smoothed_rtt_ms = 50.0;
+  const double fast = estimator.Estimate(obs);
+  obs.handshake_rtt_ms = 200.0;
+  obs.smoothed_rtt_ms = 200.0;
+  EXPECT_NEAR(estimator.Estimate(obs), fast * 4.0, 1e-9);
+}
+
+TEST(RenderTimeEstimator, LearnsPerDeviceClass) {
+  RenderTimeEstimator estimator;
+  for (int i = 0; i < 50; ++i) {
+    estimator.Train(DeviceClass::kDesktop, 200.0);
+    estimator.Train(DeviceClass::kMobileLowEnd, 1200.0);
+  }
+  EXPECT_NEAR(estimator.Estimate(DeviceClass::kDesktop), 200.0, 1e-9);
+  EXPECT_NEAR(estimator.Estimate(DeviceClass::kMobileLowEnd), 1200.0, 1e-9);
+  EXPECT_EQ(estimator.TrainingCount(DeviceClass::kDesktop), 50u);
+}
+
+TEST(RenderTimeEstimator, FallsBackToGlobalThenPrior) {
+  RenderTimeEstimator cold;
+  EXPECT_DOUBLE_EQ(cold.Estimate(DeviceClass::kMobileHighEnd), 400.0);
+  RenderTimeEstimator warm;
+  for (int i = 0; i < 20; ++i) warm.Train(DeviceClass::kDesktop, 333.0);
+  // Unseen class falls back to the global mean.
+  EXPECT_NEAR(warm.Estimate(DeviceClass::kMobileHighEnd), 333.0, 1e-9);
+}
+
+TEST(ExternalDelayEstimator, RelativeErrorWithinFig20Budget) {
+  // End-to-end: train the render model on one population, then estimate a
+  // fresh population; the paper's Fig. 20 shows E2E tolerates ~20% error,
+  // and the sketched estimators are expected to land within that.
+  Rng rng(11);
+  ExternalDelayEstimator estimator;
+  auto draw_truth = [&](Rng& r) {
+    ExternalDelayTruth truth;
+    const int cls = static_cast<int>(r.UniformInt(0, 2));
+    truth.device = static_cast<DeviceClass>(cls);
+    truth.wan_rtt_ms = r.LogNormal(std::log(70.0), 0.5);
+    truth.wan_transfer_rtts = 3.0;
+    truth.render_ms =
+        r.LogNormal(std::log(cls == 0 ? 250.0 : (cls == 1 ? 500.0 : 1100.0)),
+                    0.25);
+    return truth;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const auto truth = draw_truth(rng);
+    estimator.render_estimator().Train(truth.device, truth.render_ms);
+  }
+  std::vector<double> rel_errors;
+  for (int i = 0; i < 2000; ++i) {
+    const auto truth = draw_truth(rng);
+    // Response sized so the transfer takes ~3 RTTs under slow start.
+    const auto obs = ObserveConnection(truth, 60000, rng);
+    const double estimate = estimator.Estimate(obs);
+    rel_errors.push_back(std::abs(estimate - truth.TotalMs()) /
+                         truth.TotalMs());
+  }
+  double mean_error = 0.0;
+  for (double e : rel_errors) mean_error += e;
+  mean_error /= static_cast<double>(rel_errors.size());
+  EXPECT_LT(mean_error, 0.25);
+  // And the median error is comfortably inside the robustness budget.
+  std::sort(rel_errors.begin(), rel_errors.end());
+  EXPECT_LT(rel_errors[rel_errors.size() / 2], 0.20);
+}
+
+}  // namespace
+}  // namespace e2e::net

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "qoe/mturk.h"
+#include "qoe/qoe_model.h"
+#include "qoe/session.h"
+#include "qoe/sigmoid_model.h"
+#include "qoe/tabulated_model.h"
+#include "util/rng.h"
+
+namespace e2e {
+namespace {
+
+// All preset models for parameterized sweeps.
+std::vector<SigmoidQoeModel> AllPresets() {
+  return {SigmoidQoeModel::TraceTimeOnSite(),
+          SigmoidQoeModel::MTurkMicrosoftPage(),
+          SigmoidQoeModel::Amazon(),
+          SigmoidQoeModel::Cnn(),
+          SigmoidQoeModel::Google(),
+          SigmoidQoeModel::Youtube()};
+}
+
+class PresetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresetProperty, MonotonicallyNonIncreasing) {
+  const auto model = AllPresets()[static_cast<std::size_t>(GetParam())];
+  double prev = model.Qoe(0.0);
+  for (DelayMs d = 100.0; d <= 40000.0; d += 100.0) {
+    const double q = model.Qoe(d);
+    EXPECT_LE(q, prev + 1e-12) << model.Name() << " at " << d;
+    prev = q;
+  }
+}
+
+TEST_P(PresetProperty, DerivativeIsNonPositiveAndMatchesNumeric) {
+  const auto model = AllPresets()[static_cast<std::size_t>(GetParam())];
+  for (DelayMs d = 50.0; d <= 20000.0; d += 777.0) {
+    const double analytic = model.Derivative(d);
+    EXPECT_LE(analytic, 1e-12);
+    const double numeric = (model.Qoe(d + 0.5) - model.Qoe(d - 0.5)) / 1.0;
+    EXPECT_NEAR(analytic, numeric, 1e-5) << model.Name() << " at " << d;
+  }
+}
+
+TEST_P(PresetProperty, SensitiveRegionIsWhereTheSlopeIs) {
+  const auto model = AllPresets()[static_cast<std::size_t>(GetParam())];
+  // The slope magnitude inside the sensitive region should beat the slope
+  // far outside it.
+  const double mid =
+      model.Sensitivity((model.SensitiveLo() + model.SensitiveHi()) / 2.0);
+  const double far_left = model.Sensitivity(model.SensitiveLo() / 10.0);
+  const double far_right = model.Sensitivity(model.SensitiveHi() * 4.0);
+  EXPECT_GT(mid, far_left);
+  EXPECT_GT(mid, far_right);
+}
+
+TEST_P(PresetProperty, ClassificationUsesRegionEdges) {
+  const auto model = AllPresets()[static_cast<std::size_t>(GetParam())];
+  EXPECT_EQ(model.Classify(model.SensitiveLo() - 1.0),
+            SensitivityClass::kTooFastToMatter);
+  EXPECT_EQ(model.Classify((model.SensitiveLo() + model.SensitiveHi()) / 2.0),
+            SensitivityClass::kSensitive);
+  EXPECT_EQ(model.Classify(model.SensitiveHi() + 1.0),
+            SensitivityClass::kTooSlowToMatter);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PresetProperty,
+                         ::testing::Range(0, 6));
+
+TEST(SigmoidQoeModel, TraceCurveMatchesPaperAnchors) {
+  const auto model = SigmoidQoeModel::TraceTimeOnSite();
+  // Flat and high below 2 s.
+  EXPECT_GT(model.Qoe(500.0), 0.9);
+  EXPECT_GT(model.Qoe(1500.0), 0.85);
+  // Steep drop through the sensitive region.
+  EXPECT_GT(model.Qoe(2000.0) - model.Qoe(5800.0), 0.4);
+  // Gradual (non-zero) tail past the region: still declining at 24 s.
+  EXPECT_GT(model.Qoe(10000.0), model.Qoe(24000.0));
+  EXPECT_GT(model.Qoe(24000.0), 0.0);
+  EXPECT_EQ(model.SensitiveLo(), 2000.0);
+  EXPECT_EQ(model.SensitiveHi(), 5800.0);
+}
+
+TEST(SigmoidQoeModel, MTurkGradesStayInScale) {
+  for (const auto& model :
+       {SigmoidQoeModel::MTurkMicrosoftPage(), SigmoidQoeModel::Amazon(),
+        SigmoidQoeModel::Cnn(), SigmoidQoeModel::Google(),
+        SigmoidQoeModel::Youtube()}) {
+    EXPECT_LE(model.Qoe(0.0), 5.0) << model.Name();
+    EXPECT_GE(model.Qoe(0.0), 4.2) << model.Name();
+    EXPECT_GE(model.Qoe(60000.0), 1.0) << model.Name();
+    EXPECT_LE(model.Qoe(60000.0), 2.0) << model.Name();
+  }
+}
+
+TEST(SigmoidQoeModel, GoogleIsMostDelaySensitiveSite) {
+  // The search page's curve drops earliest (paper: boundaries vary by site).
+  const auto google = SigmoidQoeModel::Google();
+  const auto cnn = SigmoidQoeModel::Cnn();
+  EXPECT_LT(google.SensitiveLo(), cnn.SensitiveLo());
+  EXPECT_LT(google.Qoe(4000.0), cnn.Qoe(4000.0));
+}
+
+TEST(SigmoidQoeModel, InvalidConstructionThrows) {
+  EXPECT_THROW(SigmoidQoeModel("x", 0.0, 1.0, {}, 1.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(SigmoidQoeModel("x", 0.0, 0.0,
+                               {{.weight = 1, .midpoint_ms = 1, .scale_ms = 1}},
+                               1.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(SigmoidQoeModel("x", 0.0, 1.0,
+                               {{.weight = 1, .midpoint_ms = 1, .scale_ms = 0}},
+                               1.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(SigmoidQoeModel("x", 0.0, 1.0,
+                               {{.weight = 1, .midpoint_ms = 1, .scale_ms = 1}},
+                               2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(SigmoidQoeModel, ForPageTypeCoversAllTypes) {
+  EXPECT_EQ(SigmoidQoeModel::ForPageType(PageType::kType1).Name(),
+            "trace-time-on-site");
+  EXPECT_EQ(SigmoidQoeModel::ForPageType(PageType::kType2).Name(),
+            "trace-time-on-site");
+  EXPECT_EQ(SigmoidQoeModel::ForPageType(PageType::kType3).Name(),
+            "mturk-microsoft");
+}
+
+TEST(TabulatedQoeModel, InterpolatesLinearly) {
+  std::vector<QoeCurvePoint> points = {
+      {.delay_ms = 1000.0, .mean_qoe = 1.0, .std_error = 0, .count = 10},
+      {.delay_ms = 2000.0, .mean_qoe = 0.5, .std_error = 0, .count = 10},
+      {.delay_ms = 3000.0, .mean_qoe = 0.1, .std_error = 0, .count = 10},
+  };
+  const TabulatedQoeModel model("tab", std::move(points));
+  EXPECT_DOUBLE_EQ(model.Qoe(500.0), 1.0);    // Clamp left.
+  EXPECT_DOUBLE_EQ(model.Qoe(4000.0), 0.1);   // Clamp right.
+  EXPECT_DOUBLE_EQ(model.Qoe(1500.0), 0.75);  // Midpoint.
+  EXPECT_DOUBLE_EQ(model.Qoe(2500.0), 0.3);
+}
+
+TEST(TabulatedQoeModel, IsotonicRegressionFixesNoise) {
+  // A noisy bump (0.6 -> 0.7) must be smoothed into a non-increasing curve.
+  std::vector<QoeCurvePoint> points = {
+      {.delay_ms = 1000.0, .mean_qoe = 0.9, .std_error = 0, .count = 10},
+      {.delay_ms = 2000.0, .mean_qoe = 0.6, .std_error = 0, .count = 10},
+      {.delay_ms = 3000.0, .mean_qoe = 0.7, .std_error = 0, .count = 10},
+      {.delay_ms = 4000.0, .mean_qoe = 0.2, .std_error = 0, .count = 10},
+  };
+  const TabulatedQoeModel model("tab", std::move(points));
+  double prev = model.Qoe(0.0);
+  for (DelayMs d = 100.0; d < 5000.0; d += 50.0) {
+    EXPECT_LE(model.Qoe(d), prev + 1e-12);
+    prev = model.Qoe(d);
+  }
+  EXPECT_NEAR(model.Qoe(2500.0), 0.65, 1e-9);  // Violators pooled.
+}
+
+TEST(TabulatedQoeModel, FromSamplesRecoversSigmoid) {
+  const auto truth = SigmoidQoeModel::TraceTimeOnSite();
+  Rng rng(11);
+  std::vector<std::pair<DelayMs, double>> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const DelayMs d = rng.Uniform(0.0, 15000.0);
+    samples.emplace_back(d, truth.Qoe(d) + rng.Normal(0.0, 0.05));
+  }
+  const auto model =
+      TabulatedQoeModel::FromSamples("recovered", samples, 500);
+  for (DelayMs d = 500.0; d <= 14000.0; d += 500.0) {
+    EXPECT_NEAR(model.Qoe(d), truth.Qoe(d), 0.06) << "at " << d;
+  }
+  // Detected sensitive region roughly matches the generator's.
+  EXPECT_NEAR(model.SensitiveLo(), truth.SensitiveLo(), 1500.0);
+  EXPECT_NEAR(model.SensitiveHi(), truth.SensitiveHi(), 2500.0);
+}
+
+TEST(TabulatedQoeModel, TooFewPointsThrow) {
+  EXPECT_THROW(TabulatedQoeModel("x", {}), std::invalid_argument);
+  EXPECT_THROW(
+      TabulatedQoeModel("x", {QoeCurvePoint{.delay_ms = 1.0,
+                                            .mean_qoe = 1.0,
+                                            .std_error = 0.0,
+                                            .count = 1}}),
+      std::invalid_argument);
+}
+
+TEST(SessionModel, ExpectationFollowsTheCurve) {
+  const auto qoe =
+      std::make_shared<const SigmoidQoeModel>(SigmoidQoeModel::TraceTimeOnSite());
+  const SessionModel session(qoe, SessionModelParams{});
+  EXPECT_GT(session.ExpectedTimeOnSiteSec(500.0),
+            session.ExpectedTimeOnSiteSec(4000.0));
+  EXPECT_GT(session.ExpectedTimeOnSiteSec(4000.0),
+            session.ExpectedTimeOnSiteSec(20000.0));
+  EXPECT_GE(session.ExpectedTimeOnSiteSec(1e9), 20.0);  // Floor.
+}
+
+TEST(SessionModel, SampleMeanConvergesToExpectation) {
+  const auto qoe =
+      std::make_shared<const SigmoidQoeModel>(SigmoidQoeModel::TraceTimeOnSite());
+  const SessionModel session(qoe, SessionModelParams{});
+  Rng rng(21);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += session.SampleTimeOnSiteSec(3000.0, rng);
+  EXPECT_NEAR(sum / n, session.ExpectedTimeOnSiteSec(3000.0),
+              session.ExpectedTimeOnSiteSec(3000.0) * 0.03);
+}
+
+TEST(SessionModel, InvalidConstructionThrows) {
+  const auto qoe =
+      std::make_shared<const SigmoidQoeModel>(SigmoidQoeModel::TraceTimeOnSite());
+  SessionModelParams bad;
+  bad.max_time_on_site_sec = 5.0;
+  bad.min_time_on_site_sec = 10.0;
+  EXPECT_THROW(SessionModel(qoe, bad), std::invalid_argument);
+  EXPECT_THROW(SessionModel(nullptr, SessionModelParams{}),
+               std::invalid_argument);
+}
+
+TEST(MTurkStudy, RecoversGroundTruthCurve) {
+  const auto truth = SigmoidQoeModel::Amazon();
+  MTurkStudyParams params;
+  params.num_raters = 60;
+  Rng rng(31);
+  const auto result = RunMTurkStudy(truth, params, rng);
+  ASSERT_EQ(result.curve.size(), params.plt_seconds.size());
+  // Mean grades decrease with PLT and track the truth within noise.
+  for (std::size_t i = 1; i < result.curve.size(); ++i) {
+    EXPECT_LE(result.curve[i].mean_grade,
+              result.curve[i - 1].mean_grade + 0.35);
+  }
+  for (const auto& point : result.curve) {
+    EXPECT_NEAR(point.mean_grade, truth.Qoe(SecToMs(point.plt_sec)), 0.5);
+    EXPECT_GT(point.responses, 30u);
+  }
+}
+
+TEST(MTurkStudy, FiltersSpammers) {
+  const auto truth = SigmoidQoeModel::Google();
+  MTurkStudyParams params;
+  params.num_raters = 80;
+  params.spammer_fraction = 0.3;
+  Rng rng(41);
+  const auto result = RunMTurkStudy(truth, params, rng);
+  EXPECT_GT(result.raters_dropped_engagement, 5);
+  EXPECT_LT(result.validated.size(), result.raw.size());
+  // The curve is still recovered despite 30% spam.
+  for (const auto& point : result.curve) {
+    EXPECT_NEAR(point.mean_grade, truth.Qoe(SecToMs(point.plt_sec)), 0.6);
+  }
+}
+
+TEST(MTurkStudy, ToModelProducesMonotoneCurve) {
+  const auto truth = SigmoidQoeModel::Youtube();
+  MTurkStudyParams params;
+  Rng rng(51);
+  const auto result = RunMTurkStudy(truth, params, rng);
+  const auto model = result.ToModel("youtube-study");
+  double prev = model.Qoe(0.0);
+  for (DelayMs d = 500.0; d <= 30000.0; d += 500.0) {
+    EXPECT_LE(model.Qoe(d), prev + 1e-12);
+    prev = model.Qoe(d);
+  }
+}
+
+TEST(MTurkStudy, InvalidParamsThrow) {
+  const auto truth = SigmoidQoeModel::Google();
+  MTurkStudyParams params;
+  params.num_raters = 0;
+  Rng rng(61);
+  EXPECT_THROW(RunMTurkStudy(truth, params, rng), std::invalid_argument);
+}
+
+TEST(SensitivityClassNames, AreStable) {
+  EXPECT_EQ(ToString(SensitivityClass::kTooFastToMatter),
+            "too-fast-to-matter");
+  EXPECT_EQ(ToString(SensitivityClass::kSensitive), "sensitive");
+  EXPECT_EQ(ToString(SensitivityClass::kTooSlowToMatter),
+            "too-slow-to-matter");
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/server.h"
+
+namespace e2e {
+namespace {
+
+TEST(EventLoop, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(30.0, [&] { order.push_back(3); });
+  loop.Schedule(10.0, [&] { order.push_back(1); });
+  loop.Schedule(20.0, [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.Now(), 30.0);
+  EXPECT_EQ(loop.processed_count(), 3u);
+}
+
+TEST(EventLoop, EqualTimesRunInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  std::vector<double> times;
+  loop.Schedule(1.0, [&] {
+    times.push_back(loop.Now());
+    loop.ScheduleAfter(2.0, [&] { times.push_back(loop.Now()); });
+  });
+  loop.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  int fired = 0;
+  const EventId id = loop.Schedule(5.0, [&] { ++fired; });
+  loop.Schedule(6.0, [&] { ++fired; });
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));  // Double-cancel is a no-op.
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(10.0, [&] { ++fired; });
+  loop.Schedule(20.0, [&] { ++fired; });
+  loop.RunUntil(15.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.Now(), 15.0);
+  EXPECT_EQ(loop.pending_count(), 1u);
+  loop.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, PastSchedulingThrows) {
+  EventLoop loop;
+  loop.Schedule(10.0, [] {});
+  loop.Run();
+  EXPECT_THROW(loop.Schedule(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(loop.ScheduleAfter(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(loop.Schedule(20.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(loop.RunUntil(5.0), std::invalid_argument);
+}
+
+TEST(EventLoop, StepReturnsFalseWhenEmpty) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.Step());
+  loop.Schedule(1.0, [] {});
+  EXPECT_TRUE(loop.Step());
+  EXPECT_FALSE(loop.Step());
+}
+
+TEST(SimServer, ProcessesFifoWithConcurrencyOne) {
+  EventLoop loop;
+  // Deterministic 10 ms service.
+  SimServer server("s", loop, 1, [](int, Rng&) { return 10.0; }, Rng(1));
+  std::vector<JobTiming> timings;
+  auto record = [&](const JobTiming& t) { timings.push_back(t); };
+  loop.Schedule(0.0, [&] { server.Submit(record); });
+  loop.Schedule(0.0, [&] { server.Submit(record); });
+  loop.Schedule(0.0, [&] { server.Submit(record); });
+  loop.Run();
+  ASSERT_EQ(timings.size(), 3u);
+  EXPECT_DOUBLE_EQ(timings[0].finish_ms, 10.0);
+  EXPECT_DOUBLE_EQ(timings[1].finish_ms, 20.0);
+  EXPECT_DOUBLE_EQ(timings[2].finish_ms, 30.0);
+  EXPECT_DOUBLE_EQ(timings[2].QueueDelayMs(), 20.0);
+  EXPECT_EQ(server.completed_count(), 3u);
+}
+
+TEST(SimServer, ParallelSlotsOverlap) {
+  EventLoop loop;
+  SimServer server("s", loop, 3, [](int, Rng&) { return 10.0; }, Rng(1));
+  int done = 0;
+  loop.Schedule(0.0, [&] {
+    for (int i = 0; i < 3; ++i) server.Submit([&](const JobTiming&) { ++done; });
+  });
+  loop.RunUntil(10.0);
+  EXPECT_EQ(done, 3);  // All three finished together at t=10.
+}
+
+TEST(SimServer, InServiceCountVisibleToServiceFunction) {
+  EventLoop loop;
+  std::vector<int> observed;
+  SimServer server(
+      "s", loop, 2,
+      [&](int in_service, Rng&) {
+        observed.push_back(in_service);
+        return 5.0;
+      },
+      Rng(1));
+  loop.Schedule(0.0, [&] {
+    server.Submit([](const JobTiming&) {});
+    server.Submit([](const JobTiming&) {});
+    server.Submit([](const JobTiming&) {});
+  });
+  loop.Run();
+  ASSERT_EQ(observed.size(), 3u);
+  // Two slots fill immediately (in-service 1 then 2); the queued third job
+  // starts once a slot frees, alongside the still-running other job.
+  EXPECT_EQ(observed[0], 1);
+  EXPECT_EQ(observed[1], 2);
+  EXPECT_EQ(observed[2], 2);
+}
+
+TEST(SimServer, StatsAccumulate) {
+  EventLoop loop;
+  SimServer server("s", loop, 1, [](int, Rng&) { return 7.0; }, Rng(1));
+  loop.Schedule(0.0, [&] {
+    server.Submit([](const JobTiming&) {});
+    server.Submit([](const JobTiming&) {});
+  });
+  loop.Run();
+  EXPECT_EQ(server.service_delay_stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(server.service_delay_stats().mean(), 7.0);
+  EXPECT_DOUBLE_EQ(server.total_delay_stats().max(), 14.0);
+}
+
+TEST(SimServer, InvalidConstructionThrows) {
+  EventLoop loop;
+  EXPECT_THROW(SimServer("s", loop, 0, [](int, Rng&) { return 1.0; }, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(SimServer("s", loop, 1, nullptr, Rng(1)),
+               std::invalid_argument);
+  SimServer ok("s", loop, 1, [](int, Rng&) { return 1.0; }, Rng(1));
+  EXPECT_THROW(ok.Submit(nullptr), std::invalid_argument);
+}
+
+TEST(ConvexLoadProfile, DelaysGrowWithContention) {
+  auto profile = MakeConvexLoadProfile(40.0, 8.0, 1.0, 1.6, 0.0);
+  Rng rng(1);
+  const double idle = profile(1, rng);
+  const double half = profile(4, rng);
+  const double full = profile(8, rng);
+  EXPECT_LT(idle, half);
+  EXPECT_LT(half, full);
+  EXPECT_NEAR(full, 80.0, 1e-9);  // base * (1 + alpha) at saturation.
+  // Contention is capped: more in-service jobs do not slow service further.
+  EXPECT_NEAR(profile(32, rng), 80.0, 1e-9);
+}
+
+TEST(ConvexLoadProfile, JitterHasUnitMean) {
+  auto profile = MakeConvexLoadProfile(100.0, 50.0, 0.0, 1.0, 0.5);
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += profile(0, rng);
+  EXPECT_NEAR(sum / n, 100.0, 2.5);
+}
+
+TEST(ConvexLoadProfile, InvalidParamsThrow) {
+  EXPECT_THROW(MakeConvexLoadProfile(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(MakeConvexLoadProfile(10.0, 0.0), std::invalid_argument);
+}
+
+TEST(Determinism, SameSeedSameSchedule) {
+  auto run = [](std::uint64_t seed) {
+    EventLoop loop;
+    SimServer server("s", loop, 2,
+                     MakeConvexLoadProfile(10.0, 20.0, 3.0, 2.0, 0.4),
+                     Rng(seed));
+    std::vector<double> finishes;
+    Rng arrivals(seed + 1);
+    double t = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      t += arrivals.ExponentialMean(5.0);
+      loop.Schedule(t, [&] {
+        server.Submit(
+            [&](const JobTiming& jt) { finishes.push_back(jt.finish_ms); });
+      });
+    }
+    loop.Run();
+    return finishes;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/bucketizer.h"
+#include "stats/distribution.h"
+#include "stats/divergence.h"
+#include "stats/fairness.h"
+#include "stats/summary.h"
+#include "util/rng.h"
+
+namespace e2e {
+namespace {
+
+TEST(StreamingSummary, BasicMoments) {
+  StreamingSummary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.cov(), 0.4);
+}
+
+TEST(StreamingSummary, EmptyIsZero) {
+  const StreamingSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingSummary, MergeMatchesSequential) {
+  Rng rng(42);
+  StreamingSummary all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingSummary, MergeWithEmpty) {
+  StreamingSummary a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25.0), 17.5);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, InvalidInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(Percentile(empty, 50.0), std::invalid_argument);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(Percentile(one, -1.0), std::invalid_argument);
+  EXPECT_THROW(Percentile(one, 101.0), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, CdfAndQuantileAreConsistent) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Cdf(100.0), 1.0);
+  EXPECT_NEAR(cdf.Cdf(50.0), 0.5, 0.01);
+  EXPECT_NEAR(cdf.Quantile(0.5), 50.5, 0.5);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 100.0);
+  EXPECT_NEAR(cdf.Mean(), 50.5, 1e-9);
+}
+
+TEST(EmpiricalCdf, EmptyThrows) {
+  EXPECT_THROW(EmpiricalCdf({}), std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, NormalizesAndSorts) {
+  const DiscreteDistribution d({3.0, 1.0, 2.0}, {2.0, 1.0, 1.0});
+  ASSERT_EQ(d.values().size(), 3u);
+  EXPECT_DOUBLE_EQ(d.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.values()[2], 3.0);
+  EXPECT_DOUBLE_EQ(d.probabilities()[0], 0.25);
+  EXPECT_DOUBLE_EQ(d.probabilities()[2], 0.5);
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.25 * 1 + 0.25 * 2 + 0.5 * 3);
+}
+
+TEST(DiscreteDistribution, PointMass) {
+  const auto d = DiscreteDistribution::PointMass(7.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 7.0);
+  EXPECT_DOUBLE_EQ(d.Variance(), 0.0);
+}
+
+TEST(DiscreteDistribution, ExpectAndShiftScale) {
+  const DiscreteDistribution d({1.0, 3.0}, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(d.Expect([](double x) { return x * x; }), 5.0);
+  EXPECT_DOUBLE_EQ(d.ShiftedBy(2.0).Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(d.ScaledBy(3.0).Mean(), 6.0);
+  EXPECT_THROW(d.ScaledBy(0.0), std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, FromSamplesPreservesMoments) {
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.Normal(100.0, 10.0));
+  const auto d = DiscreteDistribution::FromSamples(samples, 16);
+  EXPECT_NEAR(d.Mean(), 100.0, 1.0);
+  EXPECT_NEAR(std::sqrt(d.Variance()), 10.0, 1.5);
+}
+
+TEST(DiscreteDistribution, InvalidInputsThrow) {
+  EXPECT_THROW(DiscreteDistribution({}, {}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({1.0}, {-1.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution::FromSamples({}, 4), std::invalid_argument);
+}
+
+TEST(Divergence, JsIsSymmetricAndBounded) {
+  const std::vector<double> p = {0.7, 0.2, 0.1, 0.0};
+  const std::vector<double> q = {0.1, 0.2, 0.3, 0.4};
+  const double js_pq = JsDivergence(p, q);
+  const double js_qp = JsDivergence(q, p);
+  EXPECT_NEAR(js_pq, js_qp, 1e-12);
+  EXPECT_GT(js_pq, 0.0);
+  EXPECT_LE(js_pq, 1.0);
+}
+
+TEST(Divergence, IdenticalDistributionsAreZero) {
+  const std::vector<double> p = {0.25, 0.25, 0.5};
+  EXPECT_NEAR(JsDivergence(p, p), 0.0, 1e-12);
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(Divergence, DisjointSupportIsOneBit) {
+  const std::vector<double> p = {1.0, 0.0};
+  const std::vector<double> q = {0.0, 1.0};
+  EXPECT_NEAR(JsDivergence(p, q), 1.0, 1e-9);
+}
+
+TEST(Divergence, SamplesHelper) {
+  Rng rng(5);
+  std::vector<double> a, b, c;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(rng.Normal(100.0, 10.0));
+    b.push_back(rng.Normal(100.0, 10.0));
+    c.push_back(rng.Normal(200.0, 10.0));
+  }
+  const double same = JsDivergenceOfSamples(a, b, 0.0, 300.0, 32);
+  const double diff = JsDivergenceOfSamples(a, c, 0.0, 300.0, 32);
+  EXPECT_LT(same, 0.02);
+  EXPECT_GT(diff, 0.5);
+}
+
+TEST(FixedHistogram, ClampsOutOfRange) {
+  FixedHistogram h(0.0, 10.0, 5);
+  h.Add(-5.0);
+  h.Add(15.0);
+  h.Add(5.0);
+  const auto p = h.Probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p[4], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p[2], 1.0 / 3.0);
+  h.Clear();
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(Fairness, JainIndexBounds) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(std::vector<double>{1, 1, 1, 1}), 1.0);
+  EXPECT_NEAR(JainFairnessIndex(std::vector<double>{1, 0, 0, 0}), 0.25, 1e-12);
+  EXPECT_THROW(JainFairnessIndex({}), std::invalid_argument);
+  EXPECT_THROW(JainFairnessIndex(std::vector<double>{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(Fairness, AllZeroIsFair) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(std::vector<double>{0, 0, 0}), 1.0);
+}
+
+TEST(Correlation, PearsonKnownValues) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {2, 4, 6, 8, 10};
+  const std::vector<double> down = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(xs, down), -1.0, 1e-12);
+  const std::vector<double> flat = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(xs, flat), 0.0);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {1, 8, 27, 64, 125};  // Monotone, nonlinear.
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.Normal(0.0, 1.0));
+    ys.push_back(rng.Normal(0.0, 1.0));
+  }
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 0.0, 0.03);
+  EXPECT_NEAR(SpearmanCorrelation(xs, ys), 0.0, 0.03);
+}
+
+// --- Bucketizer property sweep ------------------------------------------
+
+struct BucketizerCase {
+  int target_buckets;
+  double max_span;
+  std::uint64_t seed;
+};
+
+class BucketizerProperty : public ::testing::TestWithParam<BucketizerCase> {};
+
+TEST_P(BucketizerProperty, InvariantsHold) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  std::vector<double> samples;
+  for (int i = 0; i < 3000; ++i) {
+    samples.push_back(rng.LogNormal(8.0, 0.8));
+  }
+  const Bucketizer bucketizer(samples, param.target_buckets, param.max_span);
+  ASSERT_GE(bucketizer.size(), 1u);
+
+  // Populations sum to the sample count; weights sum to 1.
+  std::size_t total = 0;
+  double weight = 0.0;
+  for (const Bucket& b : bucketizer.buckets()) {
+    total += b.population;
+    weight += b.weight;
+    // Span constraint (allowing tiny numeric slack).
+    EXPECT_LE(b.hi - b.lo, param.max_span * (1.0 + 1e-9));
+    // Representative lies inside the interval.
+    EXPECT_GE(b.representative, b.lo - 1e-9);
+    EXPECT_LE(b.representative, b.hi + 1e-9);
+  }
+  EXPECT_EQ(total, samples.size());
+  EXPECT_NEAR(weight, 1.0, 1e-9);
+
+  // Buckets are ordered and non-overlapping.
+  const auto buckets = bucketizer.buckets();
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i].lo, buckets[i - 1].hi - 1e-9);
+  }
+
+  // Every sample maps to a bucket containing it (or the edge buckets).
+  for (double x : samples) {
+    const auto idx = bucketizer.BucketIndex(x);
+    ASSERT_LT(idx, bucketizer.size());
+    if (idx > 0 && idx + 1 < bucketizer.size()) {
+      EXPECT_GE(x, buckets[idx].lo);
+      EXPECT_LT(x, buckets[idx].hi + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BucketizerProperty,
+    ::testing::Values(BucketizerCase{4, 1e9, 1}, BucketizerCase{16, 1e9, 2},
+                      BucketizerCase{16, 1500.0, 3},
+                      BucketizerCase{32, 800.0, 4}, BucketizerCase{1, 1e9, 5},
+                      BucketizerCase{64, 400.0, 6}));
+
+TEST(Bucketizer, EqualPopulationWithoutSpanConstraint) {
+  Rng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) samples.push_back(rng.Uniform(0.0, 1.0));
+  const Bucketizer bucketizer(samples, 8, 1e9);
+  for (const Bucket& b : bucketizer.buckets()) {
+    EXPECT_NEAR(static_cast<double>(b.population), 500.0, 60.0);
+  }
+}
+
+TEST(Bucketizer, InvalidInputsThrow) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(Bucketizer({}, 4, 1.0), std::invalid_argument);
+  EXPECT_THROW(Bucketizer(xs, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Bucketizer(xs, 4, 0.0), std::invalid_argument);
+}
+
+TEST(Bucketizer, IdenticalSamples) {
+  const std::vector<double> xs(100, 5.0);
+  const Bucketizer bucketizer(xs, 8, 10.0);
+  ASSERT_GE(bucketizer.size(), 1u);
+  EXPECT_EQ(bucketizer.buckets()[0].population, 100u);
+  EXPECT_EQ(bucketizer.BucketIndex(5.0), 0u);
+}
+
+}  // namespace
+}  // namespace e2e

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/types.h"
+
+namespace e2e {
+namespace {
+
+// ---- Types -----------------------------------------------------------------
+
+TEST(Types, UnitConversions) {
+  EXPECT_DOUBLE_EQ(SecToMs(2.5), 2500.0);
+  EXPECT_DOUBLE_EQ(MsToSec(2500.0), 2.5);
+  EXPECT_DOUBLE_EQ(MsToSec(SecToMs(7.25)), 7.25);
+}
+
+TEST(Types, PageTypeNames) {
+  EXPECT_EQ(ToString(PageType::kType2), "Page Type 2");
+  EXPECT_EQ(Index(PageType::kType3), 2);
+}
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(5), b(5), c(6);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  Rng a2(5);
+  EXPECT_NE(a2.NextU64(), c.NextU64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+    const auto n = rng.UniformInt(-2, 2);
+    EXPECT_GE(n, -2);
+    EXPECT_LE(n, 2);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(2);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 3.0, 0.1);
+}
+
+TEST(Rng, TruncatedNormalRespectsFloor) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(rng.TruncatedNormal(0.0, 5.0, 1.0), 1.0);
+  }
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(4);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.Categorical(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+  EXPECT_THROW(rng.Categorical(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(rng.Categorical(std::vector<double>{-1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = items;
+  rng.Shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng parent(6);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+// ---- Flags -----------------------------------------------------------------
+
+TEST(Flags, ParsesKeyValueAndBare) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--name=abc", "--verbose",
+                        "--count=7"};
+  const Flags flags(5, argv);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0), 1.5);
+  EXPECT_EQ(flags.GetString("name", ""), "abc");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("count", 0), 7);
+  EXPECT_TRUE(flags.Has("alpha"));
+  EXPECT_FALSE(flags.Has("missing"));
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+}
+
+TEST(Flags, BoolFalseValues) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=yes"};
+  const Flags flags(4, argv);
+  EXPECT_FALSE(flags.GetBool("a", true));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+}
+
+TEST(Flags, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(Flags(2, argv), std::invalid_argument);
+}
+
+// ---- TextTable ---------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"A", "Column B"});
+  table.AddRow({"1", "x"});
+  table.AddRow({"22", "yy"});
+  std::ostringstream out;
+  table.Render(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("A   Column B"), std::string::npos);
+  EXPECT_NE(text.find("22  yy"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, RendersCsv) {
+  TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream out;
+  table.RenderCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Int(1234567), "1,234,567");
+  EXPECT_EQ(TextTable::Int(-1234), "-1,234");
+  EXPECT_EQ(TextTable::Int(12), "12");
+  EXPECT_EQ(TextTable::Pct(12.34), "12.3%");
+}
+
+TEST(TextTable, RowSizeValidation) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(AsciiChart, ProducesRequestedHeight) {
+  const std::vector<double> ys = {0, 1, 2, 3, 4, 5, 4, 3, 2, 1};
+  const std::string chart = AsciiChart(ys, 5, 40);
+  int lines = 0;
+  for (char c : chart) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 6);  // 5 rows + footer.
+  EXPECT_TRUE(AsciiChart({}, 5, 40).empty());
+}
+
+// ---- Log ---------------------------------------------------------------------
+
+TEST(Log, LevelGating) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+  EXPECT_FALSE(LogEnabled(LogLevel::kOff));
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace e2e
