@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_flash_crowd.dir/bench_ext_flash_crowd.cc.o"
+  "CMakeFiles/bench_ext_flash_crowd.dir/bench_ext_flash_crowd.cc.o.d"
+  "bench_ext_flash_crowd"
+  "bench_ext_flash_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_flash_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_agent.dir/bench_ext_multi_agent.cc.o"
+  "CMakeFiles/bench_ext_multi_agent.dir/bench_ext_multi_agent.cc.o.d"
+  "bench_ext_multi_agent"
+  "bench_ext_multi_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

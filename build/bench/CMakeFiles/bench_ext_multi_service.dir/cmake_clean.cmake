@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_service.dir/bench_ext_multi_service.cc.o"
+  "CMakeFiles/bench_ext_multi_service.dir/bench_ext_multi_service.cc.o.d"
+  "bench_ext_multi_service"
+  "bench_ext_multi_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_premium.dir/bench_ext_premium.cc.o"
+  "CMakeFiles/bench_ext_premium.dir/bench_ext_premium.cc.o.d"
+  "bench_ext_premium"
+  "bench_ext_premium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_premium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_security_gaming.dir/bench_ext_security_gaming.cc.o"
+  "CMakeFiles/bench_ext_security_gaming.dir/bench_ext_security_gaming.cc.o.d"
+  "bench_ext_security_gaming"
+  "bench_ext_security_gaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_security_gaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

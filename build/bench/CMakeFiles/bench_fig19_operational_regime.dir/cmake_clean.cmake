@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_operational_regime.dir/bench_fig19_operational_regime.cc.o"
+  "CMakeFiles/bench_fig19_operational_regime.dir/bench_fig19_operational_regime.cc.o.d"
+  "bench_fig19_operational_regime"
+  "bench_fig19_operational_regime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_operational_regime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_vs_timecard.dir/bench_fig21_vs_timecard.cc.o"
+  "CMakeFiles/bench_fig21_vs_timecard.dir/bench_fig21_vs_timecard.cc.o.d"
+  "bench_fig21_vs_timecard"
+  "bench_fig21_vs_timecard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_vs_timecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

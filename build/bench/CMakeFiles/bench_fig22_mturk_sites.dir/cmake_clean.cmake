@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_mturk_sites.dir/bench_fig22_mturk_sites.cc.o"
+  "CMakeFiles/bench_fig22_mturk_sites.dir/bench_fig22_mturk_sites.cc.o.d"
+  "bench_fig22_mturk_sites"
+  "bench_fig22_mturk_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_mturk_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

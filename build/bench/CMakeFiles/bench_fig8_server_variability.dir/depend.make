@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_server_variability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jain_fairness.dir/bench_jain_fairness.cc.o"
+  "CMakeFiles/bench_jain_fairness.dir/bench_jain_fairness.cc.o.d"
+  "bench_jain_fairness"
+  "bench_jain_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jain_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

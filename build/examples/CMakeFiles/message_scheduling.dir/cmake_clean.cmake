@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_scheduling.dir/message_scheduling.cpp.o"
+  "CMakeFiles/message_scheduling.dir/message_scheduling.cpp.o.d"
+  "message_scheduling"
+  "message_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broker/broker.cc" "src/broker/CMakeFiles/e2e_broker.dir/broker.cc.o" "gcc" "src/broker/CMakeFiles/e2e_broker.dir/broker.cc.o.d"
+  "/root/repo/src/broker/consumer.cc" "src/broker/CMakeFiles/e2e_broker.dir/consumer.cc.o" "gcc" "src/broker/CMakeFiles/e2e_broker.dir/consumer.cc.o.d"
+  "/root/repo/src/broker/scheduler.cc" "src/broker/CMakeFiles/e2e_broker.dir/scheduler.cc.o" "gcc" "src/broker/CMakeFiles/e2e_broker.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/e2e_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/e2e_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e2e_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

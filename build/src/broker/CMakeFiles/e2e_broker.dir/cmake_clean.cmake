@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_broker.dir/broker.cc.o"
+  "CMakeFiles/e2e_broker.dir/broker.cc.o.d"
+  "CMakeFiles/e2e_broker.dir/consumer.cc.o"
+  "CMakeFiles/e2e_broker.dir/consumer.cc.o.d"
+  "CMakeFiles/e2e_broker.dir/scheduler.cc.o"
+  "CMakeFiles/e2e_broker.dir/scheduler.cc.o.d"
+  "libe2e_broker.a"
+  "libe2e_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

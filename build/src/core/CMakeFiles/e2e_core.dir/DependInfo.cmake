@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/e2e_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/e2e_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/external_delay_model.cc" "src/core/CMakeFiles/e2e_core.dir/external_delay_model.cc.o" "gcc" "src/core/CMakeFiles/e2e_core.dir/external_delay_model.cc.o.d"
+  "/root/repo/src/core/failover.cc" "src/core/CMakeFiles/e2e_core.dir/failover.cc.o" "gcc" "src/core/CMakeFiles/e2e_core.dir/failover.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/e2e_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/e2e_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/e2e_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/e2e_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/server_delay_model.cc" "src/core/CMakeFiles/e2e_core.dir/server_delay_model.cc.o" "gcc" "src/core/CMakeFiles/e2e_core.dir/server_delay_model.cc.o.d"
+  "/root/repo/src/core/table_cache.cc" "src/core/CMakeFiles/e2e_core.dir/table_cache.cc.o" "gcc" "src/core/CMakeFiles/e2e_core.dir/table_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/e2e_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/e2e_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/e2e_qoe.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/e2e_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e2e_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

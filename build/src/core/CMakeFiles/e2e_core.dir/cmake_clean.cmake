@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_core.dir/controller.cc.o"
+  "CMakeFiles/e2e_core.dir/controller.cc.o.d"
+  "CMakeFiles/e2e_core.dir/external_delay_model.cc.o"
+  "CMakeFiles/e2e_core.dir/external_delay_model.cc.o.d"
+  "CMakeFiles/e2e_core.dir/failover.cc.o"
+  "CMakeFiles/e2e_core.dir/failover.cc.o.d"
+  "CMakeFiles/e2e_core.dir/policy.cc.o"
+  "CMakeFiles/e2e_core.dir/policy.cc.o.d"
+  "CMakeFiles/e2e_core.dir/profiler.cc.o"
+  "CMakeFiles/e2e_core.dir/profiler.cc.o.d"
+  "CMakeFiles/e2e_core.dir/server_delay_model.cc.o"
+  "CMakeFiles/e2e_core.dir/server_delay_model.cc.o.d"
+  "CMakeFiles/e2e_core.dir/table_cache.cc.o"
+  "CMakeFiles/e2e_core.dir/table_cache.cc.o.d"
+  "libe2e_core.a"
+  "libe2e_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_db.dir/cluster.cc.o"
+  "CMakeFiles/e2e_db.dir/cluster.cc.o.d"
+  "CMakeFiles/e2e_db.dir/selector.cc.o"
+  "CMakeFiles/e2e_db.dir/selector.cc.o.d"
+  "CMakeFiles/e2e_db.dir/storage.cc.o"
+  "CMakeFiles/e2e_db.dir/storage.cc.o.d"
+  "libe2e_db.a"
+  "libe2e_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_matching.dir/assignment.cc.o"
+  "CMakeFiles/e2e_matching.dir/assignment.cc.o.d"
+  "libe2e_matching.a"
+  "libe2e_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

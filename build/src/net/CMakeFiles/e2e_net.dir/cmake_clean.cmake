@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_net.dir/estimator.cc.o"
+  "CMakeFiles/e2e_net.dir/estimator.cc.o.d"
+  "libe2e_net.a"
+  "libe2e_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

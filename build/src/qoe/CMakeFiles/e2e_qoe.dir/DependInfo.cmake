@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qoe/mturk.cc" "src/qoe/CMakeFiles/e2e_qoe.dir/mturk.cc.o" "gcc" "src/qoe/CMakeFiles/e2e_qoe.dir/mturk.cc.o.d"
+  "/root/repo/src/qoe/qoe_model.cc" "src/qoe/CMakeFiles/e2e_qoe.dir/qoe_model.cc.o" "gcc" "src/qoe/CMakeFiles/e2e_qoe.dir/qoe_model.cc.o.d"
+  "/root/repo/src/qoe/session.cc" "src/qoe/CMakeFiles/e2e_qoe.dir/session.cc.o" "gcc" "src/qoe/CMakeFiles/e2e_qoe.dir/session.cc.o.d"
+  "/root/repo/src/qoe/sigmoid_model.cc" "src/qoe/CMakeFiles/e2e_qoe.dir/sigmoid_model.cc.o" "gcc" "src/qoe/CMakeFiles/e2e_qoe.dir/sigmoid_model.cc.o.d"
+  "/root/repo/src/qoe/tabulated_model.cc" "src/qoe/CMakeFiles/e2e_qoe.dir/tabulated_model.cc.o" "gcc" "src/qoe/CMakeFiles/e2e_qoe.dir/tabulated_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/e2e_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/e2e_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_qoe.dir/mturk.cc.o"
+  "CMakeFiles/e2e_qoe.dir/mturk.cc.o.d"
+  "CMakeFiles/e2e_qoe.dir/qoe_model.cc.o"
+  "CMakeFiles/e2e_qoe.dir/qoe_model.cc.o.d"
+  "CMakeFiles/e2e_qoe.dir/session.cc.o"
+  "CMakeFiles/e2e_qoe.dir/session.cc.o.d"
+  "CMakeFiles/e2e_qoe.dir/sigmoid_model.cc.o"
+  "CMakeFiles/e2e_qoe.dir/sigmoid_model.cc.o.d"
+  "CMakeFiles/e2e_qoe.dir/tabulated_model.cc.o"
+  "CMakeFiles/e2e_qoe.dir/tabulated_model.cc.o.d"
+  "libe2e_qoe.a"
+  "libe2e_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

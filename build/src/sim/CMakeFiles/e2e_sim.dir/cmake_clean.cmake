@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_sim.dir/event_loop.cc.o"
+  "CMakeFiles/e2e_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/e2e_sim.dir/server.cc.o"
+  "CMakeFiles/e2e_sim.dir/server.cc.o.d"
+  "libe2e_sim.a"
+  "libe2e_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

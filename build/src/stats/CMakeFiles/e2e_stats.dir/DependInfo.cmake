@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bucketizer.cc" "src/stats/CMakeFiles/e2e_stats.dir/bucketizer.cc.o" "gcc" "src/stats/CMakeFiles/e2e_stats.dir/bucketizer.cc.o.d"
+  "/root/repo/src/stats/distribution.cc" "src/stats/CMakeFiles/e2e_stats.dir/distribution.cc.o" "gcc" "src/stats/CMakeFiles/e2e_stats.dir/distribution.cc.o.d"
+  "/root/repo/src/stats/divergence.cc" "src/stats/CMakeFiles/e2e_stats.dir/divergence.cc.o" "gcc" "src/stats/CMakeFiles/e2e_stats.dir/divergence.cc.o.d"
+  "/root/repo/src/stats/fairness.cc" "src/stats/CMakeFiles/e2e_stats.dir/fairness.cc.o" "gcc" "src/stats/CMakeFiles/e2e_stats.dir/fairness.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/e2e_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/e2e_stats.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/e2e_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_stats.dir/bucketizer.cc.o"
+  "CMakeFiles/e2e_stats.dir/bucketizer.cc.o.d"
+  "CMakeFiles/e2e_stats.dir/distribution.cc.o"
+  "CMakeFiles/e2e_stats.dir/distribution.cc.o.d"
+  "CMakeFiles/e2e_stats.dir/divergence.cc.o"
+  "CMakeFiles/e2e_stats.dir/divergence.cc.o.d"
+  "CMakeFiles/e2e_stats.dir/fairness.cc.o"
+  "CMakeFiles/e2e_stats.dir/fairness.cc.o.d"
+  "CMakeFiles/e2e_stats.dir/summary.cc.o"
+  "CMakeFiles/e2e_stats.dir/summary.cc.o.d"
+  "libe2e_stats.a"
+  "libe2e_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_testbed.dir/broker_experiment.cc.o"
+  "CMakeFiles/e2e_testbed.dir/broker_experiment.cc.o.d"
+  "CMakeFiles/e2e_testbed.dir/counterfactual.cc.o"
+  "CMakeFiles/e2e_testbed.dir/counterfactual.cc.o.d"
+  "CMakeFiles/e2e_testbed.dir/db_experiment.cc.o"
+  "CMakeFiles/e2e_testbed.dir/db_experiment.cc.o.d"
+  "CMakeFiles/e2e_testbed.dir/frontend.cc.o"
+  "CMakeFiles/e2e_testbed.dir/frontend.cc.o.d"
+  "CMakeFiles/e2e_testbed.dir/metrics.cc.o"
+  "CMakeFiles/e2e_testbed.dir/metrics.cc.o.d"
+  "CMakeFiles/e2e_testbed.dir/multi_agent.cc.o"
+  "CMakeFiles/e2e_testbed.dir/multi_agent.cc.o.d"
+  "CMakeFiles/e2e_testbed.dir/multi_service.cc.o"
+  "CMakeFiles/e2e_testbed.dir/multi_service.cc.o.d"
+  "CMakeFiles/e2e_testbed.dir/workloads.cc.o"
+  "CMakeFiles/e2e_testbed.dir/workloads.cc.o.d"
+  "libe2e_testbed.a"
+  "libe2e_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

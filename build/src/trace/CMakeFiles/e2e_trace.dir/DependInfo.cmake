@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generator.cc" "src/trace/CMakeFiles/e2e_trace.dir/generator.cc.o" "gcc" "src/trace/CMakeFiles/e2e_trace.dir/generator.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/e2e_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/e2e_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/trace/CMakeFiles/e2e_trace.dir/record.cc.o" "gcc" "src/trace/CMakeFiles/e2e_trace.dir/record.cc.o.d"
+  "/root/repo/src/trace/replay.cc" "src/trace/CMakeFiles/e2e_trace.dir/replay.cc.o" "gcc" "src/trace/CMakeFiles/e2e_trace.dir/replay.cc.o.d"
+  "/root/repo/src/trace/windows.cc" "src/trace/CMakeFiles/e2e_trace.dir/windows.cc.o" "gcc" "src/trace/CMakeFiles/e2e_trace.dir/windows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/e2e_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/e2e_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/e2e_qoe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_trace.dir/generator.cc.o"
+  "CMakeFiles/e2e_trace.dir/generator.cc.o.d"
+  "CMakeFiles/e2e_trace.dir/io.cc.o"
+  "CMakeFiles/e2e_trace.dir/io.cc.o.d"
+  "CMakeFiles/e2e_trace.dir/record.cc.o"
+  "CMakeFiles/e2e_trace.dir/record.cc.o.d"
+  "CMakeFiles/e2e_trace.dir/replay.cc.o"
+  "CMakeFiles/e2e_trace.dir/replay.cc.o.d"
+  "CMakeFiles/e2e_trace.dir/windows.cc.o"
+  "CMakeFiles/e2e_trace.dir/windows.cc.o.d"
+  "libe2e_trace.a"
+  "libe2e_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_util.dir/flags.cc.o"
+  "CMakeFiles/e2e_util.dir/flags.cc.o.d"
+  "CMakeFiles/e2e_util.dir/log.cc.o"
+  "CMakeFiles/e2e_util.dir/log.cc.o.d"
+  "CMakeFiles/e2e_util.dir/table.cc.o"
+  "CMakeFiles/e2e_util.dir/table.cc.o.d"
+  "CMakeFiles/e2e_util.dir/types.cc.o"
+  "CMakeFiles/e2e_util.dir/types.cc.o.d"
+  "libe2e_util.a"
+  "libe2e_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
