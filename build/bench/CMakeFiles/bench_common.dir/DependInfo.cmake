@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/db/CMakeFiles/e2e_db.dir/DependInfo.cmake"
   "/root/repo/build/src/broker/CMakeFiles/e2e_broker.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/e2e_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/e2e_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/testbed/CMakeFiles/e2e_testbed.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/e2e_net.dir/DependInfo.cmake"
   )

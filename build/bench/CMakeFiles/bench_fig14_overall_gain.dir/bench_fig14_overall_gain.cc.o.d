@@ -257,6 +257,7 @@ bench/CMakeFiles/bench_fig14_overall_gain.dir/bench_fig14_overall_gain.cc.o: \
  /root/repo/src/util/../stats/distribution.h \
  /root/repo/src/util/../core/table_cache.h \
  /root/repo/src/util/../core/failover.h \
+ /root/repo/src/util/../fault/plan.h \
  /root/repo/src/util/../testbed/metrics.h \
  /root/repo/src/util/../trace/replay.h \
  /root/repo/src/util/../trace/record.h \

@@ -160,7 +160,8 @@ bench/CMakeFiles/bench_fig18_fault_tolerance.dir/bench_fig18_fault_tolerance.cc.
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
@@ -261,6 +262,7 @@ bench/CMakeFiles/bench_fig18_fault_tolerance.dir/bench_fig18_fault_tolerance.cc.
  /root/repo/src/util/../stats/distribution.h \
  /root/repo/src/util/../core/table_cache.h \
  /root/repo/src/util/../core/failover.h \
+ /root/repo/src/util/../fault/plan.h \
  /root/repo/src/util/../testbed/metrics.h \
  /root/repo/src/util/../trace/replay.h \
  /root/repo/src/util/../trace/record.h \

@@ -258,6 +258,7 @@ bench/CMakeFiles/bench_fig3_qoe_curves.dir/bench_fig3_qoe_curves.cc.o: \
  /root/repo/src/util/../stats/distribution.h \
  /root/repo/src/util/../core/table_cache.h \
  /root/repo/src/util/../core/failover.h \
+ /root/repo/src/util/../fault/plan.h \
  /root/repo/src/util/../testbed/metrics.h \
  /root/repo/src/util/../trace/replay.h \
  /root/repo/src/util/../trace/record.h \

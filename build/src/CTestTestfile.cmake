@@ -14,4 +14,5 @@ subdirs("sim")
 subdirs("db")
 subdirs("broker")
 subdirs("core")
+subdirs("fault")
 subdirs("testbed")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/injector.cc" "src/fault/CMakeFiles/e2e_fault.dir/injector.cc.o" "gcc" "src/fault/CMakeFiles/e2e_fault.dir/injector.cc.o.d"
+  "/root/repo/src/fault/plan.cc" "src/fault/CMakeFiles/e2e_fault.dir/plan.cc.o" "gcc" "src/fault/CMakeFiles/e2e_fault.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/e2e_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e2e_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/e2e_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/e2e_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/e2e_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/e2e_qoe.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/e2e_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/e2e_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_fault.dir/injector.cc.o"
+  "CMakeFiles/e2e_fault.dir/injector.cc.o.d"
+  "CMakeFiles/e2e_fault.dir/plan.cc.o"
+  "CMakeFiles/e2e_fault.dir/plan.cc.o.d"
+  "libe2e_fault.a"
+  "libe2e_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

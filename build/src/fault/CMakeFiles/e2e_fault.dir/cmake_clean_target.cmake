@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libe2e_fault.a"
+)

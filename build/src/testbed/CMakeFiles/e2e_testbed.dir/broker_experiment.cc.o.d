@@ -255,7 +255,14 @@ src/testbed/CMakeFiles/e2e_testbed.dir/broker_experiment.cc.o: \
  /root/repo/src/util/../qoe/qoe_model.h \
  /root/repo/src/util/../core/table_cache.h \
  /root/repo/src/util/../core/failover.h \
+ /root/repo/src/util/../fault/plan.h \
  /root/repo/src/util/../testbed/metrics.h \
  /root/repo/src/util/../trace/replay.h \
  /root/repo/src/util/../trace/record.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/../fault/injector.h \
+ /root/repo/src/util/../db/cluster.h /root/repo/src/util/../db/selector.h \
+ /root/repo/src/util/../db/storage.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/util/../sim/server.h

@@ -258,7 +258,10 @@ src/testbed/CMakeFiles/e2e_testbed.dir/db_experiment.cc.o: \
  /root/repo/src/util/../sim/event_loop.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/../sim/server.h \
+ /root/repo/src/util/../sim/server.h /root/repo/src/util/../fault/plan.h \
  /root/repo/src/util/../testbed/metrics.h \
  /root/repo/src/util/../trace/replay.h \
- /root/repo/src/util/../core/profiler.h
+ /root/repo/src/util/../core/profiler.h \
+ /root/repo/src/util/../fault/injector.h \
+ /root/repo/src/util/../broker/broker.h \
+ /root/repo/src/util/../broker/scheduler.h

@@ -256,6 +256,7 @@ src/testbed/CMakeFiles/e2e_testbed.dir/multi_service.cc.o: \
  /root/repo/src/util/../qoe/qoe_model.h \
  /root/repo/src/util/../core/table_cache.h \
  /root/repo/src/util/../testbed/metrics.h \
+ /root/repo/src/util/../fault/plan.h \
  /root/repo/src/util/../trace/record.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

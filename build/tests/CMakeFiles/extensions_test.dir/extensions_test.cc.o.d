@@ -338,6 +338,7 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o: \
  /root/repo/src/util/../stats/distribution.h \
  /root/repo/src/util/../core/table_cache.h \
  /root/repo/src/util/../testbed/metrics.h \
+ /root/repo/src/util/../fault/plan.h \
  /root/repo/src/util/../trace/record.h \
  /root/repo/src/util/../testbed/multi_service.h \
  /root/repo/src/util/../matching/assignment.h \

@@ -18,3 +18,4 @@ include("/root/repo/build/tests/extensions_test[1]_include.cmake")
 include("/root/repo/build/tests/util_test[1]_include.cmake")
 include("/root/repo/build/tests/frontend_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")

@@ -59,7 +59,8 @@ std::optional<Delivery> MessageBroker::TryPull() {
     delivery.message = item.message;
     delivery.priority = item.priority;
     delivery.publish_ms = item.publish_ms;
-    delivery.deliver_ms = loop_.Now() + params_.handling_cost_ms;
+    delivery.deliver_ms =
+        loop_.Now() + params_.handling_cost_ms + faults_.extra_delay_ms;
     ++delivered_;
     queue_stats_.Add(delivery.QueueingDelayMs());
     per_priority_stats_[static_cast<std::size_t>(item.priority)].Add(
@@ -85,7 +86,23 @@ void MessageBroker::RequeueFront(const Message& message, int priority,
   queues_[static_cast<std::size_t>(priority)].push_front(std::move(item));
 }
 
+void MessageBroker::SetFaults(const BrokerFaults& faults) {
+  if (faults.drop_probability < 0.0 || faults.drop_probability > 1.0) {
+    throw std::invalid_argument("MessageBroker::SetFaults: bad probability");
+  }
+  if (faults.extra_delay_ms < 0.0) {
+    throw std::invalid_argument("MessageBroker::SetFaults: negative delay");
+  }
+  faults_ = faults;
+}
+
 void MessageBroker::Publish(const Message& message, ConfirmCallback confirm) {
+  if (faults_.drop_probability > 0.0 &&
+      fault_rng_.Bernoulli(faults_.drop_probability)) {
+    ++dropped_;
+    if (drop_callback_) drop_callback_(message, loop_.Now());
+    return;
+  }
   const BrokerView view = View();
   int priority = scheduler_->AssignPriority(message, view);
   if (priority < 0 || priority >= params_.priority_levels) {

@@ -19,6 +19,7 @@
 #include "broker/scheduler.h"
 #include "sim/event_loop.h"
 #include "stats/summary.h"
+#include "util/rng.h"
 #include "util/types.h"
 
 namespace e2e::broker {
@@ -31,6 +32,14 @@ struct BrokerParams {
   double consume_interval_ms = 5.0;
   /// Fixed per-message handling cost added to the queueing delay.
   double handling_cost_ms = 0.5;
+};
+
+/// Active broker fault state (driven by fault::FaultInjector). Messages are
+/// dropped at publish with `drop_probability`; every delivery is delayed by
+/// `extra_delay_ms` on top of the handling cost.
+struct BrokerFaults {
+  double drop_probability = 0.0;
+  double extra_delay_ms = 0.0;
 };
 
 /// Delivery confirmation for one message.
@@ -81,6 +90,24 @@ class MessageBroker {
   /// queueing-delay accounting reflects the full wait.
   void RequeueFront(const Message& message, int priority, double publish_ms);
 
+  /// Fault injection: replaces the active fault state. Throws when the drop
+  /// probability is outside [0, 1] or the extra delay is negative.
+  void SetFaults(const BrokerFaults& faults);
+  const BrokerFaults& faults() const { return faults_; }
+
+  /// Reseeds the deterministic stream deciding which messages drop.
+  void SetFaultSeed(std::uint64_t seed) { fault_rng_ = Rng(seed); }
+
+  /// Fires (synchronously, at publish time) for every dropped message, so
+  /// experiments can account for the loss. The publish time is Now().
+  using DropCallback = std::function<void(const Message&, double publish_ms)>;
+  void SetDropCallback(DropCallback callback) {
+    drop_callback_ = std::move(callback);
+  }
+
+  /// Messages dropped by fault injection so far.
+  std::uint64_t dropped_count() const { return dropped_; }
+
   /// Messages delivered so far.
   std::uint64_t delivered_count() const { return delivered_; }
 
@@ -112,6 +139,10 @@ class MessageBroker {
   std::vector<EventId> consumer_timers_;
   bool stopped_ = false;
   std::uint64_t delivered_ = 0;
+  BrokerFaults faults_;
+  Rng fault_rng_{0x5eedULL};
+  DropCallback drop_callback_;
+  std::uint64_t dropped_ = 0;
   StreamingSummary queue_stats_;
   std::vector<StreamingSummary> per_priority_stats_;
 };

@@ -48,10 +48,24 @@ int ReplicatedControllerGroup::Decide(DelayMs true_external_delay_ms) {
 }
 
 void ReplicatedControllerGroup::FailPrimary(double now_ms) {
+  FailPrimary(now_ms, params_.election_delay_ms);
+}
+
+void ReplicatedControllerGroup::FailPrimary(double now_ms,
+                                            double election_delay_ms) {
+  if (election_delay_ms < 0.0) {
+    throw std::invalid_argument(
+        "ReplicatedControllerGroup::FailPrimary: negative election delay");
+  }
   if (primary_failed_) return;
   primary_failed_ = true;
   primary_->Fail();
-  election_deadline_ms_ = now_ms + params_.election_delay_ms;
+  election_deadline_ms_ = now_ms + election_delay_ms;
+}
+
+void ReplicatedControllerGroup::SetExternalDelayError(double relative_error) {
+  primary_->SetExternalDelayError(relative_error);
+  backup_->SetExternalDelayError(relative_error);
 }
 
 const Controller& ReplicatedControllerGroup::active() const {

@@ -42,11 +42,21 @@ class ReplicatedControllerGroup {
   /// as the paper's clients keep their local lookup table.
   int Decide(DelayMs true_external_delay_ms);
 
-  /// Injects a primary failure at `now_ms`.
+  /// Injects a primary failure at `now_ms` with the configured election
+  /// delay, or (second form) an explicit one — fault plans carry the
+  /// election window per crash clause ("crash ctrl t=60s for=30s").
   void FailPrimary(double now_ms);
+  void FailPrimary(double now_ms, double election_delay_ms);
+
+  /// Sets the external-delay estimation error on every replica (Fig. 20a;
+  /// the fault injector's "skew est" clause drives this mid-run).
+  void SetExternalDelayError(double relative_error);
 
   /// True while no controller is active (election in progress).
   bool InElection() const { return election_deadline_ms_.has_value(); }
+
+  /// True once the backup has been promoted.
+  bool promoted() const { return promoted_; }
 
   /// The controller currently answering Decide() calls.
   const Controller& active() const;

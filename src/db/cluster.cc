@@ -143,6 +143,36 @@ void Cluster::Delete(Key key, int quorum,
   }
 }
 
+void Cluster::SetReplicaExtraDelayMs(int replica, double extra_ms) {
+  if (replica < -1 || replica >= NumReplicas()) {
+    throw std::out_of_range("Cluster::SetReplicaExtraDelayMs: bad replica");
+  }
+  for (int r = 0; r < NumReplicas(); ++r) {
+    if (replica == -1 || replica == r) {
+      replicas_[static_cast<std::size_t>(r)]->server().SetExtraServiceDelayMs(
+          extra_ms);
+    }
+  }
+}
+
+void Cluster::SetReplicaPartitioned(int replica, bool partitioned) {
+  if (replica < -1 || replica >= NumReplicas()) {
+    throw std::out_of_range("Cluster::SetReplicaPartitioned: bad replica");
+  }
+  for (int r = 0; r < NumReplicas(); ++r) {
+    if (replica == -1 || replica == r) {
+      replicas_[static_cast<std::size_t>(r)]->SetPartitioned(partitioned);
+    }
+  }
+}
+
+bool Cluster::IsPartitioned(int replica) const {
+  if (replica < 0 || replica >= NumReplicas()) {
+    throw std::out_of_range("Cluster::IsPartitioned: bad replica");
+  }
+  return replicas_[static_cast<std::size_t>(replica)]->partitioned();
+}
+
 ClusterView Cluster::View() const {
   ClusterView view;
   view.loads.reserve(replicas_.size());
@@ -168,9 +198,32 @@ ReadExecutor::ReadExecutor(Cluster& cluster,
 void ReadExecutor::ExecuteRangeRead(const DbRequest& request,
                                     std::function<void(ReadResult)> done) {
   const ClusterView view = cluster_.View();
-  const int replica = selector_->SelectReplica(request, view);
+  const int selected = selector_->SelectReplica(request, view);
+  int replica = selected;
+  if (cluster_.IsPartitioned(selected)) {
+    // Fail over to the least-loaded reachable replica (lowest index on
+    // ties, so the reroute is deterministic). When every replica is
+    // partitioned the original choice serves anyway: a fully partitioned
+    // cluster stalls requests rather than losing them.
+    int best = -1;
+    for (int r = 0; r < cluster_.NumReplicas(); ++r) {
+      if (cluster_.IsPartitioned(r)) continue;
+      if (best == -1 || view.loads[static_cast<std::size_t>(r)] <
+                            view.loads[static_cast<std::size_t>(best)]) {
+        best = r;
+      }
+    }
+    if (best != -1) {
+      replica = best;
+      ++failovers_;
+    }
+  }
+  const bool failed_over = replica != selected;
   cluster_.RangeRead(request.range_start, request.range_count, replica,
-                     std::move(done));
+                     [failed_over, done = std::move(done)](ReadResult result) {
+                       result.failed_over = failed_over;
+                       done(std::move(result));
+                     });
 }
 
 void ReadExecutor::SetSelector(std::shared_ptr<ReplicaSelector> selector) {

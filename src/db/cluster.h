@@ -53,10 +53,16 @@ class ReplicaGroup {
 
   int index() const { return index_; }
 
+  /// Fault injection: a partitioned replica is unreachable; the read
+  /// executor fails requests over to a reachable one.
+  void SetPartitioned(bool partitioned) { partitioned_ = partitioned; }
+  bool partitioned() const { return partitioned_; }
+
  private:
   int index_;
   StorageEngine storage_;
   SimServer server_;
+  bool partitioned_ = false;
 };
 
 /// Result of a range read.
@@ -64,6 +70,9 @@ struct ReadResult {
   std::vector<Row> rows;
   int replica = 0;
   JobTiming timing;
+  /// True when the selected replica was partitioned and the request was
+  /// served by `replica` as a fallback.
+  bool failed_over = false;
 };
 
 /// Result of a point read.
@@ -110,6 +119,12 @@ class Cluster {
 
   int NumReplicas() const { return static_cast<int>(replicas_.size()); }
 
+  /// Fault injection (fault::FaultInjector): extra service delay on one
+  /// replica (-1 = all) and partition state. Both throw on a bad index.
+  void SetReplicaExtraDelayMs(int replica, double extra_ms);
+  void SetReplicaPartitioned(int replica, bool partitioned);
+  bool IsPartitioned(int replica) const;
+
   /// Snapshot of per-replica loads (queued + in service), the signal the
   /// paper's modified client tracks.
   ClusterView View() const;
@@ -133,7 +148,11 @@ class ReadExecutor {
   ReadExecutor(Cluster& cluster, std::shared_ptr<ReplicaSelector> selector);
 
   /// Routes one request: consults the selector with the request's external
-  /// delay and the current cluster view, then issues the range read.
+  /// delay and the current cluster view, then issues the range read. When
+  /// the chosen replica is partitioned, the request fails over to the
+  /// least-loaded reachable replica (ReadResult::failed_over is set); if
+  /// every replica is partitioned it is served by the original choice so no
+  /// request is ever lost.
   void ExecuteRangeRead(const DbRequest& request,
                         std::function<void(ReadResult)> done);
 
@@ -142,9 +161,13 @@ class ReadExecutor {
 
   const ReplicaSelector& selector() const { return *selector_; }
 
+  /// Requests rerouted around a partitioned replica so far.
+  std::uint64_t failover_count() const { return failovers_; }
+
  private:
   Cluster& cluster_;
   std::shared_ptr<ReplicaSelector> selector_;
+  std::uint64_t failovers_ = 0;
 };
 
 }  // namespace e2e::db

@@ -1,0 +1,186 @@
+#include "fault/injector.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace e2e::fault {
+namespace {
+
+bool NeedsControllers(FaultKind kind) {
+  return kind == FaultKind::kCrashController;
+}
+bool NeedsBroker(FaultKind kind) {
+  return kind == FaultKind::kDropMessages || kind == FaultKind::kDelayMessages;
+}
+bool NeedsCluster(FaultKind kind) {
+  return kind == FaultKind::kDelayReplica ||
+         kind == FaultKind::kPartitionReplica;
+}
+bool NeedsSkewHook(FaultKind kind) {
+  return kind == FaultKind::kSkewEstimator;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(EventLoop& loop, FaultPlan plan,
+                             FaultTargets targets)
+    : loop_(loop), plan_(std::move(plan)), targets_(std::move(targets)) {
+  plan_.Validate();
+  active_.assign(plan_.faults.size(), false);
+}
+
+void FaultInjector::Arm() {
+  if (armed_) {
+    throw std::logic_error("FaultInjector::Arm: already armed");
+  }
+  armed_ = true;
+  for (const FaultSpec& spec : plan_.faults) {
+    if (NeedsControllers(spec.kind) && targets_.controllers == nullptr) {
+      throw std::invalid_argument(
+          "FaultInjector: plan crashes the controller but the run has none (" +
+          spec.ToString() + ")");
+    }
+    if (NeedsBroker(spec.kind) && targets_.broker == nullptr) {
+      throw std::invalid_argument(
+          "FaultInjector: plan targets the broker but the run has none (" +
+          spec.ToString() + ")");
+    }
+    if (NeedsCluster(spec.kind) && targets_.cluster == nullptr) {
+      throw std::invalid_argument(
+          "FaultInjector: plan targets the db but the run has none (" +
+          spec.ToString() + ")");
+    }
+    if (NeedsSkewHook(spec.kind) && !targets_.apply_external_error) {
+      throw std::invalid_argument(
+          "FaultInjector: plan skews the estimator but no hook was wired (" +
+          spec.ToString() + ")");
+    }
+    if (NeedsCluster(spec.kind) && spec.replica >= 0 &&
+        spec.replica >= targets_.cluster->NumReplicas()) {
+      throw std::invalid_argument("FaultInjector: replica out of range (" +
+                                  spec.ToString() + ")");
+    }
+  }
+
+  // Seed the broker's drop stream once, from every drop clause's seed, so
+  // the same plan always drops the same messages.
+  if (targets_.broker != nullptr) {
+    std::uint64_t seed = 0x5eedfa017ULL;
+    for (const FaultSpec& spec : plan_.faults) {
+      if (spec.kind == FaultKind::kDropMessages) {
+        seed = seed * 0x9e3779b97f4a7c15ULL + spec.seed + 1;
+      }
+    }
+    targets_.broker->SetFaultSeed(seed);
+  }
+
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& spec = plan_.faults[i];
+    loop_.Schedule(spec.start_ms, [this, i]() { Activate(i); });
+    // Crash recovery is the failover group's election, not a deactivation;
+    // open-ended clauses simply stay active.
+    if (spec.kind != FaultKind::kCrashController && spec.end_ms != kOpenEndMs) {
+      loop_.Schedule(spec.end_ms, [this, i]() { Deactivate(i); });
+    }
+  }
+}
+
+void FaultInjector::Activate(std::size_t index) {
+  const FaultSpec& spec = plan_.faults[index];
+  active_[index] = true;
+  switch (spec.kind) {
+    case FaultKind::kCrashController:
+      targets_.controllers->FailPrimary(loop_.Now(),
+                                        spec.end_ms - spec.start_ms);
+      break;
+    case FaultKind::kDropMessages:
+    case FaultKind::kDelayMessages:
+      ApplyBrokerState();
+      break;
+    case FaultKind::kDelayReplica:
+    case FaultKind::kPartitionReplica:
+      ApplyDbState();
+      break;
+    case FaultKind::kSkewEstimator:
+      ApplySkewState();
+      break;
+  }
+  Record(spec, "inject");
+}
+
+void FaultInjector::Deactivate(std::size_t index) {
+  const FaultSpec& spec = plan_.faults[index];
+  active_[index] = false;
+  switch (spec.kind) {
+    case FaultKind::kCrashController:
+      break;  // Never scheduled.
+    case FaultKind::kDropMessages:
+    case FaultKind::kDelayMessages:
+      ApplyBrokerState();
+      break;
+    case FaultKind::kDelayReplica:
+    case FaultKind::kPartitionReplica:
+      ApplyDbState();
+      break;
+    case FaultKind::kSkewEstimator:
+      ApplySkewState();
+      break;
+  }
+  Record(spec, "clear");
+}
+
+void FaultInjector::ApplyBrokerState() {
+  // Independent drops compose as 1 - prod(1 - p_i); delays add.
+  double keep = 1.0;
+  double delay_ms = 0.0;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    if (!active_[i]) continue;
+    const FaultSpec& spec = plan_.faults[i];
+    if (spec.kind == FaultKind::kDropMessages) {
+      keep *= 1.0 - spec.probability;
+    } else if (spec.kind == FaultKind::kDelayMessages) {
+      delay_ms += spec.delta_ms;
+    }
+  }
+  broker::BrokerFaults faults;
+  faults.drop_probability = 1.0 - keep;
+  faults.extra_delay_ms = delay_ms;
+  targets_.broker->SetFaults(faults);
+}
+
+void FaultInjector::ApplyDbState() {
+  db::Cluster& cluster = *targets_.cluster;
+  for (int r = 0; r < cluster.NumReplicas(); ++r) {
+    double delay_ms = 0.0;
+    bool partitioned = false;
+    for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+      if (!active_[i]) continue;
+      const FaultSpec& spec = plan_.faults[i];
+      if (spec.replica != -1 && spec.replica != r) continue;
+      if (spec.kind == FaultKind::kDelayReplica) {
+        delay_ms += spec.delta_ms;
+      } else if (spec.kind == FaultKind::kPartitionReplica) {
+        partitioned = true;
+      }
+    }
+    cluster.SetReplicaExtraDelayMs(r, delay_ms);
+    cluster.SetReplicaPartitioned(r, partitioned);
+  }
+}
+
+void FaultInjector::ApplySkewState() {
+  double error = targets_.base_external_error;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    if (active_[i] && plan_.faults[i].kind == FaultKind::kSkewEstimator) {
+      error += plan_.faults[i].error;
+    }
+  }
+  targets_.apply_external_error(error);
+}
+
+void FaultInjector::Record(const FaultSpec& spec, const char* transition) {
+  injected_.push_back(InjectedFault{
+      loop_.Now(), std::string(transition) + ": " + spec.ToString()});
+}
+
+}  // namespace e2e::fault

@@ -1,0 +1,73 @@
+// Compiles a FaultPlan into scheduled events on the virtual clock.
+//
+// The injector binds a plan to the live components of one experiment run
+// (controller group, broker, db cluster, estimator hook) and schedules an
+// activation/deactivation event per clause. Overlapping clauses compose:
+// delays add, drop probabilities combine independently, skews add on top of
+// the configured base error. Every transition is recorded so the
+// ExperimentResult documents exactly what was injected and when.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/failover.h"
+#include "db/cluster.h"
+#include "broker/broker.h"
+#include "fault/plan.h"
+#include "sim/event_loop.h"
+
+namespace e2e::fault {
+
+/// The components a plan can act on. Null targets are fine as long as the
+/// plan has no clause needing them (Arm() validates).
+struct FaultTargets {
+  /// crash ctrl → FailPrimary with the clause's election window.
+  ReplicatedControllerGroup* controllers = nullptr;
+  /// drop/delay broker → MessageBroker fault state.
+  broker::MessageBroker* broker = nullptr;
+  /// delay/partition db → per-replica fault state.
+  db::Cluster* cluster = nullptr;
+  /// skew est → called with the total relative error (base + active skews)
+  /// on every skew transition. Experiments wire this to the controller
+  /// replicas and, in estimator mode, the frontend.
+  std::function<void(double)> apply_external_error;
+  /// The run's configured estimation error that skews add on top of.
+  double base_external_error = 0.0;
+};
+
+/// Schedules and applies a plan's fault transitions. Must outlive the event
+/// loop run it was armed on.
+class FaultInjector {
+ public:
+  /// `loop` and every non-null target must outlive the injector.
+  FaultInjector(EventLoop& loop, FaultPlan plan, FaultTargets targets);
+
+  /// Validates the plan against the available targets and schedules all
+  /// transitions. Throws std::invalid_argument when a clause needs a target
+  /// that was not provided. Call exactly once, before running the loop.
+  void Arm();
+
+  /// Chronological record of the transitions applied so far.
+  const std::vector<InjectedFault>& injected() const { return injected_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void Activate(std::size_t index);
+  void Deactivate(std::size_t index);
+  void ApplyBrokerState();
+  void ApplyDbState();
+  void ApplySkewState();
+  void Record(const FaultSpec& spec, const char* transition);
+
+  EventLoop& loop_;
+  FaultPlan plan_;
+  FaultTargets targets_;
+  std::vector<bool> active_;
+  std::vector<InjectedFault> injected_;
+  bool armed_ = false;
+};
+
+}  // namespace e2e::fault

@@ -30,6 +30,14 @@ void SimServer::Submit(Completion done) {
   TryStart();
 }
 
+void SimServer::SetExtraServiceDelayMs(double extra_ms) {
+  if (extra_ms < 0.0) {
+    throw std::invalid_argument(
+        "SimServer::SetExtraServiceDelayMs: negative delay");
+  }
+  extra_service_delay_ms_ = extra_ms;
+}
+
 void SimServer::TryStart() {
   while (in_service_ < concurrency_ && !queue_.empty()) {
     Pending job = std::move(queue_.front());
@@ -39,7 +47,9 @@ void SimServer::TryStart() {
     // one). Queue depth deliberately excluded — otherwise service slowdown
     // and queue growth feed each other into a metastable collapse that no
     // real server exhibits; waiting requests cost queueing delay instead.
-    const double service_ms = std::max(0.0, service_time_(in_service_, rng_));
+    const double service_ms =
+        std::max(0.0, service_time_(in_service_, rng_)) +
+        extra_service_delay_ms_;
     JobTiming timing;
     timing.enqueue_ms = job.enqueue_ms;
     timing.start_ms = loop_.Now();

@@ -51,6 +51,12 @@ class SimServer {
   /// Jobs waiting (not yet in service).
   int QueueLength() const { return static_cast<int>(queue_.size()); }
 
+  /// Fault injection: a fixed extra service delay added to every job that
+  /// starts while set (fault::FaultInjector's "delay db" clause). Throws on
+  /// negative values.
+  void SetExtraServiceDelayMs(double extra_ms);
+  double extra_service_delay_ms() const { return extra_service_delay_ms_; }
+
   /// Completed-job statistics.
   const StreamingSummary& total_delay_stats() const { return total_stats_; }
   const StreamingSummary& service_delay_stats() const { return service_stats_; }
@@ -71,6 +77,7 @@ class SimServer {
   ServiceTimeFn service_time_;
   Rng rng_;
   std::deque<Pending> queue_;
+  double extra_service_delay_ms_ = 0.0;
   int in_service_ = 0;
   std::uint64_t completed_ = 0;
   StreamingSummary total_stats_;

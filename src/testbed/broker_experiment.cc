@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/injector.h"
 #include "sim/event_loop.h"
 
 namespace e2e {
@@ -83,6 +84,36 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
   const auto schedule = BuildReplaySchedule(records, config.speedup);
   ExperimentResult result;
   result.outcomes.reserve(schedule.size());
+  result.arrivals = schedule.size();
+
+  // --- Fault plan --------------------------------------------------------
+  // Dropped messages still produce an outcome (status kDropped) so every
+  // arrival is accounted for.
+  broker.SetDropCallback(
+      [&result](const broker::Message& message, double publish_ms) {
+        RequestOutcome outcome;
+        outcome.id = message.id;
+        outcome.arrival_ms = publish_ms;
+        outcome.external_delay_ms = message.external_delay_ms;
+        outcome.status = RequestStatus::kDropped;
+        result.outcomes.push_back(outcome);
+      });
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.fault_plan.empty()) {
+    fault::FaultTargets targets;
+    targets.controllers = controllers.get();
+    targets.broker = &broker;
+    targets.base_external_error = config.external_delay_error;
+    if (controllers != nullptr) {
+      auto* group = controllers.get();
+      targets.apply_external_error = [group](double error) {
+        group->SetExternalDelayError(error);
+      };
+    }
+    injector = std::make_unique<fault::FaultInjector>(
+        loop, config.fault_plan, std::move(targets));
+    injector->Arm();
+  }
 
   for (const auto& arrival : schedule) {
     loop.Schedule(arrival.testbed_time_ms, [&, arrival]() {
@@ -139,6 +170,9 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
       config.broker.handling_cost_ms;
   if (controllers != nullptr) {
     result.controller_stats = controllers->active().stats();
+  }
+  if (injector != nullptr) {
+    result.injected_faults = injector->injected();
   }
   result.Finalize();
   return result;

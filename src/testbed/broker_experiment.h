@@ -11,6 +11,7 @@
 #include "broker/broker.h"
 #include "core/controller.h"
 #include "core/failover.h"
+#include "fault/plan.h"
 #include "qoe/qoe_model.h"
 #include "testbed/metrics.h"
 #include "trace/replay.h"
@@ -42,9 +43,15 @@ struct BrokerExperimentConfig {
   double external_delay_error = 0.0;
   double rps_error = 0.0;
 
-  /// Controller failure injection (Fig. 18).
+  /// Controller failure injection (Fig. 18). Prefer `fault_plan`; this
+  /// legacy toggle is kept for configs that predate fault plans.
   std::optional<double> fail_primary_at_ms;
   double election_delay_ms = 25000.0;
+
+  /// Deterministic fault plan (docs/FAULTS.md). Clauses may crash the
+  /// controller, drop or delay broker messages, and skew the estimator;
+  /// injected transitions are recorded in ExperimentResult.
+  fault::FaultPlan fault_plan;
 };
 
 /// Runs the experiment over `records` scored against `qoe`.

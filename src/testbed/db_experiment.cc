@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/profiler.h"
+#include "fault/injector.h"
 #include "sim/event_loop.h"
 
 namespace e2e {
@@ -104,10 +105,35 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
   }
   db::ReadExecutor executor(cluster, selector);
 
+  // --- Fault plan --------------------------------------------------------
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.fault_plan.empty()) {
+    fault::FaultTargets targets;
+    targets.controllers = controllers.get();
+    targets.cluster = &cluster;
+    targets.base_external_error = config.external_delay_error;
+    if (controllers != nullptr || frontend != nullptr) {
+      auto* group = controllers.get();
+      auto* front = frontend.get();
+      targets.apply_external_error = [group, front,
+                                      base = config.external_delay_error](
+                                         double error) {
+        if (group != nullptr) group->SetExternalDelayError(error);
+        // In estimator mode the skew also biases the frontend's tags — the
+        // deployment-facing estimate path drifts with the injected error.
+        if (front != nullptr) front->SetEstimateBias(error - base);
+      };
+    }
+    injector = std::make_unique<fault::FaultInjector>(
+        loop, config.fault_plan, std::move(targets));
+    injector->Arm();
+  }
+
   // --- Replay ------------------------------------------------------------
   const auto schedule = BuildReplaySchedule(records, config.speedup);
   ExperimentResult result;
   result.outcomes.reserve(schedule.size());
+  result.arrivals = schedule.size();
   Rng keys = root.Fork(3);
 
   for (const auto& arrival : schedule) {
@@ -135,6 +161,8 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
             outcome.qoe =
                 qoe.Qoe(rec.external_delay_ms + outcome.server_delay_ms);
             outcome.decision = read.replica;
+            outcome.status = read.failed_over ? RequestStatus::kFailedOver
+                                              : RequestStatus::kCompleted;
             result.outcomes.push_back(outcome);
           });
     });
@@ -172,6 +200,9 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
   }
   if (controllers != nullptr) {
     result.controller_stats = controllers->active().stats();
+  }
+  if (injector != nullptr) {
+    result.injected_faults = injector->injected();
   }
   result.Finalize();
   return result;

@@ -13,6 +13,7 @@
 #include "testbed/frontend.h"
 #include "core/failover.h"
 #include "db/cluster.h"
+#include "fault/plan.h"
 #include "qoe/qoe_model.h"
 #include "testbed/metrics.h"
 #include "trace/replay.h"
@@ -55,9 +56,15 @@ struct DbExperimentConfig {
   double rps_error = 0.0;
 
   /// Controller failure injection (Fig. 18): fail the primary at this
-  /// testbed time, with the given election delay.
+  /// testbed time, with the given election delay. Prefer `fault_plan`;
+  /// this legacy toggle is kept for configs that predate fault plans.
   std::optional<double> fail_primary_at_ms;
   double election_delay_ms = 25000.0;
+
+  /// Deterministic fault plan (docs/FAULTS.md). Clauses may crash the
+  /// controller, slow or partition replicas, and skew the estimator;
+  /// injected transitions are recorded in ExperimentResult.
+  fault::FaultPlan fault_plan;
 
   /// Epsilon spread of the probabilistic table rows (see ToSelectorEntries).
   double table_epsilon = 0.10;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace e2e {
 namespace {
@@ -62,7 +63,14 @@ DelayMs Frontend::EstimateExternal(const TraceRecord& record) {
   const auto truth = Decompose(record);
   const auto observation =
       net::ObserveConnection(truth, params_.response_bytes, rng_);
-  return estimator_.Estimate(observation);
+  return estimator_.Estimate(observation) * (1.0 + estimate_bias_);
+}
+
+void Frontend::SetEstimateBias(double relative_bias) {
+  if (relative_bias < -1.0) {
+    throw std::invalid_argument("Frontend::SetEstimateBias: bias < -1");
+  }
+  estimate_bias_ = relative_bias;
 }
 
 }  // namespace e2e

@@ -47,12 +47,19 @@ class Frontend {
   /// The per-request estimate the frontend would tag the request with.
   DelayMs EstimateExternal(const TraceRecord& record);
 
+  /// Fault injection ("skew est"): a relative bias applied to every
+  /// estimate the frontend produces — estimates scale by (1 + bias).
+  /// Throws when the bias would make estimates negative (bias < -1).
+  void SetEstimateBias(double relative_bias);
+  double estimate_bias() const { return estimate_bias_; }
+
   const net::ExternalDelayEstimator& estimator() const { return estimator_; }
 
  private:
   FrontendParams params_;
   net::ExternalDelayEstimator estimator_;
   Rng rng_;
+  double estimate_bias_ = 0.0;
 };
 
 }  // namespace e2e

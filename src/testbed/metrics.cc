@@ -1,5 +1,7 @@
 #include "testbed/metrics.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace e2e {
@@ -7,22 +9,79 @@ namespace e2e {
 void ExperimentResult::Finalize() {
   mean_qoe = 0.0;
   mean_server_delay_ms = 0.0;
-  if (outcomes.empty()) {
+  completed = 0;
+  failed_over = 0;
+  dropped = 0;
+  for (const auto& o : outcomes) {
+    switch (o.status) {
+      case RequestStatus::kCompleted:
+        ++completed;
+        break;
+      case RequestStatus::kFailedOver:
+        ++failed_over;
+        break;
+      case RequestStatus::kDropped:
+        ++dropped;
+        break;
+    }
+  }
+  if (arrivals == 0) arrivals = outcomes.size();
+  const std::uint64_t served = completed + failed_over;
+  if (served == 0) {
     throughput_rps = 0.0;
     return;
   }
-  double first = outcomes.front().arrival_ms;
-  double last = first;
+  bool first_seen = false;
+  double first = 0.0;
+  double last = 0.0;
   for (const auto& o : outcomes) {
+    if (!o.Served()) continue;  // Dropped requests have no delays/QoE.
     mean_qoe += o.qoe;
     mean_server_delay_ms += o.server_delay_ms;
+    if (!first_seen) {
+      first_seen = true;
+      first = last = o.arrival_ms;
+    }
     first = std::min(first, o.arrival_ms);
     last = std::max(last, o.arrival_ms);
   }
-  const auto n = static_cast<double>(outcomes.size());
+  const auto n = static_cast<double>(served);
   mean_qoe /= n;
   mean_server_delay_ms /= n;
   throughput_rps = last > first ? n / ((last - first) / 1000.0) : 0.0;
+}
+
+std::string ExperimentResult::Serialize() const {
+  // Hexfloat (%a) renders doubles exactly, so equal serializations imply
+  // bit-identical results and vice versa.
+  std::string out;
+  out.reserve(outcomes.size() * 96 + 512);
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "arrivals=%llu completed=%llu failed_over=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(arrivals),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(failed_over),
+                static_cast<unsigned long long>(dropped));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "mean_qoe=%a mean_server=%a throughput=%a busy=%a\n", mean_qoe,
+                mean_server_delay_ms, throughput_rps, service_busy_ms);
+  out += line;
+  for (const auto& o : outcomes) {
+    std::snprintf(line, sizeof(line), "%llu s=%d d=%d a=%a x=%a v=%a q=%a\n",
+                  static_cast<unsigned long long>(o.id),
+                  static_cast<int>(o.status), o.decision, o.arrival_ms,
+                  o.external_delay_ms, o.server_delay_ms, o.qoe);
+    out += line;
+  }
+  for (const auto& f : injected_faults) {
+    std::snprintf(line, sizeof(line), "fault @%a ", f.at_ms);
+    out += line;
+    out += f.description;
+    out += '\n';
+  }
+  return out;
 }
 
 double QoeGainPercent(double baseline_mean_qoe, double treatment_mean_qoe) {

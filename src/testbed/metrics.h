@@ -3,12 +3,25 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/controller.h"
+#include "fault/plan.h"
 #include "util/types.h"
 
 namespace e2e {
+
+/// How a request left the testbed. Completed and failed-over requests were
+/// served (failed-over ones were rerouted around a partitioned replica);
+/// dropped requests were lost to an injected broker fault. Together the
+/// three statuses account for every arrival — the conservation invariant
+/// the fault property tests assert.
+enum class RequestStatus : std::uint8_t {
+  kCompleted = 0,
+  kFailedOver = 1,
+  kDropped = 2,
+};
 
 /// Per-request outcome of an experiment run.
 struct RequestOutcome {
@@ -18,15 +31,30 @@ struct RequestOutcome {
   DelayMs server_delay_ms = 0.0;  ///< Measured on the testbed.
   double qoe = 0.0;               ///< Q(external + server).
   int decision = -1;              ///< Replica / priority chosen (-1 default).
+  RequestStatus status = RequestStatus::kCompleted;
+
+  bool Served() const { return status != RequestStatus::kDropped; }
 };
 
 /// Aggregate result of one experiment run.
 struct ExperimentResult {
   std::vector<RequestOutcome> outcomes;
-  double mean_qoe = 0.0;
-  double mean_server_delay_ms = 0.0;
+  double mean_qoe = 0.0;              ///< Over served requests.
+  double mean_server_delay_ms = 0.0;  ///< Over served requests.
   double throughput_rps = 0.0;
   ControllerStats controller_stats;
+
+  /// Requests the experiment offered (the replay schedule length). The
+  /// experiment runners set this; Finalize() defaults it to the outcome
+  /// count for hand-built results.
+  std::uint64_t arrivals = 0;
+  /// Outcome counts by status, computed by Finalize().
+  std::uint64_t completed = 0;
+  std::uint64_t failed_over = 0;
+  std::uint64_t dropped = 0;
+
+  /// Fault transitions applied during the run (fault::FaultInjector).
+  std::vector<fault::InjectedFault> injected_faults;
 
   /// Virtual service busy time across all servers (ms) — the testbed's own
   /// resource consumption, for overhead comparisons (Fig. 16).
@@ -34,6 +62,12 @@ struct ExperimentResult {
 
   /// Recomputes aggregate fields from `outcomes`.
   void Finalize();
+
+  /// Deterministic byte-exact serialization (hexfloat doubles) of the
+  /// outcomes, aggregates, and injected faults. Two runs are bit-identical
+  /// iff their serializations compare equal — the golden determinism tests
+  /// rely on this.
+  std::string Serialize() const;
 };
 
 /// Relative QoE gain of `treatment` over `baseline` in percent:

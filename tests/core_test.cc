@@ -566,6 +566,89 @@ TEST(Failover, BackupTakesOverAfterElection) {
   EXPECT_GE(group.Decide(3000.0), 0);
 }
 
+TEST(Controller, AdoptStateFromCopiesTableAndDecisions) {
+  auto primary = MakeController("primary", 1);
+  auto backup = MakeController("backup", 2);
+  Rng rng(16);
+  FeedWindow(*primary, 0.0, rng);
+  ASSERT_TRUE(primary->Tick(1000.0));
+  ASSERT_NE(primary->CurrentTable(), nullptr);
+  EXPECT_EQ(backup->CurrentTable(), nullptr);
+
+  backup->AdoptStateFrom(*primary);
+  ASSERT_NE(backup->CurrentTable(), nullptr);
+  // The adopted table answers identically across the external-delay range.
+  for (double external = 500.0; external < 20000.0; external += 375.0) {
+    EXPECT_EQ(backup->Decide(external), primary->Decide(external))
+        << "external " << external;
+  }
+}
+
+TEST(Failover, PromotedBackupAdoptsThePrimaryTable) {
+  ReplicatedControllerGroup group(MakeController("primary", 1),
+                                  MakeController("backup", 2),
+                                  FailoverParams{.election_delay_ms = 5000.0});
+  Rng rng(17);
+  for (int i = 0; i < 400; ++i) {
+    group.ObserveArrival(rng.LogNormal(8.1, 0.8), i * 2.0);
+  }
+  ASSERT_TRUE(group.Tick(1000.0));
+
+  // Snapshot the primary's answers before the failure.
+  std::vector<int> before;
+  for (double external = 500.0; external < 20000.0; external += 375.0) {
+    before.push_back(group.Decide(external));
+  }
+
+  group.FailPrimary(2000.0);
+  EXPECT_FALSE(group.promoted());
+  group.Tick(8000.0);  // Election complete: backup promoted.
+  EXPECT_TRUE(group.promoted());
+  EXPECT_EQ(group.active().name(), "backup");
+
+  // Until the backup recomputes, its adopted table matches the primary's.
+  std::size_t i = 0;
+  for (double external = 500.0; external < 20000.0; external += 375.0, ++i) {
+    EXPECT_EQ(group.Decide(external), before[i]) << "external " << external;
+  }
+}
+
+TEST(Failover, ExplicitElectionWindowOverridesTheDefault) {
+  ReplicatedControllerGroup group(
+      MakeController("primary", 1), MakeController("backup", 2),
+      FailoverParams{.election_delay_ms = 25000.0});
+  // A fault-plan crash clause carries its own election window.
+  group.FailPrimary(1000.0, 2000.0);
+  EXPECT_TRUE(group.InElection());
+  group.Tick(2500.0);
+  EXPECT_TRUE(group.InElection());  // 1.5 s elapsed < 2 s window.
+  group.Tick(3100.0);
+  EXPECT_FALSE(group.InElection());
+  EXPECT_TRUE(group.promoted());
+  EXPECT_THROW(group.FailPrimary(0.0, -5.0), std::invalid_argument);
+}
+
+TEST(Failover, RecoveredPrimaryStaysStandbyAfterPromotion) {
+  ReplicatedControllerGroup group(MakeController("primary", 1),
+                                  MakeController("backup", 2),
+                                  FailoverParams{.election_delay_ms = 1000.0});
+  Rng rng(18);
+  for (int i = 0; i < 400; ++i) {
+    group.ObserveArrival(rng.LogNormal(8.1, 0.8), i * 2.0);
+  }
+  group.Tick(1000.0);
+  group.FailPrimary(2000.0);
+  group.Tick(3500.0);
+  ASSERT_TRUE(group.promoted());
+  // The promoted backup keeps serving and resumes recomputation.
+  for (int i = 0; i < 400; ++i) {
+    group.ObserveArrival(rng.LogNormal(8.8, 0.8), 4000.0 + i * 2.0);
+  }
+  EXPECT_TRUE(group.Tick(5000.0));
+  EXPECT_EQ(group.active().name(), "backup");
+  EXPECT_GE(group.Decide(3000.0), 0);
+}
+
 TEST(Failover, DoubleFailureIsIdempotent) {
   ReplicatedControllerGroup group(MakeController("primary", 1),
                                   MakeController("backup", 2),

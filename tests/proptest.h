@@ -1,0 +1,49 @@
+// Minimal seeded property-test harness on top of GoogleTest.
+//
+// A property is a callable taking `Rng&`; Check() runs it for a number of
+// iterations, each with a case seed derived deterministically from the
+// harness seed, and stops at the first failing iteration. The failing case
+// seed is printed via SCOPED_TRACE, so a failure reproduces exactly with
+//
+//   proptest::Config config;
+//   config.seed = <printed case seed>; config.iterations = 1;
+//   proptest::Check("repro", property, config);
+//
+// Properties use normal EXPECT_*/ASSERT_* macros. Everything is
+// deterministic: the same binary always runs the same cases.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace e2e::proptest {
+
+/// Harness configuration.
+struct Config {
+  int iterations = 50;
+  std::uint64_t seed = 0xE2E5EED;
+};
+
+/// Runs `property(rng)` for `config.iterations` seeded cases; stops at the
+/// first iteration that records a GoogleTest failure.
+template <typename Property>
+void Check(const std::string& name, Property&& property, Config config = {}) {
+  Rng meta(config.seed);
+  for (int i = 0; i < config.iterations; ++i) {
+    // Iteration 0 of a single-iteration config replays `seed` itself, so a
+    // printed case seed reproduces directly.
+    const std::uint64_t case_seed =
+        config.iterations == 1 ? config.seed : meta.NextU64();
+    SCOPED_TRACE(name + " iteration " + std::to_string(i) + " (case seed " +
+                 std::to_string(case_seed) + ")");
+    Rng rng(case_seed);
+    property(rng);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace e2e::proptest

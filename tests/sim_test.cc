@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
+#include "proptest.h"
 #include "sim/event_loop.h"
 #include "sim/server.h"
 
@@ -67,6 +70,25 @@ TEST(EventLoop, RunUntilStopsAtBoundary) {
   EXPECT_EQ(fired, 2);
 }
 
+// Regression: an event scheduled exactly at until_ms *by a callback running
+// at until_ms* must still fire within the same RunUntil call — RunUntil
+// re-reads the heap top after every callback, so boundary-time chains drain
+// before the clock pins to until_ms.
+TEST(EventLoop, RunUntilFiresBoundaryEventsScheduledByCallbacks) {
+  EventLoop loop;
+  std::vector<std::string> fired;
+  loop.Schedule(10.0, [&] {
+    fired.push_back("first");
+    loop.Schedule(10.0, [&] { fired.push_back("chained-at-boundary"); });
+    loop.ScheduleAfter(0.0, [&] { fired.push_back("after-zero"); });
+  });
+  loop.RunUntil(10.0);
+  EXPECT_EQ(fired, (std::vector<std::string>{"first", "chained-at-boundary",
+                                             "after-zero"}));
+  EXPECT_DOUBLE_EQ(loop.Now(), 10.0);
+  EXPECT_EQ(loop.pending_count(), 0u);
+}
+
 TEST(EventLoop, PastSchedulingThrows) {
   EventLoop loop;
   loop.Schedule(10.0, [] {});
@@ -83,6 +105,108 @@ TEST(EventLoop, StepReturnsFalseWhenEmpty) {
   loop.Schedule(1.0, [] {});
   EXPECT_TRUE(loop.Step());
   EXPECT_FALSE(loop.Step());
+}
+
+// Property: random schedules (with deliberate equal-time ties) always fire
+// in (time, insertion) order, with the clock pinned to each event's time.
+TEST(EventLoopProperties, RandomSchedulesFireInTimeInsertionOrder) {
+  proptest::Check("schedule-order", [](Rng& rng) {
+    EventLoop loop;
+    const int n = 1 + static_cast<int>(rng.UniformInt(0, 99));
+    struct Fired {
+      double at;
+      int index;
+    };
+    std::vector<Fired> fired;
+    for (int i = 0; i < n; ++i) {
+      // A coarse time grid forces plenty of equal-time ties.
+      const double at = static_cast<double>(rng.UniformInt(0, 20));
+      loop.Schedule(at, [&fired, &loop, at, i] {
+        EXPECT_DOUBLE_EQ(loop.Now(), at);
+        fired.push_back({at, i});
+      });
+    }
+    loop.Run();
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(n));
+    EXPECT_EQ(loop.processed_count(), static_cast<std::uint64_t>(n));
+    for (std::size_t i = 0; i + 1 < fired.size(); ++i) {
+      const bool ordered =
+          fired[i].at < fired[i + 1].at ||
+          (fired[i].at == fired[i + 1].at && fired[i].index < fired[i + 1].index);
+      EXPECT_TRUE(ordered) << "events " << i << " and " << i + 1
+                           << " fired out of (time, insertion) order";
+    }
+  });
+}
+
+// Property: Cancel() removes exactly the cancelled events, keeps
+// pending_count() in sync, and reports false for events that already ran or
+// were already cancelled.
+TEST(EventLoopProperties, RandomCancelsAreExact) {
+  proptest::Check("cancel-semantics", [](Rng& rng) {
+    EventLoop loop;
+    const int n = 60;
+    std::vector<EventId> ids;
+    std::vector<bool> cancelled(n, false), fired(n, false);
+    for (int i = 0; i < n; ++i) {
+      const double at = static_cast<double>(rng.UniformInt(0, 200));
+      ids.push_back(loop.Schedule(at, [&fired, i] { fired[i] = true; }));
+    }
+    EXPECT_EQ(loop.pending_count(), static_cast<std::size_t>(n));
+    std::size_t live = static_cast<std::size_t>(n);
+    for (int i = 0; i < n; ++i) {
+      if (!rng.Bernoulli(0.4)) continue;
+      EXPECT_TRUE(loop.Cancel(ids[static_cast<std::size_t>(i)]));
+      EXPECT_FALSE(loop.Cancel(ids[static_cast<std::size_t>(i)]));  // No-op.
+      cancelled[static_cast<std::size_t>(i)] = true;
+      --live;
+    }
+    EXPECT_EQ(loop.pending_count(), live);
+    loop.Run();
+    EXPECT_EQ(loop.pending_count(), 0u);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(fired[static_cast<std::size_t>(i)],
+                !cancelled[static_cast<std::size_t>(i)]);
+      EXPECT_FALSE(loop.Cancel(ids[static_cast<std::size_t>(i)]));
+    }
+  });
+}
+
+// Property: chopping a run into random RunUntil() segments never changes
+// what fires or in which order, relative to a single Run().
+TEST(EventLoopProperties, SegmentedRunUntilMatchesSingleRun) {
+  proptest::Check("segmented-run", [](Rng& rng) {
+    const int n = 40;
+    std::vector<double> times;
+    for (int i = 0; i < n; ++i) {
+      times.push_back(static_cast<double>(rng.UniformInt(0, 100)));
+    }
+
+    auto schedule_all = [&times](EventLoop& loop, std::vector<int>& order) {
+      for (int i = 0; i < static_cast<int>(times.size()); ++i) {
+        loop.Schedule(times[static_cast<std::size_t>(i)],
+                      [&order, i] { order.push_back(i); });
+      }
+    };
+
+    EventLoop whole;
+    std::vector<int> whole_order;
+    schedule_all(whole, whole_order);
+    whole.Run();
+
+    EventLoop segmented;
+    std::vector<int> segmented_order;
+    schedule_all(segmented, segmented_order);
+    double cut = 0.0;
+    while (cut < 100.0) {
+      cut += rng.Uniform(1.0, 30.0);
+      segmented.RunUntil(std::min(cut, 100.0));
+    }
+    segmented.Run();
+
+    EXPECT_EQ(segmented_order, whole_order);
+    EXPECT_EQ(segmented.processed_count(), whole.processed_count());
+  });
 }
 
 TEST(SimServer, ProcessesFifoWithConcurrencyOne) {
