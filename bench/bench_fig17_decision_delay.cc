@@ -76,8 +76,8 @@ int main(int argc, char** argv) {
   constexpr int kLookups = 2000000;
   const auto t_lookup = std::chrono::steady_clock::now();
   for (int i = 0; i < kLookups; ++i) {
-    sink += table.Lookup(
-        externals[static_cast<std::size_t>(i) % externals.size()]);
+    sink = sink + table.Lookup(
+                      externals[static_cast<std::size_t>(i) % externals.size()]);
   }
   const double lookup_ms = WallMs(t_lookup) / kLookups;
   (void)sink;

@@ -10,6 +10,7 @@
 #include "core/controller.h"
 #include "core/profiler.h"
 #include "qoe/sigmoid_model.h"
+#include "util/clock.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -35,7 +36,10 @@ int main(int argc, char** argv) {
   ControllerConfig config;
   config.external.window_ms = 5000.0;
   config.policy.target_buckets = 12;
-  Controller controller("quickstart", config, qoe, server_model, /*seed=*/42);
+  // The real clock is opt-in (sim runs inject virtual time so replay is
+  // byte-exact); here we want the latency line to show real microseconds.
+  Controller controller("quickstart", config, qoe, server_model, /*seed=*/42,
+                        &RealClock::Instance());
 
   // 4. Feed it a window of request arrivals (external delays in ms).
   Rng rng(7);

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Advisory clang-format check: reports files that deviate from .clang-format
+# but never fails the build (exit 0 always, including when clang-format is
+# not installed). Run from anywhere; operates on the repo it lives in.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root" || exit 0
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping (advisory check)."
+  exit 0
+fi
+
+dirty=0
+while IFS= read -r file; do
+  if ! clang-format --dry-run --Werror "$file" >/dev/null 2>&1; then
+    echo "needs-format: $file"
+    dirty=$((dirty + 1))
+  fi
+done < <(find src tests bench examples tools -type f \
+         \( -name '*.h' -o -name '*.cc' \) ! -path 'tools/detlint/testdata/*' \
+         | sort)
+
+if [ "$dirty" -eq 0 ]; then
+  echo "check_format: all files clean."
+else
+  echo "check_format: $dirty file(s) deviate from .clang-format (advisory)."
+fi
+exit 0

@@ -34,7 +34,9 @@ void MessageBroker::StopConsumers() {
   if (stopped_) return;
   stopped_ = true;
   for (EventId id : consumer_timers_) {
-    if (id != 0) loop_.Cancel(id);
+    // A timer that already fired makes Cancel() a no-op; either way the
+    // consumer is stopped, so the result is deliberately discarded.
+    if (id != 0) (void)loop_.Cancel(id);
   }
 }
 

@@ -1,30 +1,22 @@
 #include "core/controller.h"
 
-#include <chrono>
 #include <stdexcept>
 
 #include "util/log.h"
 
 namespace e2e {
-namespace {
-
-double WallMicrosSince(std::chrono::steady_clock::time_point start) {
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  return std::chrono::duration<double, std::micro>(elapsed).count();
-}
-
-}  // namespace
 
 Controller::Controller(std::string name, ControllerConfig config,
                        QoeModelPtr qoe,
                        std::shared_ptr<const ServerDelayModel> server_model,
-                       std::uint64_t seed)
+                       std::uint64_t seed, const Clock* clock)
     : name_(std::move(name)),
       config_(config),
       qoe_(std::move(qoe)),
       server_model_(std::move(server_model)),
       external_model_(config.external),
       cache_(config.cache),
+      clock_(clock != nullptr ? clock : &VirtualClock::Frozen()),
       rng_(seed) {
   if (qoe_ == nullptr) {
     throw std::invalid_argument("Controller: null QoE model");
@@ -57,10 +49,10 @@ bool Controller::Tick(double now_ms) {
     estimated.push_back(external_model_.EstimateForRequest(c, rng_));
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  const double start_us = clock_->NowMicros();
   PolicyResult result =
       ComputePolicy(*qoe_, *server_model_, estimated, rps, config_.policy);
-  stats_.total_recompute_wall_us += WallMicrosSince(start);
+  stats_.total_recompute_wall_us += clock_->NowMicros() - start_us;
   ++stats_.recomputes;
   stats_.last_policy_stats = result.stats;
 
@@ -81,11 +73,11 @@ bool Controller::Tick(double now_ms) {
 int Controller::Decide(DelayMs true_external_delay_ms) {
   const DecisionTable* table = cache_.Get();
   if (table == nullptr) return -1;
-  const auto start = std::chrono::steady_clock::now();
+  const double start_us = clock_->NowMicros();
   const DelayMs estimate =
       external_model_.EstimateForRequest(true_external_delay_ms, rng_);
   const int decision = table->Lookup(estimate);
-  stats_.total_lookup_wall_us += WallMicrosSince(start);
+  stats_.total_lookup_wall_us += clock_->NowMicros() - start_us;
   ++stats_.decisions;
   return decision;
 }

@@ -13,6 +13,7 @@
 #include "core/server_delay_model.h"
 #include "core/table_cache.h"
 #include "qoe/qoe_model.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace e2e {
@@ -31,8 +32,11 @@ struct ControllerConfig {
   double rps_planning_factor = 1.0;
 };
 
-/// Controller bookkeeping, including wall-clock decision costs used for the
-/// overhead evaluation (Fig. 16, Fig. 17).
+/// Controller bookkeeping, including decision costs used for the overhead
+/// evaluation (Fig. 16, Fig. 17). Costs are measured against the clock the
+/// controller was constructed with: the frozen virtual clock by default
+/// (deterministic, reads as zero), the real clock only when an experiment
+/// explicitly opts in via `profile_real_clock`.
 struct ControllerStats {
   std::uint64_t observations = 0;
   std::uint64_t decisions = 0;
@@ -57,9 +61,13 @@ struct ControllerStats {
 /// One controller instance serving one shared-resource service.
 class Controller {
  public:
+  /// `clock` drives the recompute/lookup budget accounting in `stats()`.
+  /// It defaults to VirtualClock::Frozen() so experiment runs stay
+  /// byte-reproducible; pass &RealClock::Instance() (or an EventLoopClock)
+  /// to measure something else. The clock must outlive the controller.
   Controller(std::string name, ControllerConfig config, QoeModelPtr qoe,
              std::shared_ptr<const ServerDelayModel> server_model,
-             std::uint64_t seed);
+             std::uint64_t seed, const Clock* clock = nullptr);
 
   /// Feeds the measured external delay of an arriving request.
   void ObserveArrival(DelayMs external_delay_ms, double now_ms);
@@ -106,6 +114,7 @@ class Controller {
   std::shared_ptr<const ServerDelayModel> server_model_;
   ExternalDelayModel external_model_;
   DecisionTableCache cache_;
+  const Clock* clock_;
   Rng rng_;
   bool failed_ = false;
   ControllerStats stats_;

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/clock.h"
+
 namespace e2e {
 
 /// Identifier of a scheduled event (usable with Cancel()).
@@ -31,8 +33,9 @@ class EventLoop {
   EventId ScheduleAfter(double delay_ms, Callback cb);
 
   /// Cancels a pending event; returns false when the event already ran,
-  /// was cancelled, or never existed.
-  bool Cancel(EventId id);
+  /// was cancelled, or never existed. Callers that do not care must say so
+  /// with a (void) cast — detlint's ignored-status rule flags silent drops.
+  [[nodiscard]] bool Cancel(EventId id);
 
   /// Current virtual time in milliseconds.
   double Now() const { return now_ms_; }
@@ -76,6 +79,20 @@ class EventLoop {
   // Callbacks keyed by id; erased on run/cancel. Cancelled heap entries are
   // skipped lazily.
   std::unordered_map<EventId, Callback> callbacks_;
+};
+
+/// Exposes an EventLoop's virtual time as a cost-accounting Clock, so
+/// components that profile themselves (the Controller's budget accounting)
+/// measure sim time instead of wall time and replay byte-identically.
+/// Within one event the loop's clock does not advance, so intervals
+/// measured around synchronous work are exactly zero — deterministic.
+class EventLoopClock final : public Clock {
+ public:
+  explicit EventLoopClock(const EventLoop& loop) : loop_(&loop) {}
+  double NowMicros() const override { return loop_->Now() * 1000.0; }
+
+ private:
+  const EventLoop* loop_;
 };
 
 }  // namespace e2e

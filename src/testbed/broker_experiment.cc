@@ -36,6 +36,10 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
   }
   Rng root(config.seed);
   EventLoop loop;
+  const EventLoopClock loop_clock(loop);
+  const Clock* profile_clock =
+      config.profile_real_clock ? static_cast<const Clock*>(&RealClock::Instance())
+                                : &loop_clock;
 
   // --- Policy wiring -----------------------------------------------------
   std::shared_ptr<broker::MessageScheduler> scheduler;
@@ -68,7 +72,7 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
     }
     auto make = [&](const char* name, std::uint64_t salt) {
       auto c = std::make_unique<Controller>(name, cc, qoe_shared, server_model,
-                                            config.seed ^ salt);
+                                            config.seed ^ salt, profile_clock);
       c->SetExternalDelayError(config.external_delay_error);
       c->SetRpsError(config.rps_error);
       return c;

@@ -35,6 +35,10 @@ struct BrokerExperimentConfig {
   double tick_interval_ms = 1000.0;
   std::uint64_t seed = 13;
 
+  /// Profile controller budget accounting against the real wall clock
+  /// instead of the testbed's virtual clock (see DbExperimentConfig).
+  bool profile_real_clock = false;
+
   /// Deadline policy parameters (Fig. 21).
   DelayMs deadline_ms = 3400.0;
   DelayMs deadline_max_slack_ms = 4000.0;

@@ -42,8 +42,10 @@ std::vector<db::TableSelector::Entry> ToSelectorEntries(
     // probabilities): mostly the matched replica, with an epsilon spread
     // that keeps every bucket sampling every replica. The spread both
     // smooths bursts and keeps the sacrificial replica's backlog bounded.
-    entry.probabilities.assign(decisions,
-                               decisions > 1 ? epsilon / (decisions - 1) : 0.0);
+    entry.probabilities.assign(
+        decisions, decisions > 1
+                       ? epsilon / static_cast<double>(decisions - 1)
+                       : 0.0);
     entry.probabilities[static_cast<std::size_t>(row.decision)] =
         1.0 - epsilon;
     entries.push_back(std::move(entry));
@@ -59,6 +61,12 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
   }
   Rng root(config.seed);
   EventLoop loop;
+  // Budget accounting runs on the sim's virtual clock unless the config
+  // explicitly asks for real-overhead measurement (Fig. 16/17).
+  const EventLoopClock loop_clock(loop);
+  const Clock* profile_clock =
+      config.profile_real_clock ? static_cast<const Clock*>(&RealClock::Instance())
+                                : &loop_clock;
   db::Cluster cluster(loop, config.cluster, root.Fork(1));
   cluster.LoadDataset(config.dataset_keys, config.value_bytes);
 
@@ -86,7 +94,7 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
     }
     auto make = [&](const char* name, std::uint64_t salt) {
       auto c = std::make_unique<Controller>(name, cc, qoe_shared, server_model,
-                                            config.seed ^ salt);
+                                            config.seed ^ salt, profile_clock);
       c->SetExternalDelayError(config.external_delay_error);
       c->SetRpsError(config.rps_error);
       return c;

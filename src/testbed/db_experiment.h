@@ -46,6 +46,12 @@ struct DbExperimentConfig {
   double tick_interval_ms = 1000.0;  ///< Controller maintenance cadence.
   std::uint64_t seed = 11;
 
+  /// Profile controller budget accounting against the real wall clock
+  /// instead of the testbed's virtual clock. Only the overhead benches
+  /// (Fig. 16/17) and the latency-bound integration test set this: a real
+  /// clock makes ControllerStats (and thus Serialize()) non-reproducible.
+  bool profile_real_clock = false;
+
   /// Offline-profiling grid for the server-delay model (E2E/slope only).
   double profile_max_rps = 120.0;
   int profile_levels = 16;

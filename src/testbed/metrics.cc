@@ -68,6 +68,15 @@ std::string ExperimentResult::Serialize() const {
                 "mean_qoe=%a mean_server=%a throughput=%a busy=%a\n", mean_qoe,
                 mean_server_delay_ms, throughput_rps, service_busy_ms);
   out += line;
+  std::snprintf(line, sizeof(line),
+                "ctrl ticks=%llu recomputes=%llu decisions=%llu "
+                "recompute_us=%a lookup_us=%a\n",
+                static_cast<unsigned long long>(controller_stats.ticks),
+                static_cast<unsigned long long>(controller_stats.recomputes),
+                static_cast<unsigned long long>(controller_stats.decisions),
+                controller_stats.total_recompute_wall_us,
+                controller_stats.total_lookup_wall_us);
+  out += line;
   for (const auto& o : outcomes) {
     std::snprintf(line, sizeof(line), "%llu s=%d d=%d a=%a x=%a v=%a q=%a\n",
                   static_cast<unsigned long long>(o.id),

@@ -64,10 +64,12 @@ struct ExperimentResult {
   void Finalize();
 
   /// Deterministic byte-exact serialization (hexfloat doubles) of the
-  /// outcomes, aggregates, and injected faults. Two runs are bit-identical
-  /// iff their serializations compare equal — the golden determinism tests
-  /// rely on this.
-  std::string Serialize() const;
+  /// outcomes, aggregates, controller budget stats, and injected faults.
+  /// Two runs are bit-identical iff their serializations compare equal —
+  /// the golden determinism tests rely on this. The controller stats line
+  /// is only reproducible when the experiment profiled against the virtual
+  /// clock (the default); `profile_real_clock` runs trade that away.
+  [[nodiscard]] std::string Serialize() const;
 };
 
 /// Relative QoE gain of `treatment` over `baseline` in percent:

@@ -43,6 +43,7 @@ ExperimentResult RunMultiAgentExperiment(std::span<const TraceRecord> records,
     throw std::invalid_argument("RunMultiAgentExperiment: num_agents < 1");
   }
   EventLoop loop;
+  const EventLoopClock loop_clock(loop);
   const auto num_agents = static_cast<std::size_t>(config.num_agents);
 
   // Quantile cuts for the pathological sharding.
@@ -80,7 +81,7 @@ ExperimentResult RunMultiAgentExperiment(std::span<const TraceRecord> records,
     aggregate.num_consumers *= config.num_agents;
     controller = std::make_unique<Controller>(
         "global", config.controller, qoe_shared,
-        BuildBrokerServerModel(aggregate), config.seed);
+        BuildBrokerServerModel(aggregate), config.seed, &loop_clock);
   }
 
   const auto schedule = BuildReplaySchedule(records, config.speedup);

@@ -80,6 +80,7 @@ ExperimentResult RunMultiServiceExperiment(
     throw std::invalid_argument("RunMultiServiceExperiment: no records");
   }
   EventLoop loop;
+  const EventLoopClock loop_clock(loop);
   auto qoe_shared = std::shared_ptr<const QoeModel>(&qoe, [](auto*) {});
 
   Service services[2];
@@ -98,7 +99,7 @@ ExperimentResult RunMultiServiceExperiment(
       services[s].controller = std::make_unique<Controller>(
           std::string("ctrl-") + (s == 0 ? "a" : "b"), config.controller,
           qoe_shared, BuildBrokerServerModel(*params[s]),
-          config.seed + static_cast<std::uint64_t>(s));
+          config.seed + static_cast<std::uint64_t>(s), &loop_clock);
     } else {
       services[s].broker = std::make_unique<broker::MessageBroker>(
           loop, *params[s], std::make_shared<broker::FifoScheduler>());

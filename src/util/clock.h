@@ -1,0 +1,51 @@
+// Cost-accounting clocks.
+//
+// The controller profiles its own recompute/lookup budget (Fig. 16, Fig. 17)
+// by reading a clock around each operation. In simulation runs the testbed
+// owns time, so that clock must be the sim's virtual clock — a real
+// wall-clock read there silently breaks byte-exact replay (the determinism
+// bar the fault property harness and `tools/detlint` enforce). RealClock is
+// therefore opt-in: only the overhead benches and the latency-bound
+// integration test ask for it, via an explicit experiment-config flag.
+#pragma once
+
+namespace e2e {
+
+/// Monotonic microsecond clock. Only differences between two NowMicros()
+/// reads are meaningful.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double NowMicros() const = 0;
+};
+
+/// The host's monotonic clock. Non-deterministic by nature — use only when
+/// measuring real overhead is the point (bench fig16/17); never the default
+/// in experiment runs.
+class RealClock final : public Clock {
+ public:
+  double NowMicros() const override;
+
+  /// Shared process-wide instance (stateless).
+  static const RealClock& Instance();
+};
+
+/// A deterministic clock advanced explicitly by its owner. A VirtualClock
+/// nobody advances reads as frozen: elapsed intervals measured against it
+/// are exactly zero, which is the correct sim-run answer (policy recomputes
+/// are instantaneous in virtual time).
+class VirtualClock final : public Clock {
+ public:
+  double NowMicros() const override { return micros_; }
+  void SetMicros(double us) { micros_ = us; }
+  void AdvanceMicros(double us) { micros_ += us; }
+
+  /// Shared frozen instance for components that need a deterministic clock
+  /// without owning one (the Controller's default).
+  static const VirtualClock& Frozen();
+
+ private:
+  double micros_ = 0.0;
+};
+
+}  // namespace e2e

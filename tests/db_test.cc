@@ -128,13 +128,13 @@ TEST(StorageEngine, CompactionPreservesData) {
 
 TEST(LoadBalancedSelector, PicksLeastLoaded) {
   LoadBalancedSelector selector;
-  ClusterView view{.loads = {5, 1, 3}};
+  ClusterView view{.loads = {5, 1, 3}, .recent_delay_ms = {}};
   EXPECT_EQ(selector.SelectReplica(DbRequest{}, view), 1);
 }
 
 TEST(LoadBalancedSelector, RotatesOnTies) {
   LoadBalancedSelector selector;
-  ClusterView view{.loads = {0, 0, 0}};
+  ClusterView view{.loads = {0, 0, 0}, .recent_delay_ms = {}};
   std::set<int> picks;
   for (int i = 0; i < 3; ++i) {
     picks.insert(selector.SelectReplica(DbRequest{}, view));
@@ -149,7 +149,7 @@ TEST(TableSelector, RoutesByExternalDelayBucket) {
   selector.SetTable({{.lo = 0.0, .hi = 2000.0, .probabilities = {1, 0, 0}},
                      {.lo = 2000.0, .hi = 5800.0, .probabilities = {0, 1, 0}},
                      {.lo = 5800.0, .hi = 1e9, .probabilities = {0, 0, 1}}});
-  ClusterView view{.loads = {0, 0, 0}};
+  ClusterView view{.loads = {0, 0, 0}, .recent_delay_ms = {}};
   DbRequest fast{.id = 1, .external_delay_ms = 500.0};
   DbRequest mid{.id = 2, .external_delay_ms = 3000.0};
   DbRequest slow{.id = 3, .external_delay_ms = 9000.0};
@@ -163,7 +163,7 @@ TEST(TableSelector, RoutesByExternalDelayBucket) {
 
 TEST(TableSelector, FallsBackRoundRobinWithoutTable) {
   TableSelector selector("t", Rng(1));
-  ClusterView view{.loads = {0, 0, 0}};
+  ClusterView view{.loads = {0, 0, 0}, .recent_delay_ms = {}};
   std::set<int> picks;
   for (int i = 0; i < 3; ++i) {
     picks.insert(selector.SelectReplica(DbRequest{}, view));

@@ -1,0 +1,190 @@
+// Unit tests for tools/detlint: each rule is exercised against a golden
+// fixture under tools/detlint/testdata/ (positive, negative, and
+// allowlisted cases), plus the allowlist grammar itself. The repo-wide
+// gate is the separate `detlint` ctest (label: lint) that runs the binary
+// over src/, bench/, and tests/.
+#include "detlint.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using detlint::Finding;
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(DETLINT_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<Finding> ScanFixture(const std::string& name) {
+  const std::string original = ReadFixture(name);
+  const std::string stripped = detlint::StripCommentsAndStrings(original);
+  std::set<std::string> must_check;
+  detlint::CollectMustCheck(stripped, &must_check);
+  return detlint::ScanSource(name, original, stripped, must_check);
+}
+
+using Expected = std::multiset<std::pair<std::string, int>>;
+
+Expected RuleLines(const std::vector<Finding>& findings) {
+  Expected out;
+  for (const auto& f : findings) out.insert({f.rule, f.line});
+  return out;
+}
+
+TEST(StripCommentsAndStrings, BlanksCommentsAndLiterals) {
+  const std::string src =
+      "int a = 1; // time(nullptr)\n"
+      "/* rand() */ const char* s = \"== 1.5\";\n"
+      "char c = '\\\"';\n";
+  const std::string stripped = detlint::StripCommentsAndStrings(src);
+  EXPECT_EQ(stripped.find("time"), std::string::npos);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("1.5"), std::string::npos);
+  EXPECT_NE(stripped.find("int a = 1;"), std::string::npos);
+  // Layout is preserved: same size, same newlines, so line numbers match.
+  EXPECT_EQ(stripped.size(), src.size());
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            static_cast<std::ptrdiff_t>(3));
+}
+
+TEST(StripCommentsAndStrings, RawStringsAndBlockComments) {
+  const std::string src =
+      "auto p = R\"(steady_clock::now())\";\n"
+      "/* multi\n   line rand() comment */\n"
+      "int x = 2;\n";
+  const std::string stripped = detlint::StripCommentsAndStrings(src);
+  EXPECT_EQ(stripped.find("steady_clock"), std::string::npos);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int x = 2;"), std::string::npos);
+  EXPECT_EQ(stripped.size(), src.size());
+}
+
+TEST(DetlintRules, WallClockFixture) {
+  EXPECT_EQ(RuleLines(ScanFixture("wall_clock.cc")),
+            (Expected{{"wall-clock", 6},
+                      {"wall-clock", 11},
+                      {"wall-clock", 15}}));
+}
+
+TEST(DetlintRules, UnseededRngFixture) {
+  EXPECT_EQ(RuleLines(ScanFixture("unseeded_rng.cc")),
+            (Expected{{"unseeded-rng", 5},
+                      {"unseeded-rng", 6},
+                      {"unseeded-rng", 7},
+                      {"unseeded-rng", 8},
+                      {"unseeded-rng", 9},
+                      {"unseeded-rng", 10}}));
+}
+
+TEST(DetlintRules, UnorderedIterFixture) {
+  EXPECT_EQ(RuleLines(ScanFixture("unordered_iter.cc")),
+            (Expected{{"unordered-iter", 16}, {"unordered-iter", 26}}));
+}
+
+TEST(DetlintRules, PtrKeyFixture) {
+  EXPECT_EQ(RuleLines(ScanFixture("ptr_key.cc")),
+            (Expected{{"ptr-key-container", 9}, {"ptr-key-container", 10}}));
+}
+
+TEST(DetlintRules, FloatEqFixture) {
+  EXPECT_EQ(RuleLines(ScanFixture("float_eq.cc")),
+            (Expected{{"float-eq", 3}, {"float-eq", 4}, {"float-eq", 5}}));
+}
+
+TEST(DetlintRules, IgnoredStatusFixture) {
+  EXPECT_EQ(RuleLines(ScanFixture("ignored_status.cc")),
+            (Expected{{"ignored-status", 9}}));
+}
+
+TEST(DetlintRules, CleanFixtureHasNoFindings) {
+  EXPECT_TRUE(ScanFixture("clean.cc").empty());
+}
+
+TEST(DetlintRules, FindingsCarryExcerptAndSeverity) {
+  const auto findings = ScanFixture("wall_clock.cc");
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].excerpt.find("steady_clock::now"), std::string::npos);
+  EXPECT_STREQ(detlint::SeverityName(findings[0].severity), "error");
+}
+
+TEST(Allowlist, SuppressesJustifiedFinding) {
+  auto findings = ScanFixture("allowlisted.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  std::vector<Finding> errors;
+  auto entries = detlint::ParseAllowlist(
+      "allowlist_fixture.txt", ReadFixture("allowlist_fixture.txt"), &errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(entries.size(), 1u);
+  const auto remaining = detlint::ApplyAllowlist(std::move(findings), entries,
+                                                 "allowlist_fixture.txt");
+  EXPECT_TRUE(remaining.empty());
+  EXPECT_TRUE(entries[0].used);
+}
+
+TEST(Allowlist, StaleEntryIsAnError) {
+  std::vector<Finding> errors;
+  auto entries = detlint::ParseAllowlist(
+      "al.txt", "wall-clock|nonexistent.cc|nope|justified but unused\n",
+      &errors);
+  EXPECT_TRUE(errors.empty());
+  const auto remaining = detlint::ApplyAllowlist({}, entries, "al.txt");
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].rule, "stale-allowlist");
+  EXPECT_EQ(remaining[0].file, "al.txt");
+  EXPECT_EQ(remaining[0].line, 1);
+}
+
+TEST(Allowlist, MissingJustificationIsRejected) {
+  std::vector<Finding> errors;
+  const auto entries =
+      detlint::ParseAllowlist("al.txt", "wall-clock|x.cc|now|\n", &errors);
+  EXPECT_TRUE(entries.empty());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].rule, "bad-allowlist");
+}
+
+TEST(Allowlist, UnknownRuleIsRejected) {
+  std::vector<Finding> errors;
+  const auto entries = detlint::ParseAllowlist(
+      "al.txt", "made-up-rule|x.cc|now|some justification\n", &errors);
+  EXPECT_TRUE(entries.empty());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].rule, "bad-allowlist");
+}
+
+TEST(Allowlist, CommentsAndBlankLinesIgnored) {
+  std::vector<Finding> errors;
+  const auto entries = detlint::ParseAllowlist(
+      "al.txt", "# header comment\n\n*|x.cc|pattern|wildcard rule is fine\n",
+      &errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rule, "*");
+  EXPECT_EQ(entries[0].line, 3);
+}
+
+TEST(Rules, TableListsEveryFixtureRule) {
+  std::set<std::string> ids;
+  for (const auto& rule : detlint::Rules()) ids.insert(rule.id);
+  for (const char* id :
+       {"wall-clock", "unseeded-rng", "unordered-iter", "ptr-key-container",
+        "float-eq", "ignored-status", "stale-allowlist", "bad-allowlist"}) {
+    EXPECT_EQ(ids.count(id), 1u) << id;
+  }
+}
+
+}  // namespace

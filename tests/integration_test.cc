@@ -140,9 +140,48 @@ TEST(Integration, BrokerTestbedOrderingAndFairness) {
   EXPECT_GT(j_e2e, j_fifo - 0.12);
 }
 
+TEST(Integration, ByteExactReplayWithVirtualProfilingClock) {
+  // Regression for the controller clock injection: with the default
+  // (virtual) profiling clock, two identical-seed runs must serialize to
+  // byte-identical results — including the controller-stats line, which
+  // used to read the real wall clock and drift between runs.
+  SyntheticWorkloadParams workload;
+  workload.num_requests = 800;
+  workload.rps = 80.0;
+  workload.seed = 41;
+  const auto records = MakeSyntheticWorkload(workload);
+
+  DbExperimentConfig config;
+  config.dataset_keys = 500;
+  config.value_bytes = 16;
+  config.range_count = 10;
+  config.speedup = 1.0;
+  config.policy = DbPolicy::kE2e;
+  ASSERT_FALSE(config.profile_real_clock);  // virtual clock is the default
+
+  const auto a = RunDbExperiment(records, TraceQoe(), config);
+  const auto b = RunDbExperiment(records, TraceQoe(), config);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  // The virtual profiler charges recompute/lookup work against event-loop
+  // time, which does not advance inside a synchronous callback: the cost
+  // counters are exactly reproducible (here, exactly zero).
+  EXPECT_EQ(a.controller_stats.total_recompute_wall_us,
+            b.controller_stats.total_recompute_wall_us);
+  EXPECT_EQ(a.controller_stats.total_lookup_wall_us,
+            b.controller_stats.total_lookup_wall_us);
+}
+
 TEST(Integration, ControllerPathIsCheapEvenInFullRuns) {
   // The Fig. 16/17 claim as an assertion: mean cached-decision latency
   // stays far under the paper's 100 us bound.
+  // Sanitizer builds run instrumented and contend with parallel ctest
+  // workers, so the wall-time bounds get generous headroom there; the
+  // canary still catches order-of-magnitude regressions.
+#if defined(E2E_SANITIZED_BUILD)
+  constexpr double kTimeSlack = 25.0;
+#else
+  constexpr double kTimeSlack = 1.0;
+#endif
   SyntheticWorkloadParams workload;
   workload.num_requests = 2000;
   workload.rps = 100.0;
@@ -162,11 +201,15 @@ TEST(Integration, ControllerPathIsCheapEvenInFullRuns) {
   config.profile_duration_ms = 10000.0;
   config.controller.external.window_ms = 5000.0;
   config.controller.external.min_samples = 20;
+  // This test asserts a *real-time* bound, so it opts into the real
+  // profiling clock; deterministic runs keep the default virtual clock.
+  config.profile_real_clock = true;
   const auto result = RunDbExperiment(records, TraceQoe(), config);
   EXPECT_GT(result.controller_stats.recomputes, 0u);
   // A full table recompute (the *amortized* cost, paid once per window)
   // takes milliseconds of wall time, not seconds.
-  EXPECT_LT(result.controller_stats.MeanRecomputeWallUs(), 200000.0);
+  EXPECT_LT(result.controller_stats.MeanRecomputeWallUs(),
+            200000.0 * kTimeSlack);
   // And the per-request path is a cached lookup: time it directly.
   const DecisionTable table{
       .rows = {{.lo = 0.0, .hi = 1000.0, .decision = 0},
@@ -177,7 +220,7 @@ TEST(Integration, ControllerPathIsCheapEvenInFullRuns) {
   volatile int sink = 0;
   constexpr int kLookups = 100000;
   for (int i = 0; i < kLookups; ++i) {
-    sink += table.Lookup(static_cast<double>(i % 9000));
+    sink = sink + table.Lookup(static_cast<double>(i % 9000));
   }
   const double us =
       std::chrono::duration<double, std::micro>(
@@ -185,7 +228,7 @@ TEST(Integration, ControllerPathIsCheapEvenInFullRuns) {
           .count() /
       kLookups;
   (void)sink;
-  EXPECT_LT(us, 100.0);  // Paper: well under 100 us per request.
+  EXPECT_LT(us, 100.0 * kTimeSlack);  // Paper: well under 100 us/request.
 }
 
 }  // namespace

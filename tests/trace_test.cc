@@ -78,9 +78,9 @@ TEST(TraceGenerator, ExternalDelayClassSplitMatchesFig4) {
   }
   const auto n = static_cast<double>(type1.size());
   // Paper: 25% too-fast, 50% sensitive, 25% too-slow.
-  EXPECT_NEAR(fast / n, 0.25, 0.04);
-  EXPECT_NEAR(sensitive / n, 0.50, 0.05);
-  EXPECT_NEAR(slow / n, 0.25, 0.04);
+  EXPECT_NEAR(static_cast<double>(fast) / n, 0.25, 0.04);
+  EXPECT_NEAR(static_cast<double>(sensitive) / n, 0.50, 0.05);
+  EXPECT_NEAR(static_cast<double>(slow) / n, 0.25, 0.04);
 }
 
 TEST(TraceGenerator, ServerDelayIndependentOfExternal) {

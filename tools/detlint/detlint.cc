@@ -1,0 +1,621 @@
+#include "detlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <regex>
+
+namespace detlint {
+namespace {
+
+// Rule ids. Keep in sync with Rules() and docs/STATIC_ANALYSIS.md.
+constexpr char kWallClock[] = "wall-clock";
+constexpr char kUnseededRng[] = "unseeded-rng";
+constexpr char kUnorderedIter[] = "unordered-iter";
+constexpr char kPtrKey[] = "ptr-key-container";
+constexpr char kFloatEq[] = "float-eq";
+constexpr char kIgnoredStatus[] = "ignored-status";
+constexpr char kStaleAllowlist[] = "stale-allowlist";
+constexpr char kBadAllowlist[] = "bad-allowlist";
+
+int LineOfOffset(std::string_view text, std::size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(offset, text.size())),
+                            '\n'));
+}
+
+std::string_view LineAt(std::string_view text, int line) {
+  std::size_t start = 0;
+  for (int i = 1; i < line; ++i) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) return {};
+    start = nl + 1;
+  }
+  std::size_t end = text.find('\n', start);
+  if (end == std::string_view::npos) end = text.size();
+  return text.substr(start, end - start);
+}
+
+std::string Trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+void Add(std::vector<Finding>* out, const std::string& path,
+         std::string_view original, int line, const char* rule,
+         Severity severity, std::string message) {
+  out->push_back(Finding{path, line, rule, severity, std::move(message),
+                         Trim(LineAt(original, line))});
+}
+
+// --- wall-clock / unseeded-rng / ptr-key / float-eq (per-line regex) -------
+
+struct LineRule {
+  const char* rule;
+  Severity severity;
+  std::regex pattern;
+  const char* message;
+};
+
+const std::vector<LineRule>& LineRules() {
+  static const std::vector<LineRule> rules = [] {
+    std::vector<LineRule> r;
+    r.push_back({kWallClock, Severity::kError,
+                 std::regex(R"(std::chrono::(system_clock|steady_clock|high_resolution_clock)::now\s*\()"),
+                 "wall-clock read breaks byte-exact replay; route cost "
+                 "accounting through util/clock.h (RealClock is opt-in)"});
+    r.push_back({kWallClock, Severity::kError,
+                 std::regex(R"((^|[^\w.>:])(std::)?(time|clock_gettime|gettimeofday|localtime|gmtime)\s*\()"),
+                 "C wall-clock read; experiments must take time from the "
+                 "sim's virtual clock"});
+    r.push_back({kUnseededRng, Severity::kError,
+                 std::regex(R"((^|[^\w.>:])s?rand\s*\()"),
+                 "global C RNG is unseeded shared state; draw from an "
+                 "explicitly seeded e2e::Rng"});
+    r.push_back({kUnseededRng, Severity::kError,
+                 std::regex(R"(\brandom_device\b)"),
+                 "std::random_device is non-deterministic entropy; derive "
+                 "seeds from the experiment's root seed"});
+    r.push_back({kUnseededRng, Severity::kError,
+                 std::regex(R"(\bdefault_random_engine\b)"),
+                 "default_random_engine is implementation-defined; use a "
+                 "seeded e2e::Rng"});
+    r.push_back({kUnseededRng, Severity::kError,
+                 std::regex(R"(\b(mt19937(_64)?|minstd_rand0?|ranlux(24|48)(_base)?|knuth_b)\s+[A-Za-z_]\w*\s*(;|\{\s*\}))"),
+                 "default-constructed engine uses the fixed default seed "
+                 "(or is re-seeded elsewhere, which a reader cannot see); "
+                 "seed it explicitly at the declaration"});
+    r.push_back({kPtrKey, Severity::kError,
+                 std::regex(R"(\b(map|set|multimap|multiset)\s*<\s*(const\s+)?[A-Za-z_][\w:]*\s*\*)"),
+                 "ordered container keyed by pointer: iteration order "
+                 "follows allocation addresses, which differ across runs; "
+                 "key by a stable id instead"});
+    return r;
+  }();
+  return rules;
+}
+
+// Floating literal: 1.5, .5, 1., 1e9, 2.5e-3 — with optional suffix.
+const std::regex& FloatLiteralRight() {
+  static const std::regex re(
+      R"([=!]=\s*[-+]?((\d+\.\d*|\.\d+)([eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fFlL]?)");
+  return re;
+}
+const std::regex& FloatLiteralLeft() {
+  static const std::regex re(
+      R"(((\d+\.\d*|\.\d+)([eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fFlL]?\s*[=!]=)");
+  return re;
+}
+
+bool IsZeroLiteral(const std::string& text) {
+  // Extract the numeric part and compare to zero; "0.0", ".0", "0." and
+  // signed/suffixed variants are all exact and idiomatic sentinel checks.
+  std::string num;
+  for (char c : text) {
+    if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+        c == '+' || c == '-') {
+      num += c;
+    }
+  }
+  if (num.empty()) return false;
+  return std::strtod(num.c_str(), nullptr) == 0.0;
+}
+
+// --- unordered-iter --------------------------------------------------------
+
+// Advances past a balanced <...> starting at `pos` (which must point at
+// '<'); returns the offset one past the matching '>', or npos.
+std::size_t SkipAngles(std::string_view text, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == '<') ++depth;
+    if (text[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+    if (text[i] == ';' || text[i] == '{') return std::string_view::npos;
+  }
+  return std::string_view::npos;
+}
+
+// Names of variables/members/params declared with an unordered container
+// type anywhere in the file.
+std::set<std::string> UnorderedNames(std::string_view stripped) {
+  std::set<std::string> names;
+  static const std::regex decl_re(R"(\bunordered_(map|set|multimap|multiset)\s*<)");
+  auto begin = std::cregex_iterator(stripped.data(),
+                                    stripped.data() + stripped.size(), decl_re);
+  for (auto it = begin; it != std::cregex_iterator(); ++it) {
+    const std::size_t lt =
+        static_cast<std::size_t>(it->position() + it->length()) - 1;
+    std::size_t pos = SkipAngles(stripped, lt);
+    if (pos == std::string_view::npos) continue;
+    // Skip refs/pointers/whitespace between the type and the name.
+    while (pos < stripped.size() &&
+           (std::isspace(static_cast<unsigned char>(stripped[pos])) ||
+            stripped[pos] == '&' || stripped[pos] == '*')) {
+      ++pos;
+    }
+    std::string name;
+    while (pos < stripped.size() &&
+           (std::isalnum(static_cast<unsigned char>(stripped[pos])) ||
+            stripped[pos] == '_')) {
+      name += stripped[pos++];
+    }
+    if (!name.empty()) names.insert(name);
+  }
+  return names;
+}
+
+// Brace-delimited function-ish regions: `) ... {` through the matching `}`.
+struct Region {
+  std::size_t open = 0;
+  std::size_t close = 0;
+};
+
+std::vector<Region> FunctionRegions(std::string_view stripped) {
+  std::vector<Region> regions;
+  // `) ... {` heads: functions, lambdas, ctors (with init lists), but also
+  // if/for/while blocks — harmless extras, since the hazard test below
+  // looks at every enclosing region and the function body is one of them.
+  static const std::regex head_re(
+      R"(\)\s*((const|noexcept|override|final|mutable)\s*)*(:\s*[^{;]*)?\{)");
+  auto begin = std::cregex_iterator(stripped.data(),
+                                    stripped.data() + stripped.size(), head_re);
+  for (auto it = begin; it != std::cregex_iterator(); ++it) {
+    const std::size_t open =
+        static_cast<std::size_t>(it->position() + it->length()) - 1;
+    int depth = 0;
+    for (std::size_t i = open; i < stripped.size(); ++i) {
+      if (stripped[i] == '{') ++depth;
+      if (stripped[i] == '}') {
+        --depth;
+        if (depth == 0) {
+          regions.push_back({open, i});
+          break;
+        }
+      }
+    }
+  }
+  return regions;
+}
+
+bool RegionFeedsRngOrSerialize(std::string_view region) {
+  static const std::regex marker_re(
+      R"(\bRng\b|\brng_?\b|\bengine_?\b|Serialize|NextU64|Uniform|Normal|Bernoulli|Categorical|Shuffle|ExponentialMean)");
+  return std::regex_search(region.begin(), region.end(), marker_re);
+}
+
+void ScanUnorderedIter(const std::string& path, std::string_view original,
+                       std::string_view stripped,
+                       std::vector<Finding>* out) {
+  const std::set<std::string> names = UnorderedNames(stripped);
+  std::vector<Region> regions;
+  bool regions_built = false;
+
+  static const std::regex for_re(R"(\bfor\s*\()");
+  auto begin = std::cregex_iterator(stripped.data(),
+                                    stripped.data() + stripped.size(), for_re);
+  for (auto it = begin; it != std::cregex_iterator(); ++it) {
+    const std::size_t open =
+        static_cast<std::size_t>(it->position() + it->length()) - 1;
+    // Find the matching ')' and the top-level ':' of a range-for.
+    int depth = 0;
+    std::size_t close = std::string_view::npos;
+    std::size_t colon = std::string_view::npos;
+    bool has_semicolon = false;
+    for (std::size_t i = open; i < stripped.size(); ++i) {
+      const char c = stripped[i];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        --depth;
+        if (depth == 0) {
+          close = i;
+          break;
+        }
+      }
+      if (depth == 1 && c == ';') has_semicolon = true;
+      if (depth == 1 && c == ':' && colon == std::string_view::npos) {
+        const bool double_colon = (i + 1 < stripped.size() &&
+                                   stripped[i + 1] == ':') ||
+                                  (i > 0 && stripped[i - 1] == ':');
+        if (!double_colon) colon = i;
+      }
+    }
+    if (close == std::string_view::npos || has_semicolon ||
+        colon == std::string_view::npos) {
+      continue;  // Classic three-clause for, or unparsable.
+    }
+    const std::string_view operand = stripped.substr(colon + 1, close - colon - 1);
+    // Does the operand mention a known unordered container (by declared
+    // name or spelled-out type)?
+    bool unordered = operand.find("unordered_") != std::string_view::npos;
+    if (!unordered) {
+      static const std::regex id_re(R"([A-Za-z_]\w*)");
+      auto ids = std::cregex_iterator(operand.data(),
+                                      operand.data() + operand.size(), id_re);
+      for (auto id = ids; id != std::cregex_iterator(); ++id) {
+        if (names.count(id->str()) != 0) {
+          unordered = true;
+          break;
+        }
+      }
+    }
+    if (!unordered) continue;
+
+    if (!regions_built) {
+      regions = FunctionRegions(stripped);
+      regions_built = true;
+    }
+    // The iteration is hazardous when any enclosing function-ish region
+    // also touches RNG state or Serialize() — order then leaks into draws
+    // or serialized bytes. No enclosing region at all is unparsable
+    // territory; stay conservative and flag.
+    bool enclosed = false;
+    bool hazardous = false;
+    for (const Region& r : regions) {
+      if (r.open <= open && close <= r.close) {
+        enclosed = true;
+        if (RegionFeedsRngOrSerialize(
+                stripped.substr(r.open, r.close - r.open))) {
+          hazardous = true;
+          break;
+        }
+      }
+    }
+    if (!enclosed) hazardous = true;
+    if (hazardous) {
+      Add(out, path, original, LineOfOffset(stripped, open), kUnorderedIter,
+          Severity::kError,
+          "iteration over an unordered container in a function that feeds "
+          "RNG draws or Serialize(): order is unspecified and varies across "
+          "libraries/runs; iterate a sorted copy or keep a parallel vector");
+    }
+  }
+}
+
+// --- ignored-status --------------------------------------------------------
+
+void ScanIgnoredStatus(const std::string& path, std::string_view original,
+                       std::string_view stripped,
+                       const std::set<std::string>& must_check,
+                       std::vector<Finding>* out) {
+  if (must_check.empty()) return;
+  // Statement-initial call chains: after ;, { or }, an optionally qualified
+  // `obj.`/`ptr->`/`ns::` call whose whole statement is just the call.
+  static const std::regex stmt_re(
+      R"(([;{}])\s*((?:[A-Za-z_]\w*(?:\.|->|::))*)([A-Za-z_]\w*)\s*\()");
+  auto begin = std::cregex_iterator(stripped.data(),
+                                    stripped.data() + stripped.size(), stmt_re);
+  for (auto it = begin; it != std::cregex_iterator(); ++it) {
+    const std::string callee = (*it)[3].str();
+    if (must_check.count(callee) == 0) continue;
+    // Walk the balanced argument list; the statement must end right after.
+    std::size_t pos = static_cast<std::size_t>(it->position() + it->length()) - 1;
+    int depth = 0;
+    std::size_t end = std::string_view::npos;
+    for (std::size_t i = pos; i < stripped.size(); ++i) {
+      if (stripped[i] == '(') ++depth;
+      if (stripped[i] == ')') {
+        --depth;
+        if (depth == 0) {
+          end = i + 1;
+          break;
+        }
+      }
+    }
+    if (end == std::string_view::npos) continue;
+    while (end < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[end]))) {
+      ++end;
+    }
+    if (end < stripped.size() && stripped[end] == ';') {
+      Add(out, path, original, LineOfOffset(stripped, pos), kIgnoredStatus,
+          Severity::kWarning,
+          "result of [[nodiscard]] '" + callee +
+              "' is silently dropped; handle it or discard explicitly "
+              "with (void)");
+    }
+  }
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> rules = {
+      {kWallClock, Severity::kError,
+       "wall-clock reads (chrono ::now, time(), clock_gettime, ...)"},
+      {kUnseededRng, Severity::kError,
+       "non-seeded randomness (rand, random_device, default-constructed "
+       "std engines)"},
+      {kUnorderedIter, Severity::kError,
+       "unordered-container iteration in functions feeding RNG draws or "
+       "Serialize()"},
+      {kPtrKey, Severity::kError,
+       "ordered map/set keyed by pointer (address-order nondeterminism)"},
+      {kFloatEq, Severity::kWarning,
+       "float ==/!= against a non-zero literal"},
+      {kIgnoredStatus, Severity::kWarning,
+       "discarded result of a [[nodiscard]] function"},
+      {kStaleAllowlist, Severity::kError,
+       "allowlist entry that matches no finding"},
+      {kBadAllowlist, Severity::kError, "malformed allowlist entry"},
+  };
+  return rules;
+}
+
+std::string StripCommentsAndStrings(std::string_view src) {
+  std::string out(src);
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // )delim" terminator for raw strings.
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < src.size() && src[p] != '(') delim += src[p++];
+          raw_delim = ")" + delim + "\"";
+          state = State::kRaw;
+          i = p;  // At '('; contents blanked from the next character on.
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < src.size() && src[i + 1] != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < src.size() && src[i + 1] != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void CollectMustCheck(std::string_view stripped, std::set<std::string>* out) {
+  static const std::regex nodiscard_re(
+      R"(\[\[nodiscard\]\][^;{}()=]*[\s&*]([A-Za-z_]\w*)\s*\()");
+  auto begin = std::cregex_iterator(stripped.data(),
+                                    stripped.data() + stripped.size(),
+                                    nodiscard_re);
+  for (auto it = begin; it != std::cregex_iterator(); ++it) {
+    out->insert((*it)[1].str());
+  }
+}
+
+std::vector<Finding> ScanSource(const std::string& path,
+                                std::string_view original,
+                                std::string_view stripped,
+                                const std::set<std::string>& must_check) {
+  std::vector<Finding> findings;
+
+  // Per-line rules.
+  std::size_t start = 0;
+  int line_no = 0;
+  while (start <= stripped.size()) {
+    ++line_no;
+    std::size_t end = stripped.find('\n', start);
+    if (end == std::string_view::npos) end = stripped.size();
+    const std::string_view line = stripped.substr(start, end - start);
+
+    for (const LineRule& rule : LineRules()) {
+      if (std::regex_search(line.begin(), line.end(), rule.pattern)) {
+        Add(&findings, path, original, line_no, rule.rule, rule.severity,
+            rule.message);
+      }
+    }
+    // float-eq: any ==/!= with a float literal operand, zero exempt
+    // (exact-sentinel checks like `x == 0.0` are well-defined).
+    for (const std::regex* re : {&FloatLiteralRight(), &FloatLiteralLeft()}) {
+      auto it = std::cregex_iterator(line.begin(), line.end(), *re);
+      for (; it != std::cregex_iterator(); ++it) {
+        if (!IsZeroLiteral(it->str())) {
+          Add(&findings, path, original, line_no, kFloatEq, Severity::kWarning,
+              "float equality against a non-zero literal is representation-"
+              "dependent; compare with a tolerance or restructure");
+          break;
+        }
+      }
+    }
+
+    if (end == stripped.size()) break;
+    start = end + 1;
+  }
+
+  ScanUnorderedIter(path, original, stripped, &findings);
+  ScanIgnoredStatus(path, original, stripped, must_check, &findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.line == b.line && a.rule == b.rule;
+                             }),
+                 findings.end());
+  return findings;
+}
+
+std::vector<AllowEntry> ParseAllowlist(const std::string& path,
+                                       std::string_view text,
+                                       std::vector<Finding>* errors) {
+  std::vector<AllowEntry> entries;
+  std::size_t start = 0;
+  int line_no = 0;
+  while (start <= text.size()) {
+    ++line_no;
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string line = Trim(text.substr(start, end - start));
+    const std::size_t next = end == text.size() ? text.size() + 1 : end + 1;
+    start = next;
+    if (line.empty() || line[0] == '#') {
+      if (next > text.size()) break;
+      continue;
+    }
+
+    std::vector<std::string> fields;
+    std::size_t field_start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == '|') {
+        fields.push_back(Trim(std::string_view(line).substr(
+            field_start, i - field_start)));
+        field_start = i + 1;
+      }
+    }
+    if (fields.size() != 4 || fields[0].empty() || fields[1].empty() ||
+        fields[2].empty() || fields[3].empty()) {
+      errors->push_back(Finding{
+          path, line_no, kBadAllowlist, Severity::kError,
+          "expected 'rule|file-substring|line-substring|justification' "
+          "with all four fields non-empty (the justification is mandatory)",
+          line});
+      if (next > text.size()) break;
+      continue;
+    }
+    const bool known =
+        fields[0] == "*" ||
+        std::any_of(Rules().begin(), Rules().end(),
+                    [&](const RuleInfo& r) { return fields[0] == r.id; });
+    if (!known) {
+      errors->push_back(Finding{path, line_no, kBadAllowlist, Severity::kError,
+                                "unknown rule id '" + fields[0] + "'", line});
+      if (next > text.size()) break;
+      continue;
+    }
+    entries.push_back(AllowEntry{fields[0], fields[1], fields[2], fields[3],
+                                 line_no, false});
+    if (next > text.size()) break;
+  }
+  return entries;
+}
+
+std::vector<Finding> ApplyAllowlist(std::vector<Finding> findings,
+                                    std::vector<AllowEntry>& entries,
+                                    const std::string& allowlist_path) {
+  std::vector<Finding> remaining;
+  for (Finding& f : findings) {
+    bool suppressed = false;
+    for (AllowEntry& e : entries) {
+      const bool rule_ok = e.rule == "*" || e.rule == f.rule;
+      if (rule_ok && f.file.find(e.file) != std::string::npos &&
+          f.excerpt.find(e.pattern) != std::string::npos) {
+        e.used = true;
+        suppressed = true;
+        // Keep matching: several entries may legitimately cover one
+        // finding; all of them count as used.
+      }
+    }
+    if (!suppressed) remaining.push_back(std::move(f));
+  }
+  for (const AllowEntry& e : entries) {
+    if (!e.used) {
+      remaining.push_back(Finding{
+          allowlist_path, e.line, kStaleAllowlist, Severity::kError,
+          "allowlist entry matches no finding — delete it so the list "
+          "cannot rot",
+          e.rule + "|" + e.file + "|" + e.pattern + "|" + e.justification});
+    }
+  }
+  return remaining;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::string out = finding.file + ":" + std::to_string(finding.line) + ": " +
+                    SeverityName(finding.severity) + ": [" + finding.rule +
+                    "] " + finding.message;
+  if (!finding.excerpt.empty()) {
+    out += "\n    | " + finding.excerpt;
+  }
+  return out;
+}
+
+}  // namespace detlint

@@ -1,0 +1,93 @@
+// detlint — determinism & correctness static analysis for the E2E repo.
+//
+// The whole evaluation rests on bit-identical replay: identical seeds and
+// fault plans must produce byte-exact ExperimentResult::Serialize() output
+// (tests/proptest.h asserts exactly that). detlint is the tripwire that
+// keeps refactors from silently breaking the invariant: a token/regex-level
+// scanner (no libclang) that flags the hazard patterns which historically
+// cause replay drift — wall-clock reads, unseeded randomness, iteration
+// over unordered containers on RNG/serialization paths, pointer-keyed
+// ordered containers, float equality against non-zero literals, and
+// silently dropped [[nodiscard]] results.
+//
+// Legitimate exceptions live in tools/detlint/allowlist.txt with a
+// mandatory justification; an allowlist entry that matches nothing is
+// itself an error, so the list cannot rot. See docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlint {
+
+enum class Severity { kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+/// One reported hazard.
+struct Finding {
+  std::string file;     ///< Path as given to the scanner (repo-relative).
+  int line = 0;         ///< 1-based source line.
+  std::string rule;     ///< Rule id (see Rules()).
+  Severity severity = Severity::kError;
+  std::string message;  ///< Human-readable explanation.
+  std::string excerpt;  ///< The offending source line, trimmed.
+};
+
+/// Static description of a rule, for --list-rules and the docs.
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// All rules detlint knows, in reporting order.
+const std::vector<RuleInfo>& Rules();
+
+/// Returns a copy of `src` with comment bodies and string/char literal
+/// contents blanked to spaces (newlines kept), so scans never match
+/// documentation or quoted text. Handles //, /*...*/, '...', "..." with
+/// escapes, and R"delim(...)delim" raw strings.
+std::string StripCommentsAndStrings(std::string_view src);
+
+/// Records the names of [[nodiscard]]-annotated functions declared in
+/// `stripped` into `out` (input to the ignored-status rule).
+void CollectMustCheck(std::string_view stripped, std::set<std::string>* out);
+
+/// Scans one file. `stripped` must be StripCommentsAndStrings(original);
+/// `original` supplies excerpts. `must_check` holds the repo-wide
+/// [[nodiscard]] function names gathered by CollectMustCheck.
+std::vector<Finding> ScanSource(const std::string& path,
+                                std::string_view original,
+                                std::string_view stripped,
+                                const std::set<std::string>& must_check);
+
+/// One allowlist entry: `rule|file-substring|line-substring|justification`.
+struct AllowEntry {
+  std::string rule;           ///< Rule id, or "*" for any rule.
+  std::string file;           ///< Substring of the finding's path.
+  std::string pattern;        ///< Substring of the offending source line.
+  std::string justification;  ///< Mandatory, non-empty.
+  int line = 0;               ///< Line in the allowlist file.
+  bool used = false;          ///< Set when the entry suppressed a finding.
+};
+
+/// Parses allowlist text. Malformed lines (wrong field count, empty
+/// justification, unknown rule id) are appended to `errors` as
+/// `bad-allowlist` findings against `path`.
+std::vector<AllowEntry> ParseAllowlist(const std::string& path,
+                                       std::string_view text,
+                                       std::vector<Finding>* errors);
+
+/// Drops findings matched by an entry (marking it used) and appends a
+/// `stale-allowlist` error for every entry that matched nothing.
+std::vector<Finding> ApplyAllowlist(std::vector<Finding> findings,
+                                    std::vector<AllowEntry>& entries,
+                                    const std::string& allowlist_path);
+
+/// Formats a finding as `file:line: severity: [rule] message | excerpt`.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace detlint

@@ -1,0 +1,176 @@
+// detlint CLI. Usage:
+//
+//   detlint [--root DIR] [--allowlist FILE] [--list-rules] [paths...]
+//
+// Paths are directories or files relative to --root (default: the current
+// directory); when none are given the standard scan set {src, bench, tests}
+// is used. Exit status is 0 when no unallowlisted finding remains, 1
+// otherwise, 2 on usage/IO errors. Wired into ctest as `ctest -L lint`.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "detlint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hh" || ext == ".hpp" || ext == ".cc" ||
+         ext == ".cpp" || ext == ".cxx";
+}
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Path relative to root, '/'-separated, for stable output and allowlist
+// matching across platforms.
+std::string RelativeName(const fs::path& path, const fs::path& root) {
+  std::string rel = fs::relative(path, root).generic_string();
+  return rel.empty() ? path.generic_string() : rel;
+}
+
+int Usage(std::ostream& out, int code) {
+  out << "usage: detlint [--root DIR] [--allowlist FILE] [--list-rules] "
+         "[paths...]\n"
+         "Scans C++ sources for determinism/correctness hazards "
+         "(docs/STATIC_ANALYSIS.md).\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path allowlist_path;
+  std::vector<std::string> wanted;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : detlint::Rules()) {
+        std::cout << rule.id << " (" << detlint::SeverityName(rule.severity)
+                  << "): " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown flag '" << arg << "'\n";
+      return Usage(std::cerr, 2);
+    } else {
+      wanted.push_back(arg);
+    }
+  }
+  if (wanted.empty()) wanted = {"src", "bench", "tests"};
+
+  // Collect the file set, sorted for deterministic output (directory
+  // iteration order is unspecified — detlint practices what it preaches).
+  std::vector<fs::path> files;
+  for (const std::string& w : wanted) {
+    const fs::path base = root / w;
+    std::error_code ec;
+    if (fs::is_directory(base, ec)) {
+      for (auto it = fs::recursive_directory_iterator(base, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(base, ec)) {
+      files.push_back(base);
+    } else {
+      std::cerr << "detlint: no such path: " << base.string() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Phase 1: read + strip everything, harvesting [[nodiscard]] names so
+  // ignored-status works across translation units.
+  struct Source {
+    std::string name;
+    std::string original;
+    std::string stripped;
+  };
+  std::vector<Source> sources;
+  std::set<std::string> must_check;
+  for (const fs::path& path : files) {
+    Source src;
+    src.name = RelativeName(path, root);
+    if (!ReadFile(path, &src.original)) {
+      std::cerr << "detlint: cannot read " << path.string() << "\n";
+      return 2;
+    }
+    src.stripped = detlint::StripCommentsAndStrings(src.original);
+    detlint::CollectMustCheck(src.stripped, &must_check);
+    sources.push_back(std::move(src));
+  }
+
+  // Phase 2: scan.
+  std::vector<detlint::Finding> findings;
+  for (const Source& src : sources) {
+    auto file_findings =
+        detlint::ScanSource(src.name, src.original, src.stripped, must_check);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  const std::size_t total = findings.size();
+
+  // Allowlist.
+  std::size_t allowlisted = 0;
+  if (!allowlist_path.empty()) {
+    std::string text;
+    if (!ReadFile(allowlist_path, &text)) {
+      std::cerr << "detlint: cannot read allowlist "
+                << allowlist_path.string() << "\n";
+      return 2;
+    }
+    std::vector<detlint::Finding> allow_errors;
+    auto entries = detlint::ParseAllowlist(
+        RelativeName(allowlist_path, root), text, &allow_errors);
+    findings = detlint::ApplyAllowlist(std::move(findings), entries,
+                                       RelativeName(allowlist_path, root));
+    allowlisted = total - findings.size() +
+                  static_cast<std::size_t>(
+                      std::count_if(findings.begin(), findings.end(),
+                                    [](const detlint::Finding& f) {
+                                      return f.rule == "stale-allowlist";
+                                    }));
+    findings.insert(findings.end(),
+                    std::make_move_iterator(allow_errors.begin()),
+                    std::make_move_iterator(allow_errors.end()));
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const detlint::Finding& a, const detlint::Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const auto& finding : findings) {
+    std::cout << detlint::FormatFinding(finding) << "\n";
+  }
+  std::cout << "detlint: scanned " << sources.size() << " files, "
+            << findings.size() << " finding(s), " << allowlisted
+            << " allowlisted\n";
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,9 @@
+// detlint fixture: a justified wall-clock read, suppressed by
+// allowlist_fixture.txt (the allowlisted case).
+#include <chrono>
+
+double JustifiedRealClock() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

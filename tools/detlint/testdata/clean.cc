@@ -1,0 +1,14 @@
+// detlint fixture: a fully clean file — no findings expected.
+#include <cstdint>
+#include <vector>
+
+struct SeededRng {
+  explicit SeededRng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state;
+};
+
+double MeanDelay(const std::vector<double>& samples) {
+  double total = 0.0;
+  for (double s : samples) total += s;
+  return samples.empty() ? 0.0 : total / static_cast<double>(samples.size());
+}

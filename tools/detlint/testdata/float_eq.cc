@@ -1,0 +1,11 @@
+// detlint fixture: float-eq rule.
+
+bool PositiveEq(double x) { return x == 0.25; }
+bool PositiveNe(double x) { return 1.5 != x; }
+bool PositiveSci(double x) { return x == 1e-9; }
+
+// Negative: exact-zero sentinel checks are well-defined.
+bool NegativeZero(double x) { return x == 0.0; }
+// Negative: ordered comparisons and integer equality.
+bool NegativeLess(double x) { return x <= 0.5; }
+bool NegativeInt(int v) { return v == 3; }

@@ -1,0 +1,19 @@
+// detlint fixture: ignored-status rule.
+
+class Loop {
+ public:
+  [[nodiscard]] bool Cancel(int id);
+};
+
+void Positive(Loop& loop) {
+  loop.Cancel(7);
+}
+
+bool NegativeChecked(Loop& loop) {
+  if (loop.Cancel(8)) return true;
+  return loop.Cancel(9);
+}
+
+void NegativeExplicitDiscard(Loop& loop) {
+  (void)loop.Cancel(10);
+}

@@ -1,0 +1,14 @@
+// detlint fixture: ptr-key-container rule.
+#include <map>
+#include <set>
+#include <string>
+
+struct Session {};
+
+// Positive: address-ordered keys differ run to run.
+std::map<Session*, int> g_by_session;
+std::set<const Session*> g_live;
+
+// Negative: pointer *values* are fine; only pointer keys order by address.
+std::map<std::string, Session*> g_by_name;
+std::set<int> g_ids;

@@ -1,0 +1,45 @@
+// detlint fixture: unordered-iter rule.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct FakeRng {
+  std::uint64_t state = 1;
+  std::uint64_t NextU64() { return state *= 6364136223846793005ULL; }
+};
+
+// Positive: iteration order leaks into the RNG draw sequence.
+std::uint64_t PositiveFeedsRng(
+    const std::unordered_map<int, double>& weights, FakeRng& rng) {
+  std::uint64_t sum = 0;
+  for (const auto& kv : weights) {
+    sum += rng.NextU64() % static_cast<std::uint64_t>(kv.second + 1.0);
+  }
+  return sum;
+}
+
+// Positive: iteration order leaks into serialized output.
+int Serialize(int v);
+std::vector<int> PositiveSerializePath(const std::unordered_set<int>& ids) {
+  std::vector<int> out;
+  for (int id : ids) out.push_back(Serialize(id));
+  return out;
+}
+
+// Negative: ordered container, even on an RNG path.
+std::uint64_t NegativeVector(const std::vector<double>& w, FakeRng& rng) {
+  std::uint64_t sum = 0;
+  for (double v : w) {
+    sum += rng.NextU64() % static_cast<std::uint64_t>(v + 1.0);
+  }
+  return sum;
+}
+
+// Negative: unordered iteration that only aggregates — no RNG draw, no
+// serialization; the visit order cannot leak anywhere.
+double NegativeAggregate(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) total += kv.second;
+  return total;
+}

@@ -1,0 +1,18 @@
+// detlint fixture: unseeded-rng rule.
+#include <cstdlib>
+#include <random>
+
+int PositiveCRand() { return rand(); }
+void PositiveSRand(unsigned s) { srand(s); }
+std::random_device g_device;
+std::mt19937 g_default_engine;
+std::mt19937_64 g_braced{};
+std::default_random_engine g_impl_defined;
+
+// Negative: explicitly seeded engines are fine.
+std::mt19937 g_seeded(12345);
+std::mt19937_64 g_seeded64{0x9e3779b97f4a7c15ULL};
+
+// Negative: identifiers that merely contain "rand".
+int Brand(int x);
+int NegativeBrand(int v) { return Brand(v); }

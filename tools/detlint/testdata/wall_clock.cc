@@ -1,0 +1,27 @@
+// detlint fixture: wall-clock rule.
+#include <chrono>
+#include <ctime>
+
+double PositiveSteady() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long PositiveSystem() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long PositiveCTime() {
+  return static_cast<long>(time(nullptr));
+}
+
+// Negative: naming the type without reading it is fine.
+using TimePoint = std::chrono::steady_clock::time_point;
+
+// Negative: identifiers that merely contain "time".
+double busy_time(double x);
+double NegativeMember(double v) { return busy_time(v); }
+
+// Negative: mentions in comments (std::chrono::steady_clock::now()) or
+// string literals are documentation, not clock reads.
+const char* kDoc = "calls time() and std::chrono::system_clock::now()";
