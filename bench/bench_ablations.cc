@@ -36,26 +36,26 @@ int main(int argc, char** argv) {
 
   run("E2E (full)", [](DbExperimentConfig&) {});
   run("- fraction refinement (single fixed point pass)",
-      [](DbExperimentConfig& c) { c.controller.policy.refine_fractions = false; });
+      [](DbExperimentConfig& c) { c.common.controller.policy.refine_fractions = false; });
   run("- instability penalty",
       [](DbExperimentConfig& c) {
-        c.controller.policy.instability_penalty = 0.0;
+        c.common.controller.policy.instability_penalty = 0.0;
       });
   run("- hill climbing (degenerate allocation only)",
       [](DbExperimentConfig& c) {
-        c.controller.policy.max_hill_climb_steps = 0;
+        c.common.controller.policy.max_hill_climb_steps = 0;
       });
   run("slope mapping instead of matching",
       [](DbExperimentConfig& c) {
-        c.controller.policy.mapping = MappingAlgorithm::kSlopeBased;
+        c.common.controller.policy.mapping = MappingAlgorithm::kSlopeBased;
       });
   run("4 buckets instead of 24",
-      [](DbExperimentConfig& c) { c.controller.policy.target_buckets = 4; });
+      [](DbExperimentConfig& c) { c.common.controller.policy.target_buckets = 4; });
   run("48 buckets instead of 24",
-      [](DbExperimentConfig& c) { c.controller.policy.target_buckets = 48; });
+      [](DbExperimentConfig& c) { c.common.controller.policy.target_buckets = 48; });
   run("no max-span rule (pure equal-population buckets)",
       [](DbExperimentConfig& c) {
-        c.controller.policy.max_bucket_span_ms = 1e12;
+        c.common.controller.policy.max_bucket_span_ms = 1e12;
       });
   run("one-hot table rows (no epsilon spread)",
       [](DbExperimentConfig& c) { c.table_epsilon = 0.0; });

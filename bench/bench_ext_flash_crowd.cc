@@ -58,16 +58,16 @@ int main(int argc, char** argv) {
   auto config_for = [](bool adaptive) {
     BrokerExperimentConfig config;
     config.policy = BrokerPolicy::kE2e;
-    config.speedup = 1.0;
+    config.common.speedup = 1.0;
     config.broker.priority_levels = 8;
     config.broker.consume_interval_ms = 11.0;
-    config.controller.external.window_ms = 5000.0;
-    config.controller.external.min_samples = 20;
-    config.controller.policy.target_buckets = 12;
+    config.common.controller.external.window_ms = 5000.0;
+    config.common.controller.external.min_samples = 20;
+    config.common.controller.policy.target_buckets = 12;
     if (!adaptive) {
       // Disable the refresh triggers: the first table lives forever.
-      config.controller.cache.js_threshold = 1e9;
-      config.controller.cache.rps_change_threshold = 1e9;
+      config.common.controller.cache.js_threshold = 1e9;
+      config.common.controller.cache.rps_change_threshold = 1e9;
     }
     return config;
   };

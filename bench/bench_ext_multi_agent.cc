@@ -30,16 +30,17 @@ int main(int argc, char** argv) {
   }();
   const QoeModel& qoe = QoeForPage(PageType::kType1);
 
-  auto config_for = [](AgentSharding sharding, bool use_e2e) {
+  auto config_for = [&](AgentSharding sharding, bool use_e2e) {
     MultiAgentConfig config;
+    config.common.collect_telemetry = TelemetryRequested(flags);
     config.num_agents = 4;
     config.sharding = sharding;
     config.use_e2e = use_e2e;
     config.broker.priority_levels = 6;
     config.broker.consume_interval_ms = 20.0;
-    config.controller.external.window_ms = 5000.0;
-    config.controller.external.min_samples = 20;
-    config.controller.policy.target_buckets = 12;
+    config.common.controller.external.window_ms = 5000.0;
+    config.common.controller.external.min_samples = 20;
+    config.common.controller.policy.target_buckets = 12;
     return config;
   };
 
@@ -49,6 +50,10 @@ int main(int argc, char** argv) {
       records, qoe, config_for(AgentSharding::kRoundRobin, true));
   const auto sharded = RunMultiAgentExperiment(
       records, qoe, config_for(AgentSharding::kByExternalDelay, true));
+
+  WriteTelemetrySidecar(flags, "agents.fifo", fifo);
+  WriteTelemetrySidecar(flags, "agents.balanced", balanced);
+  WriteTelemetrySidecar(flags, "agents.sharded", sharded);
 
   TextTable table({"Setting", "Mean QoE", "Gain over FIFO (%)"});
   table.AddRow({"FIFO (any sharding)", TextTable::Num(fifo.mean_qoe, 3),

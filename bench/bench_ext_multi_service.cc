@@ -31,8 +31,9 @@ int main(int argc, char** argv) {
   }();
   const QoeModel& qoe = QoeForPage(PageType::kType1);
 
-  auto config_for = [](CrossServiceMode mode, bool use_e2e) {
+  auto config_for = [&](CrossServiceMode mode, bool use_e2e) {
     MultiServiceConfig config;
+    config.common.collect_telemetry = TelemetryRequested(flags);
     config.mode = mode;
     config.use_e2e = use_e2e;
     config.service_a.priority_levels = 6;
@@ -44,9 +45,9 @@ int main(int argc, char** argv) {
     config.service_b.consume_interval_ms = 15.0;
     config.service_b.handling_cost_ms = 4000.0;
     config.fanout_probability = 0.3;
-    config.controller.external.window_ms = 5000.0;
-    config.controller.external.min_samples = 20;
-    config.controller.policy.target_buckets = 12;
+    config.common.controller.external.window_ms = 5000.0;
+    config.common.controller.external.min_samples = 20;
+    config.common.controller.policy.target_buckets = 12;
     return config;
   };
 
@@ -56,6 +57,10 @@ int main(int argc, char** argv) {
       records, qoe, config_for(CrossServiceMode::kIsolated, true));
   const auto aware = RunMultiServiceExperiment(
       records, qoe, config_for(CrossServiceMode::kDependencyAware, true));
+
+  WriteTelemetrySidecar(flags, "services.fifo", fifo);
+  WriteTelemetrySidecar(flags, "services.isolated", isolated);
+  WriteTelemetrySidecar(flags, "services.aware", aware);
 
   TextTable table({"Policy", "Mean QoE", "Mean joined delay (ms)",
                    "Gain over FIFO (%)"});

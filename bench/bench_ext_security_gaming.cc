@@ -84,12 +84,12 @@ int main(int argc, char** argv) {
 
   BrokerExperimentConfig config;
   config.policy = BrokerPolicy::kE2e;
-  config.speedup = 1.0;
+  config.common.speedup = 1.0;
   config.broker.priority_levels = 8;
   config.broker.consume_interval_ms = 12.0;
-  config.controller.external.window_ms = 5000.0;
-  config.controller.external.min_samples = 20;
-  config.controller.policy.target_buckets = 12;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.external.min_samples = 20;
+  config.common.controller.policy.target_buckets = 12;
 
   // Baseline: everyone honest.
   const auto baseline = RunBrokerExperiment(honest, qoe, config);

@@ -78,13 +78,20 @@ int main(int argc, char** argv) {
 
   TextTable table_b({"System", "Default QoE", "Slope (%)", "E2E (%)",
                      "Idealized (%)"});
+  const bool telemetry = TelemetryRequested(flags);
   {
-    const auto def = RunDbExperiment(
-        slice, qoe, StandardDbConfig(DbPolicy::kDefault, db_speedup));
-    const auto slope = RunDbExperiment(
-        slice, qoe, StandardDbConfig(DbPolicy::kSlope, db_speedup));
-    const auto e2e = RunDbExperiment(
-        slice, qoe, StandardDbConfig(DbPolicy::kE2e, db_speedup));
+    auto config_for = [&](DbPolicy policy) {
+      auto config = StandardDbConfig(policy, db_speedup);
+      config.common.collect_telemetry = telemetry;
+      return config;
+    };
+    const auto def =
+        RunDbExperiment(slice, qoe, config_for(DbPolicy::kDefault));
+    const auto slope = RunDbExperiment(slice, qoe, config_for(DbPolicy::kSlope));
+    const auto e2e = RunDbExperiment(slice, qoe, config_for(DbPolicy::kE2e));
+    WriteTelemetrySidecar(flags, "db.default", def);
+    WriteTelemetrySidecar(flags, "db.slope", slope);
+    WriteTelemetrySidecar(flags, "db.e2e", e2e);
     table_b.AddRow({"Cassandra (replica selection)",
                     TextTable::Num(def.mean_qoe, 3),
                     TextTable::Num(QoeGainPercent(def.mean_qoe,
@@ -95,12 +102,20 @@ int main(int argc, char** argv) {
                                    1)});
   }
   {
-    const auto def = RunBrokerExperiment(
-        slice, qoe, StandardBrokerConfig(BrokerPolicy::kDefault, broker_speedup));
-    const auto slope = RunBrokerExperiment(
-        slice, qoe, StandardBrokerConfig(BrokerPolicy::kSlope, broker_speedup));
-    const auto e2e = RunBrokerExperiment(
-        slice, qoe, StandardBrokerConfig(BrokerPolicy::kE2e, broker_speedup));
+    auto config_for = [&](BrokerPolicy policy) {
+      auto config = StandardBrokerConfig(policy, broker_speedup);
+      config.common.collect_telemetry = telemetry;
+      return config;
+    };
+    const auto def =
+        RunBrokerExperiment(slice, qoe, config_for(BrokerPolicy::kDefault));
+    const auto slope =
+        RunBrokerExperiment(slice, qoe, config_for(BrokerPolicy::kSlope));
+    const auto e2e =
+        RunBrokerExperiment(slice, qoe, config_for(BrokerPolicy::kE2e));
+    WriteTelemetrySidecar(flags, "broker.default", def);
+    WriteTelemetrySidecar(flags, "broker.slope", slope);
+    WriteTelemetrySidecar(flags, "broker.e2e", e2e);
     table_b.AddRow({"RabbitMQ (message scheduling)",
                     TextTable::Num(def.mean_qoe, 3),
                     TextTable::Num(QoeGainPercent(def.mean_qoe,

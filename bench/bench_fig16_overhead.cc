@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     auto config = StandardDbConfig(DbPolicy::kE2e, speedup);
     // Fig. 16 reports *real* controller CPU time, so opt into the real
     // profiling clock (everything else in the run stays virtual-time).
-    config.profile_real_clock = true;
+    config.common.profile_real_clock = true;
     const auto result = RunDbExperiment(slice, qoe, config);
     const double service_cpu_s = result.service_busy_ms / 1000.0;
     const double e2e_cpu_s =

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   // The full hill climb over per-request matchings is intractable (that is
   // the point of Fig. 17); bound the search so one solve finishes, and time
   // that solve — each arriving request would pay it.
-  PolicyConfig basic = config.controller.policy;
+  PolicyConfig basic = config.common.controller.policy;
   basic.per_request = true;
   basic.max_hill_climb_steps = 4;
   basic.refine_fractions = false;
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   const double basic_ms = WallMs(t_basic);
 
   // --- (2) Spatial coarsening: bucket-granularity solve on each arrival. --
-  PolicyConfig spatial = config.controller.policy;
+  PolicyConfig spatial = config.common.controller.policy;
   const auto t_spatial = std::chrono::steady_clock::now();
   constexpr int kSpatialReps = 20;
   PolicyResult spatial_result;
@@ -87,8 +87,8 @@ int main(int argc, char** argv) {
       slice, qoe, StandardDbConfig(DbPolicy::kDefault, kDbReferenceSpeedup));
   auto gain_with = [&](int buckets, double max_span) {
     auto c = StandardDbConfig(DbPolicy::kE2e, kDbReferenceSpeedup);
-    c.controller.policy.target_buckets = buckets;
-    c.controller.policy.max_bucket_span_ms = max_span;
+    c.common.controller.policy.target_buckets = buckets;
+    c.common.controller.policy.max_bucket_span_ms = max_span;
     const auto r = RunDbExperiment(slice, qoe, c);
     return QoeGainPercent(def.mean_qoe, r.mean_qoe);
   };

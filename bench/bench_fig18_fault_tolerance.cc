@@ -77,12 +77,16 @@ int main(int argc, char** argv) {
   const auto& slice = TestbedSlice();
   const QoeModel& qoe = QoeForPage(PageType::kType1);
 
-  const auto def = RunDbExperiment(
-      slice, qoe, StandardDbConfig(DbPolicy::kDefault, kDbReferenceSpeedup));
-  const auto healthy = RunDbExperiment(
-      slice, qoe, StandardDbConfig(DbPolicy::kE2e, kDbReferenceSpeedup));
+  const bool telemetry = TelemetryRequested(flags);
+  auto default_config = StandardDbConfig(DbPolicy::kDefault, kDbReferenceSpeedup);
+  default_config.common.collect_telemetry = telemetry;
+  auto healthy_config = StandardDbConfig(DbPolicy::kE2e, kDbReferenceSpeedup);
+  healthy_config.common.collect_telemetry = telemetry;
+  const auto def = RunDbExperiment(slice, qoe, default_config);
+  const auto healthy = RunDbExperiment(slice, qoe, healthy_config);
   auto failing_config = StandardDbConfig(DbPolicy::kE2e, kDbReferenceSpeedup);
-  failing_config.fault_plan = plan;
+  failing_config.common.collect_telemetry = telemetry;
+  failing_config.common.fault_plan = plan;
   ExperimentResult failing;
   try {
     failing = RunDbExperiment(slice, qoe, failing_config);
@@ -91,6 +95,10 @@ int main(int argc, char** argv) {
     std::cerr << "bad --fault_plan: " << error.what() << "\n";
     return 2;
   }
+
+  WriteTelemetrySidecar(flags, "db.default", def);
+  WriteTelemetrySidecar(flags, "db.healthy", healthy);
+  WriteTelemetrySidecar(flags, "db.failing", failing);
 
   const auto def_buckets = QoePerBucket(def, bucket_ms);
   const auto healthy_buckets = QoePerBucket(healthy, bucket_ms);

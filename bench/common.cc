@@ -1,6 +1,8 @@
 #include "common.h"
 
+#include <fstream>
 #include <map>
+#include <stdexcept>
 
 #include "testbed/workloads.h"
 
@@ -43,7 +45,7 @@ void PrintHeader(const std::string& figure, const std::string& paper_claim,
 DbExperimentConfig StandardDbConfig(DbPolicy policy, double speedup) {
   DbExperimentConfig config;
   config.policy = policy;
-  config.speedup = speedup;
+  config.common.speedup = speedup;
   config.dataset_keys = 20000;
   config.value_bytes = 64;
   config.range_count = 100;  // Paper: range queries of 100 rows.
@@ -56,11 +58,11 @@ DbExperimentConfig StandardDbConfig(DbPolicy policy, double speedup) {
   config.profile_levels = 16;
   config.profile_max_rps = 100.0;
   config.profile_duration_ms = 60000.0;
-  config.controller.external.window_ms = 10000.0;  // Paper: 10 s updates.
-  config.controller.external.min_samples = 50;
-  config.controller.policy.target_buckets = 24;
-  config.controller.cache.rps_change_threshold = 0.15;
-  config.seed = kSeed;
+  config.common.controller.external.window_ms = 10000.0;  // Paper: 10 s updates.
+  config.common.controller.external.min_samples = 50;
+  config.common.controller.policy.target_buckets = 24;
+  config.common.controller.cache.rps_change_threshold = 0.15;
+  config.common.seed = kSeed;
   return config;
 }
 
@@ -68,15 +70,38 @@ BrokerExperimentConfig StandardBrokerConfig(BrokerPolicy policy,
                                             double speedup) {
   BrokerExperimentConfig config;
   config.policy = policy;
-  config.speedup = speedup;
+  config.common.speedup = speedup;
   config.broker.priority_levels = 8;
   config.broker.consume_interval_ms = 5.0;  // Paper: 1 msg / 5 ms.
   config.broker.num_consumers = 1;
-  config.controller.external.window_ms = 10000.0;
-  config.controller.external.min_samples = 50;
-  config.controller.policy.target_buckets = 16;
-  config.seed = kSeed;
+  config.common.controller.external.window_ms = 10000.0;
+  config.common.controller.external.min_samples = 50;
+  config.common.controller.policy.target_buckets = 16;
+  config.common.seed = kSeed;
   return config;
+}
+
+bool TelemetryRequested(const Flags& flags) {
+  return flags.Has("metrics_out");
+}
+
+void WriteTelemetrySidecar(const Flags& flags, const std::string& label,
+                           const ExperimentResult& result) {
+  if (!flags.Has("metrics_out") || result.telemetry.empty()) return;
+  const std::string base = flags.GetString("metrics_out", "");
+  const auto dot = base.rfind('.');
+  const auto slash = base.rfind('/');
+  const bool has_ext =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  const std::string stem = has_ext ? base.substr(0, dot) : base;
+  const std::string ext = has_ext ? base.substr(dot) : ".txt";
+  const std::string path = stem + "." + label + ext;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open --metrics_out sidecar " + path);
+  }
+  out << (ext == ".json" ? result.telemetry.SerializeJson()
+                         : result.telemetry.SerializeText());
 }
 
 const std::vector<TraceRecord>& TestbedSlice() {

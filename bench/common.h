@@ -60,6 +60,18 @@ BrokerExperimentConfig StandardBrokerConfig(BrokerPolicy policy,
 /// benches replay; memoized per process.
 const std::vector<TraceRecord>& TestbedSlice();
 
+/// True when `--metrics_out=PATH` was given. Benches that run experiments
+/// use this to switch `common.collect_telemetry` on before the run.
+bool TelemetryRequested(const Flags& flags);
+
+/// Writes `result.telemetry` as a sidecar of the `--metrics_out` path with
+/// `label` inserted before the extension (`out.txt` + label "db.e2e" ->
+/// `out.db.e2e.txt`). Paths ending in `.json` get the JSON encoding;
+/// anything else the stable text encoding (docs/OBSERVABILITY.md). No-op
+/// when the flag is absent or the run collected no telemetry.
+void WriteTelemetrySidecar(const Flags& flags, const std::string& label,
+                           const ExperimentResult& result);
+
 /// Calibrated speed-ups at which each testbed operates at the same fraction
 /// of its capacity as the paper's deployments did at 20x (the db cluster's
 /// knee sits slightly higher relative to the replay rate than the broker's).

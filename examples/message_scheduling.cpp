@@ -19,11 +19,11 @@ using namespace e2e;
 BrokerExperimentConfig DemoConfig(BrokerPolicy policy) {
   BrokerExperimentConfig config;
   config.policy = policy;
-  config.speedup = 1.0;
+  config.common.speedup = 1.0;
   config.broker.priority_levels = 8;
   config.broker.consume_interval_ms = 12.0;  // ~83 msg/s capacity.
-  config.controller.external.window_ms = 5000.0;
-  config.controller.policy.target_buckets = 16;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.policy.target_buckets = 16;
   config.deadline_ms = 3400.0;
   config.deadline_max_slack_ms = 4000.0;
   return config;

@@ -21,7 +21,7 @@ using namespace e2e;
 DbExperimentConfig DemoConfig(DbPolicy policy) {
   DbExperimentConfig config;
   config.policy = policy;
-  config.speedup = 1.0;
+  config.common.speedup = 1.0;
   config.dataset_keys = 5000;
   config.value_bytes = 64;
   config.range_count = 100;
@@ -34,8 +34,8 @@ DbExperimentConfig DemoConfig(DbPolicy policy) {
   config.profile_max_rps = 40.0;
   config.profile_levels = 10;
   config.profile_duration_ms = 30000.0;
-  config.controller.external.window_ms = 5000.0;
-  config.controller.policy.target_buckets = 16;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.policy.target_buckets = 16;
   return config;
 }
 

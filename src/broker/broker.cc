@@ -52,7 +52,32 @@ void MessageBroker::PullOne(int consumer) {
   ScheduleNextPull(consumer);
 }
 
+void MessageBroker::AttachMetrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) {
+  metric_published_ = &registry.AddCounter(prefix + ".published");
+  metric_delivered_ = &registry.AddCounter(prefix + ".delivered");
+  metric_dropped_ = &registry.AddCounter(prefix + ".dropped");
+  metric_fault_delay_hits_ =
+      &registry.AddCounter(prefix + ".fault_delay_hits");
+  metric_queueing_delay_ = &registry.AddHistogram(
+      prefix + ".queueing_delay_ms",
+      {1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+       5000.0, 10000.0, 30000.0, 60000.0});
+  metric_queue_depth_.clear();
+  for (int p = 0; p < params_.priority_levels; ++p) {
+    metric_queue_depth_.push_back(&registry.AddHistogram(
+        prefix + ".queue_depth.p" + std::to_string(p),
+        {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+         1024.0}));
+  }
+}
+
 std::optional<Delivery> MessageBroker::TryPull() {
+  if (metric_queueing_delay_ != nullptr) {
+    for (std::size_t p = 0; p < queues_.size(); ++p) {
+      metric_queue_depth_[p]->Observe(static_cast<double>(queues_[p].size()));
+    }
+  }
   for (auto& queue : queues_) {
     if (queue.empty()) continue;
     Queued item = std::move(queue.front());
@@ -67,6 +92,11 @@ std::optional<Delivery> MessageBroker::TryPull() {
     queue_stats_.Add(delivery.QueueingDelayMs());
     per_priority_stats_[static_cast<std::size_t>(item.priority)].Add(
         delivery.QueueingDelayMs());
+    if (metric_delivered_ != nullptr) {
+      metric_delivered_->Increment();
+      metric_queueing_delay_->Observe(delivery.QueueingDelayMs());
+      if (faults_.extra_delay_ms > 0.0) metric_fault_delay_hits_->Increment();
+    }
     if (item.confirm) {
       loop_.Schedule(delivery.deliver_ms, [confirm = std::move(item.confirm),
                                            delivery]() { confirm(delivery); });
@@ -102,9 +132,11 @@ void MessageBroker::Publish(const Message& message, ConfirmCallback confirm) {
   if (faults_.drop_probability > 0.0 &&
       fault_rng_.Bernoulli(faults_.drop_probability)) {
     ++dropped_;
+    if (metric_dropped_ != nullptr) metric_dropped_->Increment();
     if (drop_callback_) drop_callback_(message, loop_.Now());
     return;
   }
+  if (metric_published_ != nullptr) metric_published_->Increment();
   const BrokerView view = View();
   int priority = scheduler_->AssignPriority(message, view);
   if (priority < 0 || priority >= params_.priority_levels) {

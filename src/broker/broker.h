@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "broker/scheduler.h"
+#include "obs/metrics.h"
 #include "sim/event_loop.h"
 #include "stats/summary.h"
 #include "util/rng.h"
@@ -121,6 +122,14 @@ class MessageBroker {
 
   int priority_levels() const { return params_.priority_levels; }
 
+  /// Attaches telemetry (docs/OBSERVABILITY.md) under `prefix`:
+  /// <prefix>.published / .delivered / .dropped / .fault_delay_hits
+  /// counters, a <prefix>.queueing_delay_ms histogram, and one
+  /// <prefix>.queue_depth.p<i> histogram per priority level (depths
+  /// sampled on every consumer pull). `registry` must outlive the broker.
+  void AttachMetrics(obs::MetricsRegistry& registry,
+                     const std::string& prefix = "broker");
+
  private:
   struct Queued {
     Message message;
@@ -145,6 +154,13 @@ class MessageBroker {
   std::uint64_t dropped_ = 0;
   StreamingSummary queue_stats_;
   std::vector<StreamingSummary> per_priority_stats_;
+  // Telemetry (null until AttachMetrics; hot paths pay one branch each).
+  obs::Counter* metric_published_ = nullptr;
+  obs::Counter* metric_delivered_ = nullptr;
+  obs::Counter* metric_dropped_ = nullptr;
+  obs::Counter* metric_fault_delay_hits_ = nullptr;
+  obs::Histogram* metric_queueing_delay_ = nullptr;
+  std::vector<obs::Histogram*> metric_queue_depth_;  // One per priority.
 };
 
 }  // namespace e2e::broker

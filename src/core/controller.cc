@@ -31,8 +31,33 @@ void Controller::ObserveArrival(DelayMs external_delay_ms, double now_ms) {
   external_model_.Observe(external_delay_ms, now_ms);
 }
 
+void Controller::AttachTelemetry(obs::MetricsRegistry& registry,
+                                 obs::Tracer* tracer,
+                                 const std::string& prefix) {
+  tracer_ = tracer;
+  span_name_ = prefix + ".recompute";
+  metric_ticks_ = &registry.AddCounter(prefix + ".ticks");
+  metric_recomputes_ = &registry.AddCounter(prefix + ".recomputes");
+  metric_decisions_ = &registry.AddCounter(prefix + ".decisions");
+  metric_recompute_us_ = &registry.AddHistogram(
+      prefix + ".recompute_us",
+      {10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0, 50000.0, 100000.0,
+       500000.0});
+  metric_staleness_ = &registry.AddHistogram(
+      prefix + ".table_staleness_ms",
+      {500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0, 50000.0, 100000.0,
+       250000.0});
+}
+
 bool Controller::Tick(double now_ms) {
   ++stats_.ticks;
+  if (metric_ticks_ != nullptr) {
+    metric_ticks_->Increment();
+    // Decision staleness: how old the serving table is at this tick.
+    if (cache_.Get() != nullptr) {
+      metric_staleness_->Observe(now_ms - last_install_ms_);
+    }
+  }
   if (failed_) return false;
   external_model_.MaybeRoll(now_ms);
   if (!external_model_.HasDistribution()) return false;
@@ -49,12 +74,20 @@ bool Controller::Tick(double now_ms) {
     estimated.push_back(external_model_.EstimateForRequest(c, rng_));
   }
 
+  obs::Span span;
+  if (tracer_ != nullptr) span = tracer_->StartSpan(span_name_);
   const double start_us = clock_->NowMicros();
   PolicyResult result =
       ComputePolicy(*qoe_, *server_model_, estimated, rps, config_.policy);
-  stats_.total_recompute_wall_us += clock_->NowMicros() - start_us;
+  const double cost_us = clock_->NowMicros() - start_us;
+  span.End();
+  stats_.total_recompute_wall_us += cost_us;
   ++stats_.recomputes;
   stats_.last_policy_stats = result.stats;
+  if (metric_recomputes_ != nullptr) {
+    metric_recomputes_->Increment();
+    metric_recompute_us_->Observe(cost_us);
+  }
 
   if (LogEnabled(LogLevel::kDebug)) {
     LogStream log(LogLevel::kDebug, name_);
@@ -67,6 +100,7 @@ bool Controller::Tick(double now_ms) {
                  std::vector<double>(external_model_.Samples().begin(),
                                      external_model_.Samples().end()),
                  rps);
+  last_install_ms_ = now_ms;
   return true;
 }
 
@@ -79,12 +113,14 @@ int Controller::Decide(DelayMs true_external_delay_ms) {
   const int decision = table->Lookup(estimate);
   stats_.total_lookup_wall_us += clock_->NowMicros() - start_us;
   ++stats_.decisions;
+  if (metric_decisions_ != nullptr) metric_decisions_->Increment();
   return decision;
 }
 
 void Controller::AdoptStateFrom(const Controller& other) {
   cache_ = other.cache_;
   external_model_ = other.external_model_;
+  last_install_ms_ = other.last_install_ms_;
 }
 
 }  // namespace e2e

@@ -12,6 +12,8 @@
 #include "core/policy.h"
 #include "core/server_delay_model.h"
 #include "core/table_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "qoe/qoe_model.h"
 #include "util/clock.h"
 #include "util/rng.h"
@@ -107,6 +109,16 @@ class Controller {
   /// replication: replicas share input state, §5).
   void AdoptStateFrom(const Controller& other);
 
+  /// Attaches telemetry (docs/OBSERVABILITY.md) under `prefix` (e.g.
+  /// "ctrl.primary"): ticks/recomputes/decisions counters, a
+  /// <prefix>.recompute_us histogram (profile-clock cost of ComputePolicy,
+  /// same reading as stats()), a <prefix>.table_staleness_ms histogram
+  /// (age of the installed table observed at each tick), and — when
+  /// `tracer` is non-null — one <prefix>.recompute span per table rebuild.
+  /// `registry` (and `tracer`) must outlive the controller.
+  void AttachTelemetry(obs::MetricsRegistry& registry, obs::Tracer* tracer,
+                       const std::string& prefix);
+
  private:
   std::string name_;
   ControllerConfig config_;
@@ -118,6 +130,15 @@ class Controller {
   Rng rng_;
   bool failed_ = false;
   ControllerStats stats_;
+  double last_install_ms_ = 0.0;  // Virtual time the current table landed.
+  // Telemetry (null until AttachTelemetry).
+  obs::Tracer* tracer_ = nullptr;
+  std::string span_name_;  // "<prefix>.recompute".
+  obs::Counter* metric_ticks_ = nullptr;
+  obs::Counter* metric_recomputes_ = nullptr;
+  obs::Counter* metric_decisions_ = nullptr;
+  obs::Histogram* metric_recompute_us_ = nullptr;
+  obs::Histogram* metric_staleness_ = nullptr;
 };
 
 }  // namespace e2e

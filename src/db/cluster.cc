@@ -48,9 +48,15 @@ void Cluster::RangeRead(Key start, std::size_t count, int replica,
     throw std::invalid_argument("Cluster::RangeRead: empty callback");
   }
   ReplicaGroup& group = *replicas_[static_cast<std::size_t>(replica)];
+  ReplicaMetrics* metrics =
+      metrics_.empty() ? nullptr : &metrics_[static_cast<std::size_t>(replica)];
   group.server().Submit(
-      [&group, start, count, replica, done = std::move(done)](
+      [&group, start, count, replica, metrics, done = std::move(done)](
           const JobTiming& timing) {
+        if (metrics != nullptr) {
+          metrics->reads->Increment();
+          metrics->service_ms->Observe(timing.ServiceDelayMs());
+        }
         ReadResult result;
         result.rows = group.storage().RangeQuery(start, count);
         result.replica = replica;
@@ -173,6 +179,20 @@ bool Cluster::IsPartitioned(int replica) const {
   return replicas_[static_cast<std::size_t>(replica)]->partitioned();
 }
 
+void Cluster::AttachMetrics(obs::MetricsRegistry& registry) {
+  metrics_.clear();
+  for (int r = 0; r < NumReplicas(); ++r) {
+    const std::string prefix = "db.replica" + std::to_string(r);
+    ReplicaMetrics metrics;
+    metrics.reads = &registry.AddCounter(prefix + ".reads");
+    metrics.service_ms = &registry.AddHistogram(
+        prefix + ".service_ms",
+        {10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 250.0, 500.0, 1000.0, 2500.0,
+         5000.0});
+    metrics_.push_back(metrics);
+  }
+}
+
 ClusterView Cluster::View() const {
   ClusterView view;
   view.loads.reserve(replicas_.size());
@@ -195,8 +215,14 @@ ReadExecutor::ReadExecutor(Cluster& cluster,
   }
 }
 
+void ReadExecutor::AttachMetrics(obs::MetricsRegistry& registry) {
+  metric_requests_ = &registry.AddCounter("db.requests");
+  metric_failovers_ = &registry.AddCounter("db.failovers");
+}
+
 void ReadExecutor::ExecuteRangeRead(const DbRequest& request,
                                     std::function<void(ReadResult)> done) {
+  if (metric_requests_ != nullptr) metric_requests_->Increment();
   const ClusterView view = cluster_.View();
   const int selected = selector_->SelectReplica(request, view);
   int replica = selected;
@@ -216,6 +242,7 @@ void ReadExecutor::ExecuteRangeRead(const DbRequest& request,
     if (best != -1) {
       replica = best;
       ++failovers_;
+      if (metric_failovers_ != nullptr) metric_failovers_->Increment();
     }
   }
   const bool failed_over = replica != selected;

@@ -15,6 +15,7 @@
 
 #include "db/selector.h"
 #include "db/storage.h"
+#include "obs/metrics.h"
 #include "sim/event_loop.h"
 #include "sim/server.h"
 #include "util/rng.h"
@@ -134,10 +135,22 @@ class Cluster {
     return *replicas_.at(static_cast<std::size_t>(index));
   }
 
+  /// Attaches telemetry (docs/OBSERVABILITY.md): per-replica
+  /// db.replica<r>.reads counters and db.replica<r>.service_ms histograms
+  /// (range-read service time, excluding queueing). `registry` must
+  /// outlive the cluster.
+  void AttachMetrics(obs::MetricsRegistry& registry);
+
  private:
+  struct ReplicaMetrics {
+    obs::Counter* reads = nullptr;
+    obs::Histogram* service_ms = nullptr;
+  };
+
   EventLoop& loop_;
   ClusterParams params_;
   std::vector<std::unique_ptr<ReplicaGroup>> replicas_;
+  std::vector<ReplicaMetrics> metrics_;  // Empty until AttachMetrics.
 };
 
 /// Client-side read executor: selection + load/delay tracking.
@@ -164,10 +177,15 @@ class ReadExecutor {
   /// Requests rerouted around a partitioned replica so far.
   std::uint64_t failover_count() const { return failovers_; }
 
+  /// Attaches telemetry: db.requests and db.failovers counters.
+  void AttachMetrics(obs::MetricsRegistry& registry);
+
  private:
   Cluster& cluster_;
   std::shared_ptr<ReplicaSelector> selector_;
   std::uint64_t failovers_ = 0;
+  obs::Counter* metric_requests_ = nullptr;
+  obs::Counter* metric_failovers_ = nullptr;
 };
 
 }  // namespace e2e::db

@@ -20,6 +20,24 @@ bool NeedsSkewHook(FaultKind kind) {
   return kind == FaultKind::kSkewEstimator;
 }
 
+const char* KindSlug(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashController:
+      return "crash_ctrl";
+    case FaultKind::kDropMessages:
+      return "drop_broker";
+    case FaultKind::kDelayMessages:
+      return "delay_broker";
+    case FaultKind::kDelayReplica:
+      return "delay_db";
+    case FaultKind::kPartitionReplica:
+      return "partition_db";
+    case FaultKind::kSkewEstimator:
+      return "skew_est";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 FaultInjector::FaultInjector(EventLoop& loop, FaultPlan plan,
@@ -27,6 +45,14 @@ FaultInjector::FaultInjector(EventLoop& loop, FaultPlan plan,
     : loop_(loop), plan_(std::move(plan)), targets_(std::move(targets)) {
   plan_.Validate();
   active_.assign(plan_.faults.size(), false);
+}
+
+void FaultInjector::AttachTelemetry(obs::MetricsRegistry& registry,
+                                    obs::Tracer* tracer) {
+  metric_injects_ = &registry.AddCounter("fault.injects");
+  metric_clears_ = &registry.AddCounter("fault.clears");
+  tracer_ = tracer;
+  spans_.resize(plan_.faults.size());
 }
 
 void FaultInjector::Arm() {
@@ -88,6 +114,12 @@ void FaultInjector::Arm() {
 void FaultInjector::Activate(std::size_t index) {
   const FaultSpec& spec = plan_.faults[index];
   active_[index] = true;
+  if (metric_injects_ != nullptr) metric_injects_->Increment();
+  if (tracer_ != nullptr) {
+    spans_[index] = tracer_->StartSpan(std::string("fault.") +
+                                       KindSlug(spec.kind) + "." +
+                                       std::to_string(index));
+  }
   switch (spec.kind) {
     case FaultKind::kCrashController:
       targets_.controllers->FailPrimary(loop_.Now(),
@@ -111,6 +143,8 @@ void FaultInjector::Activate(std::size_t index) {
 void FaultInjector::Deactivate(std::size_t index) {
   const FaultSpec& spec = plan_.faults[index];
   active_[index] = false;
+  if (metric_clears_ != nullptr) metric_clears_->Increment();
+  if (!spans_.empty()) spans_[index].End();
   switch (spec.kind) {
     case FaultKind::kCrashController:
       break;  // Never scheduled.

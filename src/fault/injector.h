@@ -12,10 +12,12 @@
 #include <functional>
 #include <vector>
 
+#include "broker/broker.h"
 #include "core/failover.h"
 #include "db/cluster.h"
-#include "broker/broker.h"
 #include "fault/plan.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "sim/event_loop.h"
 
 namespace e2e::fault {
@@ -54,6 +56,13 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
 
+  /// Attaches telemetry (docs/OBSERVABILITY.md): fault.injects and
+  /// fault.clears counters, plus — when `tracer` is non-null — one
+  /// fault.<kind>.<clause-index> span per clause covering its active
+  /// window (crash and open-ended clauses stay open). Call before Arm();
+  /// `registry` and `tracer` must outlive the injector.
+  void AttachTelemetry(obs::MetricsRegistry& registry, obs::Tracer* tracer);
+
  private:
   void Activate(std::size_t index);
   void Deactivate(std::size_t index);
@@ -68,6 +77,11 @@ class FaultInjector {
   std::vector<bool> active_;
   std::vector<InjectedFault> injected_;
   bool armed_ = false;
+  // Telemetry (inactive until AttachTelemetry).
+  obs::Counter* metric_injects_ = nullptr;
+  obs::Counter* metric_clears_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<obs::Span> spans_;  // One per clause while active.
 };
 
 }  // namespace e2e::fault

@@ -1,0 +1,162 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "obs/serialize.h"
+
+namespace e2e::obs {
+namespace {
+
+void AppendU64(std::string* out, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(value));
+  *out += buffer;
+}
+
+// JSON string escaping is trivial here: names and hexfloats are drawn from
+// [a-z0-9._-] and [0-9a-fx.+-p] respectively, so no escapes ever fire, but
+// guard anyway so a future name-scheme change cannot corrupt the export.
+void AppendJsonString(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (char c : value) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string TelemetrySnapshot::SerializeText() const {
+  std::string out;
+  out += kTelemetrySchemaLine;
+  out.push_back('\n');
+  for (const CounterSample& c : counters) {
+    out += "counter ";
+    out += c.name;
+    out.push_back(' ');
+    AppendU64(&out, c.value);
+    out.push_back('\n');
+  }
+  for (const GaugeSample& g : gauges) {
+    out += "gauge ";
+    out += g.name;
+    out.push_back(' ');
+    AppendHexDouble(&out, g.value);
+    out.push_back('\n');
+  }
+  for (const HistogramSample& h : histograms) {
+    out += "hist ";
+    out += h.name;
+    out += " edges=";
+    for (std::size_t i = 0; i < h.upper_edges.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendHexDouble(&out, h.upper_edges[i]);
+    }
+    out += " counts=";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendU64(&out, h.bucket_counts[i]);
+    }
+    out.push_back(' ');
+    AppendField(&out, "count", h.count);
+    out.push_back(' ');
+    AppendField(&out, "sum", h.sum);
+    out.push_back('\n');
+  }
+  for (const SpanSample& s : spans) {
+    out += "span ";
+    AppendU64(&out, s.id);
+    out.push_back(' ');
+    AppendField(&out, "parent", s.parent);
+    out += " name=";
+    out += s.name;
+    out.push_back(' ');
+    AppendField(&out, "start_us", s.start_us);
+    out.push_back(' ');
+    AppendField(&out, "end_us", s.end_us);
+    out += s.open ? " open" : " closed";
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TelemetrySnapshot::SerializeJson() const {
+  std::string out;
+  out += "{\n  \"schema\": \"";
+  out += kTelemetryJsonSchema;
+  out += "\",\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    AppendJsonString(&out, counters[i].name);
+    out += ": ";
+    AppendU64(&out, counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    AppendJsonString(&out, gauges[i].name);
+    out += ": ";
+    AppendJsonString(&out, HexDouble(gauges[i].value));
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    AppendJsonString(&out, h.name);
+    out += ": {\"edges\": [";
+    for (std::size_t j = 0; j < h.upper_edges.size(); ++j) {
+      if (j > 0) out += ", ";
+      AppendJsonString(&out, HexDouble(h.upper_edges[j]));
+    }
+    out += "], \"counts\": [";
+    for (std::size_t j = 0; j < h.bucket_counts.size(); ++j) {
+      if (j > 0) out += ", ";
+      AppendU64(&out, h.bucket_counts[j]);
+    }
+    out += "], \"count\": ";
+    AppendU64(&out, h.count);
+    out += ", \"sum\": ";
+    AppendJsonString(&out, HexDouble(h.sum));
+    out += "}";
+  }
+  out += histograms.empty() ? "},\n" : "\n  },\n";
+  out += "  \"spans\": [";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanSample& s = spans[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"id\": ";
+    AppendU64(&out, s.id);
+    out += ", \"parent\": ";
+    AppendU64(&out, s.parent);
+    out += ", \"name\": ";
+    AppendJsonString(&out, s.name);
+    out += ", \"start_us\": ";
+    AppendJsonString(&out, HexDouble(s.start_us));
+    out += ", \"end_us\": ";
+    AppendJsonString(&out, HexDouble(s.end_us));
+    out += ", \"open\": ";
+    out += s.open ? "true" : "false";
+    out += "}";
+  }
+  out += spans.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+TelemetrySnapshot Telemetry::Snapshot() const {
+  TelemetrySnapshot snapshot;
+  snapshot.counters = metrics.SnapshotCounters();
+  snapshot.gauges = metrics.SnapshotGauges();
+  snapshot.histograms = metrics.SnapshotHistograms();
+  snapshot.spans = tracer.Snapshot();
+  return snapshot;
+}
+
+}  // namespace e2e::obs

@@ -1,0 +1,59 @@
+// Telemetry bundle + stable exports (docs/OBSERVABILITY.md §4).
+//
+// `Telemetry` is the single object an experiment runner threads through
+// the instrumented components: one MetricsRegistry plus one Tracer, both
+// driven by the run's virtual clock. `TelemetrySnapshot` is the frozen,
+// export-ready view; SerializeText()/SerializeJson() are byte-stable —
+// lexicographic metric order, sequential span ids, hexfloat doubles —
+// so identical-seed runs export identical bytes (the same contract as
+// ExperimentResult::Serialize()).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
+#include "util/clock.h"
+
+namespace e2e::obs {
+
+/// Frozen view of a run's telemetry. Default-constructed == empty, which
+/// is what disabled runs carry.
+struct TelemetrySnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<SpanSample> spans;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           spans.empty();
+  }
+
+  /// Line-oriented text export, first line kTelemetrySchemaLine. Doubles
+  /// are hexfloats via obs/serialize.h — byte-exact across runs.
+  std::string SerializeText() const;
+
+  /// JSON export with the same content; doubles are emitted as hexfloat
+  /// strings (not JSON numbers) to keep the byte-exactness guarantee.
+  std::string SerializeJson() const;
+};
+
+/// The run-scoped telemetry bundle. Construct disabled (the default for
+/// experiments) and components attach nothing; construct enabled with the
+/// run's virtual clock and every instrumented subsystem records into it.
+struct Telemetry {
+  /// `clock` may be null when disabled; an enabled Tracer requires one.
+  Telemetry(bool enabled, const Clock* clock)
+      : metrics(enabled), tracer(clock, enabled) {}
+
+  bool enabled() const { return metrics.enabled(); }
+
+  TelemetrySnapshot Snapshot() const;
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+}  // namespace e2e::obs

@@ -1,0 +1,107 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace e2e::obs {
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)) {
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    if (!(edges_[i - 1] < edges_[i])) {
+      throw std::invalid_argument(
+          "Histogram: upper_edges must be strictly ascending");
+    }
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  // First edge >= value: std::lower_bound over fixed ascending edges, so
+  // value == edge lands in that edge's bucket (inclusive upper bounds).
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  counts_[static_cast<std::size_t>(it - edges_.begin())] += 1;
+  ++count_;
+  sum_ += value;
+}
+
+MetricsRegistry::MetricsRegistry(bool enabled) : enabled_(enabled) {}
+
+void MetricsRegistry::CheckName(const std::string& name) const {
+  if (name.empty()) {
+    throw std::invalid_argument("MetricsRegistry: empty metric name");
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      throw std::invalid_argument(
+          "MetricsRegistry: metric name must match [a-z0-9._-]: " + name);
+    }
+  }
+}
+
+Counter& MetricsRegistry::AddCounter(const std::string& name) {
+  if (!enabled_) return scrap_counter_;
+  CheckName(name);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::invalid_argument(
+        "MetricsRegistry: name already registered as another kind: " + name);
+  }
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::AddGauge(const std::string& name) {
+  if (!enabled_) return scrap_gauge_;
+  CheckName(name);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::invalid_argument(
+        "MetricsRegistry: name already registered as another kind: " + name);
+  }
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::AddHistogram(const std::string& name,
+                                         std::vector<double> upper_edges) {
+  if (!enabled_) return scrap_histogram_;
+  CheckName(name);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    throw std::invalid_argument(
+        "MetricsRegistry: name already registered as another kind: " + name);
+  }
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(upper_edges)))
+      .first->second;
+}
+
+std::vector<CounterSample> MetricsRegistry::SnapshotCounters() const {
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(CounterSample{name, counter.value()});
+  }
+  return out;
+}
+
+std::vector<GaugeSample> MetricsRegistry::SnapshotGauges() const {
+  std::vector<GaugeSample> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back(GaugeSample{name, gauge.value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSample> MetricsRegistry::SnapshotHistograms() const {
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back(HistogramSample{name, histogram.upper_edges(),
+                                  histogram.bucket_counts(), histogram.count(),
+                                  histogram.sum()});
+  }
+  return out;
+}
+
+}  // namespace e2e::obs

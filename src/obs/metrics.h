@@ -1,0 +1,127 @@
+// Deterministic in-flight metrics (docs/OBSERVABILITY.md §2).
+//
+// A MetricsRegistry owns named counters, gauges, and fixed-bucket
+// histograms for one experiment run. Everything about it is deterministic
+// by construction: instruments live in name-ordered maps (export order is
+// lexicographic, never hash order), histograms have caller-fixed bucket
+// edges, and nothing here ever reads a clock — time enters only through
+// the values components choose to observe, which in sim runs come from the
+// virtual event loop. Two identical-seed runs therefore snapshot to
+// byte-identical exports (tests/obs_test.cc asserts exactly that).
+//
+// Disabled mode: a registry constructed with enabled=false hands out
+// shared scrap instruments and registers nothing, so experiments that do
+// not collect telemetry pay nothing on their hot paths beyond the null
+// checks in the instrumented components (the components only attach when
+// telemetry is on, so the common case is a never-taken branch).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace e2e::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// value <= upper_edges[i] (first matching edge); one implicit overflow
+/// bucket catches everything above the last edge. Edges are fixed at
+/// registration, so two runs always bucket identically.
+class Histogram {
+ public:
+  /// `upper_edges` must be strictly ascending (may be empty: only the
+  /// overflow bucket then). Throws std::invalid_argument otherwise.
+  explicit Histogram(std::vector<double> upper_edges);
+
+  void Observe(double value);
+
+  const std::vector<double>& upper_edges() const { return edges_; }
+  /// Size upper_edges().size() + 1; the last entry is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Snapshot rows (flattened, name-sorted) — the exportable view.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramSample {
+  std::string name;
+  std::vector<double> upper_edges;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// The run-scoped instrument registry. Instruments are registered once by
+/// name (scheme: lowercase dotted "subsystem.component.metric", charset
+/// [a-z0-9._-]) and the returned references stay valid for the registry's
+/// lifetime. Registering an existing name returns the existing instrument;
+/// re-registering it as a different kind throws.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true);
+
+  bool enabled() const { return enabled_; }
+
+  Counter& AddCounter(const std::string& name);
+  Gauge& AddGauge(const std::string& name);
+  /// See Histogram for the edge contract. Re-registration returns the
+  /// existing histogram (its original edges win).
+  Histogram& AddHistogram(const std::string& name,
+                          std::vector<double> upper_edges);
+
+  /// Name-sorted snapshots (std::map iteration — deterministic).
+  std::vector<CounterSample> SnapshotCounters() const;
+  std::vector<GaugeSample> SnapshotGauges() const;
+  std::vector<HistogramSample> SnapshotHistograms() const;
+
+ private:
+  void CheckName(const std::string& name) const;
+
+  bool enabled_;
+  // Ordered maps: node-stable references AND lexicographic export order,
+  // so the export path never iterates an unordered container.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  // Scrap instruments handed out while disabled; never exported.
+  Counter scrap_counter_;
+  Gauge scrap_gauge_;
+  Histogram scrap_histogram_{{}};
+};
+
+}  // namespace e2e::obs

@@ -1,0 +1,34 @@
+#include "obs/serialize.h"
+
+#include <cstdio>
+
+namespace e2e::obs {
+
+std::string HexDouble(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+void AppendHexDouble(std::string* out, double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  *out += buffer;
+}
+
+void AppendField(std::string* out, std::string_view key, double value) {
+  out->append(key);
+  out->push_back('=');
+  AppendHexDouble(out, value);
+}
+
+void AppendField(std::string* out, std::string_view key, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(value));
+  out->append(key);
+  out->push_back('=');
+  *out += buffer;
+}
+
+}  // namespace e2e::obs

@@ -1,0 +1,39 @@
+// Shared deterministic-serialization helpers (docs/OBSERVABILITY.md §4).
+//
+// Every byte-exact export in the repo — ExperimentResult::Serialize() and
+// the telemetry writers in obs/export.h — formats doubles through the same
+// hexfloat helpers, so "equal bytes iff bit-identical values" holds across
+// both surfaces, and both carry a schema-version header line as their first
+// line so readers can reject exports they do not understand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace e2e::obs {
+
+/// Schema header lines (always the first line of an export, followed by
+/// '\n'). Bump the version when a format change would confuse a reader of
+/// the previous one.
+inline constexpr std::string_view kResultSchemaLine = "schema e2e.result.v2";
+inline constexpr std::string_view kTelemetrySchemaLine =
+    "schema e2e.telemetry.v1";
+/// Bare schema identifier for the JSON telemetry export's "schema" field.
+inline constexpr std::string_view kTelemetryJsonSchema = "e2e.telemetry.v1";
+
+/// Renders `value` as C hexfloat ("%a": e.g. "0x1.91eb851eb851fp+1").
+/// Hexfloat is exact, so two serializations compare equal iff every double
+/// is bit-identical — the golden-determinism contract.
+std::string HexDouble(double value);
+
+/// Appends HexDouble(value) to `out` (avoids a temporary in hot writers).
+void AppendHexDouble(std::string* out, double value);
+
+/// Appends "key=<hexfloat>" to `out`.
+void AppendField(std::string* out, std::string_view key, double value);
+
+/// Appends "key=<decimal>" to `out`.
+void AppendField(std::string* out, std::string_view key, std::uint64_t value);
+
+}  // namespace e2e::obs

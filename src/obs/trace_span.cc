@@ -1,0 +1,75 @@
+#include "obs/trace_span.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace e2e::obs {
+
+Span::Span(Span&& other) noexcept
+    : tracer_(std::exchange(other.tracer_, nullptr)),
+      id_(std::exchange(other.id_, 0)) {}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = std::exchange(other.tracer_, nullptr);
+    id_ = std::exchange(other.id_, 0);
+  }
+  return *this;
+}
+
+Span::~Span() { End(); }
+
+void Span::End() {
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(id_);
+    tracer_ = nullptr;
+    id_ = 0;
+  }
+}
+
+Tracer::Tracer(const Clock* clock, bool enabled)
+    : clock_(clock), enabled_(enabled) {
+  if (enabled_ && clock_ == nullptr) {
+    throw std::invalid_argument("Tracer: enabled tracer needs a clock");
+  }
+}
+
+Span Tracer::StartSpan(const std::string& name) {
+  if (!enabled_) return Span();
+  if (name.empty()) {
+    throw std::invalid_argument("Tracer: empty span name");
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      throw std::invalid_argument(
+          "Tracer: span name must match [a-z0-9._-]: " + name);
+    }
+  }
+  SpanSample record;
+  record.id = records_.size() + 1;
+  record.parent = stack_.empty() ? 0 : stack_.back();
+  record.name = name;
+  record.start_us = clock_->NowMicros();
+  record.end_us = record.start_us;
+  record.open = true;
+  records_.push_back(record);
+  stack_.push_back(record.id);
+  return Span(this, record.id);
+}
+
+void Tracer::EndSpan(std::uint64_t id) {
+  SpanSample& record = records_[static_cast<std::size_t>(id - 1)];
+  if (!record.open) return;
+  record.end_us = clock_->NowMicros();
+  record.open = false;
+  // Usually the innermost span ends first; overlapping windows (fault
+  // clauses) may end out of order, so erase wherever the id sits.
+  const auto it = std::find(stack_.rbegin(), stack_.rend(), id);
+  if (it != stack_.rend()) stack_.erase(std::next(it).base());
+}
+
+}  // namespace e2e::obs

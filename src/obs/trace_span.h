@@ -1,0 +1,88 @@
+// Causal trace spans on the injected clock (docs/OBSERVABILITY.md §3).
+//
+// A Tracer records begin/end timestamps of named work units, stamped from
+// whatever Clock it was constructed with — the virtual event-loop clock in
+// experiment runs, so span timings replay byte-identically. Parent/child
+// causality follows the open-span stack: a span started while another is
+// open becomes its child (within one event-loop callback that is exactly
+// the synchronous call tree). Ids are assigned sequentially, so exports
+// are deterministic without any pointer or hash involvement.
+//
+// Spans may end out of stack order (the fault injector holds one span per
+// active fault window, and windows overlap freely); the stack just drops
+// the ended id wherever it sits. A span still open at snapshot time is
+// exported with open=1 and end_us equal to its start.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace e2e::obs {
+
+/// Snapshot row for one span. `parent` is 0 for roots.
+struct SpanSample {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string name;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  bool open = true;
+};
+
+class Tracer;
+
+/// RAII handle: ends its span on destruction (or explicit End()). A
+/// default-constructed Span is inert — the handle a disabled Tracer
+/// returns — so instrumented code never branches on enablement.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// Ends the span now (idempotent).
+  void End();
+
+  /// 0 for inert spans.
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::uint64_t id) : tracer_(tracer), id_(id) {}
+
+  Tracer* tracer_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// Records spans for one run. `clock` must outlive the tracer; span names
+/// follow the metric naming scheme ([a-z0-9._-], see MetricsRegistry).
+class Tracer {
+ public:
+  Tracer(const Clock* clock, bool enabled);
+
+  bool enabled() const { return enabled_; }
+
+  /// Starts a span; its parent is the innermost span still open. Disabled
+  /// tracers return an inert handle. Throws on a malformed name.
+  [[nodiscard]] Span StartSpan(const std::string& name);
+
+  /// All spans recorded so far, in id (start) order.
+  std::vector<SpanSample> Snapshot() const { return records_; }
+
+ private:
+  friend class Span;
+  void EndSpan(std::uint64_t id);
+
+  const Clock* clock_;
+  bool enabled_;
+  std::vector<SpanSample> records_;   // records_[id - 1] has that id.
+  std::vector<std::uint64_t> stack_;  // Open span ids, innermost last.
+};
+
+}  // namespace e2e::obs

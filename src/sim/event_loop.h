@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 
 namespace e2e {
@@ -57,6 +58,15 @@ class EventLoop {
   /// still in the heap).
   std::size_t pending_count() const { return live_pending_; }
 
+  /// Attaches telemetry (docs/OBSERVABILITY.md): sim.loop.events and
+  /// sim.loop.cancelled counters, sim.loop.queue_depth (live pending events
+  /// observed as each event fires) and sim.loop.timer_lead_ms (how far
+  /// ahead of Now() each event is scheduled). There is no fire-*latency*
+  /// metric because in virtual time it is structurally zero: Step() sets
+  /// the clock to exactly the event's scheduled time. `registry` must
+  /// outlive the loop; a disabled registry hands back scrap instruments.
+  void AttachMetrics(obs::MetricsRegistry& registry);
+
  private:
   struct Entry {
     double at_ms;
@@ -79,6 +89,11 @@ class EventLoop {
   // Callbacks keyed by id; erased on run/cancel. Cancelled heap entries are
   // skipped lazily.
   std::unordered_map<EventId, Callback> callbacks_;
+  // Telemetry (null until AttachMetrics; hot paths pay one branch each).
+  obs::Counter* metric_events_ = nullptr;
+  obs::Counter* metric_cancelled_ = nullptr;
+  obs::Histogram* metric_queue_depth_ = nullptr;
+  obs::Histogram* metric_timer_lead_ = nullptr;
 };
 
 /// Exposes an EventLoop's virtual time as a cost-accounting Clock, so

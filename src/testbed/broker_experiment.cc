@@ -2,10 +2,12 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "fault/injector.h"
+#include "obs/export.h"
 #include "sim/event_loop.h"
 
 namespace e2e {
@@ -34,12 +36,14 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
   if (records.empty()) {
     throw std::invalid_argument("RunBrokerExperiment: no records");
   }
-  Rng root(config.seed);
+  Rng root(config.common.seed);
   EventLoop loop;
   const EventLoopClock loop_clock(loop);
-  const Clock* profile_clock =
-      config.profile_real_clock ? static_cast<const Clock*>(&RealClock::Instance())
-                                : &loop_clock;
+  const Clock* profile_clock = ProfileClock(config.common, &loop_clock);
+  // Telemetry always runs on the virtual clock so exports stay
+  // byte-identical even when stats profiling opts into the real clock.
+  obs::Telemetry telemetry(config.common.collect_telemetry, &loop_clock);
+  if (telemetry.enabled()) loop.AttachMetrics(telemetry.metrics);
 
   // --- Policy wiring -----------------------------------------------------
   std::shared_ptr<broker::MessageScheduler> scheduler;
@@ -66,26 +70,31 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
   if (uses_controller) {
     auto qoe_shared = std::shared_ptr<const QoeModel>(&qoe, [](auto*) {});
     auto server_model = BuildBrokerServerModel(config.broker);
-    ControllerConfig cc = config.controller;
+    ControllerConfig cc = config.common.controller;
     if (config.policy == BrokerPolicy::kSlope) {
       cc.policy.mapping = MappingAlgorithm::kSlopeBased;
     }
     auto make = [&](const char* name, std::uint64_t salt) {
       auto c = std::make_unique<Controller>(name, cc, qoe_shared, server_model,
-                                            config.seed ^ salt, profile_clock);
+                                            config.common.seed ^ salt,
+                                            profile_clock);
       c->SetExternalDelayError(config.external_delay_error);
       c->SetRpsError(config.rps_error);
+      if (telemetry.enabled()) {
+        c->AttachTelemetry(telemetry.metrics, &telemetry.tracer,
+                           std::string("ctrl.") + name);
+      }
       return c;
     };
     controllers = std::make_unique<ReplicatedControllerGroup>(
-        make("primary", 0x61ULL), make("backup", 0x62ULL),
-        FailoverParams{.election_delay_ms = config.election_delay_ms});
+        make("primary", 0x61ULL), make("backup", 0x62ULL), FailoverParams{});
   }
 
   broker::MessageBroker broker(loop, config.broker, scheduler);
+  if (telemetry.enabled()) broker.AttachMetrics(telemetry.metrics);
 
   // --- Replay ------------------------------------------------------------
-  const auto schedule = BuildReplaySchedule(records, config.speedup);
+  const auto schedule = BuildReplaySchedule(records, config.common.speedup);
   ExperimentResult result;
   result.outcomes.reserve(schedule.size());
   result.arrivals = schedule.size();
@@ -103,7 +112,7 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
         result.outcomes.push_back(outcome);
       });
   std::unique_ptr<fault::FaultInjector> injector;
-  if (!config.fault_plan.empty()) {
+  if (!config.common.fault_plan.empty()) {
     fault::FaultTargets targets;
     targets.controllers = controllers.get();
     targets.broker = &broker;
@@ -115,7 +124,10 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
       };
     }
     injector = std::make_unique<fault::FaultInjector>(
-        loop, config.fault_plan, std::move(targets));
+        loop, config.common.fault_plan, std::move(targets));
+    if (telemetry.enabled()) {
+      injector->AttachTelemetry(telemetry.metrics, &telemetry.tracer);
+    }
     injector->Arm();
   }
 
@@ -145,14 +157,9 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
 
   const double horizon_ms = schedule.back().testbed_time_ms + 60000.0;
   if (controllers != nullptr) {
-    for (double t = config.tick_interval_ms; t <= horizon_ms;
-         t += config.tick_interval_ms) {
-      loop.Schedule(t, [&, t]() {
-        if (config.fail_primary_at_ms.has_value() &&
-            t >= *config.fail_primary_at_ms &&
-            t < *config.fail_primary_at_ms + config.tick_interval_ms) {
-          controllers->FailPrimary(loop.Now());
-        }
+    for (double t = config.common.tick_interval_ms; t <= horizon_ms;
+         t += config.common.tick_interval_ms) {
+      loop.Schedule(t, [&]() {
         if (controllers->Tick(loop.Now())) {
           const DecisionTable* table = controllers->active().CurrentTable();
           if (table != nullptr) {
@@ -178,6 +185,7 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
   if (injector != nullptr) {
     result.injected_faults = injector->injected();
   }
+  if (telemetry.enabled()) result.telemetry = telemetry.Snapshot();
   result.Finalize();
   return result;
 }

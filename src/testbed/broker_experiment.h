@@ -3,16 +3,13 @@
 // drains the queues; QoE is scored from the measured queueing delay.
 #pragma once
 
-#include <cstdint>
 #include <memory>
-#include <optional>
 #include <span>
 
 #include "broker/broker.h"
-#include "core/controller.h"
 #include "core/failover.h"
-#include "fault/plan.h"
 #include "qoe/qoe_model.h"
+#include "testbed/experiment_config.h"
 #include "testbed/metrics.h"
 #include "trace/replay.h"
 
@@ -26,18 +23,14 @@ enum class BrokerPolicy {
   kDeadline,  ///< Timecard-style deadline scheduler (Fig. 21).
 };
 
-/// Experiment configuration.
+/// Experiment configuration. Shared knobs (seed, speedup, controller,
+/// fault plan, ...) live in `common`; supported fault clauses here are
+/// controller crashes, broker drops/delays, and estimator skew — crash
+/// windows carry their own election delay ("crash ctrl t=60s for=30s").
 struct BrokerExperimentConfig {
+  ExperimentConfig common = ExperimentConfig::WithSeed(13, 20.0);
   broker::BrokerParams broker;
-  double speedup = 20.0;
   BrokerPolicy policy = BrokerPolicy::kE2e;
-  ControllerConfig controller;
-  double tick_interval_ms = 1000.0;
-  std::uint64_t seed = 13;
-
-  /// Profile controller budget accounting against the real wall clock
-  /// instead of the testbed's virtual clock (see DbExperimentConfig).
-  bool profile_real_clock = false;
 
   /// Deadline policy parameters (Fig. 21).
   DelayMs deadline_ms = 3400.0;
@@ -46,16 +39,6 @@ struct BrokerExperimentConfig {
   /// Error injection (Fig. 20).
   double external_delay_error = 0.0;
   double rps_error = 0.0;
-
-  /// Controller failure injection (Fig. 18). Prefer `fault_plan`; this
-  /// legacy toggle is kept for configs that predate fault plans.
-  std::optional<double> fail_primary_at_ms;
-  double election_delay_ms = 25000.0;
-
-  /// Deterministic fault plan (docs/FAULTS.md). Clauses may crash the
-  /// controller, drop or delay broker messages, and skew the estimator;
-  /// injected transitions are recorded in ExperimentResult.
-  fault::FaultPlan fault_plan;
 };
 
 /// Runs the experiment over `records` scored against `qoe`.

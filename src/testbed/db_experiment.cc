@@ -2,11 +2,13 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/profiler.h"
 #include "fault/injector.h"
+#include "obs/export.h"
 #include "sim/event_loop.h"
 
 namespace e2e {
@@ -23,7 +25,7 @@ std::shared_ptr<const ServerDelayModel> BuildDbServerModel(
   profiler.max_rps = config.profile_max_rps;
   profiler.levels = config.profile_levels;
   profiler.duration_ms = config.profile_duration_ms;
-  profiler.seed = config.seed ^ 0x90f1ULL;
+  profiler.seed = config.common.seed ^ 0x90f1ULL;
   LoadProfile profile = ProfileServerOffline(profiler);
   return std::make_shared<ProfiledReplicaModel>(config.cluster.replica_groups,
                                                 std::move(profile));
@@ -59,16 +61,19 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
   if (records.empty()) {
     throw std::invalid_argument("RunDbExperiment: no records");
   }
-  Rng root(config.seed);
+  Rng root(config.common.seed);
   EventLoop loop;
   // Budget accounting runs on the sim's virtual clock unless the config
   // explicitly asks for real-overhead measurement (Fig. 16/17).
   const EventLoopClock loop_clock(loop);
-  const Clock* profile_clock =
-      config.profile_real_clock ? static_cast<const Clock*>(&RealClock::Instance())
-                                : &loop_clock;
+  const Clock* profile_clock = ProfileClock(config.common, &loop_clock);
+  // Telemetry always runs on the virtual clock so exports stay
+  // byte-identical even when stats profiling opts into the real clock.
+  obs::Telemetry telemetry(config.common.collect_telemetry, &loop_clock);
+  if (telemetry.enabled()) loop.AttachMetrics(telemetry.metrics);
   db::Cluster cluster(loop, config.cluster, root.Fork(1));
   cluster.LoadDataset(config.dataset_keys, config.value_bytes);
+  if (telemetry.enabled()) cluster.AttachMetrics(telemetry.metrics);
 
   // Sec 9 deployment mode: estimate external delays mechanistically at the
   // frontend instead of reading the oracle values.
@@ -88,20 +93,24 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
   if (uses_controller) {
     auto qoe_shared = std::shared_ptr<const QoeModel>(&qoe, [](auto*) {});
     auto server_model = BuildDbServerModel(config);
-    ControllerConfig cc = config.controller;
+    ControllerConfig cc = config.common.controller;
     if (config.policy == DbPolicy::kSlope) {
       cc.policy.mapping = MappingAlgorithm::kSlopeBased;
     }
     auto make = [&](const char* name, std::uint64_t salt) {
       auto c = std::make_unique<Controller>(name, cc, qoe_shared, server_model,
-                                            config.seed ^ salt, profile_clock);
+                                            config.common.seed ^ salt,
+                                            profile_clock);
       c->SetExternalDelayError(config.external_delay_error);
       c->SetRpsError(config.rps_error);
+      if (telemetry.enabled()) {
+        c->AttachTelemetry(telemetry.metrics, &telemetry.tracer,
+                           std::string("ctrl.") + name);
+      }
       return c;
     };
     controllers = std::make_unique<ReplicatedControllerGroup>(
-        make("primary", 0x51ULL), make("backup", 0x52ULL),
-        FailoverParams{.election_delay_ms = config.election_delay_ms});
+        make("primary", 0x51ULL), make("backup", 0x52ULL), FailoverParams{});
     table_selector = std::make_shared<db::TableSelector>(
         config.policy == DbPolicy::kSlope ? "slope-table" : "e2e-table",
         root.Fork(2));
@@ -112,10 +121,11 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
     selector = std::make_shared<db::LoadBalancedSelector>();
   }
   db::ReadExecutor executor(cluster, selector);
+  if (telemetry.enabled()) executor.AttachMetrics(telemetry.metrics);
 
   // --- Fault plan --------------------------------------------------------
   std::unique_ptr<fault::FaultInjector> injector;
-  if (!config.fault_plan.empty()) {
+  if (!config.common.fault_plan.empty()) {
     fault::FaultTargets targets;
     targets.controllers = controllers.get();
     targets.cluster = &cluster;
@@ -133,12 +143,15 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
       };
     }
     injector = std::make_unique<fault::FaultInjector>(
-        loop, config.fault_plan, std::move(targets));
+        loop, config.common.fault_plan, std::move(targets));
+    if (telemetry.enabled()) {
+      injector->AttachTelemetry(telemetry.metrics, &telemetry.tracer);
+    }
     injector->Arm();
   }
 
   // --- Replay ------------------------------------------------------------
-  const auto schedule = BuildReplaySchedule(records, config.speedup);
+  const auto schedule = BuildReplaySchedule(records, config.common.speedup);
   ExperimentResult result;
   result.outcomes.reserve(schedule.size());
   result.arrivals = schedule.size();
@@ -180,14 +193,9 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
   const double horizon_ms =
       schedule.back().testbed_time_ms + 30000.0;  // Drain margin.
   if (controllers != nullptr) {
-    for (double t = config.tick_interval_ms; t <= horizon_ms;
-         t += config.tick_interval_ms) {
-      loop.Schedule(t, [&, t]() {
-        if (config.fail_primary_at_ms.has_value() &&
-            t >= *config.fail_primary_at_ms &&
-            t < *config.fail_primary_at_ms + config.tick_interval_ms) {
-          controllers->FailPrimary(loop.Now());
-        }
+    for (double t = config.common.tick_interval_ms; t <= horizon_ms;
+         t += config.common.tick_interval_ms) {
+      loop.Schedule(t, [&]() {
         if (controllers->Tick(loop.Now())) {
           const DecisionTable* table =
               controllers->active().CurrentTable();
@@ -212,6 +220,7 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
   if (injector != nullptr) {
     result.injected_faults = injector->injected();
   }
+  if (telemetry.enabled()) result.telemetry = telemetry.Snapshot();
   result.Finalize();
   return result;
 }

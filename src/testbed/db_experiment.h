@@ -4,17 +4,14 @@
 // testbed processing delays.
 #pragma once
 
-#include <cstdint>
 #include <memory>
-#include <optional>
 #include <span>
 
-#include "core/controller.h"
-#include "testbed/frontend.h"
 #include "core/failover.h"
 #include "db/cluster.h"
-#include "fault/plan.h"
 #include "qoe/qoe_model.h"
+#include "testbed/experiment_config.h"
+#include "testbed/frontend.h"
 #include "testbed/metrics.h"
 #include "trace/replay.h"
 
@@ -34,23 +31,18 @@ enum class DbPolicy {
   kE2e,           ///< E2E's full policy.
 };
 
-/// Experiment configuration.
+/// Experiment configuration. Shared knobs (seed, speedup, controller,
+/// fault plan, ...) live in `common`; supported fault clauses here are
+/// controller crashes, replica delays/partitions, and estimator skew —
+/// crash windows carry their own election delay ("crash ctrl t=60s
+/// for=30s").
 struct DbExperimentConfig {
+  ExperimentConfig common = ExperimentConfig::WithSeed(11, 20.0);
   db::ClusterParams cluster;
   std::size_t dataset_keys = 20000;
   std::size_t value_bytes = 64;
   std::size_t range_count = 100;   ///< Rows per range query (paper: 100).
-  double speedup = 20.0;           ///< Trace replay speed-up ratio.
   DbPolicy policy = DbPolicy::kE2e;
-  ControllerConfig controller;
-  double tick_interval_ms = 1000.0;  ///< Controller maintenance cadence.
-  std::uint64_t seed = 11;
-
-  /// Profile controller budget accounting against the real wall clock
-  /// instead of the testbed's virtual clock. Only the overhead benches
-  /// (Fig. 16/17) and the latency-bound integration test set this: a real
-  /// clock makes ControllerStats (and thus Serialize()) non-reproducible.
-  bool profile_real_clock = false;
 
   /// Offline-profiling grid for the server-delay model (E2E/slope only).
   double profile_max_rps = 120.0;
@@ -60,17 +52,6 @@ struct DbExperimentConfig {
   /// Error injection (Fig. 20); relative fractions.
   double external_delay_error = 0.0;
   double rps_error = 0.0;
-
-  /// Controller failure injection (Fig. 18): fail the primary at this
-  /// testbed time, with the given election delay. Prefer `fault_plan`;
-  /// this legacy toggle is kept for configs that predate fault plans.
-  std::optional<double> fail_primary_at_ms;
-  double election_delay_ms = 25000.0;
-
-  /// Deterministic fault plan (docs/FAULTS.md). Clauses may crash the
-  /// controller, slow or partition replicas, and skew the estimator;
-  /// injected transitions are recorded in ExperimentResult.
-  fault::FaultPlan fault_plan;
 
   /// Epsilon spread of the probabilistic table rows (see ToSelectorEntries).
   double table_epsilon = 0.10;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/serialize.h"
+
 namespace e2e {
 
 void ExperimentResult::Finalize() {
@@ -52,41 +54,58 @@ void ExperimentResult::Finalize() {
 }
 
 std::string ExperimentResult::Serialize() const {
-  // Hexfloat (%a) renders doubles exactly, so equal serializations imply
-  // bit-identical results and vice versa.
+  // Doubles go through obs/serialize.h ("%a" hexfloat): exact rendering, so
+  // equal serializations imply bit-identical results and vice versa.
   std::string out;
   out.reserve(outcomes.size() * 96 + 512);
-  char line[256];
-  std::snprintf(line, sizeof(line),
-                "arrivals=%llu completed=%llu failed_over=%llu dropped=%llu\n",
-                static_cast<unsigned long long>(arrivals),
-                static_cast<unsigned long long>(completed),
-                static_cast<unsigned long long>(failed_over),
-                static_cast<unsigned long long>(dropped));
-  out += line;
-  std::snprintf(line, sizeof(line),
-                "mean_qoe=%a mean_server=%a throughput=%a busy=%a\n", mean_qoe,
-                mean_server_delay_ms, throughput_rps, service_busy_ms);
-  out += line;
-  std::snprintf(line, sizeof(line),
-                "ctrl ticks=%llu recomputes=%llu decisions=%llu "
-                "recompute_us=%a lookup_us=%a\n",
-                static_cast<unsigned long long>(controller_stats.ticks),
-                static_cast<unsigned long long>(controller_stats.recomputes),
-                static_cast<unsigned long long>(controller_stats.decisions),
-                controller_stats.total_recompute_wall_us,
-                controller_stats.total_lookup_wall_us);
-  out += line;
+  out += obs::kResultSchemaLine;
+  out += '\n';
+  obs::AppendField(&out, "arrivals", arrivals);
+  out += ' ';
+  obs::AppendField(&out, "completed", completed);
+  out += ' ';
+  obs::AppendField(&out, "failed_over", failed_over);
+  out += ' ';
+  obs::AppendField(&out, "dropped", dropped);
+  out += '\n';
+  obs::AppendField(&out, "mean_qoe", mean_qoe);
+  out += ' ';
+  obs::AppendField(&out, "mean_server", mean_server_delay_ms);
+  out += ' ';
+  obs::AppendField(&out, "throughput", throughput_rps);
+  out += ' ';
+  obs::AppendField(&out, "busy", service_busy_ms);
+  out += '\n';
+  out += "ctrl ";
+  obs::AppendField(&out, "ticks", controller_stats.ticks);
+  out += ' ';
+  obs::AppendField(&out, "recomputes", controller_stats.recomputes);
+  out += ' ';
+  obs::AppendField(&out, "decisions", controller_stats.decisions);
+  out += ' ';
+  obs::AppendField(&out, "recompute_us", controller_stats.total_recompute_wall_us);
+  out += ' ';
+  obs::AppendField(&out, "lookup_us", controller_stats.total_lookup_wall_us);
+  out += '\n';
+  char head[64];
   for (const auto& o : outcomes) {
-    std::snprintf(line, sizeof(line), "%llu s=%d d=%d a=%a x=%a v=%a q=%a\n",
+    std::snprintf(head, sizeof(head), "%llu s=%d d=%d ",
                   static_cast<unsigned long long>(o.id),
-                  static_cast<int>(o.status), o.decision, o.arrival_ms,
-                  o.external_delay_ms, o.server_delay_ms, o.qoe);
-    out += line;
+                  static_cast<int>(o.status), o.decision);
+    out += head;
+    obs::AppendField(&out, "a", o.arrival_ms);
+    out += ' ';
+    obs::AppendField(&out, "x", o.external_delay_ms);
+    out += ' ';
+    obs::AppendField(&out, "v", o.server_delay_ms);
+    out += ' ';
+    obs::AppendField(&out, "q", o.qoe);
+    out += '\n';
   }
   for (const auto& f : injected_faults) {
-    std::snprintf(line, sizeof(line), "fault @%a ", f.at_ms);
-    out += line;
+    out += "fault @";
+    obs::AppendHexDouble(&out, f.at_ms);
+    out += ' ';
     out += f.description;
     out += '\n';
   }

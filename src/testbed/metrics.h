@@ -8,6 +8,7 @@
 
 #include "core/controller.h"
 #include "fault/plan.h"
+#include "obs/export.h"
 #include "util/types.h"
 
 namespace e2e {
@@ -60,15 +61,21 @@ struct ExperimentResult {
   /// resource consumption, for overhead comparisons (Fig. 16).
   double service_busy_ms = 0.0;
 
+  /// Deterministic telemetry captured during the run (empty unless the
+  /// experiment ran with `collect_telemetry`). Exported separately via its
+  /// own schema-versioned writers, not by Serialize().
+  obs::TelemetrySnapshot telemetry;
+
   /// Recomputes aggregate fields from `outcomes`.
   void Finalize();
 
   /// Deterministic byte-exact serialization (hexfloat doubles) of the
-  /// outcomes, aggregates, controller budget stats, and injected faults.
-  /// Two runs are bit-identical iff their serializations compare equal —
-  /// the golden determinism tests rely on this. The controller stats line
-  /// is only reproducible when the experiment profiled against the virtual
-  /// clock (the default); `profile_real_clock` runs trade that away.
+  /// outcomes, aggregates, controller budget stats, and injected faults,
+  /// headed by obs::kResultSchemaLine. Two runs are bit-identical iff
+  /// their serializations compare equal — the golden determinism tests
+  /// rely on this. The controller stats line is only reproducible when the
+  /// experiment profiled against the virtual clock (the default);
+  /// `profile_real_clock` runs trade that away.
   [[nodiscard]] std::string Serialize() const;
 };
 

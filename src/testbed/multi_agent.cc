@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
+#include "obs/export.h"
 #include "sim/event_loop.h"
 #include "testbed/broker_experiment.h"
 #include "trace/replay.h"
@@ -42,8 +44,12 @@ ExperimentResult RunMultiAgentExperiment(std::span<const TraceRecord> records,
   if (config.num_agents < 1) {
     throw std::invalid_argument("RunMultiAgentExperiment: num_agents < 1");
   }
+  RequireNoFaultPlan(config.common, "RunMultiAgentExperiment");
   EventLoop loop;
   const EventLoopClock loop_clock(loop);
+  const Clock* profile_clock = ProfileClock(config.common, &loop_clock);
+  obs::Telemetry telemetry(config.common.collect_telemetry, &loop_clock);
+  if (telemetry.enabled()) loop.AttachMetrics(telemetry.metrics);
   const auto num_agents = static_cast<std::size_t>(config.num_agents);
 
   // Quantile cuts for the pathological sharding.
@@ -73,6 +79,10 @@ ExperimentResult RunMultiAgentExperiment(std::span<const TraceRecord> records,
     }
     agents.push_back(std::make_unique<broker::MessageBroker>(
         loop, config.broker, std::move(scheduler)));
+    if (telemetry.enabled()) {
+      agents.back()->AttachMetrics(telemetry.metrics,
+                                   "broker.agent" + std::to_string(a));
+    }
   }
   if (config.use_e2e) {
     auto qoe_shared = std::shared_ptr<const QoeModel>(&qoe, [](auto*) {});
@@ -80,11 +90,15 @@ ExperimentResult RunMultiAgentExperiment(std::span<const TraceRecord> records,
     auto aggregate = config.broker;
     aggregate.num_consumers *= config.num_agents;
     controller = std::make_unique<Controller>(
-        "global", config.controller, qoe_shared,
-        BuildBrokerServerModel(aggregate), config.seed, &loop_clock);
+        "global", config.common.controller, qoe_shared,
+        BuildBrokerServerModel(aggregate), config.common.seed, profile_clock);
+    if (telemetry.enabled()) {
+      controller->AttachTelemetry(telemetry.metrics, &telemetry.tracer,
+                                  "ctrl.global");
+    }
   }
 
-  const auto schedule = BuildReplaySchedule(records, config.speedup);
+  const auto schedule = BuildReplaySchedule(records, config.common.speedup);
   ExperimentResult result;
   result.outcomes.reserve(schedule.size());
 
@@ -120,8 +134,8 @@ ExperimentResult RunMultiAgentExperiment(std::span<const TraceRecord> records,
 
   const double horizon_ms = schedule.back().testbed_time_ms + 60000.0;
   if (controller != nullptr) {
-    for (double t = config.tick_interval_ms; t <= horizon_ms;
-         t += config.tick_interval_ms) {
+    for (double t = config.common.tick_interval_ms; t <= horizon_ms;
+         t += config.common.tick_interval_ms) {
       loop.Schedule(t, [&]() {
         if (controller->Tick(loop.Now())) {
           const DecisionTable* table = controller->CurrentTable();
@@ -144,6 +158,7 @@ ExperimentResult RunMultiAgentExperiment(std::span<const TraceRecord> records,
                               config.broker.handling_cost_ms;
   }
   if (controller != nullptr) result.controller_stats = controller->stats();
+  if (telemetry.enabled()) result.telemetry = telemetry.Snapshot();
   result.Finalize();
   return result;
 }

@@ -10,13 +10,12 @@
 // both the well-balanced and the pathological split and measures the cost.
 #pragma once
 
-#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "broker/broker.h"
-#include "core/controller.h"
 #include "qoe/qoe_model.h"
+#include "testbed/experiment_config.h"
 #include "testbed/metrics.h"
 #include "trace/record.h"
 
@@ -29,15 +28,14 @@ enum class AgentSharding {
                     ///< (pathological: some agents see only one class).
 };
 
-/// Multi-agent experiment configuration.
+/// Multi-agent experiment configuration. Shared knobs live in `common`;
+/// this runner has no fault-injection hooks, so `common.fault_plan` must
+/// stay empty (the runner throws otherwise).
 struct MultiAgentConfig {
+  ExperimentConfig common = ExperimentConfig::WithSeed(101);
   int num_agents = 4;
   broker::BrokerParams broker;  ///< Per-agent broker parameters.
   AgentSharding sharding = AgentSharding::kRoundRobin;
-  double speedup = 1.0;
-  ControllerConfig controller;
-  double tick_interval_ms = 1000.0;
-  std::uint64_t seed = 101;
   bool use_e2e = true;  ///< false = FIFO on every agent.
 };
 

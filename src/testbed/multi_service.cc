@@ -4,7 +4,9 @@
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
+#include "obs/export.h"
 #include "sim/event_loop.h"
 #include "testbed/broker_experiment.h"
 #include "trace/replay.h"
@@ -79,8 +81,12 @@ ExperimentResult RunMultiServiceExperiment(
   if (records.empty()) {
     throw std::invalid_argument("RunMultiServiceExperiment: no records");
   }
+  RequireNoFaultPlan(config.common, "RunMultiServiceExperiment");
   EventLoop loop;
   const EventLoopClock loop_clock(loop);
+  const Clock* profile_clock = ProfileClock(config.common, &loop_clock);
+  obs::Telemetry telemetry(config.common.collect_telemetry, &loop_clock);
+  if (telemetry.enabled()) loop.AttachMetrics(telemetry.metrics);
   auto qoe_shared = std::shared_ptr<const QoeModel>(&qoe, [](auto*) {});
 
   Service services[2];
@@ -97,20 +103,31 @@ ExperimentResult RunMultiServiceExperiment(
       services[s].broker = std::make_unique<broker::MessageBroker>(
           loop, *params[s], services[s].table);
       services[s].controller = std::make_unique<Controller>(
-          std::string("ctrl-") + (s == 0 ? "a" : "b"), config.controller,
-          qoe_shared, BuildBrokerServerModel(*params[s]),
-          config.seed + static_cast<std::uint64_t>(s), &loop_clock);
+          std::string("ctrl-") + (s == 0 ? "a" : "b"),
+          config.common.controller, qoe_shared,
+          BuildBrokerServerModel(*params[s]),
+          config.common.seed + static_cast<std::uint64_t>(s), profile_clock);
+      if (telemetry.enabled()) {
+        services[s].controller->AttachTelemetry(
+            telemetry.metrics, &telemetry.tracer,
+            std::string("ctrl.service_") + (s == 0 ? "a" : "b"));
+      }
     } else {
       services[s].broker = std::make_unique<broker::MessageBroker>(
           loop, *params[s], std::make_shared<broker::FifoScheduler>());
     }
+    if (telemetry.enabled()) {
+      services[s].broker->AttachMetrics(
+          telemetry.metrics,
+          std::string("broker.service_") + (s == 0 ? "a" : "b"));
+    }
   }
 
-  const auto schedule = BuildReplaySchedule(records, config.speedup);
+  const auto schedule = BuildReplaySchedule(records, config.common.speedup);
   ExperimentResult result;
   result.outcomes.reserve(schedule.size());
   std::map<RequestId, Join> joins;
-  Rng fanout_rng(config.seed ^ 0x5AULL);
+  Rng fanout_rng(config.common.seed ^ 0x5AULL);
 
   auto complete_leg = [&](RequestId id, const broker::Delivery& delivery) {
     auto it = joins.find(id);
@@ -170,8 +187,8 @@ ExperimentResult RunMultiServiceExperiment(
 
   const double horizon_ms = schedule.back().testbed_time_ms + 60000.0;
   if (config.use_e2e) {
-    for (double t = config.tick_interval_ms; t <= horizon_ms;
-         t += config.tick_interval_ms) {
+    for (double t = config.common.tick_interval_ms; t <= horizon_ms;
+         t += config.common.tick_interval_ms) {
       loop.Schedule(t, [&]() {
         for (auto& service : services) {
           if (service.controller == nullptr) continue;
@@ -195,6 +212,7 @@ ExperimentResult RunMultiServiceExperiment(
         static_cast<double>(service.broker->delivered_count()) *
         config.service_a.handling_cost_ms;
   }
+  if (telemetry.enabled()) result.telemetry = telemetry.Snapshot();
   result.Finalize();
   return result;
 }

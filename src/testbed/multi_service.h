@@ -11,12 +11,11 @@
 // up — exactly the Fig. 11 reasoning lifted across services.
 #pragma once
 
-#include <cstdint>
 #include <span>
 
 #include "broker/broker.h"
-#include "core/controller.h"
 #include "qoe/qoe_model.h"
+#include "testbed/experiment_config.h"
 #include "testbed/metrics.h"
 #include "trace/record.h"
 
@@ -34,7 +33,11 @@ enum class CrossServiceMode {
 /// `fanout_probability` fraction additionally needs the slower service B
 /// and completes only when both legs respond — the paper's §9 example of a
 /// request "that also depends on another, much slower service".
+/// Shared knobs live in `common`; this runner has no fault-injection
+/// hooks, so `common.fault_plan` must stay empty (the runner throws
+/// otherwise).
 struct MultiServiceConfig {
+  ExperimentConfig common = ExperimentConfig::WithSeed(211);
   broker::BrokerParams service_a;
   broker::BrokerParams service_b;
   CrossServiceMode mode = CrossServiceMode::kIsolated;
@@ -44,10 +47,6 @@ struct MultiServiceConfig {
   /// E2E's reach, so A must plan around it rather than through it.
   bool service_b_legacy_fifo = true;
   double fanout_probability = 0.5;  ///< Fraction of requests also needing B.
-  double speedup = 1.0;
-  ControllerConfig controller;
-  double tick_interval_ms = 1000.0;
-  std::uint64_t seed = 211;
 };
 
 /// Runs the experiment. A request's server-side delay is the MAX of its

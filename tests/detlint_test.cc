@@ -92,7 +92,9 @@ TEST(DetlintRules, UnseededRngFixture) {
 
 TEST(DetlintRules, UnorderedIterFixture) {
   EXPECT_EQ(RuleLines(ScanFixture("unordered_iter.cc")),
-            (Expected{{"unordered-iter", 16}, {"unordered-iter", 26}}));
+            (Expected{{"unordered-iter", 16},
+                      {"unordered-iter", 26},
+                      {"unordered-iter", 54}}));
 }
 
 TEST(DetlintRules, PtrKeyFixture) {

@@ -38,9 +38,9 @@ MultiAgentConfig AgentConfig(AgentSharding sharding, bool use_e2e) {
   // 4 agents x one consumer per 20 ms = 200 msg/s aggregate capacity.
   config.broker.priority_levels = 6;
   config.broker.consume_interval_ms = 20.0;
-  config.controller.external.window_ms = 5000.0;
-  config.controller.external.min_samples = 20;
-  config.controller.policy.target_buckets = 12;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.external.min_samples = 20;
+  config.common.controller.policy.target_buckets = 12;
   return config;
 }
 
@@ -102,9 +102,9 @@ MultiServiceConfig ServiceConfig(CrossServiceMode mode, bool use_e2e) {
   config.service_a.consume_interval_ms = 13.0;
   config.service_b.priority_levels = 6;
   config.service_b.consume_interval_ms = 15.0;
-  config.controller.external.window_ms = 5000.0;
-  config.controller.external.min_samples = 20;
-  config.controller.policy.target_buckets = 12;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.external.min_samples = 20;
+  config.common.controller.policy.target_buckets = 12;
   return config;
 }
 

@@ -246,18 +246,18 @@ BrokerExperimentConfig TestBrokerConfig(BrokerPolicy policy,
                                         std::uint64_t seed = 13) {
   BrokerExperimentConfig config;
   config.policy = policy;
-  config.speedup = 2.5;  // ~150 msg/s against a 200 msg/s consumer.
-  config.controller.external.window_ms = 4000.0;
-  config.controller.external.min_samples = 30;
-  config.controller.policy.target_buckets = 8;
-  config.seed = seed;
+  config.common.speedup = 2.5;  // ~150 msg/s against a 200 msg/s consumer.
+  config.common.controller.external.window_ms = 4000.0;
+  config.common.controller.external.min_samples = 30;
+  config.common.controller.policy.target_buckets = 8;
+  config.common.seed = seed;
   return config;
 }
 
 DbExperimentConfig TestDbConfig(DbPolicy policy, std::uint64_t seed = 11) {
   DbExperimentConfig config;
   config.policy = policy;
-  config.speedup = 2.0;
+  config.common.speedup = 2.0;
   config.dataset_keys = 300;
   config.value_bytes = 16;
   config.range_count = 10;
@@ -265,7 +265,7 @@ DbExperimentConfig TestDbConfig(DbPolicy policy, std::uint64_t seed = 11) {
   config.cluster.concurrency_per_replica = 8;
   config.cluster.base_service_ms = 15.0;
   config.cluster.capacity = 8.0;
-  config.seed = seed;
+  config.common.seed = seed;
   return config;
 }
 
@@ -289,7 +289,7 @@ void ExpectConservation(const ExperimentResult& result) {
 TEST(FaultExperiments, BrokerDropsAreCountedAndConserved) {
   const auto records = BrokerWorkload();
   auto config = TestBrokerConfig(BrokerPolicy::kDefault);
-  config.fault_plan = FaultPlan::Parse("drop broker p=0.1 seed=3");
+  config.common.fault_plan = FaultPlan::Parse("drop broker p=0.1 seed=3");
   const auto result = RunBrokerExperiment(records, TestQoe(), config);
   ExpectConservation(result);
   // ~10% of 2400 arrivals; dropped outcomes carry no delays or QoE.
@@ -308,7 +308,7 @@ TEST(FaultExperiments, BrokerDelayFaultRaisesServerDelay) {
   const auto records = BrokerWorkload();
   auto config = TestBrokerConfig(BrokerPolicy::kDefault);
   const auto clean = RunBrokerExperiment(records, TestQoe(), config);
-  config.fault_plan = FaultPlan::Parse("delay broker +40ms");
+  config.common.fault_plan = FaultPlan::Parse("delay broker +40ms");
   const auto delayed = RunBrokerExperiment(records, TestQoe(), config);
   ExpectConservation(delayed);
   EXPECT_NEAR(delayed.mean_server_delay_ms, clean.mean_server_delay_ms + 40.0,
@@ -319,7 +319,7 @@ TEST(FaultExperiments, BrokerDelayFaultRaisesServerDelay) {
 TEST(FaultExperiments, DbPartitionFailsOverAndConserves) {
   const auto records = DbWorkload();
   auto config = TestDbConfig(DbPolicy::kDefault);
-  config.fault_plan = FaultPlan::Parse("partition db r=0 t=[2s,6s]");
+  config.common.fault_plan = FaultPlan::Parse("partition db r=0 t=[2s,6s]");
   const auto result = RunDbExperiment(records, TestQoe(), config);
   ExpectConservation(result);
   EXPECT_GT(result.failed_over, 0u);
@@ -340,7 +340,7 @@ TEST(FaultExperiments, DbDelayFaultSlowsTheWindow) {
   const auto records = DbWorkload();
   auto config = TestDbConfig(DbPolicy::kDefault);
   const auto clean = RunDbExperiment(records, TestQoe(), config);
-  config.fault_plan = FaultPlan::Parse("delay db +200ms t=[1s,5s]");
+  config.common.fault_plan = FaultPlan::Parse("delay db +200ms t=[1s,5s]");
   const auto slowed = RunDbExperiment(records, TestQoe(), config);
   ExpectConservation(slowed);
   EXPECT_GT(slowed.mean_server_delay_ms, clean.mean_server_delay_ms + 20.0);
@@ -349,11 +349,11 @@ TEST(FaultExperiments, DbDelayFaultSlowsTheWindow) {
 TEST(FaultExperiments, PlanNeedingMissingTargetThrows) {
   const auto records = DbWorkload();
   auto config = TestDbConfig(DbPolicy::kDefault);  // No controller.
-  config.fault_plan = FaultPlan::Parse("crash ctrl t=2s for=2s");
+  config.common.fault_plan = FaultPlan::Parse("crash ctrl t=2s for=2s");
   EXPECT_THROW(RunDbExperiment(records, TestQoe(), config),
                std::invalid_argument);
   auto broker_config = TestBrokerConfig(BrokerPolicy::kDefault);
-  broker_config.fault_plan = FaultPlan::Parse("partition db r=0 t=[1s,2s]");
+  broker_config.common.fault_plan = FaultPlan::Parse("partition db r=0 t=[1s,2s]");
   EXPECT_THROW(RunBrokerExperiment(BrokerWorkload(), TestQoe(), broker_config),
                std::invalid_argument);
 }
@@ -368,7 +368,7 @@ TEST(FaultExperiments, CrashDegradesGracefullyAndRecovers) {
                                            TestBrokerConfig(BrokerPolicy::kE2e));
 
   auto crashing = TestBrokerConfig(BrokerPolicy::kE2e);
-  crashing.fault_plan = FaultPlan::Parse("crash ctrl t=6s for=5s");
+  crashing.common.fault_plan = FaultPlan::Parse("crash ctrl t=6s for=5s");
   const auto crashed = RunBrokerExperiment(records, TestQoe(), crashing);
 
   ExpectConservation(crashed);
@@ -386,7 +386,7 @@ TEST(FaultExperiments, CrashDegradesGracefullyAndRecovers) {
 TEST(FaultExperiments, GoldenDeterminismBrokerExperiment) {
   const auto records = BrokerWorkload();
   auto config = TestBrokerConfig(BrokerPolicy::kE2e);
-  config.fault_plan =
+  config.common.fault_plan =
       FaultPlan::Parse("drop broker p=0.05 seed=5; crash ctrl t=6s for=5s");
   const auto a = RunBrokerExperiment(records, TestQoe(), config);
   const auto b = RunBrokerExperiment(records, TestQoe(), config);
@@ -394,7 +394,7 @@ TEST(FaultExperiments, GoldenDeterminismBrokerExperiment) {
 
   // A different drop-stream seed drops different messages.
   auto reseeded = config;
-  reseeded.fault_plan =
+  reseeded.common.fault_plan =
       FaultPlan::Parse("drop broker p=0.05 seed=99; crash ctrl t=6s for=5s");
   const auto c = RunBrokerExperiment(records, TestQoe(), reseeded);
   EXPECT_NE(a.Serialize(), c.Serialize());
@@ -403,14 +403,14 @@ TEST(FaultExperiments, GoldenDeterminismBrokerExperiment) {
 TEST(FaultExperiments, GoldenDeterminismDbExperiment) {
   const auto records = DbWorkload();
   auto config = TestDbConfig(DbPolicy::kDefault);
-  config.fault_plan =
+  config.common.fault_plan =
       FaultPlan::Parse("partition db r=1 t=[2s,4s]; delay db +25ms t=[3s,6s]");
   const auto a = RunDbExperiment(records, TestQoe(), config);
   const auto b = RunDbExperiment(records, TestQoe(), config);
   EXPECT_EQ(a.Serialize(), b.Serialize());
 
   auto reseeded = config;
-  reseeded.seed = config.seed + 1;
+  reseeded.common.seed = config.common.seed + 1;
   const auto c = RunDbExperiment(records, TestQoe(), reseeded);
   EXPECT_NE(a.Serialize(), c.Serialize());
 }
@@ -478,7 +478,7 @@ TEST(FaultProperties, RandomPlansPreserveSystemInvariants) {
         const std::uint64_t seed = rng.NextU64() % 10000;
 
         auto faulty_config = TestBrokerConfig(BrokerPolicy::kE2e, seed);
-        faulty_config.fault_plan = plan;
+        faulty_config.common.fault_plan = plan;
         const auto faulty =
             RunBrokerExperiment(records, TestQoe(), faulty_config);
 
@@ -494,7 +494,7 @@ TEST(FaultProperties, RandomPlansPreserveSystemInvariants) {
         // (3) Graceful degradation: never meaningfully below the
         // no-controller default policy run under the same broker faults.
         auto baseline_config = TestBrokerConfig(BrokerPolicy::kDefault, seed);
-        baseline_config.fault_plan = StripControllerFaults(plan);
+        baseline_config.common.fault_plan = StripControllerFaults(plan);
         const auto baseline =
             RunBrokerExperiment(records, TestQoe(), baseline_config);
         EXPECT_GE(faulty.mean_qoe, baseline.mean_qoe * 0.93)
@@ -525,7 +525,7 @@ TEST(FaultProperties, RandomDbPlansConserveRequests) {
         }
         auto config = TestDbConfig(DbPolicy::kDefault,
                                    rng.NextU64() % 10000);
-        config.fault_plan = FaultPlan::Parse(spec);
+        config.common.fault_plan = FaultPlan::Parse(spec);
         const auto result = RunDbExperiment(records, TestQoe(), config);
         ExpectConservation(result);
         EXPECT_EQ(result.dropped, 0u);  // The db path never loses requests.

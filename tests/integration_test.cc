@@ -71,7 +71,7 @@ TEST(Integration, DbTestbedAboveCapacityOrdering) {
   config.dataset_keys = 2000;
   config.value_bytes = 16;
   config.range_count = 20;
-  config.speedup = 1.0;
+  config.common.speedup = 1.0;
   config.cluster.replica_groups = 3;
   config.cluster.concurrency_per_replica = 8;
   config.cluster.base_service_ms = 120.0;
@@ -79,9 +79,9 @@ TEST(Integration, DbTestbedAboveCapacityOrdering) {
   config.profile_levels = 12;
   config.profile_max_rps = 60.0;
   config.profile_duration_ms = 15000.0;
-  config.controller.external.window_ms = 5000.0;
-  config.controller.external.min_samples = 20;
-  config.controller.policy.target_buckets = 10;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.external.min_samples = 20;
+  config.common.controller.policy.target_buckets = 10;
 
   config.policy = DbPolicy::kDefault;
   const auto def = RunDbExperiment(records, TraceQoe(), config);
@@ -116,12 +116,12 @@ TEST(Integration, BrokerTestbedOrderingAndFairness) {
   const auto records = MakeSyntheticWorkload(workload);
 
   BrokerExperimentConfig config;
-  config.speedup = 1.0;
+  config.common.speedup = 1.0;
   config.broker.priority_levels = 6;
   config.broker.consume_interval_ms = 18.0;
-  config.controller.external.window_ms = 5000.0;
-  config.controller.external.min_samples = 20;
-  config.controller.policy.target_buckets = 10;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.external.min_samples = 20;
+  config.common.controller.policy.target_buckets = 10;
 
   config.policy = BrokerPolicy::kDefault;
   const auto fifo = RunBrokerExperiment(records, TraceQoe(), config);
@@ -155,9 +155,9 @@ TEST(Integration, ByteExactReplayWithVirtualProfilingClock) {
   config.dataset_keys = 500;
   config.value_bytes = 16;
   config.range_count = 10;
-  config.speedup = 1.0;
+  config.common.speedup = 1.0;
   config.policy = DbPolicy::kE2e;
-  ASSERT_FALSE(config.profile_real_clock);  // virtual clock is the default
+  ASSERT_FALSE(config.common.profile_real_clock);  // virtual clock is the default
 
   const auto a = RunDbExperiment(records, TraceQoe(), config);
   const auto b = RunDbExperiment(records, TraceQoe(), config);
@@ -192,18 +192,18 @@ TEST(Integration, ControllerPathIsCheapEvenInFullRuns) {
   config.dataset_keys = 1000;
   config.value_bytes = 16;
   config.range_count = 10;
-  config.speedup = 1.0;
+  config.common.speedup = 1.0;
   config.policy = DbPolicy::kE2e;
   config.cluster.concurrency_per_replica = 8;
   config.cluster.base_service_ms = 60.0;
   config.cluster.capacity = 8.0;
   config.profile_levels = 6;
   config.profile_duration_ms = 10000.0;
-  config.controller.external.window_ms = 5000.0;
-  config.controller.external.min_samples = 20;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.external.min_samples = 20;
   // This test asserts a *real-time* bound, so it opts into the real
   // profiling clock; deterministic runs keep the default virtual clock.
-  config.profile_real_clock = true;
+  config.common.profile_real_clock = true;
   const auto result = RunDbExperiment(records, TraceQoe(), config);
   EXPECT_GT(result.controller_stats.recomputes, 0u);
   // A full table recompute (the *amortized* cost, paid once per window)

@@ -182,7 +182,7 @@ DbExperimentConfig FastDbConfig(DbPolicy policy) {
   config.dataset_keys = 2000;
   config.value_bytes = 16;
   config.range_count = 20;
-  config.speedup = 1.0;  // Records already carry testbed-scale arrivals.
+  config.common.speedup = 1.0;  // Records already carry testbed-scale arrivals.
   config.cluster.replica_groups = 3;
   config.cluster.concurrency_per_replica = 8;
   config.cluster.base_service_ms = 120.0;
@@ -190,9 +190,9 @@ DbExperimentConfig FastDbConfig(DbPolicy policy) {
   config.profile_levels = 12;
   config.profile_max_rps = 60.0;
   config.profile_duration_ms = 15000.0;
-  config.controller.external.window_ms = 5000.0;
-  config.controller.external.min_samples = 20;
-  config.controller.policy.target_buckets = 10;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.external.min_samples = 20;
+  config.common.controller.policy.target_buckets = 10;
   return config;
 }
 
@@ -231,8 +231,7 @@ TEST(DbExperiment, DeterministicInSeed) {
 
 TEST(DbExperiment, FailoverKeepsServing) {
   auto config = FastDbConfig(DbPolicy::kE2e);
-  config.fail_primary_at_ms = 15000.0;
-  config.election_delay_ms = 5000.0;
+  config.common.fault_plan = fault::FaultPlan::Parse("crash ctrl t=15s for=5s");
   const auto records = LoadedWorkload(2000, 29, 115.0);
   const auto result = RunDbExperiment(records, TraceQoe(), config);
   EXPECT_EQ(result.outcomes.size(), records.size());
@@ -262,12 +261,12 @@ TEST(DbExperiment, SelectorEntriesAreOneHot) {
 BrokerExperimentConfig FastBrokerConfig(BrokerPolicy policy) {
   BrokerExperimentConfig config;
   config.policy = policy;
-  config.speedup = 1.0;
+  config.common.speedup = 1.0;
   config.broker.priority_levels = 6;
   config.broker.consume_interval_ms = 18.0;  // ~55/s capacity vs 60/s load.
-  config.controller.external.window_ms = 5000.0;
-  config.controller.external.min_samples = 20;
-  config.controller.policy.target_buckets = 10;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.external.min_samples = 20;
+  config.common.controller.policy.target_buckets = 10;
   return config;
 }
 

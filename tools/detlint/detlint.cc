@@ -205,8 +205,12 @@ std::vector<Region> FunctionRegions(std::string_view stripped) {
 }
 
 bool RegionFeedsRngOrSerialize(std::string_view region) {
+  // Snapshot/Export cover the observability export path (src/obs/): metric
+  // and span snapshots must serialize byte-identically across runs, so an
+  // unordered iteration feeding them is the same hazard as one feeding
+  // Serialize().
   static const std::regex marker_re(
-      R"(\bRng\b|\brng_?\b|\bengine_?\b|Serialize|NextU64|Uniform|Normal|Bernoulli|Categorical|Shuffle|ExponentialMean)");
+      R"(\bRng\b|\brng_?\b|\bengine_?\b|Serialize|Snapshot|Export|NextU64|Uniform|Normal|Bernoulli|Categorical|Shuffle|ExponentialMean)");
   return std::regex_search(region.begin(), region.end(), marker_re);
 }
 
@@ -357,8 +361,8 @@ const std::vector<RuleInfo>& Rules() {
        "non-seeded randomness (rand, random_device, default-constructed "
        "std engines)"},
       {kUnorderedIter, Severity::kError,
-       "unordered-container iteration in functions feeding RNG draws or "
-       "Serialize()"},
+       "unordered-container iteration in functions feeding RNG draws, "
+       "Serialize(), or telemetry Snapshot/Export"},
       {kPtrKey, Severity::kError,
        "ordered map/set keyed by pointer (address-order nondeterminism)"},
       {kFloatEq, Severity::kWarning,

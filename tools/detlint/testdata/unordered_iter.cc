@@ -43,3 +43,14 @@ double NegativeAggregate(const std::unordered_map<int, double>& weights) {
   for (const auto& kv : weights) total += kv.second;
   return total;
 }
+
+// Positive: iteration order leaks into a telemetry export — the
+// Snapshot/Export markers cover the observability path (src/obs/), whose
+// exports must be byte-identical across identical-seed runs.
+int ExportCounter(int v);
+std::vector<int> PositiveTelemetryPath(
+    const std::unordered_map<int, int>& counters) {
+  std::vector<int> out;
+  for (const auto& kv : counters) out.push_back(ExportCounter(kv.second));
+  return out;
+}
