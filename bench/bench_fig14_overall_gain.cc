@@ -79,10 +79,14 @@ int main(int argc, char** argv) {
   TextTable table_b({"System", "Default QoE", "Slope (%)", "E2E (%)",
                      "Idealized (%)"});
   const bool telemetry = TelemetryRequested(flags);
+  // --resilience=on runs both testbeds with the full mitigation layer
+  // (docs/RESILIENCE.md); decision counters land in the telemetry sidecars.
+  const bool resilience_on = ResilienceRequested(flags);
   {
     auto config_for = [&](DbPolicy policy) {
       auto config = StandardDbConfig(policy, db_speedup);
       config.common.collect_telemetry = telemetry;
+      if (resilience_on) config.common.resilience = StandardResilience();
       return config;
     };
     const auto def =
@@ -105,6 +109,7 @@ int main(int argc, char** argv) {
     auto config_for = [&](BrokerPolicy policy) {
       auto config = StandardBrokerConfig(policy, broker_speedup);
       config.common.collect_telemetry = telemetry;
+      if (resilience_on) config.common.resilience = StandardResilience();
       return config;
     };
     const auto def =

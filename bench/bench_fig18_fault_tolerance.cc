@@ -78,18 +78,29 @@ int main(int argc, char** argv) {
   const QoeModel& qoe = QoeForPage(PageType::kType1);
 
   const bool telemetry = TelemetryRequested(flags);
+  // --resilience=on additionally protects the no-failure runs; the failing
+  // run is always benchmarked both ways (the on/off columns below).
+  const bool resilience_on = ResilienceRequested(flags);
   auto default_config = StandardDbConfig(DbPolicy::kDefault, kDbReferenceSpeedup);
   default_config.common.collect_telemetry = telemetry;
   auto healthy_config = StandardDbConfig(DbPolicy::kE2e, kDbReferenceSpeedup);
   healthy_config.common.collect_telemetry = telemetry;
+  if (resilience_on) {
+    default_config.common.resilience = StandardResilience();
+    healthy_config.common.resilience = StandardResilience();
+  }
   const auto def = RunDbExperiment(slice, qoe, default_config);
   const auto healthy = RunDbExperiment(slice, qoe, healthy_config);
   auto failing_config = StandardDbConfig(DbPolicy::kE2e, kDbReferenceSpeedup);
   failing_config.common.collect_telemetry = telemetry;
   failing_config.common.fault_plan = plan;
+  auto resilient_config = failing_config;
+  resilient_config.common.resilience = StandardResilience();
   ExperimentResult failing;
+  ExperimentResult resilient;
   try {
     failing = RunDbExperiment(slice, qoe, failing_config);
+    resilient = RunDbExperiment(slice, qoe, resilient_config);
   } catch (const std::invalid_argument& error) {
     // E.g. a plan clause targeting a component this testbed does not have.
     std::cerr << "bad --fault_plan: " << error.what() << "\n";
@@ -99,26 +110,30 @@ int main(int argc, char** argv) {
   WriteTelemetrySidecar(flags, "db.default", def);
   WriteTelemetrySidecar(flags, "db.healthy", healthy);
   WriteTelemetrySidecar(flags, "db.failing", failing);
+  WriteTelemetrySidecar(flags, "db.resilient", resilient);
 
   const auto def_buckets = QoePerBucket(def, bucket_ms);
   const auto healthy_buckets = QoePerBucket(healthy, bucket_ms);
   const auto failing_buckets = QoePerBucket(failing, bucket_ms);
+  const auto resilient_buckets = QoePerBucket(resilient, bucket_ms);
 
   TextTable table({"t (s)", "Gain w/o failure (%)", "Gain w/ failure (%)",
-                   "Phase"});
+                   "w/ failure+resilience (%)", "Phase"});
   std::vector<double> series;
   const int last_bucket = static_cast<int>(120000.0 / bucket_ms);
   for (int b = 0; b <= last_bucket; ++b) {
     const auto d = def_buckets.find(b);
     const auto h = healthy_buckets.find(b);
     const auto f = failing_buckets.find(b);
+    const auto r = resilient_buckets.find(b);
     if (d == def_buckets.end() || h == healthy_buckets.end() ||
-        f == failing_buckets.end()) {
+        f == failing_buckets.end() || r == resilient_buckets.end()) {
       continue;
     }
     const double t_s = (b + 0.5) * bucket_ms / 1000.0;
     const double gain_h = QoeGainPercent(d->second, h->second);
     const double gain_f = QoeGainPercent(d->second, f->second);
+    const double gain_r = QoeGainPercent(d->second, r->second);
     std::string phase = "healthy";
     if (t_s * 1000.0 >= fail_at && t_s * 1000.0 < fail_at + election) {
       phase = "FAILED (stale cache)";
@@ -126,7 +141,8 @@ int main(int argc, char** argv) {
       phase = "backup promoted";
     }
     table.AddRow({TextTable::Num(t_s, 0), TextTable::Num(gain_h, 1),
-                  TextTable::Num(gain_f, 1), phase});
+                  TextTable::Num(gain_f, 1), TextTable::Num(gain_r, 1),
+                  phase});
     series.push_back(gain_f);
   }
   table.Render(std::cout);
@@ -143,5 +159,14 @@ int main(int argc, char** argv) {
             << TextTable::Num(healthy.mean_qoe, 3) << ", E2E w/ failure "
             << TextTable::Num(failing.mean_qoe, 3)
             << " (failure costs little; the cached table keeps serving)\n";
+
+  const ResilienceStats& rs = resilient.resilience;
+  std::cout << "Resilience on (failing run): mean QoE "
+            << TextTable::Num(resilient.mean_qoe, 3) << " vs "
+            << TextTable::Num(failing.mean_qoe, 3) << " off; decisions: "
+            << rs.retries << " retries, " << rs.hedges_issued << " hedges ("
+            << rs.hedges_won << " won), " << rs.shed << " shed, "
+            << rs.downgraded << " downgraded, " << rs.breaker_opens
+            << " breaker opens\n";
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "common.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <stdexcept>
@@ -83,6 +84,19 @@ BrokerExperimentConfig StandardBrokerConfig(BrokerPolicy policy,
 
 bool TelemetryRequested(const Flags& flags) {
   return flags.Has("metrics_out");
+}
+
+bool ResilienceRequested(const Flags& flags) {
+  const std::string value = flags.GetString("resilience", "off");
+  if (value == "off") return false;
+  if (value == "on") return true;
+  std::cerr << "bad --resilience: expected 'off' or 'on', got '" << value
+            << "'\n";
+  std::exit(2);
+}
+
+resilience::ResilienceConfig StandardResilience() {
+  return resilience::ResilienceConfig::AllOn();
 }
 
 void WriteTelemetrySidecar(const Flags& flags, const std::string& label,

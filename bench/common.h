@@ -64,6 +64,16 @@ const std::vector<TraceRecord>& TestbedSlice();
 /// use this to switch `common.collect_telemetry` on before the run.
 bool TelemetryRequested(const Flags& flags);
 
+/// Parses `--resilience={off,on}` (default off). `on` means the standard
+/// all-mechanisms-on mitigation layer (StandardResilience) — benches copy
+/// it into `common.resilience` for the runs that should be protected.
+/// Exits 2 on any other value.
+bool ResilienceRequested(const Flags& flags);
+
+/// The bench-standard resilience configuration: every mechanism enabled at
+/// the docs/RESILIENCE.md default knobs.
+resilience::ResilienceConfig StandardResilience();
+
 /// Writes `result.telemetry` as a sidecar of the `--metrics_out` path with
 /// `label` inserted before the extension (`out.txt` + label "db.e2e" ->
 /// `out.db.e2e.txt`). Paths ending in `.json` get the JSON encoding;

@@ -43,7 +43,8 @@ void MessageBroker::StopConsumers() {
 void MessageBroker::ScheduleNextPull(int consumer) {
   if (stopped_) return;
   consumer_timers_[static_cast<std::size_t>(consumer)] =
-      loop_.ScheduleAfter(params_.consume_interval_ms,
+      loop_.ScheduleAfter(params_.consume_interval_ms *
+                              faults_.consume_slowdown,
                           [this, consumer]() { PullOne(consumer); });
 }
 
@@ -125,16 +126,19 @@ void MessageBroker::SetFaults(const BrokerFaults& faults) {
   if (faults.extra_delay_ms < 0.0) {
     throw std::invalid_argument("MessageBroker::SetFaults: negative delay");
   }
+  if (faults.consume_slowdown < 1.0) {
+    throw std::invalid_argument("MessageBroker::SetFaults: slowdown < 1");
+  }
   faults_ = faults;
 }
 
-void MessageBroker::Publish(const Message& message, ConfirmCallback confirm) {
+bool MessageBroker::Publish(const Message& message, ConfirmCallback confirm) {
   if (faults_.drop_probability > 0.0 &&
       fault_rng_.Bernoulli(faults_.drop_probability)) {
     ++dropped_;
     if (metric_dropped_ != nullptr) metric_dropped_->Increment();
     if (drop_callback_) drop_callback_(message, loop_.Now());
-    return;
+    return false;
   }
   if (metric_published_ != nullptr) metric_published_->Increment();
   const BrokerView view = View();
@@ -143,6 +147,29 @@ void MessageBroker::Publish(const Message& message, ConfirmCallback confirm) {
     throw std::out_of_range("MessageBroker::Publish: scheduler returned " +
                             std::to_string(priority));
   }
+  Enqueue(message, priority, std::move(confirm));
+  return true;
+}
+
+bool MessageBroker::PublishWithPriority(const Message& message, int priority,
+                                        ConfirmCallback confirm) {
+  if (priority < 0 || priority >= params_.priority_levels) {
+    throw std::out_of_range("MessageBroker::PublishWithPriority: bad priority");
+  }
+  if (faults_.drop_probability > 0.0 &&
+      fault_rng_.Bernoulli(faults_.drop_probability)) {
+    ++dropped_;
+    if (metric_dropped_ != nullptr) metric_dropped_->Increment();
+    if (drop_callback_) drop_callback_(message, loop_.Now());
+    return false;
+  }
+  if (metric_published_ != nullptr) metric_published_->Increment();
+  Enqueue(message, priority, std::move(confirm));
+  return true;
+}
+
+void MessageBroker::Enqueue(const Message& message, int priority,
+                            ConfirmCallback confirm) {
   Queued item;
   item.message = message;
   item.confirm = std::move(confirm);

@@ -37,10 +37,13 @@ struct BrokerParams {
 
 /// Active broker fault state (driven by fault::FaultInjector). Messages are
 /// dropped at publish with `drop_probability`; every delivery is delayed by
-/// `extra_delay_ms` on top of the handling cost.
+/// `extra_delay_ms` on top of the handling cost; `consume_slowdown`
+/// multiplies the consumer pull interval (overload broker xF), so queues
+/// drain F times slower while it is active.
 struct BrokerFaults {
   double drop_probability = 0.0;
   double extra_delay_ms = 0.0;
+  double consume_slowdown = 1.0;
 };
 
 /// Delivery confirmation for one message.
@@ -69,7 +72,15 @@ class MessageBroker {
   MessageBroker& operator=(const MessageBroker&) = delete;
 
   /// Publishes a message; `confirm` fires when a consumer delivers it.
-  void Publish(const Message& message, ConfirmCallback confirm);
+  /// Returns false when fault injection dropped the message at publish
+  /// (resilience::RetryPolicy callers re-publish on false), true otherwise.
+  bool Publish(const Message& message, ConfirmCallback confirm);
+
+  /// Publishes at an explicit priority level, bypassing the scheduler
+  /// (admission-control downgrades). Still subject to fault drops; returns
+  /// false when dropped. Throws on a bad priority.
+  bool PublishWithPriority(const Message& message, int priority,
+                           ConfirmCallback confirm);
 
   /// Replaces the scheduling policy (used when the E2E controller refreshes
   /// its decision table, and by failover tests).
@@ -140,6 +151,7 @@ class MessageBroker {
 
   void ScheduleNextPull(int consumer);
   void PullOne(int consumer);
+  void Enqueue(const Message& message, int priority, ConfirmCallback confirm);
 
   EventLoop& loop_;
   BrokerParams params_;

@@ -230,7 +230,7 @@ class AllocationEvaluator {
       // magnitude of server-side delays (§3.2).
       std::vector<std::size_t> bucket_order(n);
       std::iota(bucket_order.begin(), bucket_order.end(), std::size_t{0});
-      std::sort(bucket_order.begin(), bucket_order.end(),
+      std::stable_sort(bucket_order.begin(), bucket_order.end(),
                 [&](std::size_t a, std::size_t b) {
                   return qoe_.Sensitivity(buckets_[a].representative) >
                          qoe_.Sensitivity(buckets_[b].representative);
@@ -243,7 +243,7 @@ class AllocationEvaluator {
             delay_of_decision[static_cast<std::size_t>(decision_of_slot[s])]
                 .Mean();
       }
-      std::sort(slot_order.begin(), slot_order.end(),
+      std::stable_sort(slot_order.begin(), slot_order.end(),
                 [&](std::size_t a, std::size_t b) {
                   return slot_mean[a] < slot_mean[b];
                 });

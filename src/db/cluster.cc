@@ -223,6 +223,10 @@ void ReadExecutor::AttachMetrics(obs::MetricsRegistry& registry) {
 void ReadExecutor::ExecuteRangeRead(const DbRequest& request,
                                     std::function<void(ReadResult)> done) {
   if (metric_requests_ != nullptr) metric_requests_->Increment();
+  if (resilience_enabled_) {
+    IssueWithRetries(request, std::move(done), 0, cluster_.loop().Now());
+    return;
+  }
   const ClusterView view = cluster_.View();
   const int selected = selector_->SelectReplica(request, view);
   int replica = selected;
@@ -251,6 +255,254 @@ void ReadExecutor::ExecuteRangeRead(const DbRequest& request,
                        result.failed_over = failed_over;
                        done(std::move(result));
                      });
+}
+
+void ReadExecutor::EnableResilience(
+    const resilience::ResilienceConfig& config, Rng rng,
+    std::function<SensitivityClass(const DbRequest&)> classify) {
+  resilience_enabled_ = true;
+  resil_config_ = config;
+  classify_ = std::move(classify);
+  retry_.emplace(config.retry, rng);
+  breakers_.clear();
+  slowness_.clear();
+  breaker_spans_.resize(static_cast<std::size_t>(cluster_.NumReplicas()));
+  for (int r = 0; r < cluster_.NumReplicas(); ++r) {
+    breakers_.emplace_back(config.breaker);
+    slowness_.emplace_back(config.breaker);
+    breakers_.back().SetTransitionHook(
+        [this, r](resilience::CircuitBreaker::State from,
+                  resilience::CircuitBreaker::State to, double) {
+          if (metric_breaker_transitions_ != nullptr) {
+            metric_breaker_transitions_->Increment();
+          }
+          if (tracer_ == nullptr) return;
+          auto& span = breaker_spans_[static_cast<std::size_t>(r)];
+          if (to == resilience::CircuitBreaker::State::kOpen) {
+            span = tracer_->StartSpan("resilience.db.replica" +
+                                      std::to_string(r) + ".open");
+          } else if (from == resilience::CircuitBreaker::State::kOpen) {
+            span.End();
+          }
+        });
+  }
+}
+
+void ReadExecutor::AttachResilienceMetrics(obs::MetricsRegistry& registry,
+                                           obs::Tracer* tracer) {
+  metric_retries_ = &registry.AddCounter("db.resilience.retries");
+  metric_retries_exhausted_ =
+      &registry.AddCounter("db.resilience.retries_exhausted");
+  metric_hedges_ = &registry.AddCounter("db.resilience.hedges");
+  metric_hedge_wins_ = &registry.AddCounter("db.resilience.hedge_wins");
+  metric_hedge_cancels_ = &registry.AddCounter("db.resilience.hedge_cancels");
+  metric_breaker_transitions_ =
+      &registry.AddCounter("db.resilience.breaker_transitions");
+  tracer_ = tracer;
+}
+
+resilience::BreakerStats ReadExecutor::TotalBreakerStats() const {
+  resilience::BreakerStats total;
+  for (const auto& breaker : breakers_) {
+    total.opens += breaker.stats().opens;
+    total.half_opens += breaker.stats().half_opens;
+    total.closes += breaker.stats().closes;
+    total.rejections += breaker.stats().rejections;
+  }
+  return total;
+}
+
+bool ReadExecutor::RouteAllowed(int replica, double now_ms) {
+  if (cluster_.IsPartitioned(replica)) return false;
+  if (breakers_.empty()) return true;
+  return breakers_[static_cast<std::size_t>(replica)].AllowRequest(now_ms);
+}
+
+int ReadExecutor::BestAvailable(const ClusterView& view, double now_ms,
+                                int exclude) const {
+  int best = -1;
+  for (int r = 0; r < cluster_.NumReplicas(); ++r) {
+    if (r == exclude) continue;
+    if (cluster_.IsPartitioned(r)) continue;
+    if (!breakers_.empty() &&
+        !breakers_[static_cast<std::size_t>(r)].WouldAllow(now_ms)) {
+      continue;
+    }
+    if (best == -1 || view.loads[static_cast<std::size_t>(r)] <
+                          view.loads[static_cast<std::size_t>(best)]) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+void ReadExecutor::RecordBreakerOutcome(int replica, const JobTiming& timing) {
+  if (breakers_.empty()) return;
+  auto& breaker = breakers_[static_cast<std::size_t>(replica)];
+  const double now = cluster_.loop().Now();
+  if (slowness_[static_cast<std::size_t>(replica)].RecordAndClassify(
+          timing.TotalDelayMs())) {
+    breaker.RecordFailure(now);
+  } else {
+    breaker.RecordSuccess(now);
+  }
+}
+
+void ReadExecutor::IssueWithRetries(const DbRequest& request,
+                                    std::function<void(ReadResult)> done,
+                                    int failures, double first_start_ms) {
+  EventLoop& loop = cluster_.loop();
+  const double now = loop.Now();
+  const ClusterView view = cluster_.View();
+  const int selected = selector_->SelectReplica(request, view);
+  if (!cluster_.IsPartitioned(selected)) {
+    // Reachable: the QoE-aware selection always stands. A breaker never
+    // overrides the primary route — wholesale rerouting a replica's share
+    // onto survivors that run near their capacity knee melts the cluster,
+    // and the controller already re-places traffic on its update cycle.
+    // Instead an open breaker redirects the hedge budget: a sensitive
+    // request headed into a known-bad replica is cloned immediately (zero
+    // hedge delay) rather than after its class delay, still subject to the
+    // budget and the idle-capacity gate.
+    const bool breaker_ok = RouteAllowed(selected, now);
+    auto state = std::make_shared<ReadState>();
+    state->done = std::move(done);
+    IssueRead(request, selected, selected, /*is_hedge=*/false, state);
+    if (resil_config_.hedge.enabled && request.hedge_delay_ms > 0.0 &&
+        cluster_.NumReplicas() > 1) {
+      const SensitivityClass cls =
+          classify_ ? classify_(request) : SensitivityClass::kSensitive;
+      const bool rescue = !breaker_ok && cls == SensitivityClass::kSensitive;
+      ScheduleHedge(request, selected, selected, state,
+                    rescue ? 0.0 : request.hedge_delay_ms);
+    }
+    return;
+  }
+  // The selected replica is partitioned: fail over to the best available
+  // replica (breaker-aware, least-loaded)...
+  const int best = BestAvailable(view, now, selected);
+  int replica = best != -1 && RouteAllowed(best, now) ? best : -1;
+  if (replica == -1) {
+    // ...or, when breakers are open on every reachable replica, to the
+    // least-loaded reachable one regardless: backing off would only stack
+    // latency onto an already-slow cluster (a retry storm). Backoff is
+    // reserved for true unavailability (every replica partitioned), where
+    // waiting out the fault window genuinely helps.
+    for (int r = 0; r < cluster_.NumReplicas(); ++r) {
+      if (cluster_.IsPartitioned(r)) continue;
+      if (replica == -1 || view.loads[static_cast<std::size_t>(r)] <
+                               view.loads[static_cast<std::size_t>(replica)]) {
+        replica = r;
+      }
+    }
+  }
+  if (replica != -1) {
+    ++failovers_;
+    if (metric_failovers_ != nullptr) metric_failovers_->Increment();
+    auto state = std::make_shared<ReadState>();
+    state->done = std::move(done);
+    IssueRead(request, replica, selected, /*is_hedge=*/false, state);
+    if (resil_config_.hedge.enabled && request.hedge_delay_ms > 0.0 &&
+        cluster_.NumReplicas() > 1) {
+      ScheduleHedge(request, replica, selected, state,
+                    request.hedge_delay_ms);
+    }
+    return;
+  }
+  // Nothing reachable: ask the retry policy for a delayed re-selection.
+  const SensitivityClass cls =
+      classify_ ? classify_(request) : SensitivityClass::kSensitive;
+  const std::optional<double> backoff =
+      retry_->NextBackoffMs(failures + 1, now - first_start_ms, cls);
+  if (backoff.has_value()) {
+    ++resil_stats_.retries;
+    if (metric_retries_ != nullptr) metric_retries_->Increment();
+    loop.ScheduleAfter(*backoff, [this, request, done = std::move(done),
+                                  failures, first_start_ms]() mutable {
+      IssueWithRetries(request, std::move(done), failures + 1,
+                       first_start_ms);
+    });
+    return;
+  }
+  // Budget/deadline/attempts exhausted: serve via the selected replica
+  // anyway — a fully unavailable cluster stalls requests, never loses
+  // them (same semantics as the non-resilient path).
+  ++resil_stats_.retries_exhausted;
+  if (metric_retries_exhausted_ != nullptr) {
+    metric_retries_exhausted_->Increment();
+  }
+  auto state = std::make_shared<ReadState>();
+  state->done = std::move(done);
+  IssueRead(request, selected, selected, /*is_hedge=*/false, state);
+}
+
+void ReadExecutor::ScheduleHedge(const DbRequest& request, int primary,
+                                 int selected,
+                                 std::shared_ptr<ReadState> state,
+                                 double delay_ms) {
+  state->hedge_timer = cluster_.loop().ScheduleAfter(
+      delay_ms,
+      [this, request, primary, selected, state]() {
+        state->hedge_timer = 0;
+        if (state->completed) return;
+        // Hedge budget: a clone is real load and the cluster runs near its
+        // knee, so hedging is capped at a fraction of primary reads to keep
+        // added load from feeding back into more slow reads (and thus more
+        // hedges). Counter comparison only — bit-reproducible.
+        if (static_cast<double>(resil_stats_.hedges_issued) >=
+            resil_config_.hedge.max_hedge_fraction *
+                static_cast<double>(primary_reads_)) {
+          return;
+        }
+        const double now = cluster_.loop().Now();
+        const ClusterView view = cluster_.View();
+        const int best = BestAvailable(view, now, primary);
+        if (best == -1) return;
+        // Hedge only into idle capacity: a clone on a busy replica slows
+        // every request already queued there for one tail-shaving win.
+        if (view.loads[static_cast<std::size_t>(best)] >
+            resil_config_.hedge.max_target_load *
+                cluster_.params().capacity) {
+          return;
+        }
+        if (!RouteAllowed(best, now)) return;
+        ++resil_stats_.hedges_issued;
+        if (metric_hedges_ != nullptr) metric_hedges_->Increment();
+        IssueRead(request, best, selected, /*is_hedge=*/true, state);
+      });
+}
+
+void ReadExecutor::IssueRead(const DbRequest& request, int replica,
+                             int selected, bool is_hedge,
+                             std::shared_ptr<ReadState> state) {
+  if (!is_hedge) ++primary_reads_;
+  cluster_.RangeRead(
+      request.range_start, request.range_count, replica,
+      [this, replica, selected, is_hedge,
+       state = std::move(state)](ReadResult result) {
+        RecordBreakerOutcome(replica, result.timing);
+        if (state->completed) {
+          // Loser of a hedged pair: the other read already served the
+          // request, so this response is discarded (and accounted).
+          ++resil_stats_.hedges_cancelled;
+          if (metric_hedge_cancels_ != nullptr) {
+            metric_hedge_cancels_->Increment();
+          }
+          return;
+        }
+        state->completed = true;
+        if (state->hedge_timer != 0) {
+          // The hedge never fired; one response, nothing to discard.
+          (void)cluster_.loop().Cancel(state->hedge_timer);
+          state->hedge_timer = 0;
+        }
+        if (is_hedge) {
+          ++resil_stats_.hedges_won;
+          if (metric_hedge_wins_ != nullptr) metric_hedge_wins_->Increment();
+        }
+        result.failed_over = replica != selected;
+        state->done(std::move(result));
+      });
 }
 
 void ReadExecutor::SetSelector(std::shared_ptr<ReplicaSelector> selector) {

@@ -16,6 +16,11 @@
 #include "db/selector.h"
 #include "db/storage.h"
 #include "obs/metrics.h"
+#include "obs/trace_span.h"
+#include "qoe/qoe_model.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/config.h"
+#include "resilience/retry_policy.h"
 #include "sim/event_loop.h"
 #include "sim/server.h"
 #include "util/rng.h"
@@ -120,6 +125,11 @@ class Cluster {
 
   int NumReplicas() const { return static_cast<int>(replicas_.size()); }
 
+  const ClusterParams& params() const { return params_; }
+
+  /// The event loop the cluster runs on (hedge timers, retry backoff).
+  EventLoop& loop() { return loop_; }
+
   /// Fault injection (fault::FaultInjector): extra service delay on one
   /// replica (-1 = all) and partition state. Both throw on a bad index.
   void SetReplicaExtraDelayMs(int replica, double extra_ms);
@@ -153,6 +163,18 @@ class Cluster {
   std::vector<ReplicaMetrics> metrics_;  // Empty until AttachMetrics.
 };
 
+/// Counters the resilience layer keeps on the read path so experiments can
+/// export them and assert conservation: every hedged pair yields exactly
+/// one winning outcome and one discarded loser, so hedges_issued ==
+/// hedges_cancelled once a run has drained.
+struct ReadResilienceStats {
+  std::uint64_t retries = 0;           ///< Delayed re-selections granted.
+  std::uint64_t retries_exhausted = 0; ///< Denials (served original anyway).
+  std::uint64_t hedges_issued = 0;     ///< Clone reads sent.
+  std::uint64_t hedges_won = 0;        ///< Clones that beat the primary.
+  std::uint64_t hedges_cancelled = 0;  ///< Loser responses discarded.
+};
+
 /// Client-side read executor: selection + load/delay tracking.
 class ReadExecutor {
  public:
@@ -166,6 +188,12 @@ class ReadExecutor {
   /// least-loaded reachable replica (ReadResult::failed_over is set); if
   /// every replica is partitioned it is served by the original choice so no
   /// request is ever lost.
+  ///
+  /// With EnableResilience() active the path additionally honours circuit
+  /// breakers (open replicas are excluded from routing), retries the
+  /// replica selection with backoff when nothing is routable, and issues a
+  /// hedged clone after DbRequest::hedge_delay_ms without a response —
+  /// first response wins, the loser is discarded and counted.
   void ExecuteRangeRead(const DbRequest& request,
                         std::function<void(ReadResult)> done);
 
@@ -180,12 +208,83 @@ class ReadExecutor {
   /// Attaches telemetry: db.requests and db.failovers counters.
   void AttachMetrics(obs::MetricsRegistry& registry);
 
+  /// Activates the resilience layer (docs/RESILIENCE.md): one circuit
+  /// breaker per replica (fed by response times; slow responses count as
+  /// failures), retry-with-backoff when no replica is routable, and hedged
+  /// reads. `rng` seeds the retry jitter stream; `classify` maps a request
+  /// to the sensitivity class charged for its retry budget (defaults to
+  /// kSensitive for every request). Call before the run starts.
+  void EnableResilience(
+      const resilience::ResilienceConfig& config, Rng rng,
+      std::function<SensitivityClass(const DbRequest&)> classify = {});
+
+  /// Resilience telemetry: db.resilience.* counters and — when `tracer` is
+  /// non-null — one resilience.db.replica<r>.open span per breaker-open
+  /// episode. Call after EnableResilience; both must outlive the executor.
+  void AttachResilienceMetrics(obs::MetricsRegistry& registry,
+                               obs::Tracer* tracer);
+
+  const ReadResilienceStats& resilience_stats() const { return resil_stats_; }
+
+  /// Aggregated breaker counters across replicas (zeros when disabled).
+  resilience::BreakerStats TotalBreakerStats() const;
+
+  /// The replica's breaker (resilience must be enabled; throws otherwise).
+  const resilience::CircuitBreaker& breaker(int replica) const {
+    return breakers_.at(static_cast<std::size_t>(replica));
+  }
+
  private:
+  /// Shared completion state of one (possibly hedged) logical read.
+  struct ReadState {
+    bool completed = false;
+    EventId hedge_timer = 0;
+    std::function<void(ReadResult)> done;
+  };
+
+  void IssueWithRetries(const DbRequest& request,
+                        std::function<void(ReadResult)> done, int failures,
+                        double first_start_ms);
+  void IssueRead(const DbRequest& request, int replica, int selected,
+                 bool is_hedge, std::shared_ptr<ReadState> state);
+  /// Arms the hedge timer: after `delay_ms` without a response, clone the
+  /// read to the best available replica (budget and idle-capacity gated).
+  /// `delay_ms` is usually DbRequest::hedge_delay_ms; 0 for a breaker-open
+  /// rescue.
+  void ScheduleHedge(const DbRequest& request, int primary, int selected,
+                     std::shared_ptr<ReadState> state, double delay_ms);
+  /// Mutating admission check on one replica (breaker may count a
+  /// rejection or admit a half-open probe).
+  bool RouteAllowed(int replica, double now_ms);
+  /// Least-loaded replica that is reachable and whose breaker would admit,
+  /// excluding `exclude` (-1 = none); -1 when no candidate exists.
+  int BestAvailable(const ClusterView& view, double now_ms, int exclude) const;
+  void RecordBreakerOutcome(int replica, const JobTiming& timing);
+
   Cluster& cluster_;
   std::shared_ptr<ReplicaSelector> selector_;
   std::uint64_t failovers_ = 0;
   obs::Counter* metric_requests_ = nullptr;
   obs::Counter* metric_failovers_ = nullptr;
+  // Resilience layer (inactive until EnableResilience).
+  bool resilience_enabled_ = false;
+  resilience::ResilienceConfig resil_config_;
+  std::optional<resilience::RetryPolicy> retry_;
+  std::vector<resilience::CircuitBreaker> breakers_;  // One per replica.
+  // Adaptive slow-read thresholds, one per replica (docs/RESILIENCE.md):
+  // the sacrificial replica's deliberate slowness must not trip its breaker.
+  std::vector<resilience::SlownessTracker> slowness_;
+  std::function<SensitivityClass(const DbRequest&)> classify_;
+  std::uint64_t primary_reads_ = 0;  // Denominator of the hedge budget.
+  ReadResilienceStats resil_stats_;
+  obs::Counter* metric_retries_ = nullptr;
+  obs::Counter* metric_retries_exhausted_ = nullptr;
+  obs::Counter* metric_hedges_ = nullptr;
+  obs::Counter* metric_hedge_wins_ = nullptr;
+  obs::Counter* metric_hedge_cancels_ = nullptr;
+  obs::Counter* metric_breaker_transitions_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<obs::Span> breaker_spans_;  // One per replica while open.
 };
 
 }  // namespace e2e::db

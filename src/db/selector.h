@@ -29,6 +29,11 @@ struct DbRequest {
   DelayMs external_delay_ms = 0.0;
   std::uint64_t range_start = 0;
   std::size_t range_count = 100;
+  /// Hedged-read delay (resilience layer): when > 0 and hedging is enabled
+  /// on the executor, the read is cloned to the next-best reachable replica
+  /// after this much virtual time without a response. Experiments set it
+  /// per sensitivity class; 0 disables hedging for the request.
+  double hedge_delay_ms = 0.0;
 };
 
 /// Replica-selection policy interface.

@@ -10,11 +10,14 @@ bool NeedsControllers(FaultKind kind) {
   return kind == FaultKind::kCrashController;
 }
 bool NeedsBroker(FaultKind kind) {
-  return kind == FaultKind::kDropMessages || kind == FaultKind::kDelayMessages;
+  return kind == FaultKind::kDropMessages ||
+         kind == FaultKind::kDelayMessages ||
+         kind == FaultKind::kOverloadBroker;
 }
 bool NeedsCluster(FaultKind kind) {
   return kind == FaultKind::kDelayReplica ||
-         kind == FaultKind::kPartitionReplica;
+         kind == FaultKind::kPartitionReplica ||
+         kind == FaultKind::kOverloadReplica;
 }
 bool NeedsSkewHook(FaultKind kind) {
   return kind == FaultKind::kSkewEstimator;
@@ -34,8 +37,23 @@ const char* KindSlug(FaultKind kind) {
       return "partition_db";
     case FaultKind::kSkewEstimator:
       return "skew_est";
+    case FaultKind::kOverloadReplica:
+      return "overload_db";
+    case FaultKind::kOverloadBroker:
+      return "overload_broker";
   }
   return "unknown";
+}
+
+// Whether a db clause applies to replica `r`, resolving the `survivors`
+// sentinel against the parent clause's target (Validate guarantees the
+// parent exists and names one replica).
+bool TargetsReplica(const FaultPlan& plan, const FaultSpec& spec, int r) {
+  if (spec.replica == -1) return true;
+  if (spec.replica == kSurvivorsReplica) {
+    return plan.faults[static_cast<std::size_t>(spec.follows)].replica != r;
+  }
+  return spec.replica == r;
 }
 
 }  // namespace
@@ -127,10 +145,12 @@ void FaultInjector::Activate(std::size_t index) {
       break;
     case FaultKind::kDropMessages:
     case FaultKind::kDelayMessages:
+    case FaultKind::kOverloadBroker:
       ApplyBrokerState();
       break;
     case FaultKind::kDelayReplica:
     case FaultKind::kPartitionReplica:
+    case FaultKind::kOverloadReplica:
       ApplyDbState();
       break;
     case FaultKind::kSkewEstimator:
@@ -150,10 +170,12 @@ void FaultInjector::Deactivate(std::size_t index) {
       break;  // Never scheduled.
     case FaultKind::kDropMessages:
     case FaultKind::kDelayMessages:
+    case FaultKind::kOverloadBroker:
       ApplyBrokerState();
       break;
     case FaultKind::kDelayReplica:
     case FaultKind::kPartitionReplica:
+    case FaultKind::kOverloadReplica:
       ApplyDbState();
       break;
     case FaultKind::kSkewEstimator:
@@ -164,9 +186,11 @@ void FaultInjector::Deactivate(std::size_t index) {
 }
 
 void FaultInjector::ApplyBrokerState() {
-  // Independent drops compose as 1 - prod(1 - p_i); delays add.
+  // Independent drops compose as 1 - prod(1 - p_i); delays add; overload
+  // factors multiply into a consume-rate slowdown.
   double keep = 1.0;
   double delay_ms = 0.0;
+  double slowdown = 1.0;
   for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
     if (!active_[i]) continue;
     const FaultSpec& spec = plan_.faults[i];
@@ -174,11 +198,14 @@ void FaultInjector::ApplyBrokerState() {
       keep *= 1.0 - spec.probability;
     } else if (spec.kind == FaultKind::kDelayMessages) {
       delay_ms += spec.delta_ms;
+    } else if (spec.kind == FaultKind::kOverloadBroker) {
+      slowdown *= spec.factor;
     }
   }
   broker::BrokerFaults faults;
   faults.drop_probability = 1.0 - keep;
   faults.extra_delay_ms = delay_ms;
+  faults.consume_slowdown = slowdown;
   targets_.broker->SetFaults(faults);
 }
 
@@ -187,16 +214,23 @@ void FaultInjector::ApplyDbState() {
   for (int r = 0; r < cluster.NumReplicas(); ++r) {
     double delay_ms = 0.0;
     bool partitioned = false;
+    double overload = 1.0;
     for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
       if (!active_[i]) continue;
       const FaultSpec& spec = plan_.faults[i];
-      if (spec.replica != -1 && spec.replica != r) continue;
+      if (!NeedsCluster(spec.kind)) continue;
+      if (!TargetsReplica(plan_, spec, r)) continue;
       if (spec.kind == FaultKind::kDelayReplica) {
         delay_ms += spec.delta_ms;
       } else if (spec.kind == FaultKind::kPartitionReplica) {
         partitioned = true;
+      } else if (spec.kind == FaultKind::kOverloadReplica) {
+        overload *= spec.factor;
       }
     }
+    // Overload degrades the replica's service rate by `overload`; modelled
+    // as extra per-job service time on top of the base service cost.
+    delay_ms += (overload - 1.0) * cluster.params().base_service_ms;
     cluster.SetReplicaExtraDelayMs(r, delay_ms);
     cluster.SetReplicaPartitioned(r, partitioned);
   }

@@ -1,5 +1,6 @@
 #include "fault/plan.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstring>
 #include <sstream>
@@ -93,8 +94,11 @@ struct ClauseFields {
   double err = 0.0;
   bool has_delta = false;
   double delta_ms = 0.0;
+  bool has_factor = false;
+  double factor = 1.0;
   bool has_r = false;
   int r = -1;
+  bool has_survivors = false;
   bool has_seed = false;
   std::uint64_t seed = 0;
 };
@@ -105,6 +109,19 @@ void ParseField(const std::string& clause, const std::string& token,
     if (fields.has_delta) Fail(clause, "duplicate delay delta");
     fields.has_delta = true;
     fields.delta_ms = ParseDurationMs(clause, token.substr(1));
+    return;
+  }
+  if (token.size() > 1 && token.front() == 'x' &&
+      (std::isdigit(static_cast<unsigned char>(token[1])) != 0 ||
+       token[1] == '.')) {
+    if (fields.has_factor) Fail(clause, "duplicate xFACTOR");
+    fields.has_factor = true;
+    fields.factor = ParseFloat(clause, token.substr(1));
+    return;
+  }
+  if (token == "survivors") {
+    if (fields.has_survivors) Fail(clause, "duplicate survivors");
+    fields.has_survivors = true;
     return;
   }
   const std::size_t eq = token.find('=');
@@ -153,10 +170,12 @@ void ParseField(const std::string& clause, const std::string& token,
 }
 
 // Applies the parsed window fields to a spec: t= start, then either for=
-// (relative length) or t=[a,b] (absolute end).
+// (relative length) or t=[a,b] (absolute end). A `then` child without an
+// explicit t= starts at `default_start_ms` (its parent's end, or the
+// parent's start if the parent is open-ended).
 void ApplyWindow(const std::string& clause, const ClauseFields& fields,
-                 FaultSpec& spec) {
-  spec.start_ms = fields.has_t ? fields.t_start_ms : 0.0;
+                 double default_start_ms, FaultSpec& spec) {
+  spec.start_ms = fields.has_t ? fields.t_start_ms : default_start_ms;
   if (fields.has_t_end && fields.has_for) {
     Fail(clause, "t=[a,b] and for= are mutually exclusive");
   }
@@ -169,11 +188,12 @@ void ApplyWindow(const std::string& clause, const ClauseFields& fields,
   }
 }
 
-FaultSpec ParseClause(const std::string& clause) {
+FaultSpec ParseClause(const std::string& clause, double default_start_ms) {
   // "ctrl@t=60s" attaches the first field to the target with '@'.
   std::string normalized = clause;
-  const std::size_t at = normalized.find('@');
-  if (at != std::string::npos) normalized[at] = ' ';
+  for (char& c : normalized) {
+    if (c == '@') c = ' ';
+  }
 
   const auto tokens = Split(normalized, " \t\n");
   if (tokens.size() < 2) Fail(clause, "expected \"<action> <target> ...\"");
@@ -209,8 +229,26 @@ FaultSpec ParseClause(const std::string& clause) {
     spec.kind = FaultKind::kSkewEstimator;
     if (!fields.has_err) Fail(clause, "skew est needs err=");
     spec.error = fields.err;
+  } else if (action == "overload" && target == "db") {
+    spec.kind = FaultKind::kOverloadReplica;
+    if (!fields.has_factor) Fail(clause, "overload db needs xFACTOR");
+    spec.factor = fields.factor;
+    if (fields.has_r) spec.replica = fields.r;
+  } else if (action == "overload" && target == "broker") {
+    spec.kind = FaultKind::kOverloadBroker;
+    if (!fields.has_factor) Fail(clause, "overload broker needs xFACTOR");
+    spec.factor = fields.factor;
   } else {
     Fail(clause, "unknown fault \"" + action + " " + target + "\"");
+  }
+
+  const bool db_replica_kind = spec.kind == FaultKind::kDelayReplica ||
+                               spec.kind == FaultKind::kPartitionReplica ||
+                               spec.kind == FaultKind::kOverloadReplica;
+  if (fields.has_survivors) {
+    if (!db_replica_kind) Fail(clause, "survivors only applies to db faults");
+    if (fields.has_r) Fail(clause, "r= and survivors are mutually exclusive");
+    spec.replica = kSurvivorsReplica;
   }
 
   // Fields that do not belong to the chosen kind are spec errors.
@@ -227,8 +265,11 @@ FaultSpec ParseClause(const std::string& clause) {
       spec.kind != FaultKind::kDelayReplica) {
     Fail(clause, "+DURATION only applies to delay faults");
   }
-  if (fields.has_r && spec.kind != FaultKind::kDelayReplica &&
-      spec.kind != FaultKind::kPartitionReplica) {
+  if (fields.has_factor && spec.kind != FaultKind::kOverloadReplica &&
+      spec.kind != FaultKind::kOverloadBroker) {
+    Fail(clause, "xFACTOR only applies to overload faults");
+  }
+  if (fields.has_r && !db_replica_kind) {
     Fail(clause, "r= only applies to db faults");
   }
   if (spec.kind == FaultKind::kCrashController && !fields.has_for &&
@@ -236,8 +277,26 @@ FaultSpec ParseClause(const std::string& clause) {
     Fail(clause, "crash ctrl needs for= or t=[a,b] (the election window)");
   }
 
-  ApplyWindow(clause, fields, spec);
+  ApplyWindow(clause, fields, default_start_ms, spec);
   return spec;
+}
+
+// Splits one ';'-delimited chain on the standalone word "then", preserving
+// each sub-clause's text for error messages.
+std::vector<std::string> SplitOnThen(const std::string& chain) {
+  std::vector<std::string> clauses;
+  std::string current;
+  for (const std::string& token : Split(chain, " \t\n")) {
+    if (token == "then") {
+      clauses.push_back(current);
+      current.clear();
+      continue;
+    }
+    if (!current.empty()) current.push_back(' ');
+    current += token;
+  }
+  clauses.push_back(current);
+  return clauses;
 }
 
 }  // namespace
@@ -258,17 +317,31 @@ std::string FaultSpec::ToString() const {
     case FaultKind::kDelayReplica:
       out << "delay db +" << FormatDuration(delta_ms);
       if (replica >= 0) out << " r=" << replica;
+      if (replica == kSurvivorsReplica) out << " survivors";
       break;
     case FaultKind::kPartitionReplica:
       out << "partition db";
       if (replica >= 0) out << " r=" << replica;
+      if (replica == kSurvivorsReplica) out << " survivors";
       break;
     case FaultKind::kSkewEstimator:
       out << "skew est err=" << error;
       break;
+    case FaultKind::kOverloadReplica:
+      out << "overload db x" << factor;
+      if (replica >= 0) out << " r=" << replica;
+      if (replica == kSurvivorsReplica) out << " survivors";
+      break;
+    case FaultKind::kOverloadBroker:
+      out << "overload broker x" << factor;
+      break;
   }
   if (end_ms == kOpenEndMs) {
-    if (start_ms != 0.0) out << " t=" << FormatDuration(start_ms);
+    // `then` children always render their resolved start so the canonical
+    // text round-trips even when the start was inherited from the parent.
+    if (start_ms != 0.0 || follows >= 0) {
+      out << " t=" << FormatDuration(start_ms);
+    }
   } else {
     out << " t=[" << FormatDuration(start_ms) << ","
         << FormatDuration(end_ms) << "]";
@@ -278,17 +351,30 @@ std::string FaultSpec::ToString() const {
 
 FaultPlan FaultPlan::Parse(const std::string& spec) {
   FaultPlan plan;
-  for (const std::string& clause : Split(spec, ";")) {
-    // Skip clauses that are pure whitespace (trailing ';' is fine).
-    if (clause.find_first_not_of(" \t\n") == std::string::npos) continue;
-    plan.faults.push_back(ParseClause(clause));
+  for (const std::string& chain : Split(spec, ";")) {
+    // Skip chains that are pure whitespace (trailing ';' is fine).
+    if (chain.find_first_not_of(" \t\n") == std::string::npos) continue;
+    int parent = -1;
+    for (const std::string& clause : SplitOnThen(chain)) {
+      double default_start_ms = 0.0;
+      if (parent >= 0) {
+        const FaultSpec& prior = plan.faults[static_cast<std::size_t>(parent)];
+        default_start_ms =
+            prior.end_ms == kOpenEndMs ? prior.start_ms : prior.end_ms;
+      }
+      FaultSpec spec_out = ParseClause(clause, default_start_ms);
+      spec_out.follows = parent;
+      plan.faults.push_back(spec_out);
+      parent = static_cast<int>(plan.faults.size()) - 1;
+    }
   }
   plan.Validate();
   return plan;
 }
 
 void FaultPlan::Validate() const {
-  for (const FaultSpec& spec : faults) {
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultSpec& spec = faults[i];
     const std::string text = spec.ToString();
     if (!(spec.start_ms >= 0.0)) Fail(text, "negative start time");
     if (!(spec.end_ms > spec.start_ms)) {
@@ -304,10 +390,37 @@ void FaultPlan::Validate() const {
     }
     if (spec.delta_ms < 0.0) Fail(text, "negative delay");
     if (spec.error < 0.0) Fail(text, "negative error");
+    if ((spec.kind == FaultKind::kOverloadReplica ||
+         spec.kind == FaultKind::kOverloadBroker) &&
+        !(spec.factor >= 1.0)) {
+      Fail(text, "overload factor must be >= 1");
+    }
     if ((spec.kind == FaultKind::kDelayReplica ||
-         spec.kind == FaultKind::kPartitionReplica) &&
-        spec.replica < -1) {
+         spec.kind == FaultKind::kPartitionReplica ||
+         spec.kind == FaultKind::kOverloadReplica) &&
+        spec.replica < kSurvivorsReplica) {
       Fail(text, "bad replica index");
+    }
+    // `then` children must immediately follow their parent; this keeps
+    // chains contiguous so ToString() can re-join them losslessly.
+    if (spec.follows != -1 && spec.follows != static_cast<int>(i) - 1) {
+      Fail(text, "follows must reference the immediately preceding clause");
+    }
+    if (spec.replica == kSurvivorsReplica) {
+      if (spec.follows < 0) {
+        Fail(text, "survivors needs a `then` parent clause");
+      }
+      const FaultSpec& parent = faults[static_cast<std::size_t>(spec.follows)];
+      const bool parent_targets_replica =
+          (parent.kind == FaultKind::kDelayReplica ||
+           parent.kind == FaultKind::kPartitionReplica ||
+           parent.kind == FaultKind::kOverloadReplica) &&
+          parent.replica >= 0;
+      if (!parent_targets_replica) {
+        Fail(text,
+             "survivors needs a parent clause targeting one db replica "
+             "(r=N), so the survivor set is well defined");
+      }
     }
   }
 }
@@ -322,7 +435,11 @@ bool FaultPlan::Has(FaultKind kind) const {
 std::string FaultPlan::ToString() const {
   std::string out;
   for (const FaultSpec& spec : faults) {
-    if (!out.empty()) out += "; ";
+    if (spec.follows >= 0) {
+      out += " then ";
+    } else if (!out.empty()) {
+      out += "; ";
+    }
     out += spec.ToString();
   }
   return out;

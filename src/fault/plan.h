@@ -27,10 +27,17 @@ enum class FaultKind : std::uint8_t {
   kDelayReplica,      ///< Add a fixed service delay to db replica(s).
   kPartitionReplica,  ///< Make db replica(s) unreachable (reads fail over).
   kSkewEstimator,     ///< Add relative error to external-delay estimates.
+  kOverloadReplica,   ///< Degrade db replica(s) service rate by a factor.
+  kOverloadBroker,    ///< Slow the broker consumers by a factor.
 };
 
 /// Sentinel for "active until the end of the run".
 inline constexpr double kOpenEndMs = std::numeric_limits<double>::infinity();
+
+/// Sentinel replica target: every replica NOT targeted by the parent clause
+/// of a correlated `then` chain ("partition db r=0 ... then overload db x2
+/// survivors"). Only valid on `then` children of a replica-targeted parent.
+inline constexpr int kSurvivorsReplica = -2;
 
 /// One fault clause. Which fields are meaningful depends on `kind`; Parse()
 /// and Validate() enforce the combinations.
@@ -41,8 +48,14 @@ struct FaultSpec {
   double probability = 0.0;   ///< kDropMessages: per-message drop chance.
   double delta_ms = 0.0;      ///< kDelay*: added delay in ms.
   double error = 0.0;         ///< kSkewEstimator: added relative error.
-  int replica = -1;           ///< kDelay/kPartitionReplica: -1 = all.
+  double factor = 1.0;        ///< kOverload*: service slowdown factor.
+  int replica = -1;           ///< db faults: -1 = all, kSurvivorsReplica =
+                              ///< complement of the parent clause's target.
   std::uint64_t seed = 0;     ///< kDropMessages: seed of the drop stream.
+  /// Index of the parent clause in FaultPlan::faults for `then` children
+  /// (-1 = top-level clause). A child with no explicit window starts when
+  /// its parent's window ends (or starts, for open-ended parents).
+  int follows = -1;
 
   /// Canonical single-clause spec text (round-trips through Parse).
   std::string ToString() const;
@@ -54,15 +67,25 @@ struct FaultPlan {
 
   /// Parses the compact text grammar (docs/FAULTS.md):
   ///
-  ///   plan    := clause (';' clause)*
+  ///   plan    := chain (';' chain)*
+  ///   chain   := clause (' then ' clause)*
   ///   clause  := 'crash ctrl' window
   ///            | 'drop broker' 'p='FLOAT ['seed='INT] [window]
   ///            | 'delay broker' '+'DUR [window]
-  ///            | 'delay db' '+'DUR ['r='INT] [window]
-  ///            | 'partition db' ['r='INT] [window]
+  ///            | 'delay db' '+'DUR [db-target] [window]
+  ///            | 'partition db' [db-target] [window]
+  ///            | 'overload db' 'x'FLOAT [db-target] [window]
+  ///            | 'overload broker' 'x'FLOAT [window]
   ///            | 'skew est' 'err='FLOAT [window]
+  ///   db-target := 'r='INT | 'survivors'
   ///   window  := 't='DUR ['for='DUR]  |  't=['DUR','DUR']'
   ///   DUR     := FLOAT('ms'|'s'|'m')?        (bare numbers are ms)
+  ///
+  /// A `then` child with no explicit t= starts when its parent's window
+  /// ends (or at the parent's start if the parent is open-ended), so
+  /// correlated scenarios like "partition db r=0 t=[60s,90s] then overload
+  /// db x2 survivors for=30s" read naturally. `survivors` targets every
+  /// replica except the parent clause's r=N.
   ///
   /// The target may also be attached with '@' ("crash ctrl@t=60s").
   /// Throws std::invalid_argument on malformed specs.

@@ -130,7 +130,7 @@ AssignmentResult GreedyMaxWeightAssignment(const WeightMatrix& weight) {
       edges.push_back({weight.At(r, c), r, c});
     }
   }
-  std::sort(edges.begin(), edges.end(),
+  std::stable_sort(edges.begin(), edges.end(),
             [](const Edge& a, const Edge& b) { return a.w > b.w; });
   std::vector<bool> row_used(weight.rows(), false);
   std::vector<bool> col_used(weight.cols(), false);

@@ -16,7 +16,7 @@ namespace e2e::obs {
 /// Schema header lines (always the first line of an export, followed by
 /// '\n'). Bump the version when a format change would confuse a reader of
 /// the previous one.
-inline constexpr std::string_view kResultSchemaLine = "schema e2e.result.v2";
+inline constexpr std::string_view kResultSchemaLine = "schema e2e.result.v3";
 inline constexpr std::string_view kTelemetrySchemaLine =
     "schema e2e.telemetry.v1";
 /// Bare schema identifier for the JSON telemetry export's "schema" field.

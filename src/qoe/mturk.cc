@@ -150,7 +150,7 @@ MTurkStudyResult RunMTurkStudy(const QoeModel& ground_truth,
     p.std_error = stddev / std::sqrt(static_cast<double>(grades.size()));
     result.curve.push_back(p);
   }
-  std::sort(result.curve.begin(), result.curve.end(),
+  std::stable_sort(result.curve.begin(), result.curve.end(),
             [](const MTurkCurvePoint& a, const MTurkCurvePoint& b) {
               return a.plt_sec < b.plt_sec;
             });

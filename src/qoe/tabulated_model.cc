@@ -44,7 +44,7 @@ TabulatedQoeModel::TabulatedQoeModel(std::string name,
   if (points_.size() < 2) {
     throw std::invalid_argument("TabulatedQoeModel: need >= 2 points");
   }
-  std::sort(points_.begin(), points_.end(),
+  std::stable_sort(points_.begin(), points_.end(),
             [](const QoeCurvePoint& a, const QoeCurvePoint& b) {
               return a.delay_ms < b.delay_ms;
             });

@@ -1,0 +1,54 @@
+#include "resilience/admission.h"
+
+#include <stdexcept>
+
+namespace e2e::resilience {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config,
+                                         const QoeModel& qoe)
+    : config_(config), qoe_(qoe) {
+  if (config_.shed_depth < 1) {
+    throw std::invalid_argument("AdmissionController: shed_depth < 1");
+  }
+  if (config_.downgrade_depth < config_.shed_depth) {
+    throw std::invalid_argument(
+        "AdmissionController: downgrade_depth < shed_depth");
+  }
+}
+
+void AdmissionController::AttachMetrics(obs::MetricsRegistry& registry) {
+  metric_shed_ = &registry.AddCounter("resilience.shed");
+  metric_downgraded_ = &registry.AddCounter("resilience.downgraded");
+}
+
+AdmissionDecision AdmissionController::Decide(DelayMs external_delay_ms,
+                                              int total_queue_depth) {
+  if (!config_.enabled || total_queue_depth < config_.shed_depth) {
+    ++stats_.admitted;
+    return AdmissionDecision::kAdmit;
+  }
+  // The marginal QoE loss of shedding is the QoE the request would earn if
+  // served. Past the cliff that is ~0 (shed first); before the cliff the
+  // request tolerates queueing (downgrade under deeper overload); inside
+  // the cliff region every ms matters (always admit).
+  switch (qoe_.Classify(external_delay_ms)) {
+    case SensitivityClass::kTooSlowToMatter:
+      ++stats_.shed;
+      if (metric_shed_ != nullptr) metric_shed_->Increment();
+      return AdmissionDecision::kShed;
+    case SensitivityClass::kTooFastToMatter:
+      if (total_queue_depth >= config_.downgrade_depth) {
+        ++stats_.downgraded;
+        if (metric_downgraded_ != nullptr) metric_downgraded_->Increment();
+        return AdmissionDecision::kDowngrade;
+      }
+      ++stats_.admitted;
+      return AdmissionDecision::kAdmit;
+    case SensitivityClass::kSensitive:
+      break;
+  }
+  ++stats_.admitted;
+  return AdmissionDecision::kAdmit;
+}
+
+}  // namespace e2e::resilience

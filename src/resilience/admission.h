@@ -1,0 +1,56 @@
+// QoE-aware admission control (docs/RESILIENCE.md).
+//
+// Under overload the broker sheds or downgrades requests in ascending
+// order of the marginal QoE lost by doing so, using the paper's three
+// sensitivity classes (Fig. 3): a request whose external delay already
+// puts it past the QoE cliff forfeits almost nothing when shed, one far
+// before the cliff can absorb queueing and is merely downgraded, and a
+// sensitive request is always admitted at full priority. Decisions are a
+// pure function of (external delay, queue depth) — no RNG, no wall clock.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "qoe/qoe_model.h"
+#include "resilience/config.h"
+
+namespace e2e::resilience {
+
+/// What to do with an arriving request.
+enum class AdmissionDecision : std::uint8_t {
+  kAdmit,      ///< Publish normally.
+  kDowngrade,  ///< Publish at the lowest priority.
+  kShed,       ///< Do not publish; account as shed.
+};
+
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t downgraded = 0;
+  std::uint64_t shed = 0;
+};
+
+class AdmissionController {
+ public:
+  /// `qoe` must outlive the controller; it supplies the sensitivity
+  /// classification. Throws std::invalid_argument on bad depths.
+  AdmissionController(const AdmissionConfig& config, const QoeModel& qoe);
+
+  /// Decides for one request given its tagged external delay and the total
+  /// number of messages currently queued in the broker.
+  AdmissionDecision Decide(DelayMs external_delay_ms, int total_queue_depth);
+
+  const AdmissionStats& stats() const { return stats_; }
+
+  /// Attaches resilience.shed / resilience.downgraded counters.
+  void AttachMetrics(obs::MetricsRegistry& registry);
+
+ private:
+  AdmissionConfig config_;
+  const QoeModel& qoe_;
+  AdmissionStats stats_;
+  obs::Counter* metric_shed_ = nullptr;
+  obs::Counter* metric_downgraded_ = nullptr;
+};
+
+}  // namespace e2e::resilience

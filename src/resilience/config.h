@@ -1,0 +1,138 @@
+// Resilience-layer configuration (docs/RESILIENCE.md).
+//
+// One block per mitigation mechanism, all disabled by default so a config
+// that never mentions resilience replays byte-identically to the
+// pre-resilience testbed. The knobs live inside the shared ExperimentConfig
+// (testbed/experiment_config.h) as its `resilience` member; every policy is
+// driven by the virtual clock and explicitly forked RNG streams, so runs
+// with any combination of mechanisms active stay bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace e2e::resilience {
+
+/// Deadline-aware retries with seeded jittered exponential backoff,
+/// budgeted per sensitivity class. Used by broker publishes (re-publish
+/// after a fault drop) and db reads (re-select when no replica is
+/// reachable).
+struct RetryConfig {
+  bool enabled = false;
+  /// Total attempts per request, including the first (>= 1).
+  int max_attempts = 4;
+  /// Backoff before retry k (1-based) is base * multiplier^(k-1), capped.
+  double base_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 500.0;
+  /// Uniform jitter fraction: the backoff is scaled by a seeded draw from
+  /// [1 - jitter, 1 + jitter]. 0 disables jitter.
+  double jitter = 0.2;
+  /// No retry is issued that would start later than first-attempt time
+  /// plus this deadline.
+  double deadline_ms = 5000.0;
+  /// Retry budget per sensitivity class for the whole run (0 = unlimited).
+  /// Spent budget is never refunded, so a burst of failures cannot turn
+  /// into an unbounded retry storm.
+  std::uint64_t budget_per_class = 0;
+};
+
+/// Hedged replica reads: when the primary read has not completed after the
+/// per-class hedge delay, clone it to the next-best reachable replica;
+/// first response wins, the loser's response is discarded and counted
+/// (conservation stays exact: issued = won outcomes + discarded losers).
+struct HedgeConfig {
+  bool enabled = false;
+  /// Hedge delay for requests in the sensitive class (ms of virtual time
+  /// the primary is given before a clone is issued). Must sit above the
+  /// healthy service-time tail: the E2E placement deliberately serves
+  /// insensitive traffic from a slow sacrificial replica, and hedging
+  /// against intentional slowness doubles load for no QoE gain.
+  double sensitive_delay_ms = 2500.0;
+  /// Hedge delay for the too-fast / too-slow classes (larger: their QoE
+  /// gains less from shaving the tail).
+  double insensitive_delay_ms = 7500.0;
+  /// Hard cap on hedge volume: clones may be issued only while
+  /// hedges_issued < max_hedge_fraction * primary reads issued. A hedge is
+  /// real load, and the testbeds deliberately run near their capacity knee;
+  /// without a budget, added load raises delays past the hedge threshold,
+  /// which issues more hedges — a self-sustaining meltdown. The cap bounds
+  /// the feedback loop deterministically (pure counter comparison, no RNG).
+  double max_hedge_fraction = 0.05;
+  /// A clone is only issued when the target replica's load (queued plus in
+  /// service) is below this fraction of its capacity knee: hedging into
+  /// idle capacity is nearly free, while hedging into a busy replica slows
+  /// every request it is already serving.
+  double max_target_load = 0.25;
+};
+
+/// Per-replica / per-queue circuit breaker: closed -> open on a windowed
+/// failure rate, open -> half-open after a cool-down on the event loop,
+/// half-open -> closed after a probe streak (any probe failure re-opens).
+struct BreakerConfig {
+  bool enabled = false;
+  /// Sliding window of the most recent outcomes considered.
+  int window = 32;
+  /// Minimum samples in the window before the breaker may open.
+  int min_samples = 8;
+  /// Failure rate in [0, 1] at or above which the breaker opens.
+  double failure_rate_to_open = 0.5;
+  /// Absolute floor below which an operation never counts as slow. Sized
+  /// for fault-grade latency only: the db testbed's QoE-aware placement
+  /// runs a sacrificial replica whose healthy reads take 1-5 s, and a
+  /// breaker that opens on deliberate slowness reroutes traffic against
+  /// the policy it is meant to protect.
+  double slow_ms = 6000.0;
+  /// Relative criterion on top of the floor: an operation counts as slow
+  /// only above max(slow_ms, slow_factor * the target's healthy-baseline
+  /// delay), where the baseline is an EWMA over non-slow outcomes
+  /// (SlownessTracker). A deliberately slow target thus keeps a
+  /// proportionally higher trip point, while a fault-grade latency jump
+  /// (well beyond anything the target served when healthy) still opens the
+  /// breaker.
+  double slow_factor = 4.0;
+  /// Cool-down in the open state before probing (half-open).
+  double open_ms = 2000.0;
+  /// Consecutive half-open successes required to close again.
+  int half_open_probes = 3;
+};
+
+/// QoE-aware admission control at the broker: under overload, shed or
+/// downgrade requests in ascending order of the marginal QoE lost by not
+/// serving them, using the paper's sensitivity classes (Fig. 3): a request
+/// already past the QoE cliff (too slow to matter) forfeits almost nothing
+/// when shed; a request far before the cliff (too fast to matter) can
+/// absorb queueing, so it is downgraded rather than shed; sensitive
+/// requests are always admitted at full priority.
+struct AdmissionConfig {
+  bool enabled = false;
+  /// Total queued messages at or above which too-slow requests are shed.
+  int shed_depth = 64;
+  /// Total queued messages at or above which too-fast requests are also
+  /// downgraded to the lowest priority.
+  int downgrade_depth = 128;
+};
+
+/// All resilience knobs, embedded in ExperimentConfig as `resilience`.
+struct ResilienceConfig {
+  RetryConfig retry;
+  HedgeConfig hedge;
+  BreakerConfig breaker;
+  AdmissionConfig admission;
+
+  bool AnyEnabled() const {
+    return retry.enabled || hedge.enabled || breaker.enabled ||
+           admission.enabled;
+  }
+
+  /// Every mechanism enabled at its default tuning (benches, tests).
+  static ResilienceConfig AllOn() {
+    ResilienceConfig config;
+    config.retry.enabled = true;
+    config.hedge.enabled = true;
+    config.breaker.enabled = true;
+    config.admission.enabled = true;
+    return config;
+  }
+};
+
+}  // namespace e2e::resilience

@@ -1,0 +1,59 @@
+#include "resilience/retry_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace e2e::resilience {
+
+RetryPolicy::RetryPolicy(const RetryConfig& config, Rng rng)
+    : config_(config), rng_(rng) {
+  if (config_.max_attempts < 1) {
+    throw std::invalid_argument("RetryPolicy: max_attempts < 1");
+  }
+  if (config_.base_backoff_ms < 0.0 || config_.max_backoff_ms < 0.0) {
+    throw std::invalid_argument("RetryPolicy: negative backoff");
+  }
+  if (config_.backoff_multiplier < 1.0) {
+    throw std::invalid_argument("RetryPolicy: backoff_multiplier < 1");
+  }
+  if (config_.jitter < 0.0 || config_.jitter >= 1.0) {
+    throw std::invalid_argument("RetryPolicy: jitter outside [0, 1)");
+  }
+  if (config_.deadline_ms <= 0.0) {
+    throw std::invalid_argument("RetryPolicy: deadline_ms <= 0");
+  }
+}
+
+std::optional<double> RetryPolicy::NextBackoffMs(int failures_so_far,
+                                                 double elapsed_ms,
+                                                 SensitivityClass cls) {
+  if (!config_.enabled || failures_so_far < 1 ||
+      failures_so_far >= config_.max_attempts) {
+    ++stats_.exhausted;
+    return std::nullopt;
+  }
+  auto& spent = spent_[static_cast<std::size_t>(cls)];
+  if (config_.budget_per_class != 0 && spent >= config_.budget_per_class) {
+    ++stats_.exhausted;
+    return std::nullopt;
+  }
+  double backoff = config_.base_backoff_ms;
+  for (int k = 1; k < failures_so_far; ++k) {
+    backoff *= config_.backoff_multiplier;
+  }
+  backoff = std::min(backoff, config_.max_backoff_ms);
+  if (config_.jitter > 0.0) {
+    // One seeded draw per granted retry, consumed in event-loop order, so
+    // the stream replays identically.
+    backoff *= rng_.Uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
+  }
+  if (elapsed_ms + backoff > config_.deadline_ms) {
+    ++stats_.exhausted;
+    return std::nullopt;
+  }
+  ++spent;
+  ++stats_.granted;
+  return backoff;
+}
+
+}  // namespace e2e::resilience

@@ -1,0 +1,53 @@
+// Deadline-aware retry policy with seeded jittered exponential backoff
+// (docs/RESILIENCE.md). Pure decision logic: the caller owns scheduling,
+// the policy only answers "may this request retry, and after how long?".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "qoe/qoe_model.h"
+#include "resilience/config.h"
+#include "util/rng.h"
+
+namespace e2e::resilience {
+
+/// Counters the policy keeps so experiments can export and assert
+/// conservation (docs/RESILIENCE.md §determinism).
+struct RetryStats {
+  std::uint64_t granted = 0;    ///< Retries allowed.
+  std::uint64_t exhausted = 0;  ///< Requests denied a further retry.
+};
+
+/// Decides retries for one run. Deterministic: the jitter stream is forked
+/// from the experiment's root seed and consumed once per granted retry, in
+/// event-loop order.
+class RetryPolicy {
+ public:
+  /// Throws std::invalid_argument on out-of-range knobs.
+  RetryPolicy(const RetryConfig& config, Rng rng);
+
+  /// Asks for retry number `failures_so_far` (1 = first retry) of a request
+  /// whose first attempt started `elapsed_ms` ago, in the given sensitivity
+  /// class. Returns the jittered backoff delay to wait before the retry, or
+  /// nullopt when attempts, deadline, or the class budget are exhausted.
+  std::optional<double> NextBackoffMs(int failures_so_far, double elapsed_ms,
+                                      SensitivityClass cls);
+
+  const RetryConfig& config() const { return config_; }
+  const RetryStats& stats() const { return stats_; }
+
+  /// Budget already spent for a class.
+  std::uint64_t BudgetSpent(SensitivityClass cls) const {
+    return spent_[static_cast<std::size_t>(cls)];
+  }
+
+ private:
+  RetryConfig config_;
+  Rng rng_;
+  RetryStats stats_;
+  std::array<std::uint64_t, 3> spent_{};  // Indexed by SensitivityClass.
+};
+
+}  // namespace e2e::resilience

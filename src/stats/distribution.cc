@@ -69,7 +69,7 @@ DiscreteDistribution::DiscreteDistribution(std::vector<double> values,
   // Sort support ascending, keeping probabilities aligned.
   std::vector<std::size_t> order(values_.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
     return values_[a] < values_[b];
   });
   std::vector<double> v(values_.size()), p(values_.size());

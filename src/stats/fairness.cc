@@ -13,7 +13,7 @@ namespace {
 std::vector<double> FractionalRanks(std::span<const double> xs) {
   std::vector<std::size_t> order(xs.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(),
+  std::stable_sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
   std::vector<double> ranks(xs.size(), 0.0);
   std::size_t i = 0;

@@ -1,6 +1,8 @@
 #include "testbed/broker_experiment.h"
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -8,9 +10,130 @@
 
 #include "fault/injector.h"
 #include "obs/export.h"
+#include "obs/trace_span.h"
+#include "resilience/admission.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/retry_policy.h"
 #include "sim/event_loop.h"
 
 namespace e2e {
+namespace {
+
+// Per-priority-queue circuit breaking as a scheduler decorator: a queue
+// whose recent deliveries kept breaching the slow threshold is taken out of
+// rotation, and messages assigned to it reroute to the nearest queue (in
+// priority distance, higher priority preferred on ties) whose breaker
+// admits. The experiment feeds delivery outcomes back via RecordDelivery.
+class BreakerScheduler final : public broker::MessageScheduler {
+ public:
+  BreakerScheduler(std::shared_ptr<broker::MessageScheduler> inner,
+                   const resilience::BreakerConfig& config, int levels,
+                   EventLoop& loop)
+      : inner_(std::move(inner)), config_(config), loop_(loop) {
+    breakers_.reserve(static_cast<std::size_t>(levels));
+    slowness_.reserve(static_cast<std::size_t>(levels));
+    for (int i = 0; i < levels; ++i) {
+      breakers_.emplace_back(config_);
+      slowness_.emplace_back(config_);
+    }
+    spans_.resize(static_cast<std::size_t>(levels));
+  }
+
+  int AssignPriority(const broker::Message& message,
+                     const broker::BrokerView& view) override {
+    const int base = inner_->AssignPriority(message, view);
+    const double now = loop_.Now();
+    if (breakers_[static_cast<std::size_t>(base)].AllowRequest(now)) {
+      return base;
+    }
+    const int levels = static_cast<int>(breakers_.size());
+    for (int off = 1; off < levels; ++off) {
+      for (const int cand : {base - off, base + off}) {
+        if (cand < 0 || cand >= levels) continue;
+        auto& breaker = breakers_[static_cast<std::size_t>(cand)];
+        if (breaker.WouldAllow(now) && breaker.AllowRequest(now)) {
+          ++reroutes_;
+          if (metric_reroutes_ != nullptr) metric_reroutes_->Increment();
+          return cand;
+        }
+      }
+    }
+    return base;  // Every queue's breaker is open: the assignment stands.
+  }
+
+  std::string Name() const override { return inner_->Name() + "+breakers"; }
+
+  /// Feeds one delivery's queueing delay back into its queue's breaker.
+  /// The slow threshold adapts per queue (SlownessTracker): a low-priority
+  /// queue waits long by design, and a fixed threshold would open its
+  /// breaker on healthy traffic.
+  void RecordDelivery(int priority, double queueing_delay_ms, double now_ms) {
+    auto& breaker = breakers_[static_cast<std::size_t>(priority)];
+    if (slowness_[static_cast<std::size_t>(priority)].RecordAndClassify(
+            queueing_delay_ms)) {
+      breaker.RecordFailure(now_ms);
+    } else {
+      breaker.RecordSuccess(now_ms);
+    }
+  }
+
+  /// resilience.breaker_transitions / .breaker_reroutes counters plus one
+  /// resilience.broker.p<i>.open span per breaker-open episode.
+  void AttachTelemetry(obs::MetricsRegistry& registry, obs::Tracer* tracer) {
+    metric_transitions_ =
+        &registry.AddCounter("resilience.breaker_transitions");
+    metric_reroutes_ = &registry.AddCounter("resilience.breaker_reroutes");
+    tracer_ = tracer;
+  }
+
+  std::uint64_t reroutes() const { return reroutes_; }
+
+  resilience::BreakerStats TotalStats() const {
+    resilience::BreakerStats total;
+    for (const auto& breaker : breakers_) {
+      total.opens += breaker.stats().opens;
+      total.half_opens += breaker.stats().half_opens;
+      total.closes += breaker.stats().closes;
+      total.rejections += breaker.stats().rejections;
+    }
+    return total;
+  }
+
+  /// Installs the transition hooks (call once, after AttachTelemetry when
+  /// telemetry is on).
+  void InstallHooks() {
+    for (std::size_t i = 0; i < breakers_.size(); ++i) {
+      breakers_[i].SetTransitionHook(
+          [this, i](resilience::CircuitBreaker::State from,
+                    resilience::CircuitBreaker::State to, double) {
+            if (metric_transitions_ != nullptr) {
+              metric_transitions_->Increment();
+            }
+            if (tracer_ == nullptr) return;
+            if (to == resilience::CircuitBreaker::State::kOpen) {
+              spans_[i] = tracer_->StartSpan("resilience.broker.p" +
+                                             std::to_string(i) + ".open");
+            } else if (from == resilience::CircuitBreaker::State::kOpen) {
+              spans_[i].End();
+            }
+          });
+    }
+  }
+
+ private:
+  std::shared_ptr<broker::MessageScheduler> inner_;
+  resilience::BreakerConfig config_;
+  EventLoop& loop_;
+  std::vector<resilience::CircuitBreaker> breakers_;
+  std::vector<resilience::SlownessTracker> slowness_;  // One per queue.
+  std::uint64_t reroutes_ = 0;
+  obs::Counter* metric_transitions_ = nullptr;
+  obs::Counter* metric_reroutes_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<obs::Span> spans_;  // One per queue while open.
+};
+
+}  // namespace
 
 std::shared_ptr<const ServerDelayModel> BuildBrokerServerModel(
     const broker::BrokerParams& params) {
@@ -90,8 +213,39 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
         make("primary", 0x61ULL), make("backup", 0x62ULL), FailoverParams{});
   }
 
+  // --- Resilience layer --------------------------------------------------
+  const resilience::ResilienceConfig& resil = config.common.resilience;
+  std::shared_ptr<BreakerScheduler> breaker_scheduler;
+  if (resil.breaker.enabled) {
+    breaker_scheduler = std::make_shared<BreakerScheduler>(
+        scheduler, resil.breaker, config.broker.priority_levels, loop);
+    scheduler = breaker_scheduler;
+  }
+
   broker::MessageBroker broker(loop, config.broker, scheduler);
   if (telemetry.enabled()) broker.AttachMetrics(telemetry.metrics);
+
+  std::unique_ptr<resilience::AdmissionController> admission;
+  if (resil.admission.enabled) {
+    admission =
+        std::make_unique<resilience::AdmissionController>(resil.admission, qoe);
+  }
+  std::optional<resilience::RetryPolicy> retry;
+  if (resil.retry.enabled) retry.emplace(resil.retry, root.Fork(5));
+  obs::Counter* metric_retries = nullptr;
+  obs::Counter* metric_retries_exhausted = nullptr;
+  if (telemetry.enabled()) {
+    if (admission != nullptr) admission->AttachMetrics(telemetry.metrics);
+    if (breaker_scheduler != nullptr) {
+      breaker_scheduler->AttachTelemetry(telemetry.metrics, &telemetry.tracer);
+    }
+    if (retry.has_value()) {
+      metric_retries = &telemetry.metrics.AddCounter("resilience.retries");
+      metric_retries_exhausted =
+          &telemetry.metrics.AddCounter("resilience.retries_exhausted");
+    }
+  }
+  if (breaker_scheduler != nullptr) breaker_scheduler->InstallHooks();
 
   // --- Replay ------------------------------------------------------------
   const auto schedule = BuildReplaySchedule(records, config.common.speedup);
@@ -101,16 +255,19 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
 
   // --- Fault plan --------------------------------------------------------
   // Dropped messages still produce an outcome (status kDropped) so every
-  // arrival is accounted for.
-  broker.SetDropCallback(
-      [&result](const broker::Message& message, double publish_ms) {
-        RequestOutcome outcome;
-        outcome.id = message.id;
-        outcome.arrival_ms = publish_ms;
-        outcome.external_delay_ms = message.external_delay_ms;
-        outcome.status = RequestStatus::kDropped;
-        result.outcomes.push_back(outcome);
-      });
+  // arrival is accounted for. With retries on, the publish wrapper below
+  // owns drop accounting instead (a drop may still be retried).
+  if (!resil.retry.enabled) {
+    broker.SetDropCallback(
+        [&result](const broker::Message& message, double publish_ms) {
+          RequestOutcome outcome;
+          outcome.id = message.id;
+          outcome.arrival_ms = publish_ms;
+          outcome.external_delay_ms = message.external_delay_ms;
+          outcome.status = RequestStatus::kDropped;
+          result.outcomes.push_back(outcome);
+        });
+  }
   std::unique_ptr<fault::FaultInjector> injector;
   if (!config.common.fault_plan.empty()) {
     fault::FaultTargets targets;
@@ -131,6 +288,62 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
     injector->Arm();
   }
 
+  // Publishes one message, retrying fault drops with jittered backoff when
+  // the retry policy grants one. Shared so the backoff continuation can
+  // re-enter it; `forced_priority >= 0` pins an admission downgrade across
+  // retries. With resilience off this reduces exactly to the legacy
+  // publish-with-confirm (first_ms == the broker's publish time).
+  auto publish =
+      std::make_shared<std::function<void(broker::Message, int, double, int)>>();
+  *publish = [&, publish](broker::Message message, int failures,
+                          double first_ms, int forced_priority) {
+    auto confirm = [&result, &qoe, &loop, first_ms,
+                    breaker = breaker_scheduler.get(), id = message.id,
+                    external = message.external_delay_ms](
+                       const broker::Delivery& delivery) {
+      if (breaker != nullptr) {
+        breaker->RecordDelivery(delivery.priority, delivery.QueueingDelayMs(),
+                                loop.Now());
+      }
+      RequestOutcome outcome;
+      outcome.id = id;
+      outcome.arrival_ms = first_ms;
+      outcome.external_delay_ms = external;
+      // The retry wait counts against the request: server-side delay runs
+      // from the first publish attempt, not the one that got through.
+      outcome.server_delay_ms = delivery.deliver_ms - first_ms;
+      outcome.qoe = qoe.Qoe(external + outcome.server_delay_ms);
+      outcome.decision = delivery.priority;
+      result.outcomes.push_back(outcome);
+    };
+    const bool ok =
+        forced_priority >= 0
+            ? broker.PublishWithPriority(message, forced_priority,
+                                         std::move(confirm))
+            : broker.Publish(message, std::move(confirm));
+    if (ok || !retry.has_value()) return;  // Drop callback covers the rest.
+    const std::optional<double> backoff =
+        retry->NextBackoffMs(failures + 1, loop.Now() - first_ms,
+                             qoe.Classify(message.external_delay_ms));
+    if (backoff.has_value()) {
+      if (metric_retries != nullptr) metric_retries->Increment();
+      loop.ScheduleAfter(*backoff, [publish, message, failures, first_ms,
+                                    forced_priority]() {
+        (*publish)(message, failures + 1, first_ms, forced_priority);
+      });
+      return;
+    }
+    if (metric_retries_exhausted != nullptr) {
+      metric_retries_exhausted->Increment();
+    }
+    RequestOutcome outcome;  // Out of attempts/deadline/budget: lost.
+    outcome.id = message.id;
+    outcome.arrival_ms = first_ms;
+    outcome.external_delay_ms = message.external_delay_ms;
+    outcome.status = RequestStatus::kDropped;
+    result.outcomes.push_back(outcome);
+  };
+
   for (const auto& arrival : schedule) {
     loop.Schedule(arrival.testbed_time_ms, [&, arrival]() {
       const TraceRecord& rec = arrival.record;
@@ -141,17 +354,28 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
       message.id = rec.request_id;
       message.external_delay_ms = rec.external_delay_ms;
       const double publish_ms = loop.Now();
-      broker.Publish(message, [&result, rec, publish_ms,
-                               &qoe](const broker::Delivery& delivery) {
-        RequestOutcome outcome;
-        outcome.id = rec.request_id;
-        outcome.arrival_ms = publish_ms;
-        outcome.external_delay_ms = rec.external_delay_ms;
-        outcome.server_delay_ms = delivery.QueueingDelayMs();
-        outcome.qoe = qoe.Qoe(rec.external_delay_ms + outcome.server_delay_ms);
-        outcome.decision = delivery.priority;
-        result.outcomes.push_back(outcome);
-      });
+      if (admission != nullptr) {
+        int depth = 0;
+        for (const int d : broker.View().queue_depths) depth += d;
+        switch (admission->Decide(rec.external_delay_ms, depth)) {
+          case resilience::AdmissionDecision::kShed: {
+            RequestOutcome outcome;
+            outcome.id = rec.request_id;
+            outcome.arrival_ms = publish_ms;
+            outcome.external_delay_ms = rec.external_delay_ms;
+            outcome.status = RequestStatus::kShed;
+            result.outcomes.push_back(outcome);
+            return;
+          }
+          case resilience::AdmissionDecision::kDowngrade:
+            (*publish)(message, 0, publish_ms,
+                       config.broker.priority_levels - 1);
+            return;
+          case resilience::AdmissionDecision::kAdmit:
+            break;
+        }
+      }
+      (*publish)(message, 0, publish_ms, -1);
     });
   }
 
@@ -174,6 +398,18 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
   loop.RunUntil(horizon_ms);
   broker.StopConsumers();
   loop.Run();
+  if (resil.AnyEnabled()) {
+    // Open-ended overload can leave a backlog past the horizon; pull it
+    // synchronously so every publish still confirms (the conservation
+    // invariant). Alternate with Run(): a drained confirm can grant a
+    // backoff retry that re-publishes past the stopped consumers.
+    bool drained = true;
+    while (drained) {
+      drained = false;
+      while (broker.TryPull().has_value()) drained = true;
+      loop.Run();
+    }
+  }
 
   // Broker busy time: one handling cost per delivered message.
   result.service_busy_ms =
@@ -184,6 +420,23 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
   }
   if (injector != nullptr) {
     result.injected_faults = injector->injected();
+  }
+  if (resil.AnyEnabled()) {
+    if (admission != nullptr) {
+      result.resilience.shed = admission->stats().shed;
+      result.resilience.downgraded = admission->stats().downgraded;
+    }
+    if (retry.has_value()) {
+      result.resilience.retries = retry->stats().granted;
+      result.resilience.retries_exhausted = retry->stats().exhausted;
+    }
+    if (breaker_scheduler != nullptr) {
+      const resilience::BreakerStats breakers = breaker_scheduler->TotalStats();
+      result.resilience.breaker_opens = breakers.opens;
+      result.resilience.breaker_half_opens = breakers.half_opens;
+      result.resilience.breaker_closes = breakers.closes;
+      result.resilience.breaker_rejections = breakers.rejections;
+    }
   }
   if (telemetry.enabled()) result.telemetry = telemetry.Snapshot();
   result.Finalize();

@@ -123,6 +123,18 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
   db::ReadExecutor executor(cluster, selector);
   if (telemetry.enabled()) executor.AttachMetrics(telemetry.metrics);
 
+  // --- Resilience layer --------------------------------------------------
+  const resilience::ResilienceConfig& resil = config.common.resilience;
+  if (resil.AnyEnabled()) {
+    executor.EnableResilience(resil, root.Fork(4),
+                              [&qoe](const db::DbRequest& request) {
+                                return qoe.Classify(request.external_delay_ms);
+                              });
+    if (telemetry.enabled()) {
+      executor.AttachResilienceMetrics(telemetry.metrics, &telemetry.tracer);
+    }
+  }
+
   // --- Fault plan --------------------------------------------------------
   std::unique_ptr<fault::FaultInjector> injector;
   if (!config.common.fault_plan.empty()) {
@@ -172,6 +184,15 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
       request.range_start = static_cast<db::Key>(keys.UniformInt(
           0, static_cast<std::int64_t>(config.dataset_keys) - 1));
       request.range_count = config.range_count;
+      if (resil.hedge.enabled) {
+        // Per-class hedge delay: sensitive requests hedge aggressively
+        // (their QoE gains most from shaving the tail), the flat classes
+        // conservatively.
+        request.hedge_delay_ms =
+            qoe.Classify(tagged_external) == SensitivityClass::kSensitive
+                ? resil.hedge.sensitive_delay_ms
+                : resil.hedge.insensitive_delay_ms;
+      }
       executor.ExecuteRangeRead(
           request, [&result, rec, &qoe](db::ReadResult read) {
             RequestOutcome outcome;
@@ -219,6 +240,19 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
   }
   if (injector != nullptr) {
     result.injected_faults = injector->injected();
+  }
+  if (resil.AnyEnabled()) {
+    const db::ReadResilienceStats& reads = executor.resilience_stats();
+    result.resilience.retries = reads.retries;
+    result.resilience.retries_exhausted = reads.retries_exhausted;
+    result.resilience.hedges_issued = reads.hedges_issued;
+    result.resilience.hedges_won = reads.hedges_won;
+    result.resilience.hedges_cancelled = reads.hedges_cancelled;
+    const resilience::BreakerStats breakers = executor.TotalBreakerStats();
+    result.resilience.breaker_opens = breakers.opens;
+    result.resilience.breaker_half_opens = breakers.half_opens;
+    result.resilience.breaker_closes = breakers.closes;
+    result.resilience.breaker_rejections = breakers.rejections;
   }
   if (telemetry.enabled()) result.telemetry = telemetry.Snapshot();
   result.Finalize();

@@ -17,6 +17,7 @@
 
 #include "core/controller.h"
 #include "fault/plan.h"
+#include "resilience/config.h"
 #include "util/clock.h"
 
 namespace e2e {
@@ -53,6 +54,12 @@ struct ExperimentConfig {
   /// Which clause kinds a runner supports is runner-specific — see each
   /// runner's header.
   fault::FaultPlan fault_plan;
+
+  /// Mitigation layer (docs/RESILIENCE.md): deadline-aware retries, hedged
+  /// replica reads, circuit breaking, and QoE-aware admission control. All
+  /// mechanisms default to disabled, in which case runs replay
+  /// byte-identically to the pre-resilience testbed.
+  resilience::ResilienceConfig resilience;
 
   /// Convenience for the runner configs' per-runner defaults.
   static ExperimentConfig WithSeed(std::uint64_t seed, double speedup = 1.0) {

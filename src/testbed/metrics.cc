@@ -14,6 +14,7 @@ void ExperimentResult::Finalize() {
   completed = 0;
   failed_over = 0;
   dropped = 0;
+  shed = 0;
   for (const auto& o : outcomes) {
     switch (o.status) {
       case RequestStatus::kCompleted:
@@ -24,6 +25,9 @@ void ExperimentResult::Finalize() {
         break;
       case RequestStatus::kDropped:
         ++dropped;
+        break;
+      case RequestStatus::kShed:
+        ++shed;
         break;
     }
   }
@@ -67,6 +71,8 @@ std::string ExperimentResult::Serialize() const {
   obs::AppendField(&out, "failed_over", failed_over);
   out += ' ';
   obs::AppendField(&out, "dropped", dropped);
+  out += ' ';
+  obs::AppendField(&out, "shed", shed);
   out += '\n';
   obs::AppendField(&out, "mean_qoe", mean_qoe);
   out += ' ';
@@ -86,6 +92,29 @@ std::string ExperimentResult::Serialize() const {
   obs::AppendField(&out, "recompute_us", controller_stats.total_recompute_wall_us);
   out += ' ';
   obs::AppendField(&out, "lookup_us", controller_stats.total_lookup_wall_us);
+  out += '\n';
+  out += "resil ";
+  obs::AppendField(&out, "retries", resilience.retries);
+  out += ' ';
+  obs::AppendField(&out, "retry_exhausted", resilience.retries_exhausted);
+  out += ' ';
+  obs::AppendField(&out, "hedges", resilience.hedges_issued);
+  out += ' ';
+  obs::AppendField(&out, "hedge_wins", resilience.hedges_won);
+  out += ' ';
+  obs::AppendField(&out, "hedge_cancels", resilience.hedges_cancelled);
+  out += ' ';
+  obs::AppendField(&out, "shed", resilience.shed);
+  out += ' ';
+  obs::AppendField(&out, "downgraded", resilience.downgraded);
+  out += ' ';
+  obs::AppendField(&out, "breaker_opens", resilience.breaker_opens);
+  out += ' ';
+  obs::AppendField(&out, "breaker_half_opens", resilience.breaker_half_opens);
+  out += ' ';
+  obs::AppendField(&out, "breaker_closes", resilience.breaker_closes);
+  out += ' ';
+  obs::AppendField(&out, "breaker_rejections", resilience.breaker_rejections);
   out += '\n';
   char head[64];
   for (const auto& o : outcomes) {

@@ -14,14 +14,16 @@
 namespace e2e {
 
 /// How a request left the testbed. Completed and failed-over requests were
-/// served (failed-over ones were rerouted around a partitioned replica);
-/// dropped requests were lost to an injected broker fault. Together the
-/// three statuses account for every arrival — the conservation invariant
-/// the fault property tests assert.
+/// served (failed-over ones were rerouted around a partitioned replica or
+/// won by a hedged clone); dropped requests were lost to an injected broker
+/// fault; shed requests were refused by QoE-aware admission control under
+/// overload. Together the four statuses account for every arrival — the
+/// conservation invariant the fault and resilience property tests assert.
 enum class RequestStatus : std::uint8_t {
   kCompleted = 0,
   kFailedOver = 1,
   kDropped = 2,
+  kShed = 3,
 };
 
 /// Per-request outcome of an experiment run.
@@ -34,7 +36,28 @@ struct RequestOutcome {
   int decision = -1;              ///< Replica / priority chosen (-1 default).
   RequestStatus status = RequestStatus::kCompleted;
 
-  bool Served() const { return status != RequestStatus::kDropped; }
+  bool Served() const {
+    return status == RequestStatus::kCompleted ||
+           status == RequestStatus::kFailedOver;
+  }
+};
+
+/// Resilience-layer counters for one run (docs/RESILIENCE.md). All zero
+/// when no mechanism was enabled; serialized as the `resil` line so two
+/// identical-seed runs must agree on every mitigation decision, not just
+/// the outcomes.
+struct ResilienceStats {
+  std::uint64_t retries = 0;            ///< Backoff retries granted.
+  std::uint64_t retries_exhausted = 0;  ///< Retry denials.
+  std::uint64_t hedges_issued = 0;      ///< Hedged clone reads sent.
+  std::uint64_t hedges_won = 0;         ///< Clones that beat the primary.
+  std::uint64_t hedges_cancelled = 0;   ///< Loser responses discarded.
+  std::uint64_t shed = 0;               ///< Requests refused by admission.
+  std::uint64_t downgraded = 0;         ///< Requests demoted by admission.
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_half_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t breaker_rejections = 0;
 };
 
 /// Aggregate result of one experiment run.
@@ -53,6 +76,10 @@ struct ExperimentResult {
   std::uint64_t completed = 0;
   std::uint64_t failed_over = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t shed = 0;
+
+  /// Mitigation-decision counters (zeros for resilience-off runs).
+  ResilienceStats resilience;
 
   /// Fault transitions applied during the run (fault::FaultInjector).
   std::vector<fault::InjectedFault> injected_faults;

@@ -207,7 +207,7 @@ Trace TraceGenerator::Generate() const {
     }
   }
 
-  std::sort(trace.records.begin(), trace.records.end(),
+  std::stable_sort(trace.records.begin(), trace.records.end(),
             [](const TraceRecord& a, const TraceRecord& b) {
               return a.arrival_ms < b.arrival_ms;
             });

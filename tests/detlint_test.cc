@@ -107,6 +107,13 @@ TEST(DetlintRules, FloatEqFixture) {
             (Expected{{"float-eq", 3}, {"float-eq", 4}, {"float-eq", 5}}));
 }
 
+TEST(DetlintRules, UnstableSortFixture) {
+  EXPECT_EQ(RuleLines(ScanFixture("unstable_sort.cc")),
+            (Expected{{"unstable-sort", 13},
+                      {"unstable-sort", 15},
+                      {"unstable-sort", 19}}));
+}
+
 TEST(DetlintRules, IgnoredStatusFixture) {
   EXPECT_EQ(RuleLines(ScanFixture("ignored_status.cc")),
             (Expected{{"ignored-status", 9}}));
@@ -184,7 +191,8 @@ TEST(Rules, TableListsEveryFixtureRule) {
   for (const auto& rule : detlint::Rules()) ids.insert(rule.id);
   for (const char* id :
        {"wall-clock", "unseeded-rng", "unordered-iter", "ptr-key-container",
-        "float-eq", "ignored-status", "stale-allowlist", "bad-allowlist"}) {
+        "float-eq", "ignored-status", "unstable-sort", "stale-allowlist",
+        "bad-allowlist"}) {
     EXPECT_EQ(ids.count(id), 1u) << id;
   }
 }

@@ -1,0 +1,697 @@
+// Tests for the deterministic resilience layer (docs/RESILIENCE.md):
+// retry policy, circuit breaker + adaptive slowness, QoE-aware admission,
+// hedged reads, fault-plan trace transforms, the correlated `then` grammar,
+// and the replay/conservation properties under randomized fault plans.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "proptest.h"
+#include "qoe/sigmoid_model.h"
+#include "resilience/admission.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/retry_policy.h"
+#include "testbed/broker_experiment.h"
+#include "testbed/counterfactual.h"
+#include "testbed/db_experiment.h"
+#include "testbed/metrics.h"
+#include "testbed/workloads.h"
+
+namespace e2e {
+namespace {
+
+using resilience::AdmissionConfig;
+using resilience::AdmissionController;
+using resilience::AdmissionDecision;
+using resilience::BreakerConfig;
+using resilience::CircuitBreaker;
+using resilience::ResilienceConfig;
+using resilience::RetryConfig;
+using resilience::RetryPolicy;
+using resilience::SlownessTracker;
+
+const SigmoidQoeModel& TraceQoe() {
+  static const SigmoidQoeModel model = SigmoidQoeModel::TraceTimeOnSite();
+  return model;
+}
+
+std::vector<TraceRecord> LoadedWorkload(std::size_t n = 1500,
+                                        std::uint64_t seed = 17,
+                                        double rps = 60.0) {
+  SyntheticWorkloadParams params;
+  params.num_requests = n;
+  params.seed = seed;
+  params.rps = rps;
+  return MakeSyntheticWorkload(params);
+}
+
+DbExperimentConfig FastDbConfig(DbPolicy policy) {
+  DbExperimentConfig config;
+  config.policy = policy;
+  config.dataset_keys = 2000;
+  config.value_bytes = 16;
+  config.range_count = 20;
+  config.common.speedup = 1.0;
+  config.cluster.replica_groups = 3;
+  config.cluster.concurrency_per_replica = 8;
+  config.cluster.base_service_ms = 120.0;
+  config.cluster.capacity = 8.0;
+  config.profile_levels = 12;
+  config.profile_max_rps = 60.0;
+  config.profile_duration_ms = 15000.0;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.external.min_samples = 20;
+  config.common.controller.policy.target_buckets = 10;
+  return config;
+}
+
+BrokerExperimentConfig FastBrokerConfig(BrokerPolicy policy) {
+  BrokerExperimentConfig config;
+  config.policy = policy;
+  config.common.speedup = 1.0;
+  config.broker.priority_levels = 6;
+  config.broker.consume_interval_ms = 18.0;
+  config.common.controller.external.window_ms = 5000.0;
+  config.common.controller.external.min_samples = 20;
+  config.common.controller.policy.target_buckets = 10;
+  return config;
+}
+
+// completed + failed_over + dropped + shed == arrivals: nothing the testbed
+// accepted is ever silently lost, whatever the mitigation layer decided.
+void ExpectConservation(const ExperimentResult& result) {
+  EXPECT_EQ(result.completed + result.failed_over + result.dropped +
+                result.shed,
+            result.arrivals);
+}
+
+// Every issued hedge adds exactly one extra response, and exactly one of
+// the pair (clone or primary) loses and is discarded — so after the run
+// drains, cancellations equal issues and wins are a subset.
+void ExpectHedgeBalance(const ExperimentResult& result) {
+  EXPECT_EQ(result.resilience.hedges_cancelled,
+            result.resilience.hedges_issued);
+  EXPECT_LE(result.resilience.hedges_won, result.resilience.hedges_issued);
+}
+
+// ---- Retry policy -----------------------------------------------------------
+
+RetryConfig PlainRetry() {
+  RetryConfig config;
+  config.enabled = true;
+  config.max_attempts = 4;
+  config.base_backoff_ms = 10.0;
+  config.backoff_multiplier = 2.0;
+  config.max_backoff_ms = 500.0;
+  config.jitter = 0.0;
+  config.deadline_ms = 5000.0;
+  return config;
+}
+
+TEST(RetryPolicy, DisabledDeniesEverything) {
+  RetryConfig config = PlainRetry();
+  config.enabled = false;
+  RetryPolicy policy(config, Rng(1));
+  EXPECT_FALSE(
+      policy.NextBackoffMs(1, 0.0, SensitivityClass::kSensitive).has_value());
+  EXPECT_EQ(policy.stats().exhausted, 1u);
+}
+
+TEST(RetryPolicy, ExponentialBackoffUntilAttemptsExhausted) {
+  RetryPolicy policy(PlainRetry(), Rng(1));
+  EXPECT_DOUBLE_EQ(
+      *policy.NextBackoffMs(1, 0.0, SensitivityClass::kSensitive), 10.0);
+  EXPECT_DOUBLE_EQ(
+      *policy.NextBackoffMs(2, 0.0, SensitivityClass::kSensitive), 20.0);
+  EXPECT_DOUBLE_EQ(
+      *policy.NextBackoffMs(3, 0.0, SensitivityClass::kSensitive), 40.0);
+  // Attempt 4 would be the fifth total attempt: beyond max_attempts.
+  EXPECT_FALSE(
+      policy.NextBackoffMs(4, 0.0, SensitivityClass::kSensitive).has_value());
+  EXPECT_EQ(policy.stats().granted, 3u);
+  EXPECT_EQ(policy.stats().exhausted, 1u);
+}
+
+TEST(RetryPolicy, DeadlineDeniesLateRetries) {
+  RetryPolicy policy(PlainRetry(), Rng(1));
+  EXPECT_FALSE(policy.NextBackoffMs(1, 4995.0, SensitivityClass::kSensitive)
+                   .has_value());
+  EXPECT_TRUE(policy.NextBackoffMs(1, 100.0, SensitivityClass::kSensitive)
+                  .has_value());
+}
+
+TEST(RetryPolicy, PerClassBudgetIsIndependent) {
+  RetryConfig config = PlainRetry();
+  config.budget_per_class = 1;
+  RetryPolicy policy(config, Rng(1));
+  EXPECT_TRUE(
+      policy.NextBackoffMs(1, 0.0, SensitivityClass::kSensitive).has_value());
+  EXPECT_FALSE(
+      policy.NextBackoffMs(1, 0.0, SensitivityClass::kSensitive).has_value());
+  // A different class draws from its own budget.
+  EXPECT_TRUE(policy.NextBackoffMs(1, 0.0, SensitivityClass::kTooFastToMatter)
+                  .has_value());
+  EXPECT_EQ(policy.BudgetSpent(SensitivityClass::kSensitive), 1u);
+}
+
+TEST(RetryPolicy, JitterIsSeededAndBounded) {
+  RetryConfig config = PlainRetry();
+  config.jitter = 0.2;
+  RetryPolicy a(config, Rng(42));
+  RetryPolicy b(config, Rng(42));
+  for (int k = 1; k <= 3; ++k) {
+    const auto ba = a.NextBackoffMs(k, 0.0, SensitivityClass::kSensitive);
+    const auto bb = b.NextBackoffMs(k, 0.0, SensitivityClass::kSensitive);
+    ASSERT_TRUE(ba.has_value());
+    EXPECT_DOUBLE_EQ(*ba, *bb);  // Same seed, same stream.
+    const double nominal = 10.0 * (1 << (k - 1));
+    EXPECT_GE(*ba, nominal * 0.8);
+    EXPECT_LE(*ba, nominal * 1.2);
+  }
+}
+
+TEST(RetryPolicy, ValidatesConfig) {
+  RetryConfig bad = PlainRetry();
+  bad.max_attempts = 0;
+  EXPECT_THROW(RetryPolicy(bad, Rng(1)), std::invalid_argument);
+  bad = PlainRetry();
+  bad.jitter = 1.0;
+  EXPECT_THROW(RetryPolicy(bad, Rng(1)), std::invalid_argument);
+}
+
+// ---- Circuit breaker --------------------------------------------------------
+
+BreakerConfig FastBreaker() {
+  BreakerConfig config;
+  config.enabled = true;
+  config.window = 8;
+  config.min_samples = 4;
+  config.failure_rate_to_open = 0.5;
+  config.open_ms = 100.0;
+  config.half_open_probes = 2;
+  return config;
+}
+
+TEST(CircuitBreaker, OpensOnWindowedFailureRateAndRecloses) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure(static_cast<double>(i));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest(10.0));
+  EXPECT_EQ(breaker.stats().rejections, 1u);
+  // Cool-down elapsed: the next request is admitted as a half-open probe.
+  EXPECT_TRUE(breaker.AllowRequest(150.0));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess(151.0);
+  breaker.RecordSuccess(152.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.stats().opens, 1u);
+  EXPECT_EQ(breaker.stats().half_opens, 1u);
+  EXPECT_EQ(breaker.stats().closes, 1u);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopens) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure(static_cast<double>(i));
+  ASSERT_TRUE(breaker.AllowRequest(150.0));
+  breaker.RecordFailure(151.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.stats().opens, 2u);
+}
+
+TEST(CircuitBreaker, WouldAllowHasNoSideEffects) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure(static_cast<double>(i));
+  EXPECT_FALSE(breaker.WouldAllow(10.0));
+  EXPECT_TRUE(breaker.WouldAllow(150.0));  // Cool-down elapsed...
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);  // ...no probe.
+  EXPECT_EQ(breaker.stats().rejections, 0u);
+}
+
+TEST(CircuitBreaker, DisabledAlwaysAllows) {
+  BreakerConfig config = FastBreaker();
+  config.enabled = false;
+  CircuitBreaker breaker(config);
+  for (int i = 0; i < 16; ++i) breaker.RecordFailure(static_cast<double>(i));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(0.0));
+}
+
+TEST(CircuitBreaker, TransitionHookSeesEveryEdge) {
+  CircuitBreaker breaker(FastBreaker());
+  std::vector<std::pair<CircuitBreaker::State, CircuitBreaker::State>> edges;
+  breaker.SetTransitionHook([&edges](CircuitBreaker::State from,
+                                     CircuitBreaker::State to, double) {
+    edges.emplace_back(from, to);
+  });
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure(static_cast<double>(i));
+  ASSERT_TRUE(breaker.AllowRequest(150.0));
+  breaker.RecordSuccess(151.0);
+  breaker.RecordSuccess(152.0);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].second, CircuitBreaker::State::kOpen);
+  EXPECT_EQ(edges[1].second, CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(edges[2].second, CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, ValidatesConfig) {
+  BreakerConfig bad = FastBreaker();
+  bad.min_samples = 0;
+  EXPECT_THROW(CircuitBreaker{bad}, std::invalid_argument);
+  bad = FastBreaker();
+  bad.failure_rate_to_open = 1.5;
+  EXPECT_THROW(CircuitBreaker{bad}, std::invalid_argument);
+}
+
+// ---- Adaptive slowness threshold -------------------------------------------
+
+TEST(SlownessTracker, FloorAppliesUntilBaselineExists) {
+  BreakerConfig config = FastBreaker();
+  config.slow_ms = 1000.0;
+  config.slow_factor = 4.0;
+  SlownessTracker tracker(config);
+  EXPECT_DOUBLE_EQ(tracker.ThresholdMs(), 1000.0);
+  EXPECT_TRUE(tracker.RecordAndClassify(1500.0));   // Above floor: slow.
+  EXPECT_FALSE(tracker.RecordAndClassify(200.0));   // Seeds the baseline.
+  EXPECT_DOUBLE_EQ(tracker.baseline_ms(), 200.0);
+}
+
+TEST(SlownessTracker, DeliberatelySlowTargetKeepsHigherTripPoint) {
+  BreakerConfig config = FastBreaker();
+  config.slow_ms = 1000.0;
+  config.slow_factor = 4.0;
+  SlownessTracker tracker(config);
+  // A sacrificial replica serving ~2 s reads is healthy, not failing: once
+  // the baseline adapts, the trip point sits at 4x its own pace.
+  EXPECT_FALSE(tracker.RecordAndClassify(900.0));
+  for (int i = 0; i < 64; ++i) {
+    tracker.RecordAndClassify(2000.0);
+  }
+  EXPECT_NEAR(tracker.baseline_ms(), 2000.0, 50.0);
+  // A 7 s read sits under 4x the ~2 s baseline: healthy-for-this-replica,
+  // and as a non-slow sample it nudges the baseline (and trip point) up.
+  EXPECT_FALSE(tracker.RecordAndClassify(7000.0));
+  EXPECT_TRUE(tracker.RecordAndClassify(10000.0));  // Fault-grade.
+}
+
+TEST(SlownessTracker, SlowSamplesDoNotPoisonBaseline) {
+  BreakerConfig config = FastBreaker();
+  config.slow_ms = 1000.0;
+  config.slow_factor = 4.0;
+  SlownessTracker tracker(config);
+  EXPECT_FALSE(tracker.RecordAndClassify(500.0));
+  const double before = tracker.baseline_ms();
+  // A sustained fault keeps tripping: its own samples never lift the
+  // threshold it is judged against.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(tracker.RecordAndClassify(50000.0));
+  }
+  EXPECT_DOUBLE_EQ(tracker.baseline_ms(), before);
+}
+
+// ---- QoE-aware admission ----------------------------------------------------
+
+// Finds an external delay classified into `cls` by the trace QoE model.
+std::optional<double> DelayInClass(SensitivityClass cls) {
+  for (double d = 0.0; d <= 30000.0; d += 50.0) {
+    if (TraceQoe().Classify(d) == cls) return d;
+  }
+  return std::nullopt;
+}
+
+AdmissionConfig FastAdmission() {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.shed_depth = 8;
+  config.downgrade_depth = 16;
+  return config;
+}
+
+TEST(Admission, SensitiveRequestsAlwaysAdmitted) {
+  AdmissionController admission(FastAdmission(), TraceQoe());
+  const auto sensitive = DelayInClass(SensitivityClass::kSensitive);
+  ASSERT_TRUE(sensitive.has_value());
+  EXPECT_EQ(admission.Decide(*sensitive, 1000), AdmissionDecision::kAdmit);
+}
+
+TEST(Admission, ShedsPastCliffFirstThenDowngradesTooFast) {
+  AdmissionController admission(FastAdmission(), TraceQoe());
+  const auto slow = DelayInClass(SensitivityClass::kTooSlowToMatter);
+  const auto fast = DelayInClass(SensitivityClass::kTooFastToMatter);
+  ASSERT_TRUE(slow.has_value());
+  ASSERT_TRUE(fast.has_value());
+  // Below both depths: everyone is admitted.
+  EXPECT_EQ(admission.Decide(*slow, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Decide(*fast, 0), AdmissionDecision::kAdmit);
+  // Past shed_depth, the past-the-cliff request forfeits ~nothing: shed.
+  // The too-fast request still tolerates queueing: admitted.
+  EXPECT_EQ(admission.Decide(*slow, 8), AdmissionDecision::kShed);
+  EXPECT_EQ(admission.Decide(*fast, 8), AdmissionDecision::kAdmit);
+  // Past downgrade_depth the too-fast request is demoted, never shed.
+  EXPECT_EQ(admission.Decide(*fast, 16), AdmissionDecision::kDowngrade);
+  EXPECT_EQ(admission.stats().shed, 1u);
+  EXPECT_EQ(admission.stats().downgraded, 1u);
+}
+
+TEST(Admission, DisabledAdmitsEverything) {
+  AdmissionConfig config = FastAdmission();
+  config.enabled = false;
+  AdmissionController admission(config, TraceQoe());
+  const auto slow = DelayInClass(SensitivityClass::kTooSlowToMatter);
+  ASSERT_TRUE(slow.has_value());
+  EXPECT_EQ(admission.Decide(*slow, 1 << 20), AdmissionDecision::kAdmit);
+}
+
+// ---- Correlated fault grammar ----------------------------------------------
+
+TEST(CorrelatedFaults, ThenChildInheritsParentWindowEnd) {
+  const auto plan = fault::FaultPlan::Parse(
+      "partition db r=0 t=[25s,50s] then overload db x2 survivors for=30s");
+  ASSERT_EQ(plan.faults.size(), 2u);
+  EXPECT_EQ(plan.faults[0].kind, fault::FaultKind::kPartitionReplica);
+  EXPECT_EQ(plan.faults[0].replica, 0);
+  EXPECT_EQ(plan.faults[1].kind, fault::FaultKind::kOverloadReplica);
+  EXPECT_EQ(plan.faults[1].replica, fault::kSurvivorsReplica);
+  EXPECT_EQ(plan.faults[1].follows, 0);
+  // The child starts when the parent's window ends.
+  EXPECT_DOUBLE_EQ(plan.faults[1].start_ms, 50000.0);
+  EXPECT_DOUBLE_EQ(plan.faults[1].end_ms, 80000.0);
+}
+
+TEST(CorrelatedFaults, CanonicalTextRoundTrips) {
+  const std::string specs[] = {
+      "partition db r=0 t=[25s,50s] then overload db x2 survivors for=30s",
+      "delay db +500ms r=1 t=[10s,20s] then partition db r=1 for=5s",
+      "crash ctrl t=25s for=25s; overload broker x3 t=[30s,60s]",
+  };
+  for (const auto& spec : specs) {
+    const auto plan = fault::FaultPlan::Parse(spec);
+    const std::string canonical = plan.ToString();
+    EXPECT_EQ(fault::FaultPlan::Parse(canonical).ToString(), canonical)
+        << "spec: " << spec;
+  }
+}
+
+TEST(CorrelatedFaults, SurvivorsRequiresTargetedParent) {
+  EXPECT_THROW(fault::FaultPlan::Parse("overload db x2 survivors"),
+               std::invalid_argument);
+}
+
+// ---- Fault plans on the trace simulator ------------------------------------
+
+std::vector<TraceRecord> TinyTrace() {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    TraceRecord r;
+    r.request_id = static_cast<RequestId>(i + 1);
+    r.arrival_ms = 1000.0 * i;
+    r.external_delay_ms = 2000.0;
+    r.server_delay_ms = 100.0;
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST(TraceFaults, DelayAddsWithinWindowOnly) {
+  const auto records = TinyTrace();
+  const auto out = ApplyFaultPlanToTrace(
+      records, fault::FaultPlan::Parse("delay db +50ms t=[0s,2.5s]"));
+  ASSERT_EQ(out.size(), records.size());
+  EXPECT_DOUBLE_EQ(out[0].server_delay_ms, 150.0);
+  EXPECT_DOUBLE_EQ(out[2].server_delay_ms, 150.0);
+  EXPECT_DOUBLE_EQ(out[3].server_delay_ms, 100.0);
+}
+
+TEST(TraceFaults, OverloadMultipliesWithinWindow) {
+  const auto records = TinyTrace();
+  const auto out = ApplyFaultPlanToTrace(
+      records, fault::FaultPlan::Parse("overload db x3 t=[1s,3.5s]"));
+  EXPECT_DOUBLE_EQ(out[0].server_delay_ms, 100.0);
+  EXPECT_DOUBLE_EQ(out[1].server_delay_ms, 300.0);
+  EXPECT_DOUBLE_EQ(out[4].server_delay_ms, 100.0);
+}
+
+TEST(TraceFaults, DropIsSeededAndReproducible) {
+  const auto records = LoadedWorkload(500);
+  const auto plan =
+      fault::FaultPlan::Parse("drop broker p=0.5 seed=11 t=[0s,10m]");
+  const auto a = ApplyFaultPlanToTrace(records, plan);
+  const auto b = ApplyFaultPlanToTrace(records, plan);
+  EXPECT_LT(a.size(), records.size());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].request_id, b[i].request_id);
+  }
+}
+
+TEST(TraceFaults, UnsupportedClausesHardError) {
+  const auto records = TinyTrace();
+  const char* unsupported[] = {
+      "crash ctrl t=1s for=1s",
+      "partition db r=0",
+      "skew est err=0.2",
+      "delay db +1s r=1",  // The trace has no replicas to target.
+      "overload db x2 r=0",
+  };
+  for (const char* spec : unsupported) {
+    EXPECT_THROW(
+        ApplyFaultPlanToTrace(records, fault::FaultPlan::Parse(spec)),
+        std::invalid_argument)
+        << "spec: " << spec;
+  }
+}
+
+TEST(TraceFaults, ReshuffleConfigOverloadAppliesPlanOrThrows) {
+  const auto records = LoadedWorkload(400);
+  const auto selector = [](PageType) -> const QoeModel& { return TraceQoe(); };
+  ExperimentConfig clean;
+  const auto base = ReshuffleWithinWindows(
+      records, selector, ReshufflePolicy::kRecorded, 10000.0, clean);
+  ExperimentConfig faulted;
+  faulted.fault_plan = fault::FaultPlan::Parse("delay db +2s");
+  const auto slowed = ReshuffleWithinWindows(
+      records, selector, ReshufflePolicy::kRecorded, 10000.0, faulted);
+  EXPECT_LT(slowed.old_mean_qoe, base.old_mean_qoe);
+  ExperimentConfig unsupported;
+  unsupported.fault_plan = fault::FaultPlan::Parse("crash ctrl t=1s for=1s");
+  EXPECT_THROW(ReshuffleWithinWindows(records, selector,
+                                      ReshufflePolicy::kRecorded, 10000.0,
+                                      unsupported),
+               std::invalid_argument);
+}
+
+// ---- DB experiment with the full layer --------------------------------------
+
+TEST(DbResilience, ServesEverythingAcrossPartition) {
+  auto config = FastDbConfig(DbPolicy::kE2e);
+  config.common.fault_plan =
+      fault::FaultPlan::Parse("partition db r=1 t=[1s,4s]");
+  config.common.resilience = ResilienceConfig::AllOn();
+  const auto records = LoadedWorkload(800, 23, 90.0);
+  const auto result = RunDbExperiment(records, TraceQoe(), config);
+  EXPECT_EQ(result.outcomes.size(), records.size());
+  ExpectConservation(result);
+  ExpectHedgeBalance(result);
+  EXPECT_GT(result.failed_over, 0u);
+}
+
+TEST(DbResilience, HedgesFireAndBalance) {
+  auto config = FastDbConfig(DbPolicy::kE2e);
+  config.common.resilience = ResilienceConfig::AllOn();
+  // Hedge aggressively relative to this testbed's ~120 ms service times so
+  // the clone path actually exercises under load.
+  config.common.resilience.hedge.sensitive_delay_ms = 150.0;
+  config.common.resilience.hedge.insensitive_delay_ms = 400.0;
+  const auto records = LoadedWorkload(1200, 29, 115.0);
+  const auto result = RunDbExperiment(records, TraceQoe(), config);
+  EXPECT_GT(result.resilience.hedges_issued, 0u);
+  ExpectHedgeBalance(result);
+  ExpectConservation(result);
+}
+
+TEST(DbResilience, BreakerOpensShowUpInStatsAndTelemetry) {
+  auto config = FastDbConfig(DbPolicy::kE2e);
+  config.common.collect_telemetry = true;
+  config.common.fault_plan =
+      fault::FaultPlan::Parse("delay db +20s r=0 t=[1s,4s]");
+  config.common.resilience = ResilienceConfig::AllOn();
+  // Pin the slow classification to an absolute threshold the fault clearly
+  // breaches so the open is deterministic in this small run.
+  config.common.resilience.breaker.slow_ms = 2000.0;
+  config.common.resilience.breaker.slow_factor = 1.0;
+  const auto records = LoadedWorkload(800, 31, 90.0);
+  const auto result = RunDbExperiment(records, TraceQoe(), config);
+  EXPECT_GT(result.resilience.breaker_opens, 0u);
+  const std::string telemetry = result.telemetry.SerializeText();
+  EXPECT_NE(telemetry.find("db.resilience.breaker_transitions"),
+            std::string::npos);
+  EXPECT_NE(telemetry.find("db.resilience.hedges"), std::string::npos);
+}
+
+TEST(DbResilience, TwoRunsAreByteIdentical) {
+  auto config = FastDbConfig(DbPolicy::kE2e);
+  config.common.collect_telemetry = true;
+  config.common.fault_plan = fault::FaultPlan::Parse(
+      "delay db +800ms r=0 t=[1s,3s]; partition db r=2 t=[2s,4s]");
+  config.common.resilience = ResilienceConfig::AllOn();
+  const auto records = LoadedWorkload(600, 37, 90.0);
+  const auto a = RunDbExperiment(records, TraceQoe(), config);
+  const auto b = RunDbExperiment(records, TraceQoe(), config);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  EXPECT_EQ(a.telemetry.SerializeText(), b.telemetry.SerializeText());
+}
+
+// ---- Broker experiment with the full layer ----------------------------------
+
+TEST(BrokerResilience, RetriesRecoverDroppedPublishes) {
+  const auto records = LoadedWorkload(800, 41);
+  auto failing = FastBrokerConfig(BrokerPolicy::kE2e);
+  failing.common.fault_plan =
+      fault::FaultPlan::Parse("drop broker p=0.3 seed=5 t=[0s,10m]");
+  auto resilient = failing;
+  resilient.common.resilience = ResilienceConfig::AllOn();
+  const auto off = RunBrokerExperiment(records, TraceQoe(), failing);
+  const auto on = RunBrokerExperiment(records, TraceQoe(), resilient);
+  ExpectConservation(off);
+  ExpectConservation(on);
+  EXPECT_GT(off.dropped, 0u);
+  EXPECT_GT(on.resilience.retries, 0u);
+  // Re-publishing with backoff recovers most faulted publishes.
+  EXPECT_LT(on.dropped, off.dropped);
+  EXPECT_GT(on.completed + on.failed_over, off.completed + off.failed_over);
+}
+
+TEST(BrokerResilience, AdmissionShedsOnlyPastTheCliff) {
+  const auto records = LoadedWorkload(1500, 43, 90.0);
+  auto config = FastBrokerConfig(BrokerPolicy::kE2e);
+  config.common.fault_plan =
+      fault::FaultPlan::Parse("overload broker x6 t=[1s,8s]");
+  config.common.resilience = ResilienceConfig::AllOn();
+  config.common.resilience.admission.shed_depth = 8;
+  config.common.resilience.admission.downgrade_depth = 16;
+  const auto result = RunBrokerExperiment(records, TraceQoe(), config);
+  ExpectConservation(result);
+  EXPECT_GT(result.resilience.shed, 0u);
+  EXPECT_EQ(result.shed, result.resilience.shed);
+  // Shed requests must all sit past the QoE cliff: their marginal QoE loss
+  // is the smallest of any class.
+  for (const auto& outcome : result.outcomes) {
+    if (outcome.status == RequestStatus::kShed) {
+      EXPECT_EQ(TraceQoe().Classify(outcome.external_delay_ms),
+                SensitivityClass::kTooSlowToMatter);
+    }
+  }
+}
+
+TEST(BrokerResilience, TwoRunsAreByteIdentical) {
+  auto config = FastBrokerConfig(BrokerPolicy::kE2e);
+  config.common.collect_telemetry = true;
+  config.common.fault_plan = fault::FaultPlan::Parse(
+      "drop broker p=0.2 seed=9 t=[0s,10m]; overload broker x2 t=[1s,3s]");
+  config.common.resilience = ResilienceConfig::AllOn();
+  const auto records = LoadedWorkload(600, 47);
+  const auto a = RunBrokerExperiment(records, TraceQoe(), config);
+  const auto b = RunBrokerExperiment(records, TraceQoe(), config);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  EXPECT_EQ(a.telemetry.SerializeText(), b.telemetry.SerializeText());
+}
+
+// ---- Randomized-plan properties ---------------------------------------------
+
+std::string RandomWindow(Rng& rng) {
+  const std::int64_t start = rng.UniformInt(500, 2500);
+  const std::int64_t length = rng.UniformInt(500, 2500);
+  std::ostringstream os;
+  os << " t=[" << start << "ms," << (start + length) << "ms]";
+  return os.str();
+}
+
+std::string RandomDbPlan(Rng& rng) {
+  std::ostringstream os;
+  switch (rng.UniformInt(0, 3)) {
+    case 0:
+      os << "delay db +" << rng.UniformInt(100, 3000) << "ms"
+         << RandomWindow(rng);
+      break;
+    case 1:
+      os << "overload db x" << rng.UniformInt(2, 5) << RandomWindow(rng);
+      break;
+    case 2:
+      os << "partition db r=" << rng.UniformInt(0, 2) << RandomWindow(rng);
+      break;
+    default:
+      os << "crash ctrl t=" << rng.UniformInt(500, 2000) << "ms for="
+         << rng.UniformInt(500, 2000) << "ms";
+      break;
+  }
+  return os.str();
+}
+
+std::string RandomBrokerPlan(Rng& rng) {
+  std::ostringstream os;
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      os << "drop broker p=0." << rng.UniformInt(1, 4) << " seed="
+         << rng.UniformInt(1, 1000) << RandomWindow(rng);
+      break;
+    case 1:
+      os << "delay broker +" << rng.UniformInt(50, 1000) << "ms"
+         << RandomWindow(rng);
+      break;
+    default:
+      os << "overload broker x" << rng.UniformInt(2, 5) << RandomWindow(rng);
+      break;
+  }
+  return os.str();
+}
+
+TEST(ResilienceProperties, DbRandomPlansConserveAndReplay) {
+  proptest::Config pconfig;
+  pconfig.iterations = 5;
+  proptest::Check(
+      "db-random-plan",
+      [](Rng& rng) {
+        const std::string spec = RandomDbPlan(rng);
+        SCOPED_TRACE("plan: " + spec);
+        auto config = FastDbConfig(DbPolicy::kE2e);
+        config.common.seed = rng.NextU64();
+        config.common.fault_plan = fault::FaultPlan::Parse(spec);
+        config.common.resilience = ResilienceConfig::AllOn();
+        const auto records =
+            LoadedWorkload(400, rng.NextU64() % 1000 + 1, 90.0);
+        const auto a = RunDbExperiment(records, TraceQoe(), config);
+        const auto b = RunDbExperiment(records, TraceQoe(), config);
+        ExpectConservation(a);
+        ExpectHedgeBalance(a);
+        EXPECT_EQ(a.Serialize(), b.Serialize());
+      },
+      pconfig);
+}
+
+TEST(ResilienceProperties, BrokerRandomPlansConserveAndReplay) {
+  proptest::Config pconfig;
+  pconfig.iterations = 5;
+  proptest::Check(
+      "broker-random-plan",
+      [](Rng& rng) {
+        const std::string spec = RandomBrokerPlan(rng);
+        SCOPED_TRACE("plan: " + spec);
+        auto config = FastBrokerConfig(BrokerPolicy::kE2e);
+        config.common.seed = rng.NextU64();
+        config.common.fault_plan = fault::FaultPlan::Parse(spec);
+        config.common.resilience = ResilienceConfig::AllOn();
+        const auto records =
+            LoadedWorkload(400, rng.NextU64() % 1000 + 1, 60.0);
+        const auto a = RunBrokerExperiment(records, TraceQoe(), config);
+        const auto b = RunBrokerExperiment(records, TraceQoe(), config);
+        ExpectConservation(a);
+        EXPECT_EQ(a.Serialize(), b.Serialize());
+      },
+      pconfig);
+}
+
+}  // namespace
+}  // namespace e2e

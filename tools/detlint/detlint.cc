@@ -15,6 +15,7 @@ constexpr char kUnorderedIter[] = "unordered-iter";
 constexpr char kPtrKey[] = "ptr-key-container";
 constexpr char kFloatEq[] = "float-eq";
 constexpr char kIgnoredStatus[] = "ignored-status";
+constexpr char kUnstableSort[] = "unstable-sort";
 constexpr char kStaleAllowlist[] = "stale-allowlist";
 constexpr char kBadAllowlist[] = "bad-allowlist";
 
@@ -302,6 +303,189 @@ void ScanUnorderedIter(const std::string& path, std::string_view original,
   }
 }
 
+// --- unstable-sort ---------------------------------------------------------
+
+// Removes whitespace and swaps the identifiers `a` <-> `b` (whole-token
+// matches only), so the two sides of a comparator can be compared for
+// symmetry under a parameter-name swap.
+std::string NormalizeSwapped(std::string_view s, const std::string& a,
+                             const std::string& b) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[i])) ||
+              s[i] == '_')) {
+        ident += s[i++];
+      }
+      if (ident == a) {
+        out += b;
+      } else if (ident == b) {
+        out += a;
+      } else {
+        out += ident;
+      }
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+// Last identifier of a declarator ("const Foo& name" -> "name").
+std::string LastIdentifier(std::string_view s) {
+  std::size_t e = s.size();
+  while (e > 0 && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  std::size_t b = e;
+  while (b > 0 && (std::isalnum(static_cast<unsigned char>(s[b - 1])) ||
+                   s[b - 1] == '_')) {
+    --b;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+// Flags std::sort calls whose lambda comparator orders by one symmetric
+// key projection (`return KEY(a) < KEY(b);`): elements with equal keys land
+// in unspecified relative order, which varies across standard-library
+// implementations and breaks byte-exact replay. std::tie chains (lexical
+// tie-breaks) contain commas and are exempt; so is any comparator the
+// token-level parse cannot prove symmetric.
+void ScanUnstableSort(const std::string& path, std::string_view original,
+                      std::string_view stripped,
+                      std::vector<Finding>* out) {
+  static const std::regex sort_re(R"(\bstd\s*::\s*sort\s*\()");
+  auto begin = std::cregex_iterator(stripped.data(),
+                                    stripped.data() + stripped.size(), sort_re);
+  for (auto it = begin; it != std::cregex_iterator(); ++it) {
+    const std::size_t call = static_cast<std::size_t>(it->position());
+    const std::size_t open =
+        static_cast<std::size_t>(it->position() + it->length()) - 1;
+    int depth = 0;
+    std::size_t close = std::string_view::npos;
+    for (std::size_t i = open; i < stripped.size(); ++i) {
+      if (stripped[i] == '(') ++depth;
+      if (stripped[i] == ')') {
+        --depth;
+        if (depth == 0) {
+          close = i;
+          break;
+        }
+      }
+    }
+    if (close == std::string_view::npos) continue;
+    const std::string_view args = stripped.substr(open + 1, close - open - 1);
+
+    // Lambda comparator: capture list, exactly two parameters, body.
+    static const std::regex lambda_re(R"(\[[^\[\]]*\]\s*\()");
+    std::cmatch lambda;
+    if (!std::regex_search(args.begin(), args.end(), lambda, lambda_re)) {
+      continue;
+    }
+    const std::size_t params_open =
+        static_cast<std::size_t>(lambda.position() + lambda.length()) - 1;
+    depth = 0;
+    std::size_t params_close = std::string_view::npos;
+    for (std::size_t i = params_open; i < args.size(); ++i) {
+      if (args[i] == '(') ++depth;
+      if (args[i] == ')') {
+        --depth;
+        if (depth == 0) {
+          params_close = i;
+          break;
+        }
+      }
+    }
+    if (params_close == std::string_view::npos) continue;
+    const std::string_view params =
+        args.substr(params_open + 1, params_close - params_open - 1);
+    std::vector<std::string> names;
+    {
+      int pdepth = 0;
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= params.size(); ++i) {
+        if (i < params.size() &&
+            (params[i] == '(' || params[i] == '<' || params[i] == '[')) {
+          ++pdepth;
+        }
+        if (i < params.size() &&
+            (params[i] == ')' || params[i] == '>' || params[i] == ']')) {
+          --pdepth;
+        }
+        if (i == params.size() || (params[i] == ',' && pdepth == 0)) {
+          names.push_back(LastIdentifier(params.substr(start, i - start)));
+          start = i + 1;
+        }
+      }
+    }
+    if (names.size() != 2 || names[0].empty() || names[1].empty()) continue;
+
+    // Body: a single `return EXPR;` statement.
+    std::size_t body_open = params_close;
+    while (body_open < args.size() && args[body_open] != '{') {
+      if (args[body_open] == ';') break;
+      ++body_open;
+    }
+    if (body_open >= args.size() || args[body_open] != '{') continue;
+    depth = 0;
+    std::size_t body_close = std::string_view::npos;
+    for (std::size_t i = body_open; i < args.size(); ++i) {
+      if (args[i] == '{') ++depth;
+      if (args[i] == '}') {
+        --depth;
+        if (depth == 0) {
+          body_close = i;
+          break;
+        }
+      }
+    }
+    if (body_close == std::string_view::npos) continue;
+    const std::string body =
+        Trim(args.substr(body_open + 1, body_close - body_open - 1));
+    if (body.rfind("return", 0) != 0 || body.back() != ';' ||
+        body.find(';') != body.size() - 1) {
+      continue;
+    }
+    const std::string expr = Trim(
+        std::string_view(body).substr(6, body.size() - 7));
+    if (expr.find(',') != std::string::npos) continue;  // std::tie et al.
+
+    // Exactly one relational < or > (not <=, >=, <<, >>, ->): the key
+    // comparison. More than one means templates/arrows; skip those.
+    std::size_t rel = std::string::npos;
+    int candidates = 0;
+    for (std::size_t i = 0; i < expr.size(); ++i) {
+      const char c = expr[i];
+      if (c != '<' && c != '>') continue;
+      const char prev = i > 0 ? expr[i - 1] : '\0';
+      const char next = i + 1 < expr.size() ? expr[i + 1] : '\0';
+      if (next == '=' || next == c || prev == c) continue;
+      if (c == '>' && prev == '-') continue;  // Arrow.
+      ++candidates;
+      rel = i;
+    }
+    if (candidates != 1) continue;
+    const std::string lhs = expr.substr(0, rel);
+    const std::string rhs = expr.substr(rel + 1);
+    if (NormalizeSwapped(lhs, names[0], names[1]) !=
+        NormalizeSwapped(rhs, std::string(), std::string())) {
+      continue;  // Not a pure parameter-swap-symmetric projection.
+    }
+    Add(out, path, original, LineOfOffset(stripped, call), kUnstableSort,
+        Severity::kError,
+        "std::sort with a single-key comparator leaves equal keys in "
+        "unspecified relative order (varies across standard libraries); "
+        "use std::stable_sort, or break ties explicitly (std::tie)");
+  }
+}
+
 // --- ignored-status --------------------------------------------------------
 
 void ScanIgnoredStatus(const std::string& path, std::string_view original,
@@ -369,6 +553,9 @@ const std::vector<RuleInfo>& Rules() {
        "float ==/!= against a non-zero literal"},
       {kIgnoredStatus, Severity::kWarning,
        "discarded result of a [[nodiscard]] function"},
+      {kUnstableSort, Severity::kError,
+       "std::sort with a single-key lambda comparator (tie order is "
+       "unspecified; use std::stable_sort)"},
       {kStaleAllowlist, Severity::kError,
        "allowlist entry that matches no finding"},
       {kBadAllowlist, Severity::kError, "malformed allowlist entry"},
@@ -514,6 +701,7 @@ std::vector<Finding> ScanSource(const std::string& path,
 
   ScanUnorderedIter(path, original, stripped, &findings);
   ScanIgnoredStatus(path, original, stripped, must_check, &findings);
+  ScanUnstableSort(path, original, stripped, &findings);
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -1,0 +1,43 @@
+// unstable-sort fixture: std::sort with single-key lambda comparators.
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+struct Row {
+  int key = 0;
+  int tiebreak = 0;
+  double weight = 0.0;
+};
+
+void Positives(std::vector<Row>& rows, std::vector<double>& xs) {
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.key < b.key; });
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& lhs, const Row& rhs) {
+              return lhs.weight > rhs.weight;
+            });
+  std::sort(xs.begin(), xs.end(),
+            [&rows](std::size_t a, std::size_t b) {
+              return rows[a].weight < rows[b].weight;
+            });
+}
+
+void Negatives(std::vector<Row>& rows, std::vector<int>& ints) {
+  // Lexical tie-break via std::tie: deterministic, exempt.
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return std::tie(a.key, a.tiebreak) < std::tie(b.key, b.tiebreak);
+  });
+  // stable_sort keeps ties in input order: the fix, not a finding.
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.key < b.key; });
+  // Multi-statement comparator bodies are beyond the token-level parse.
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.tiebreak < b.tiebreak;
+  });
+  // Asymmetric projection: not a pure key swap.
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.key < b.tiebreak; });
+  // No comparator at all.
+  std::sort(ints.begin(), ints.end());
+}
