@@ -10,6 +10,7 @@
 #include "core/policy.h"
 #include "core/server_delay_model.h"
 #include "matching/assignment.h"
+#include "matching/transportation.h"
 #include "qoe/sigmoid_model.h"
 #include "stats/bucketizer.h"
 #include "util/rng.h"
@@ -77,6 +78,96 @@ void BM_ComputePolicy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ComputePolicy)->Arg(8)->Arg(16)->Arg(32);
+
+// An 8-decision analytic G for the controller's operating point (n=256
+// buckets, D=8 decisions) used by the perf-regression gate
+// (scripts/run_perf_baseline.sh, bench/BENCH_policy.json).
+class WideModel final : public ServerDelayModel {
+ public:
+  int NumDecisions() const override { return 8; }
+  DiscreteDistribution DelayDistribution(
+      int decision, std::span<const double> fractions,
+      double total_rps) const override {
+    const double base = 40.0 + 15.0 * static_cast<double>(decision);
+    return DiscreteDistribution::PointMass(
+        base + 25.0 * fractions[static_cast<std::size_t>(decision)] *
+                   total_rps);
+  }
+  std::string Name() const override { return "bench-wide"; }
+};
+
+std::vector<double> BenchExternals(int n) {
+  Rng rng(21);
+  std::vector<double> externals;
+  for (int i = 0; i < n; ++i) externals.push_back(rng.LogNormal(8.1, 0.8));
+  return externals;
+}
+
+// The raw mapping subproblem at the operating point: the collapsed n×D
+// transportation solve (mapping:0) vs the expanded n×n Hungarian solve over
+// duplicated slot columns (mapping:1) — the matrix the policy built before
+// the collapse.
+void BM_MappingSolve(benchmark::State& state) {
+  const std::size_t n = 256;
+  const std::size_t decisions = 8;
+  Rng rng(42);
+  WeightMatrix collapsed(n, decisions);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < decisions; ++c) {
+      collapsed.At(r, c) = rng.Uniform(0.0, 1.0);
+    }
+  }
+  std::vector<int> capacity(decisions, static_cast<int>(n / decisions));
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          SolveMaxWeightTransportation(collapsed, capacity));
+    }
+  } else {
+    WeightMatrix expanded(n, n);
+    std::size_t s = 0;
+    for (std::size_t c = 0; c < decisions; ++c) {
+      for (int u = 0; u < capacity[c]; ++u, ++s) {
+        for (std::size_t r = 0; r < n; ++r) {
+          expanded.At(r, s) = collapsed.At(r, c);
+        }
+      }
+    }
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(SolveMaxWeightAssignment(expanded));
+    }
+  }
+}
+BENCHMARK(BM_MappingSolve)
+    ->ArgNames({"mapping"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The full policy computation at n=256 per-request buckets, D=8 decisions:
+// mapping 0 = transportation (default), 1 = expanded Hungarian; workers is
+// PolicyConfig::parallel_workers. The hill climb is bounded so the
+// Hungarian reference stays tractable; the speedup ratio is unaffected.
+void BM_PolicyFullSolve(benchmark::State& state) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const WideModel g;
+  const auto externals = BenchExternals(256);
+  PolicyConfig config;
+  config.per_request = true;  // One bucket per distinct delay: n = 256.
+  config.max_hill_climb_steps = 2;
+  config.mapping = state.range(0) == 0 ? MappingAlgorithm::kTransportation
+                                       : MappingAlgorithm::kOptimalMatching;
+  config.parallel_workers = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePolicy(qoe, g, externals, 90.0, config));
+  }
+}
+BENCHMARK(BM_PolicyFullSolve)
+    ->ArgNames({"mapping", "workers"})
+    ->Args({0, 1})   // Transportation, serial sweep.
+    ->Args({0, 0})   // Transportation, default worker pool.
+    ->Args({1, 1})   // Hungarian reference, serial sweep.
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TableLookup(benchmark::State& state) {
   const auto qoe = SigmoidQoeModel::TraceTimeOnSite();

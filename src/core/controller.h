@@ -110,7 +110,9 @@ class Controller {
   void AdoptStateFrom(const Controller& other);
 
   /// Attaches telemetry (docs/OBSERVABILITY.md) under `prefix` (e.g.
-  /// "ctrl.primary"): ticks/recomputes/decisions counters, a
+  /// "ctrl.primary"): ticks/recomputes/decisions counters,
+  /// <prefix>.policy.transport_solves and <prefix>.policy.parallel_evals
+  /// counters (the optimizer work each rebuild performed), a
   /// <prefix>.recompute_us histogram (profile-clock cost of ComputePolicy,
   /// same reading as stats()), a <prefix>.table_staleness_ms histogram
   /// (age of the installed table observed at each tick), and — when
@@ -137,6 +139,8 @@ class Controller {
   obs::Counter* metric_ticks_ = nullptr;
   obs::Counter* metric_recomputes_ = nullptr;
   obs::Counter* metric_decisions_ = nullptr;
+  obs::Counter* metric_transport_solves_ = nullptr;
+  obs::Counter* metric_parallel_evals_ = nullptr;
   obs::Histogram* metric_recompute_us_ = nullptr;
   obs::Histogram* metric_staleness_ = nullptr;
 };

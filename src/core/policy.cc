@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "matching/assignment.h"
+#include "matching/transportation.h"
 #include "stats/bucketizer.h"
+#include "util/thread_pool.h"
 
 namespace e2e {
 namespace {
@@ -24,14 +29,23 @@ std::vector<PolicyBucket> BuildBuckets(std::span<const DelayMs> externals,
                                        const PolicyConfig& config) {
   std::vector<PolicyBucket> buckets;
   if (config.per_request) {
-    // E2E (basic): one bucket per request, sorted by external delay.
+    // E2E (basic): one bucket per *distinct* external delay, sorted. Equal
+    // delays must collapse into one bucket with their summed weight:
+    // emitting a zero-width [x, x) row per duplicate makes
+    // DecisionTable::Lookup (lower-edge binary search) route every
+    // duplicate to the last row with lo == x, so the installed load split
+    // silently diverges from the planned one.
     std::vector<double> sorted(externals.begin(), externals.end());
     std::sort(sorted.begin(), sorted.end());
-    const double w = 1.0 / static_cast<double>(sorted.size());
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
-      const double hi =
-          i + 1 < sorted.size() ? sorted[i + 1] : sorted[i] + 1.0;
-      buckets.push_back(PolicyBucket{sorted[i], hi, sorted[i], w});
+    const double unit = 1.0 / static_cast<double>(sorted.size());
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+      std::size_t j = i;
+      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+      const double hi = j < sorted.size() ? sorted[j] : sorted[i] + 1.0;
+      buckets.push_back(PolicyBucket{sorted[i], hi, sorted[i],
+                                     static_cast<double>(j - i) * unit});
+      i = j;
     }
     return buckets;
   }
@@ -76,8 +90,37 @@ class AllocationEvaluator {
         stats_(stats) {}
 
   // Evaluates the allocation `units` (buckets per decision, summing to
-  // buckets_.size()), caching by allocation vector.
-  //
+  // buckets_.size()), caching by allocation vector. Safe to call
+  // concurrently from the parallel neighbor sweep: the cache and the stats
+  // are mutex-guarded, the computation itself runs outside the lock, and
+  // std::map nodes are reference-stable under insertion. Racing threads
+  // computing the same key produce identical Evaluations (the computation
+  // is a pure function of the inputs), and only the inserting thread
+  // counts it, so PolicyStats stays independent of the worker count.
+  const Evaluation& Evaluate(const std::vector<int>& units) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = cache_.find(units);
+      if (it != cache_.end()) return it->second;
+    }
+    SolveCounts counts;
+    Evaluation eval = EvaluateUncached(units, counts);
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] = cache_.emplace(units, std::move(eval));
+    if (inserted) {
+      ++stats_.allocations_evaluated;
+      stats_.matchings_solved += counts.matchings;
+      stats_.transport_solves += counts.transports;
+    }
+    return it->second;
+  }
+
+ private:
+  struct SolveCounts {
+    int matchings = 0;
+    int transports = 0;
+  };
+
   // Each evaluation is a small fixed point between the two subproblems
   // ("E2E solves the two subproblems iteratively", §4.2): the mapping is
   // solved against G at some load split, and the split implied by the
@@ -86,11 +129,8 @@ class AllocationEvaluator {
   // splits buckets unevenly) is fed back into G until it stops moving. The
   // reported QoE is therefore consistent with the load the installed table
   // would actually create.
-  const Evaluation& Evaluate(const std::vector<int>& units) {
-    const auto it = cache_.find(units);
-    if (it != cache_.end()) return it->second;
-    ++stats_.allocations_evaluated;
-
+  Evaluation EvaluateUncached(const std::vector<int>& units,
+                              SolveCounts& counts) const {
     // Seed split: unit share (exact when buckets are equal-population).
     const double total_units = static_cast<double>(buckets_.size());
     std::vector<double> fractions(units.size());
@@ -98,7 +138,7 @@ class AllocationEvaluator {
       fractions[d] = static_cast<double>(units[d]) / total_units;
     }
 
-    Evaluation eval = SolveWithFractions(units, fractions);
+    Evaluation eval = SolveWithFractions(units, fractions, counts);
     const int max_rounds = config_.refine_fractions ? 3 : 0;
     for (int round = 0; round < max_rounds; ++round) {
       std::vector<double> actual(units.size(), 0.0);
@@ -112,7 +152,7 @@ class AllocationEvaluator {
       }
       if (moved < 0.02) break;  // Converged.
       fractions = std::move(actual);
-      eval = SolveWithFractions(units, fractions);
+      eval = SolveWithFractions(units, fractions, counts);
     }
     // Score at the split the final mapping actually creates, docked by the
     // elective-overload safety margin (see PolicyConfig).
@@ -141,10 +181,9 @@ class AllocationEvaluator {
             config_.instability_penalty * qoe_.Qoe(0.0) * overloaded_mass;
       }
     }
-    return cache_.emplace(units, std::move(eval)).first->second;
+    return eval;
   }
 
- private:
   // Mean QoE of a fixed mapping when G is driven by `fractions`, at
   // `rate_factor` times the planned load.
   double ScoreMapping(const std::vector<int>& decision_of_bucket,
@@ -168,9 +207,15 @@ class AllocationEvaluator {
   }
 
   Evaluation SolveWithFractions(const std::vector<int>& units,
-                                const std::vector<double>& fractions) {
+                                const std::vector<double>& fractions,
+                                SolveCounts& counts) const {
     const int num_decisions = g_.NumDecisions();
     const std::size_t n = buckets_.size();
+    std::size_t assigned = 0;
+    for (const int u : units) assigned += static_cast<std::size_t>(u);
+    if (assigned != n) {
+      throw std::logic_error("AllocationEvaluator: allocation != buckets");
+    }
 
     // Per-decision delay distributions under this allocation.
     std::vector<DiscreteDistribution> delay_of_decision;
@@ -180,7 +225,8 @@ class AllocationEvaluator {
                                                        total_rps_));
     }
 
-    // Edge weights depend only on (bucket, decision).
+    // Edge weights depend only on (bucket, decision) — all slots of one
+    // decision share a byte-identical weight column.
     std::vector<std::vector<double>> qoe_of(n);
     for (std::size_t b = 0; b < n; ++b) {
       qoe_of[b].resize(static_cast<std::size_t>(num_decisions));
@@ -191,23 +237,39 @@ class AllocationEvaluator {
       }
     }
 
-    // Slot list: units[d] slots per decision.
-    std::vector<int> decision_of_slot;
-    decision_of_slot.reserve(n);
-    for (std::size_t d = 0; d < units.size(); ++d) {
-      for (int u = 0; u < units[d]; ++u) {
-        decision_of_slot.push_back(static_cast<int>(d));
-      }
-    }
-    if (decision_of_slot.size() != n) {
-      throw std::logic_error("AllocationEvaluator: allocation != buckets");
-    }
-
     Evaluation eval;
     eval.decision_of_bucket.resize(n);
     eval.expected_qoe_of_bucket.resize(n);
 
-    if (config_.mapping == MappingAlgorithm::kOptimalMatching) {
+    if (config_.mapping == MappingAlgorithm::kTransportation) {
+      // Collapsed mapping: n unit-supply buckets × D capacitated
+      // decisions, O(n²·D) instead of Hungarian's O(n³) over the expanded
+      // slot matrix (matching/transportation.h).
+      WeightMatrix weights(n, units.size());
+      for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t d = 0; d < units.size(); ++d) {
+          weights.At(b, d) = buckets_[b].weight * qoe_of[b][d];
+        }
+      }
+      const TransportationResult mapping =
+          SolveMaxWeightTransportation(weights, units);
+      ++counts.transports;
+      for (std::size_t b = 0; b < n; ++b) {
+        const int d = static_cast<int>(mapping.column_of_row[b]);
+        eval.decision_of_bucket[b] = d;
+        eval.expected_qoe_of_bucket[b] =
+            qoe_of[b][static_cast<std::size_t>(d)];
+      }
+    } else if (config_.mapping == MappingAlgorithm::kOptimalMatching) {
+      // Expanded mapping kept for cross-checks: units[d] slots per
+      // decision, one column per slot.
+      std::vector<int> decision_of_slot;
+      decision_of_slot.reserve(n);
+      for (std::size_t d = 0; d < units.size(); ++d) {
+        for (int u = 0; u < units[d]; ++u) {
+          decision_of_slot.push_back(static_cast<int>(d));
+        }
+      }
       WeightMatrix weights(n, n);
       for (std::size_t b = 0; b < n; ++b) {
         for (std::size_t s = 0; s < n; ++s) {
@@ -217,7 +279,7 @@ class AllocationEvaluator {
         }
       }
       const AssignmentResult matching = SolveMaxWeightAssignment(weights);
-      ++stats_.matchings_solved;
+      ++counts.matchings;
       for (std::size_t b = 0; b < n; ++b) {
         const int d = decision_of_slot[matching.column_of_row[b]];
         eval.decision_of_bucket[b] = d;
@@ -228,6 +290,13 @@ class AllocationEvaluator {
       // Slope-based mapping: steepest-slope bucket gets the lowest-mean-
       // delay slot (§7.1). This is exactly the policy that ignores the
       // magnitude of server-side delays (§3.2).
+      std::vector<int> decision_of_slot;
+      decision_of_slot.reserve(n);
+      for (std::size_t d = 0; d < units.size(); ++d) {
+        for (int u = 0; u < units[d]; ++u) {
+          decision_of_slot.push_back(static_cast<int>(d));
+        }
+      }
       std::vector<std::size_t> bucket_order(n);
       std::iota(bucket_order.begin(), bucket_order.end(), std::size_t{0});
       std::stable_sort(bucket_order.begin(), bucket_order.end(),
@@ -268,6 +337,7 @@ class AllocationEvaluator {
   double total_rps_;
   const PolicyConfig& config_;
   PolicyStats& stats_;
+  mutable std::mutex mu_;  // Guards cache_ and stats_.
   std::map<std::vector<int>, Evaluation> cache_;
 };
 
@@ -289,28 +359,55 @@ PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
   AllocationEvaluator evaluator(qoe, g, buckets, total_rps, config,
                                 result.stats);
 
+  // Neighbor evaluations are independent given the shared (mutex-guarded)
+  // cache, so the best-improvement sweep fans out across a small pool.
+  // A pool of 1 (the default) spawns no threads and runs serially.
+  const int workers =
+      std::max(1, config.parallel_workers == 0 ? ThreadPool::DefaultWorkers()
+                                               : config.parallel_workers);
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+
   // Best-improvement hill climbing over single-unit transfers.
   auto climb = [&](std::vector<int> start) {
     double qoe_now = evaluator.Evaluate(start).mean_qoe;
     for (int step = 0; step < config.max_hill_climb_steps; ++step) {
-      std::vector<int> best_neighbor;
-      double best_neighbor_qoe = qoe_now;
+      // Deterministic neighbor enumeration: single-unit transfers in
+      // (from, to) lexicographic order.
+      std::vector<std::pair<std::size_t, std::size_t>> moves;
       for (std::size_t from = 0; from < start.size(); ++from) {
         if (start[from] == 0) continue;
         for (std::size_t to = 0; to < start.size(); ++to) {
-          if (to == from) continue;
-          std::vector<int> neighbor = start;
-          --neighbor[from];
-          ++neighbor[to];
-          const double q = evaluator.Evaluate(neighbor).mean_qoe;
-          if (q > best_neighbor_qoe) {
-            best_neighbor_qoe = q;
-            best_neighbor = std::move(neighbor);
-          }
+          if (to != from) moves.emplace_back(from, to);
         }
       }
-      if (best_neighbor.empty()) break;  // Local optimum.
-      start = std::move(best_neighbor);
+      std::vector<double> neighbor_qoe(moves.size());
+      const auto evaluate_move = [&](std::size_t i) {
+        std::vector<int> neighbor = start;
+        --neighbor[moves[i].first];
+        ++neighbor[moves[i].second];
+        neighbor_qoe[i] = evaluator.Evaluate(neighbor).mean_qoe;
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(moves.size(), evaluate_move);
+        result.stats.parallel_evals += static_cast<int>(moves.size());
+      } else {
+        for (std::size_t i = 0; i < moves.size(); ++i) evaluate_move(i);
+      }
+      // Merge in neighbor-index order with a strict improvement test:
+      // byte-for-byte the pick the serial sweep makes, independent of the
+      // order the pool executed the evaluations in.
+      std::size_t best_move = moves.size();
+      double best_neighbor_qoe = qoe_now;
+      for (std::size_t i = 0; i < moves.size(); ++i) {
+        if (neighbor_qoe[i] > best_neighbor_qoe) {
+          best_neighbor_qoe = neighbor_qoe[i];
+          best_move = i;
+        }
+      }
+      if (best_move == moves.size()) break;  // Local optimum.
+      --start[moves[best_move].first];
+      ++start[moves[best_move].second];
       qoe_now = best_neighbor_qoe;
       ++result.stats.hill_climb_steps;
     }
@@ -329,12 +426,20 @@ PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
   }
   auto [best_a, qoe_a] = climb(std::move(degenerate));
   auto [best_b, qoe_b] = climb(std::move(balanced));
-  std::vector<int> best = qoe_a >= qoe_b ? std::move(best_a) : std::move(best_b);
-  double best_qoe = std::max(qoe_a, qoe_b);
-  (void)best_qoe;
+  const bool a_wins = qoe_a >= qoe_b;
+  std::vector<int> best = a_wins ? std::move(best_a) : std::move(best_b);
+  const double best_qoe = a_wins ? qoe_a : qoe_b;
 
-  // Materialize the decision table from the winning allocation.
+  // Materialize the decision table from the winning allocation. The
+  // evaluation cache must hand back exactly the score the climb ranked
+  // allocations by — any drift would mean the installed table and the
+  // penalty-adjusted objective describe different plans.
   const Evaluation& eval = evaluator.Evaluate(best);
+  if (eval.mean_qoe != best_qoe) {
+    throw std::logic_error(
+        "RunPolicy: materialized table diverged from the winning climb "
+        "score");
+  }
   DecisionTable& table = result.table;
   table.rows.reserve(buckets.size());
   table.load_fractions.assign(static_cast<std::size_t>(num_decisions), 0.0);
@@ -354,6 +459,9 @@ PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
 }
 
 }  // namespace
+}  // namespace e2e
+
+namespace e2e {
 
 int DecisionTable::Lookup(DelayMs external_delay_ms) const {
   if (rows.empty()) {

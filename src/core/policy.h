@@ -20,10 +20,16 @@
 
 namespace e2e {
 
-/// Bottom-level mapping algorithm: E2E's optimal matching, or the
-/// slope-based heuristic baseline (§7.1) that ranks requests by the QoE
-/// derivative at their external delay.
+/// Bottom-level mapping algorithm. kTransportation and kOptimalMatching
+/// compute the same optimum — the n×n assignment's slot columns are
+/// byte-identical per decision, so the matching collapses to an n×D
+/// transportation solve (docs/PERFORMANCE.md) — but the transportation
+/// formulation is O(n²·D) instead of O(n³). kOptimalMatching keeps the
+/// expanded Hungarian solve for cross-checks and A/B benchmarks;
+/// kSlopeBased is the heuristic baseline (§7.1) that ranks requests by the
+/// QoE derivative at their external delay.
 enum class MappingAlgorithm {
+  kTransportation,
   kOptimalMatching,
   kSlopeBased,
 };
@@ -39,10 +45,18 @@ struct PolicyConfig {
   /// ("E2E (basic)" in Fig. 17).
   bool per_request = false;
 
-  MappingAlgorithm mapping = MappingAlgorithm::kOptimalMatching;
+  MappingAlgorithm mapping = MappingAlgorithm::kTransportation;
 
   /// Hill-climbing bound; the search almost always converges much earlier.
   int max_hill_climb_steps = 512;
+
+  /// Worker threads for the best-improvement neighbor sweep: 0 picks
+  /// ThreadPool::DefaultWorkers() for this machine, 1 forces the serial
+  /// path, N > 1 uses N threads. Any value produces byte-identical tables
+  /// and stats: neighbor evaluations are independent given the shared
+  /// evaluation cache, and results merge in neighbor-index order
+  /// (docs/PERFORMANCE.md has the determinism argument).
+  int parallel_workers = 1;
 
   /// Refine load fractions once from the matched bucket weights and re-run
   /// the mapping ("E2E solves the two subproblems iteratively").
@@ -92,12 +106,21 @@ struct DecisionTable {
   int Lookup(DelayMs external_delay_ms) const;
 };
 
-/// Bookkeeping from one policy computation.
+/// Bookkeeping from one policy computation. All counts are deterministic
+/// for a given input and config, independent of `parallel_workers`: the
+/// evaluation cache admits each distinct allocation once, so racing
+/// threads cannot double-count.
 struct PolicyStats {
   int buckets = 0;
   int hill_climb_steps = 0;
   int allocations_evaluated = 0;
+  /// Expanded n×n Hungarian solves (mapping == kOptimalMatching).
   int matchings_solved = 0;
+  /// Collapsed n×D transportation solves (mapping == kTransportation).
+  int transport_solves = 0;
+  /// Neighbor evaluations dispatched through the thread pool (0 on the
+  /// serial path).
+  int parallel_evals = 0;
 };
 
 /// Result of one policy computation.

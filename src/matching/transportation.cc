@@ -1,0 +1,139 @@
+#include "matching/transportation.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace e2e {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+TransportationResult SolveMinCostTransportation(
+    const WeightMatrix& cost, std::span<const int> capacity) {
+  const std::size_t n = cost.rows();
+  const std::size_t num_cols = cost.cols();
+  if (capacity.size() != num_cols) {
+    throw std::invalid_argument(
+        "SolveMinCostTransportation: capacity size != columns");
+  }
+  std::size_t total_capacity = 0;
+  for (const int c : capacity) {
+    if (c < 0) {
+      throw std::invalid_argument(
+          "SolveMinCostTransportation: negative capacity");
+    }
+    total_capacity += static_cast<std::size_t>(c);
+  }
+  if (total_capacity < n) {
+    throw std::invalid_argument(
+        "SolveMinCostTransportation: total capacity < rows");
+  }
+
+  // Successive shortest augmenting paths with column potentials. The
+  // alternating path bucket→column→assigned-bucket→column… only ever
+  // changes state at columns, so Dijkstra runs over the `num_cols` column
+  // nodes; a transition col→col' costs the cheapest reduced reassignment of
+  // any row currently on col. The complementary-slackness invariant (every
+  // assigned row minimizes cost(r,·) − potential[·] at its column) keeps
+  // transition costs non-negative, so Dijkstra applies; entry labels may be
+  // negative, which only shifts all labels by a constant.
+  std::vector<double> potential(num_cols, 0.0);
+  std::vector<std::vector<std::size_t>> rows_of_col(num_cols);
+  std::vector<std::size_t> column_of_row(n, 0);
+
+  struct Arrival {
+    std::size_t prev_col = 0;   // Meaningful when !entry.
+    std::size_t moved_row = 0;  // Row that moves prev_col → this col.
+    bool entry = true;          // Reached directly from the new row.
+  };
+  std::vector<double> dist(num_cols, 0.0);
+  std::vector<bool> finalized(num_cols, false);
+  std::vector<Arrival> arrival(num_cols);
+
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < num_cols; ++c) {
+      dist[c] = cost.At(r, c) - potential[c];
+      finalized[c] = false;
+      arrival[c] = Arrival{};
+    }
+    std::size_t final_col = num_cols;
+    while (final_col == num_cols) {
+      // Min-dist unfinalized column; strict < breaks ties toward the
+      // smallest index, deterministically.
+      std::size_t cur = num_cols;
+      for (std::size_t c = 0; c < num_cols; ++c) {
+        if (!finalized[c] && (cur == num_cols || dist[c] < dist[cur])) {
+          cur = c;
+        }
+      }
+      if (cur == num_cols || dist[cur] == kInf) {
+        throw std::logic_error(
+            "SolveMinCostTransportation: no augmenting path");
+      }
+      finalized[cur] = true;
+      if (rows_of_col[cur].size() <
+          static_cast<std::size_t>(capacity[cur])) {
+        final_col = cur;
+        break;
+      }
+      for (std::size_t c = 0; c < num_cols; ++c) {
+        if (finalized[c]) continue;
+        for (const std::size_t moved : rows_of_col[cur]) {
+          const double step = (cost.At(moved, c) - potential[c]) -
+                              (cost.At(moved, cur) - potential[cur]);
+          if (dist[cur] + step < dist[c]) {
+            dist[c] = dist[cur] + step;
+            arrival[c] = Arrival{cur, moved, false};
+          }
+        }
+      }
+    }
+
+    // Dual update (Jonker–Volgenant form): finalized columns absorb the
+    // slack to the augmenting path's endpoint; unreached columns keep their
+    // potential.
+    for (std::size_t c = 0; c < num_cols; ++c) {
+      if (finalized[c]) potential[c] += dist[c] - dist[final_col];
+    }
+
+    // Augment: walk the arrival chain back to the entry edge, shifting each
+    // intermediate row one column forward, then place the new row.
+    std::size_t cur = final_col;
+    while (!arrival[cur].entry) {
+      const std::size_t moved = arrival[cur].moved_row;
+      const std::size_t prev = arrival[cur].prev_col;
+      std::vector<std::size_t>& from = rows_of_col[prev];
+      from.erase(std::find(from.begin(), from.end(), moved));
+      rows_of_col[cur].push_back(moved);
+      column_of_row[moved] = cur;
+      cur = prev;
+    }
+    rows_of_col[cur].push_back(r);
+    column_of_row[r] = cur;
+  }
+
+  TransportationResult result;
+  result.column_of_row = std::move(column_of_row);
+  for (std::size_t r = 0; r < n; ++r) {
+    result.total += cost.At(r, result.column_of_row[r]);
+  }
+  return result;
+}
+
+TransportationResult SolveMaxWeightTransportation(
+    const WeightMatrix& weight, std::span<const int> capacity) {
+  WeightMatrix negated(weight.rows(), weight.cols());
+  for (std::size_t r = 0; r < weight.rows(); ++r) {
+    for (std::size_t c = 0; c < weight.cols(); ++c) {
+      negated.At(r, c) = -weight.At(r, c);
+    }
+  }
+  TransportationResult result = SolveMinCostTransportation(negated, capacity);
+  result.total = -result.total;
+  return result;
+}
+
+}  // namespace e2e

@@ -85,6 +85,15 @@ Bucketizer::Bucketizer(std::span<const double> samples, int target_buckets,
         static_cast<double>(sorted.size());
     buckets_.push_back(b);
   }
+  // Dropping an empty interval above leaves a hole between the surviving
+  // neighbors: a later query inside the hole binary-searches (on lo) into
+  // the bucket *below* it even when the one above is nearer. Stitch each
+  // kept bucket up to its successor so the buckets tile
+  // [first.lo, last.hi) with no gaps. (Holes are interior-only: the first
+  // and last refined intervals contain min/max samples, so they survive.)
+  for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+    buckets_[i].hi = buckets_[i + 1].lo;
+  }
   for (Bucket& b : buckets_) {
     b.weight = static_cast<double>(b.population) /
                static_cast<double>(sorted.size());

@@ -26,8 +26,12 @@ class Bucketizer {
  public:
   /// Builds buckets from `samples` targeting `target_buckets` equal-population
   /// intervals; any interval wider than `max_span` is split further, so the
-  /// result can have more than `target_buckets` buckets. Throws when samples
-  /// are empty, target_buckets < 1, or max_span <= 0.
+  /// result can have more than `target_buckets` buckets. Every bucket holds at
+  /// least one sample, and the buckets tile [first.lo, last.hi) contiguously:
+  /// empty intervals are absorbed into the bucket below them, so a bucket's
+  /// *boundary* span can exceed `max_span` across sample-free regions — the
+  /// span of its member samples never does. Throws when samples are empty,
+  /// target_buckets < 1, or max_span <= 0.
   Bucketizer(std::span<const double> samples, int target_buckets,
              double max_span);
 

@@ -380,6 +380,112 @@ TEST(ComputePolicy, SlopePolicySetsMappingAlgorithm) {
   const auto result = ComputeSlopePolicy(qoe, g, externals, 50.0, config);
   EXPECT_FALSE(result.table.rows.empty());
   EXPECT_EQ(result.stats.matchings_solved, 0);  // Slope mapping, no solver.
+  EXPECT_EQ(result.stats.transport_solves, 0);
+}
+
+// Exact (bitwise) equality of two policy results: rows, fractions, score.
+void ExpectIdenticalResults(const PolicyResult& a, const PolicyResult& b) {
+  ASSERT_EQ(a.table.rows.size(), b.table.rows.size());
+  for (std::size_t i = 0; i < a.table.rows.size(); ++i) {
+    EXPECT_EQ(a.table.rows[i].lo, b.table.rows[i].lo) << "row " << i;
+    EXPECT_EQ(a.table.rows[i].hi, b.table.rows[i].hi) << "row " << i;
+    EXPECT_EQ(a.table.rows[i].decision, b.table.rows[i].decision)
+        << "row " << i;
+    EXPECT_EQ(a.table.rows[i].expected_qoe, b.table.rows[i].expected_qoe)
+        << "row " << i;
+    EXPECT_EQ(a.table.rows[i].weight, b.table.rows[i].weight) << "row " << i;
+  }
+  EXPECT_EQ(a.table.load_fractions, b.table.load_fractions);
+  EXPECT_EQ(a.table.expected_mean_qoe, b.table.expected_mean_qoe);
+  EXPECT_EQ(a.stats.buckets, b.stats.buckets);
+  EXPECT_EQ(a.stats.hill_climb_steps, b.stats.hill_climb_steps);
+  EXPECT_EQ(a.stats.allocations_evaluated, b.stats.allocations_evaluated);
+}
+
+TEST(ComputePolicy, PerRequestDuplicateDelaysCollapseIntoOneBucket) {
+  // Regression: per-request mode used to emit one zero-width [x, x) row per
+  // duplicate delay. Lookup (lower-edge binary search) then routed *all*
+  // duplicates to the last such row, so the traffic the table actually
+  // moved diverged from the planned load_fractions.
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearReplicaModel g(2, 30.0, 10.0);
+  const std::vector<double> externals = {500.0,  500.0,  500.0, 500.0,
+                                         2500.0, 2500.0, 9000.0, 9000.0};
+  PolicyConfig config;
+  config.per_request = true;
+  const auto result = ComputePolicy(qoe, g, externals, 10.0, config);
+  // Three distinct delays -> three buckets with summed weights.
+  EXPECT_EQ(result.stats.buckets, 3);
+  ASSERT_EQ(result.table.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.table.rows[0].weight, 0.5);
+  EXPECT_DOUBLE_EQ(result.table.rows[1].weight, 0.25);
+  EXPECT_DOUBLE_EQ(result.table.rows[2].weight, 0.25);
+  // Rows tile the delay range: no zero-width intervals, no gaps.
+  for (std::size_t i = 0; i < result.table.rows.size(); ++i) {
+    EXPECT_LT(result.table.rows[i].lo, result.table.rows[i].hi) << i;
+    if (i > 0) {
+      EXPECT_EQ(result.table.rows[i].lo, result.table.rows[i - 1].hi) << i;
+    }
+  }
+  // The split the table produces when every request is looked up must be
+  // exactly the split the plan promised.
+  std::vector<double> applied(2, 0.0);
+  for (const double c : externals) {
+    applied[static_cast<std::size_t>(result.table.Lookup(c))] +=
+        1.0 / static_cast<double>(externals.size());
+  }
+  ASSERT_EQ(result.table.load_fractions.size(), applied.size());
+  for (std::size_t d = 0; d < applied.size(); ++d) {
+    EXPECT_NEAR(applied[d], result.table.load_fractions[d], 1e-12) << d;
+  }
+}
+
+TEST(ComputePolicy, TransportationMatchesHungarianByteForByte) {
+  // The collapsed n×D transportation solve must reproduce the expanded
+  // Hungarian mapping bit-for-bit on a realistic scenario — not just the
+  // same objective, the same table bytes.
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearReplicaModel g(3, 40.0, 30.0);
+  Rng rng(31);
+  const auto externals = SensitiveHeavyExternals(600, rng);
+  PolicyConfig config;
+  config.target_buckets = 16;
+  config.mapping = MappingAlgorithm::kTransportation;
+  const auto fast = ComputePolicy(qoe, g, externals, 70.0, config);
+  config.mapping = MappingAlgorithm::kOptimalMatching;
+  const auto reference = ComputePolicy(qoe, g, externals, 70.0, config);
+  ExpectIdenticalResults(fast, reference);
+  EXPECT_GT(fast.stats.transport_solves, 0);
+  EXPECT_EQ(fast.stats.matchings_solved, 0);
+  EXPECT_GT(reference.stats.matchings_solved, 0);
+  EXPECT_EQ(reference.stats.transport_solves, 0);
+  // Both count one solve per evaluated allocation refinement round.
+  EXPECT_EQ(fast.stats.transport_solves, reference.stats.matchings_solved);
+}
+
+TEST(ComputePolicy, ParallelSweepMatchesSerialByteForByte) {
+  // parallel_workers must never change the result: neighbor results merge
+  // in index order, so the climb takes the same trajectory.
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const LinearReplicaModel g(3, 50.0, 40.0);
+  Rng rng(37);
+  const auto externals = SensitiveHeavyExternals(500, rng);
+  PolicyConfig config;
+  config.target_buckets = 12;
+  config.parallel_workers = 1;
+  const auto serial = ComputePolicy(qoe, g, externals, 60.0, config);
+  config.parallel_workers = 3;
+  const auto parallel = ComputePolicy(qoe, g, externals, 60.0, config);
+  ExpectIdenticalResults(serial, parallel);
+  EXPECT_EQ(serial.stats.transport_solves, parallel.stats.transport_solves);
+  // Only the dispatch accounting differs between the two paths.
+  EXPECT_EQ(serial.stats.parallel_evals, 0);
+  EXPECT_GT(parallel.stats.parallel_evals, 0);
+  // And a parallel rerun is identical to the first, accounting included.
+  const auto parallel_again = ComputePolicy(qoe, g, externals, 60.0, config);
+  ExpectIdenticalResults(parallel, parallel_again);
+  EXPECT_EQ(parallel.stats.parallel_evals,
+            parallel_again.stats.parallel_evals);
 }
 
 // ---- Table cache -----------------------------------------------------------

@@ -114,6 +114,13 @@ TEST(DetlintRules, UnstableSortFixture) {
                       {"unstable-sort", 19}}));
 }
 
+TEST(DetlintRules, RawThreadFixture) {
+  EXPECT_EQ(RuleLines(ScanFixture("raw_thread.cc")),
+            (Expected{{"raw-thread", 6},
+                      {"raw-thread", 7},
+                      {"raw-thread", 8}}));
+}
+
 TEST(DetlintRules, IgnoredStatusFixture) {
   EXPECT_EQ(RuleLines(ScanFixture("ignored_status.cc")),
             (Expected{{"ignored-status", 9}}));
@@ -191,8 +198,8 @@ TEST(Rules, TableListsEveryFixtureRule) {
   for (const auto& rule : detlint::Rules()) ids.insert(rule.id);
   for (const char* id :
        {"wall-clock", "unseeded-rng", "unordered-iter", "ptr-key-container",
-        "float-eq", "ignored-status", "unstable-sort", "stale-allowlist",
-        "bad-allowlist"}) {
+        "float-eq", "ignored-status", "unstable-sort", "raw-thread",
+        "stale-allowlist", "bad-allowlist"}) {
     EXPECT_EQ(ids.count(id), 1u) << id;
   }
 }

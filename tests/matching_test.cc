@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <vector>
 
 #include "matching/assignment.h"
+#include "matching/transportation.h"
+#include "proptest.h"
 #include "util/rng.h"
 
 namespace e2e {
@@ -164,6 +167,143 @@ TEST(Assignment, DuplicateColumnsTieSafely) {
   const auto result = SolveMaxWeightAssignment(m);
   EXPECT_TRUE(IsPermutation(result.column_of_row, 4));
   EXPECT_DOUBLE_EQ(result.total, 5.0 + 5.0 + 3.0 + 4.0);
+}
+
+// --- Transportation solve (collapsed mapping) ----------------------------
+
+// Checks feasibility (every row assigned, no column over capacity) and that
+// `total` matches the sum of the selected entries.
+void ExpectFeasible(const WeightMatrix& m, const std::vector<int>& capacity,
+                    const TransportationResult& result) {
+  ASSERT_EQ(result.column_of_row.size(), m.rows());
+  std::vector<int> used(capacity.size(), 0);
+  double recomputed = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const std::size_t c = result.column_of_row[r];
+    ASSERT_LT(c, m.cols());
+    ++used[c];
+    recomputed += m.At(r, c);
+  }
+  for (std::size_t c = 0; c < capacity.size(); ++c) {
+    EXPECT_LE(used[c], capacity[c]);
+  }
+  EXPECT_NEAR(result.total, recomputed, 1e-9);
+}
+
+// Expands the n×D capacitated instance into the equivalent n×sum(capacity)
+// assignment with one duplicated column per unit of capacity, and returns
+// the expanded Hungarian optimum. This is exactly the matrix the policy
+// built before the collapse.
+double ExpandedOptimum(const WeightMatrix& m,
+                       const std::vector<int>& capacity) {
+  std::size_t slots = 0;
+  for (int c : capacity) slots += static_cast<std::size_t>(c);
+  WeightMatrix expanded(m.rows(), slots);
+  std::size_t s = 0;
+  for (std::size_t c = 0; c < capacity.size(); ++c) {
+    for (int u = 0; u < capacity[static_cast<std::size_t>(c)]; ++u, ++s) {
+      for (std::size_t r = 0; r < m.rows(); ++r) {
+        expanded.At(r, s) = m.At(r, c);
+      }
+    }
+  }
+  return SolveMaxWeightAssignment(expanded).total;
+}
+
+TEST(Transportation, ValidatesInputs) {
+  const WeightMatrix m(2, 2, 1.0);
+  const std::vector<int> short_caps = {2};
+  const std::vector<int> negative = {3, -1};
+  const std::vector<int> scarce = {1, 0};
+  EXPECT_THROW(SolveMaxWeightTransportation(m, short_caps),
+               std::invalid_argument);
+  EXPECT_THROW(SolveMaxWeightTransportation(m, negative),
+               std::invalid_argument);
+  EXPECT_THROW(SolveMaxWeightTransportation(m, scarce),
+               std::invalid_argument);
+}
+
+TEST(Transportation, ForcedReassignmentFindsOptimum) {
+  // Row 2 prefers column 0, but its capacity is taken by rows whose
+  // alternative is cheap — the augmenting path must reroute through the
+  // occupied column rather than pay the naive price.
+  WeightMatrix cost(3, 2);
+  cost.At(0, 0) = 1.0;
+  cost.At(0, 1) = 2.0;
+  cost.At(1, 0) = 1.0;
+  cost.At(1, 1) = 2.0;
+  cost.At(2, 0) = 1.0;
+  cost.At(2, 1) = 100.0;
+  const std::vector<int> capacity = {2, 1};
+  const auto result = SolveMinCostTransportation(cost, capacity);
+  ExpectFeasible(cost, capacity, result);
+  EXPECT_DOUBLE_EQ(result.total, 1.0 + 2.0 + 1.0);
+  EXPECT_EQ(result.column_of_row[2], 0u);
+}
+
+TEST(Transportation, MatchesExpandedHungarianOnRandomInstances) {
+  proptest::Check("transportation-vs-hungarian", [](Rng& rng) {
+    const auto rows = static_cast<std::size_t>(rng.UniformInt(1, 24));
+    const auto cols = static_cast<std::size_t>(rng.UniformInt(1, 6));
+    // Random capacities covering rows; sometimes exact, sometimes surplus
+    // (the collapsed form of the padded rectangular assignment).
+    std::vector<int> capacity(cols, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      ++capacity[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(cols) - 1))];
+    }
+    const auto surplus = rng.UniformInt(0, 3);
+    for (std::int64_t s = 0; s < surplus; ++s) {
+      ++capacity[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(cols) - 1))];
+    }
+    const WeightMatrix m = RandomMatrix(rows, cols, rng);
+    const auto collapsed = SolveMaxWeightTransportation(m, capacity);
+    ExpectFeasible(m, capacity, collapsed);
+    EXPECT_NEAR(collapsed.total, ExpandedOptimum(m, capacity), 1e-9);
+  });
+}
+
+TEST(Transportation, AllTiedWeightsAreDeterministic) {
+  proptest::Check("transportation-all-tied", [](Rng& rng) {
+    const auto rows = static_cast<std::size_t>(rng.UniformInt(1, 16));
+    const auto cols = static_cast<std::size_t>(rng.UniformInt(1, 5));
+    const double w = rng.Uniform(-5.0, 5.0);
+    const WeightMatrix m(rows, cols, w);
+    std::vector<int> capacity(cols, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      ++capacity[r % cols];
+    }
+    const auto first = SolveMaxWeightTransportation(m, capacity);
+    ExpectFeasible(m, capacity, first);
+    // Any feasible solution is optimal; the objective is exact.
+    EXPECT_NEAR(first.total, static_cast<double>(rows) * w, 1e-9);
+    // Ties break by index, so a rerun reproduces the identical assignment.
+    const auto second = SolveMaxWeightTransportation(m, capacity);
+    EXPECT_EQ(first.column_of_row, second.column_of_row);
+  });
+}
+
+TEST(Transportation, MinAndMaxSolversMirror) {
+  proptest::Check("transportation-min-max-mirror", [](Rng& rng) {
+    const auto rows = static_cast<std::size_t>(rng.UniformInt(1, 12));
+    const auto cols = static_cast<std::size_t>(rng.UniformInt(1, 4));
+    std::vector<int> capacity(cols, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      ++capacity[r % cols];
+    }
+    const WeightMatrix m = RandomMatrix(rows, cols, rng);
+    WeightMatrix negated(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        negated.At(r, c) = -m.At(r, c);
+      }
+    }
+    const auto max_side = SolveMaxWeightTransportation(m, capacity);
+    const auto min_side = SolveMinCostTransportation(negated, capacity);
+    EXPECT_EQ(max_side.column_of_row, min_side.column_of_row);
+    EXPECT_NEAR(max_side.total, -min_side.total, 1e-9);
+  });
 }
 
 }  // namespace

@@ -282,6 +282,48 @@ TEST(TelemetryDeterminism, BrokerRunsExportIdenticalBytes) {
   EXPECT_EQ(a.Serialize(), b.Serialize());
 }
 
+TEST(TelemetryDeterminism, ParallelPolicyRunsExportIdenticalBytes) {
+  // With the hill-climb neighbor sweep fanned out across worker threads,
+  // two identical-seed runs must still export byte-identical telemetry and
+  // results — and match the serial run except for the dispatch counter.
+  const auto records = SmallWorkload();
+  auto config = TelemetryBrokerConfig();
+  config.common.controller.policy.parallel_workers = 3;
+  const auto a = RunBrokerExperiment(records, TraceQoe(), config);
+  const auto b = RunBrokerExperiment(records, TraceQoe(), config);
+  ASSERT_FALSE(a.telemetry.empty());
+  EXPECT_EQ(a.telemetry.SerializeText(), b.telemetry.SerializeText());
+  EXPECT_EQ(a.telemetry.SerializeJson(), b.telemetry.SerializeJson());
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  // The optimizer-work counters are live and scheduling-independent.
+  std::uint64_t transport_solves = 0;
+  std::uint64_t parallel_evals = 0;
+  for (const auto& counter : a.telemetry.counters) {
+    if (counter.name == "ctrl.primary.policy.transport_solves") {
+      transport_solves = counter.value;
+    }
+    if (counter.name == "ctrl.primary.policy.parallel_evals") {
+      parallel_evals = counter.value;
+    }
+  }
+  EXPECT_GT(transport_solves, 0u);
+  EXPECT_GT(parallel_evals, 0u);
+  // A serial run differs only in the dispatch accounting: every other
+  // telemetry byte is identical.
+  auto serial_config = TelemetryBrokerConfig();
+  serial_config.common.controller.policy.parallel_workers = 1;
+  const auto serial = RunBrokerExperiment(records, TraceQoe(), serial_config);
+  EXPECT_EQ(serial.Serialize(), a.Serialize());
+  for (const auto& counter : serial.telemetry.counters) {
+    if (counter.name == "ctrl.primary.policy.parallel_evals") {
+      EXPECT_EQ(counter.value, 0u);
+    }
+    if (counter.name == "ctrl.primary.policy.transport_solves") {
+      EXPECT_EQ(counter.value, transport_solves);
+    }
+  }
+}
+
 TEST(TelemetryDeterminism, DbRunsExportIdenticalBytes) {
   const auto records = SmallWorkload();
   const auto a = RunDbExperiment(records, TraceQoe(), TelemetryDbConfig());

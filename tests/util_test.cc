@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/flags.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/types.h"
 
 namespace e2e {
@@ -191,6 +195,79 @@ TEST(Log, LevelGating) {
   EXPECT_FALSE(LogEnabled(LogLevel::kError));
   EXPECT_FALSE(LogEnabled(LogLevel::kOff));
   SetLogLevel(original);
+}
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const int workers : {1, 2, 4}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.workers(), workers);
+    std::vector<int> hits(257, 0);
+    pool.ParallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }))
+        << "workers=" << workers;
+  }
+}
+
+TEST(ThreadPool, OutputSlotsMatchSerialComputation) {
+  ThreadPool pool(4);
+  std::vector<double> parallel_out(1000, 0.0);
+  pool.ParallelFor(parallel_out.size(), [&](std::size_t i) {
+    parallel_out[i] = std::sqrt(static_cast<double>(i) * 3.0 + 1.0);
+  });
+  for (std::size_t i = 0; i < parallel_out.size(); ++i) {
+    EXPECT_EQ(parallel_out[i], std::sqrt(static_cast<double>(i) * 3.0 + 1.0));
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::vector<std::size_t> sums;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::size_t> values(64, 0);
+    pool.ParallelFor(values.size(), [&](std::size_t i) { values[i] = i; });
+    std::size_t sum = 0;
+    for (std::size_t v : values) sum += v;
+    sums.push_back(sum);
+  }
+  for (std::size_t sum : sums) EXPECT_EQ(sum, 64u * 63u / 2u);
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, RethrowsLowestIndexedException) {
+  // Several invocations throw; the caller must observe the lowest-indexed
+  // failure no matter which worker ran it.
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(100, [&](std::size_t i) {
+      if (i >= 7 && i % 3 == 1) {  // First throwing index is 7.
+        throw std::runtime_error("index " + std::to_string(i));
+      }
+    });
+    FAIL() << "ParallelFor did not propagate the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 7");
+  }
+  // The pool survives a throwing job.
+  std::vector<int> hits(8, 0);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, InvalidWorkerCountThrows) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(ThreadPool(-2), std::invalid_argument);
+  EXPECT_GE(ThreadPool::DefaultWorkers(), 1);
+  EXPECT_LE(ThreadPool::DefaultWorkers(), 16);
 }
 
 }  // namespace

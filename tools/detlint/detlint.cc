@@ -16,6 +16,7 @@ constexpr char kPtrKey[] = "ptr-key-container";
 constexpr char kFloatEq[] = "float-eq";
 constexpr char kIgnoredStatus[] = "ignored-status";
 constexpr char kUnstableSort[] = "unstable-sort";
+constexpr char kRawThread[] = "raw-thread";
 constexpr char kStaleAllowlist[] = "stale-allowlist";
 constexpr char kBadAllowlist[] = "bad-allowlist";
 
@@ -90,6 +91,12 @@ const std::vector<LineRule>& LineRules() {
                  "default-constructed engine uses the fixed default seed "
                  "(or is re-seeded elsewhere, which a reader cannot see); "
                  "seed it explicitly at the declaration"});
+    r.push_back({kRawThread, Severity::kError,
+                 std::regex(R"(\bstd\s*::\s*(thread|jthread|async)\b)"),
+                 "raw thread spawn: scheduling order leaks into results "
+                 "unless the merge is index-deterministic; use "
+                 "util/thread_pool.h (ThreadPool is the single allowlisted "
+                 "spawn site)"});
     r.push_back({kPtrKey, Severity::kError,
                  std::regex(R"(\b(map|set|multimap|multiset)\s*<\s*(const\s+)?[A-Za-z_][\w:]*\s*\*)"),
                  "ordered container keyed by pointer: iteration order "
@@ -556,6 +563,9 @@ const std::vector<RuleInfo>& Rules() {
       {kUnstableSort, Severity::kError,
        "std::sort with a single-key lambda comparator (tie order is "
        "unspecified; use std::stable_sort)"},
+      {kRawThread, Severity::kError,
+       "raw std::thread/jthread/async spawn (use the deterministic "
+       "util/thread_pool.h pool)"},
       {kStaleAllowlist, Severity::kError,
        "allowlist entry that matches no finding"},
       {kBadAllowlist, Severity::kError, "malformed allowlist entry"},

@@ -1,0 +1,17 @@
+// Positive and negative cases for the raw-thread rule.
+#include <future>
+#include <thread>
+
+void Spawns() {
+  std::thread worker([] {});
+  std::jthread scoped([] {});
+  auto f = std::async([] { return 1; });
+  worker.join();
+  (void)f;
+}
+
+void NotSpawns() {
+  std::this_thread::yield();  // Not a spawn; not flagged.
+  int thread_count = 0;       // Bare identifier; not flagged.
+  (void)thread_count;
+}
