@@ -24,6 +24,9 @@ Controller::Controller(std::string name, ControllerConfig config,
   if (server_model_ == nullptr) {
     throw std::invalid_argument("Controller: null server-delay model");
   }
+  if (config_.shards < 0) {
+    throw std::invalid_argument("Controller: negative shard count");
+  }
 }
 
 void Controller::ObserveArrival(DelayMs external_delay_ms, double now_ms) {

@@ -32,6 +32,16 @@ struct ControllerConfig {
   /// refreshes do not push a deliberately-loaded decision into sustained
   /// overload.
   double rps_planning_factor = 1.0;
+
+  /// Shard count for the sharded full-trace replayer (docs/SCALE.md): page
+  /// type × analysis window groups are partitioned across this many shards,
+  /// each owning its buckets, tables, and telemetry, and re-merged in
+  /// (window, page) index order — byte-identical output at any shard count.
+  /// Same convention as PolicyConfig::parallel_workers: 0 picks
+  /// ThreadPool::DefaultWorkers(), 1 forces the serial path, N > 1 uses N
+  /// shards. Negative values throw. The live Controller itself serves one
+  /// stream and ignores this; testbed::ReplayTraceSharded consumes it.
+  int shards = 1;
 };
 
 /// Controller bookkeeping, including decision costs used for the overhead

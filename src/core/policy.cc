@@ -57,6 +57,24 @@ std::vector<PolicyBucket> BuildBuckets(std::span<const DelayMs> externals,
   return buckets;
 }
 
+// Bucket view for a pre-accumulated (streaming/merged) bucketizer. In
+// per-request mode the bucketizer's sorted sample multiset feeds the same
+// duplicate-collapsing path as the span overload — re-sorting an already
+// sorted vector is a no-op, so the buckets are byte-identical. Otherwise the
+// bucketizer's own lazy rebuild supplies the coarsened view, which is
+// bitwise equal to batch-constructing over the concatenated samples.
+std::vector<PolicyBucket> BuildBucketsFromBucketizer(
+    const Bucketizer& bucketizer, const PolicyConfig& config) {
+  if (config.per_request) {
+    return BuildBuckets(bucketizer.samples(), config);
+  }
+  std::vector<PolicyBucket> buckets;
+  for (const Bucket& b : bucketizer.buckets()) {
+    buckets.push_back(PolicyBucket{b.lo, b.hi, b.representative, b.weight});
+  }
+  return buckets;
+}
+
 // Expected QoE of serving external delay c at a slot with delay
 // distribution f: E_{s~f}[Q(c + s)].
 double ExpectedQoe(const QoeModel& qoe, DelayMs c,
@@ -342,17 +360,12 @@ class AllocationEvaluator {
 };
 
 PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
-                       std::span<const DelayMs> external_delays,
+                       const std::vector<PolicyBucket>& buckets,
                        double total_rps, const PolicyConfig& config) {
-  if (external_delays.empty()) {
-    throw std::invalid_argument("ComputePolicy: no external delays");
-  }
   if (total_rps <= 0.0) {
     throw std::invalid_argument("ComputePolicy: total_rps <= 0");
   }
   PolicyResult result;
-  const std::vector<PolicyBucket> buckets =
-      BuildBuckets(external_delays, config);
   result.stats.buckets = static_cast<int>(buckets.size());
 
   const int num_decisions = g.NumDecisions();
@@ -464,6 +477,11 @@ PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
 namespace e2e {
 
 int DecisionTable::Lookup(DelayMs external_delay_ms) const {
+  return LookupRow(external_delay_ms).decision;
+}
+
+const DecisionTableRow& DecisionTable::LookupRow(
+    DelayMs external_delay_ms) const {
   if (rows.empty()) {
     throw std::logic_error("DecisionTable::Lookup: empty table");
   }
@@ -477,20 +495,38 @@ int DecisionTable::Lookup(DelayMs external_delay_ms) const {
       hi = mid;
     }
   }
-  return rows[lo].decision;
+  return rows[lo];
 }
 
 PolicyResult ComputePolicy(const QoeModel& qoe, const ServerDelayModel& g,
                            std::span<const DelayMs> external_delays,
                            double total_rps, const PolicyConfig& config) {
-  return RunPolicy(qoe, g, external_delays, total_rps, config);
+  if (external_delays.empty()) {
+    throw std::invalid_argument("ComputePolicy: no external delays");
+  }
+  return RunPolicy(qoe, g, BuildBuckets(external_delays, config), total_rps,
+                   config);
+}
+
+PolicyResult ComputePolicy(const QoeModel& qoe, const ServerDelayModel& g,
+                           const Bucketizer& external_delays, double total_rps,
+                           const PolicyConfig& config) {
+  if (external_delays.empty()) {
+    throw std::invalid_argument("ComputePolicy: no external delays");
+  }
+  return RunPolicy(qoe, g, BuildBucketsFromBucketizer(external_delays, config),
+                   total_rps, config);
 }
 
 PolicyResult ComputeSlopePolicy(const QoeModel& qoe, const ServerDelayModel& g,
                                 std::span<const DelayMs> external_delays,
                                 double total_rps, PolicyConfig config) {
   config.mapping = MappingAlgorithm::kSlopeBased;
-  return RunPolicy(qoe, g, external_delays, total_rps, config);
+  if (external_delays.empty()) {
+    throw std::invalid_argument("ComputePolicy: no external delays");
+  }
+  return RunPolicy(qoe, g, BuildBuckets(external_delays, config), total_rps,
+                   config);
 }
 
 }  // namespace e2e

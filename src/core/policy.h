@@ -20,6 +20,8 @@
 
 namespace e2e {
 
+class Bucketizer;
+
 /// Bottom-level mapping algorithm. kTransportation and kOptimalMatching
 /// compute the same optimum — the n×n assignment's slot columns are
 /// byte-identical per decision, so the matching collapses to an n×D
@@ -104,6 +106,10 @@ struct DecisionTable {
   /// O(log n) decision lookup (out-of-range delays clamp to the
   /// first/last row). Requires a non-empty table.
   int Lookup(DelayMs external_delay_ms) const;
+
+  /// Like Lookup but returns the whole matched row (decision plus its
+  /// planned expected QoE and weight). Requires a non-empty table.
+  const DecisionTableRow& LookupRow(DelayMs external_delay_ms) const;
 };
 
 /// Bookkeeping from one policy computation. All counts are deterministic
@@ -135,6 +141,18 @@ struct PolicyResult {
 PolicyResult ComputePolicy(const QoeModel& qoe, const ServerDelayModel& g,
                            std::span<const DelayMs> external_delays,
                            double total_rps, const PolicyConfig& config);
+
+/// Overload taking a (possibly streamed/merged) Bucketizer instead of raw
+/// delays, so sharded replays can accumulate per-window stats incrementally
+/// and still get byte-identical tables: the streaming bucket view is bitwise
+/// equal to the batch one, and when `config.per_request` the bucketizer's
+/// sorted sample multiset feeds the same per-request path the span overload
+/// uses. The bucketizer's own target_buckets/max_span govern coarsening
+/// (config.target_buckets/max_bucket_span_ms are ignored here). Throws when
+/// the bucketizer is empty.
+PolicyResult ComputePolicy(const QoeModel& qoe, const ServerDelayModel& g,
+                           const Bucketizer& external_delays, double total_rps,
+                           const PolicyConfig& config);
 
 /// Builds the slope-based baseline's table directly (§7.1): the request
 /// bucket with the steepest QoE slope gets the decision with the smallest

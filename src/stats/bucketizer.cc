@@ -8,26 +8,92 @@
 namespace e2e {
 
 Bucketizer::Bucketizer(std::span<const double> samples, int target_buckets,
-                       double max_span) {
+                       double max_span)
+    : Bucketizer(target_buckets, max_span) {
   if (samples.empty()) {
     throw std::invalid_argument("Bucketizer: empty samples");
   }
+  samples_.assign(samples.begin(), samples.end());
+  sorted_ = false;
+}
+
+Bucketizer::Bucketizer(int target_buckets, double max_span)
+    : target_buckets_(target_buckets), max_span_(max_span) {
   if (target_buckets < 1) {
     throw std::invalid_argument("Bucketizer: target_buckets < 1");
   }
   if (max_span <= 0.0) {
     throw std::invalid_argument("Bucketizer: max_span <= 0");
   }
-  std::vector<double> sorted(samples.begin(), samples.end());
-  std::sort(sorted.begin(), sorted.end());
+}
+
+void Bucketizer::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+  built_ = false;
+}
+
+void Bucketizer::Merge(const Bucketizer& other) {
+  if (other.target_buckets_ != target_buckets_ ||
+      other.max_span_ != max_span_) {
+    throw std::invalid_argument(
+        "Bucketizer::Merge: mismatched target_buckets/max_span");
+  }
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+  built_ = false;
+}
+
+std::span<const double> Bucketizer::samples() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return samples_;
+}
+
+std::span<const Bucket> Bucketizer::buckets() const {
+  Refresh();
+  return buckets_;
+}
+
+std::size_t Bucketizer::BucketIndex(double x) const {
+  Refresh();
+  // Binary search over bucket lower edges.
+  std::size_t lo = 0;
+  std::size_t hi = buckets_.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (x >= buckets_[mid].lo) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void Bucketizer::Refresh() const {
+  if (samples_.empty()) {
+    throw std::logic_error("Bucketizer: no samples accumulated");
+  }
+  if (built_ && sorted_) return;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  buckets_.clear();
+  const std::vector<double>& sorted = samples_;
 
   // Candidate edges: equal-population quantile cuts...
   std::vector<double> edges;
   edges.push_back(sorted.front());
-  for (int i = 1; i < target_buckets; ++i) {
+  for (int i = 1; i < target_buckets_; ++i) {
     const auto pos = static_cast<std::size_t>(
         static_cast<double>(i) * static_cast<double>(sorted.size()) /
-        static_cast<double>(target_buckets));
+        static_cast<double>(target_buckets_));
     edges.push_back(sorted[std::min(pos, sorted.size() - 1)]);
   }
   edges.push_back(sorted.back());
@@ -41,7 +107,7 @@ Bucketizer::Bucketizer(std::span<const double> samples, int target_buckets,
     const double lo = edges[i - 1];
     const double hi = edges[i];
     const int pieces = std::max(1, static_cast<int>(std::ceil(
-                                       (hi - lo) / max_span - 1e-9)));
+                                       (hi - lo) / max_span_ - 1e-9)));
     for (int p = 1; p <= pieces; ++p) {
       // Use the exact edge for the last piece so no sample can fall outside
       // the final interval due to floating-point rounding.
@@ -98,21 +164,7 @@ Bucketizer::Bucketizer(std::span<const double> samples, int target_buckets,
     b.weight = static_cast<double>(b.population) /
                static_cast<double>(sorted.size());
   }
-}
-
-std::size_t Bucketizer::BucketIndex(double x) const {
-  // Binary search over bucket lower edges.
-  std::size_t lo = 0;
-  std::size_t hi = buckets_.size();
-  while (lo + 1 < hi) {
-    const std::size_t mid = (lo + hi) / 2;
-    if (x >= buckets_[mid].lo) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
+  built_ = true;
 }
 
 }  // namespace e2e

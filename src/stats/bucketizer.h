@@ -2,6 +2,18 @@
 // so that (1) the request population is evenly split across intervals and
 // (2) no interval spans more than a threshold delta. The decision policy then
 // runs over buckets instead of individual requests.
+//
+// Two construction modes share one bucketing algorithm:
+//  * batch — the original one-shot constructor over a complete sample set;
+//  * streaming — an empty bucketizer that accumulates samples one at a time
+//    (Add) or wholesale from another bucketizer (Merge), so per-window stats
+//    build incrementally as a trace replays instead of batch-collecting the
+//    whole window (docs/SCALE.md).
+// Merge is associative and commutative with order-fixed semantics: the
+// buckets are always rebuilt from the ascending-sorted sample multiset, so
+// any sequence of Add/Merge calls that accumulates the same multiset yields
+// bit-identical buckets — including the batch constructor over the
+// concatenated samples. tests/scale_test.cc property-checks exactly this.
 #pragma once
 
 #include <cstddef>
@@ -21,7 +33,9 @@ struct Bucket {
   double weight = 0.0;
 };
 
-/// Immutable bucketization of a sample set.
+/// Bucketization of a sample multiset. The bucket view is a pure function
+/// of (sample multiset, target_buckets, max_span); accumulation order never
+/// reaches it.
 class Bucketizer {
  public:
   /// Builds buckets from `samples` targeting `target_buckets` equal-population
@@ -35,17 +49,57 @@ class Bucketizer {
   Bucketizer(std::span<const double> samples, int target_buckets,
              double max_span);
 
-  /// The buckets, ordered by interval.
-  std::span<const Bucket> buckets() const { return buckets_; }
+  /// Streaming mode: starts empty; feed samples with Add/Merge. Throws when
+  /// target_buckets < 1 or max_span <= 0.
+  Bucketizer(int target_buckets, double max_span);
 
-  /// Number of buckets.
-  std::size_t size() const { return buckets_.size(); }
+  /// Adds one sample. Amortized O(1); the bucket view is rebuilt lazily on
+  /// the next read.
+  void Add(double sample);
+
+  /// Folds `other`'s samples into this bucketizer (other is unchanged).
+  /// Both sides must have identical target_buckets and max_span; throws
+  /// std::invalid_argument otherwise. Associative and commutative: any
+  /// merge tree over the same sample multiset rebuilds identical buckets.
+  void Merge(const Bucketizer& other);
+
+  /// Number of accumulated samples.
+  std::size_t sample_count() const { return samples_.size(); }
+
+  /// True when no samples have been accumulated yet.
+  bool empty() const { return samples_.empty(); }
+
+  /// The accumulated samples, sorted ascending. (The per-request policy
+  /// path consumes these directly; sorting first is order-preserving for
+  /// it, since that path re-sorts anyway.)
+  std::span<const double> samples() const;
+
+  int target_buckets() const { return target_buckets_; }
+  double max_span() const { return max_span_; }
+
+  /// The buckets, ordered by interval. Throws std::logic_error when no
+  /// samples have been accumulated.
+  std::span<const Bucket> buckets() const;
+
+  /// Number of buckets. Throws std::logic_error when empty.
+  std::size_t size() const { return buckets().size(); }
 
   /// Index of the bucket containing x (clamped to first/last bucket).
+  /// Throws std::logic_error when empty.
   std::size_t BucketIndex(double x) const;
 
  private:
-  std::vector<Bucket> buckets_;
+  /// Sorts samples and rebuilds the bucket view when stale.
+  void Refresh() const;
+
+  int target_buckets_ = 0;
+  double max_span_ = 0.0;
+  // Lazily sorted/rebuilt on read: accumulation stays O(1) per sample and
+  // the (deterministic) rebuild runs once per window close, not per Add.
+  mutable std::vector<double> samples_;
+  mutable std::vector<Bucket> buckets_;
+  mutable bool sorted_ = true;
+  mutable bool built_ = false;
 };
 
 }  // namespace e2e

@@ -1,0 +1,261 @@
+#include "testbed/sharded_replay.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/policy.h"
+#include "obs/export.h"
+#include "stats/bucketizer.h"
+#include "trace/windows.h"
+#include "util/clock.h"
+#include "util/thread_pool.h"
+#include "util/types.h"
+
+namespace e2e {
+namespace {
+
+// One still-open (page, window) group: delays accumulate into the streaming
+// bucketizer as records arrive; the records themselves are needed again at
+// solve time for per-request decisions.
+struct OpenGroup {
+  OpenGroup(int target_buckets, double max_span)
+      : externals(target_buckets, max_span) {}
+
+  Bucketizer externals;
+  std::vector<const TraceRecord*> records;
+};
+
+// A closed group queued on its shard, waiting for the next flush.
+struct PendingGroup {
+  std::int64_t window_index = 0;
+  int page_index = 0;
+  OpenGroup group;
+};
+
+// A solved group: the shard's output slot, merged serially in
+// (window_index, page_index) order.
+struct SolvedGroup {
+  std::int64_t window_index = 0;
+  int page_index = 0;
+  std::vector<RequestOutcome> outcomes;
+  PolicyStats policy_stats;
+};
+
+}  // namespace
+
+ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
+                                       const QoeModelSelector& qoe_of_page,
+                                       const ServerDelayModel& g,
+                                       const ShardedReplayConfig& config) {
+  RequireNoFaultPlan(config.common, "ReplayTraceSharded");
+  const ControllerConfig& ctrl = config.common.controller;
+  if (ctrl.shards < 0) {
+    throw std::invalid_argument("ReplayTraceSharded: negative shard count");
+  }
+  const int shards =
+      ctrl.shards == 0 ? ThreadPool::DefaultWorkers() : ctrl.shards;
+  const double window_ms = ctrl.external.window_ms;
+
+  // Groups are the unit of parallelism here; the per-group hill climb runs
+  // serially on its shard's thread (nesting pools would oversubscribe and
+  // buys nothing at this granularity).
+  PolicyConfig policy = ctrl.policy;
+  policy.parallel_workers = 1;
+
+  ShardedReplayResult out;
+  out.stats.shards = shards;
+
+  // Telemetry on the frozen virtual clock: counters are bumped only on the
+  // serial routing/merge paths, so exports are shard-count-invariant.
+  obs::Telemetry telemetry(config.common.collect_telemetry,
+                           &VirtualClock::Frozen());
+  obs::Counter& metric_merges =
+      telemetry.metrics.AddCounter("controller.shard_merges");
+  obs::Counter& metric_windows =
+      telemetry.metrics.AddCounter("controller.windows_streamed");
+
+  // Per-shard state, touched only by the owning shard during a flush and by
+  // the (serial) router between flushes.
+  std::vector<std::map<std::pair<std::int64_t, int>, OpenGroup>> open(
+      static_cast<std::size_t>(shards));
+  std::vector<std::vector<PendingGroup>> pending(
+      static_cast<std::size_t>(shards));
+  std::vector<std::vector<SolvedGroup>> solved(
+      static_cast<std::size_t>(shards));
+
+  std::unique_ptr<ThreadPool> pool;
+  if (shards > 1) {
+    pool = std::make_unique<ThreadPool>(
+        std::min(shards, ThreadPool::DefaultWorkers()));
+  }
+
+  ControllerStats ctrl_stats;
+
+  // Aggregate-only accumulators (keep_outcomes == false).
+  double sum_qoe = 0.0;
+  double sum_server = 0.0;
+  std::uint64_t served = 0;
+  bool first_seen = false;
+  double first_arrival = 0.0;
+  double last_arrival = 0.0;
+
+  // Solves one closed group: a pure function of (records, config), so any
+  // shard may run it in any order without touching the merged bytes.
+  const auto solve = [&](const PendingGroup& pg) {
+    SolvedGroup sg;
+    sg.window_index = pg.window_index;
+    sg.page_index = pg.page_index;
+    const QoeModel& qoe = qoe_of_page(PageTypeFromIndex(pg.page_index));
+    const auto n = static_cast<double>(pg.group.records.size());
+    const double rps = n / (window_ms / 1000.0) * ctrl.rps_planning_factor;
+    PolicyResult pr = ComputePolicy(qoe, g, pg.group.externals, rps, policy);
+    sg.policy_stats = pr.stats;
+    // Per-decision mean server delay under the installed split, computed
+    // once per decision actually used.
+    std::vector<double> mean_delay(
+        static_cast<std::size_t>(g.NumDecisions()), -1.0);
+    sg.outcomes.reserve(pg.group.records.size());
+    for (const TraceRecord* r : pg.group.records) {
+      const DecisionTableRow& row = pr.table.LookupRow(r->external_delay_ms);
+      const auto d = static_cast<std::size_t>(row.decision);
+      if (mean_delay[d] < 0.0) {
+        mean_delay[d] =
+            g.DelayDistribution(row.decision, pr.table.load_fractions, rps)
+                .Mean();
+      }
+      RequestOutcome o;
+      o.id = r->request_id;
+      o.arrival_ms = r->arrival_ms;
+      o.external_delay_ms = r->external_delay_ms;
+      o.server_delay_ms = mean_delay[d];
+      o.qoe = qoe.Qoe(r->external_delay_ms + mean_delay[d]);
+      o.decision = row.decision;
+      o.status = RequestStatus::kCompleted;
+      sg.outcomes.push_back(o);
+    }
+    return sg;
+  };
+
+  // Solves every pending group (fanned out one shard per index) and merges
+  // the results serially in ascending (window, page) order. Closes arrive
+  // in ascending window order and a window's groups close atomically, so
+  // per-flush sorted merges concatenate into the globally sorted order —
+  // flush batching cannot reach the output bytes (docs/SCALE.md).
+  const auto flush = [&] {
+    std::size_t total = 0;
+    for (const auto& p : pending) total += p.size();
+    if (total == 0) return;
+    const auto run_shard = [&](std::size_t s) {
+      solved[s].clear();
+      solved[s].reserve(pending[s].size());
+      for (const PendingGroup& pg : pending[s]) {
+        solved[s].push_back(solve(pg));
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(static_cast<std::size_t>(shards), run_shard);
+    } else {
+      run_shard(0);
+    }
+    std::vector<SolvedGroup*> order;
+    order.reserve(total);
+    for (auto& shard_solved : solved) {
+      for (SolvedGroup& sg : shard_solved) order.push_back(&sg);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const SolvedGroup* a, const SolvedGroup* b) {
+                return std::tie(a->window_index, a->page_index) <
+                       std::tie(b->window_index, b->page_index);
+              });
+    for (SolvedGroup* sg : order) {
+      ++out.stats.groups_merged;
+      metric_merges.Increment();
+      ++ctrl_stats.recomputes;
+      ctrl_stats.decisions += sg->outcomes.size();
+      ctrl_stats.observations += sg->outcomes.size();
+      ctrl_stats.last_policy_stats = sg->policy_stats;
+      if (config.keep_outcomes) {
+        out.result.outcomes.insert(out.result.outcomes.end(),
+                                   sg->outcomes.begin(), sg->outcomes.end());
+      } else {
+        for (const RequestOutcome& o : sg->outcomes) {
+          sum_qoe += o.qoe;
+          sum_server += o.server_delay_ms;
+          ++served;
+          if (!first_seen) {
+            first_seen = true;
+            first_arrival = last_arrival = o.arrival_ms;
+          }
+          first_arrival = std::min(first_arrival, o.arrival_ms);
+          last_arrival = std::max(last_arrival, o.arrival_ms);
+        }
+      }
+    }
+    for (auto& p : pending) p.clear();
+  };
+
+  const auto flush_threshold =
+      static_cast<std::size_t>(std::max(4, 2 * shards));
+
+  StreamByWindow(
+      records, window_ms,
+      [&](const WindowKey& key, const TraceRecord& r) {
+        const int page = Index(key.page_type);
+        const auto shard = static_cast<std::size_t>(
+            (key.window_index * kNumPageTypes + page) %
+            static_cast<std::int64_t>(shards));
+        const auto [it, inserted] = open[shard].try_emplace(
+            std::pair<std::int64_t, int>(key.window_index, page),
+            policy.target_buckets, policy.max_bucket_span_ms);
+        it->second.externals.Add(r.external_delay_ms);
+        it->second.records.push_back(&r);
+        ++out.stats.records;
+      },
+      [&](std::int64_t) {
+        ++out.stats.windows_streamed;
+        metric_windows.Increment();
+        ++ctrl_stats.ticks;
+        // Every group still open belongs to the index being closed (records
+        // are sorted and all earlier indices were closed already); hand them
+        // to their shards' pending queues.
+        for (std::size_t s = 0; s < open.size(); ++s) {
+          for (auto it = open[s].begin(); it != open[s].end();
+               it = open[s].erase(it)) {
+            pending[s].push_back(PendingGroup{it->first.first,
+                                              it->first.second,
+                                              std::move(it->second)});
+          }
+        }
+        std::size_t total = 0;
+        for (const auto& p : pending) total += p.size();
+        if (total >= flush_threshold) flush();
+      });
+  flush();
+
+  out.result.controller_stats = ctrl_stats;
+  out.result.arrivals = out.stats.records;
+  if (config.keep_outcomes) {
+    out.result.Finalize();
+  } else {
+    out.result.completed = served;
+    if (served > 0) {
+      const auto n = static_cast<double>(served);
+      out.result.mean_qoe = sum_qoe / n;
+      out.result.mean_server_delay_ms = sum_server / n;
+      out.result.throughput_rps =
+          last_arrival > first_arrival
+              ? n / ((last_arrival - first_arrival) / 1000.0)
+              : 0.0;
+    }
+  }
+  if (telemetry.enabled()) out.result.telemetry = telemetry.Snapshot();
+  return out;
+}
+
+}  // namespace e2e

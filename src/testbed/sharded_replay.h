@@ -1,0 +1,77 @@
+// Sharded full-trace controller replay (docs/SCALE.md).
+//
+// Replays a whole recorded day through the E2E policy at full volume by
+// streaming the arrival-sorted trace once and solving each (page type ×
+// analysis window) group independently: the group's external delays
+// accumulate into a streaming Bucketizer as records arrive, and when the
+// window closes the group's decision table is computed and applied to its
+// records. Groups are partitioned across `ControllerConfig::shards` shards
+// — each shard owns its open windows, bucketizers, and solved tables — and
+// solved groups are re-merged in ascending (window, page type) order, so
+// the output byte stream is identical at any shard count (the scale test
+// tier proves shards ∈ {1, 2, 4, 7} byte-equal).
+//
+// Peak memory is O(window × shards), not O(day): only the currently open
+// windows hold records, and with `keep_outcomes == false` per-request
+// outcomes are folded into running aggregates at each merge instead of
+// being retained (bench/bench_scale.cc replays the paper's full 1.6M-load
+// day this way).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/server_delay_model.h"
+#include "testbed/counterfactual.h"
+#include "testbed/experiment_config.h"
+#include "testbed/metrics.h"
+#include "trace/record.h"
+
+namespace e2e {
+
+/// Configuration for one sharded replay. The shard count, analysis window
+/// (`controller.external.window_ms`), and policy knobs come from
+/// `common.controller`; `common.seed` only labels the run (the replay is
+/// seed-free — every step is a pure function of the trace and config).
+struct ShardedReplayConfig {
+  ExperimentConfig common;
+
+  /// Retain per-request outcomes in the result (required for
+  /// ExperimentResult::Serialize() byte-identity checks). When false the
+  /// outcomes are folded into the aggregate fields at each merge and
+  /// dropped, bounding peak RSS for full-volume runs.
+  bool keep_outcomes = true;
+};
+
+/// Replay bookkeeping, all deterministic and shard-count-invariant.
+struct ShardedReplayStats {
+  std::uint64_t windows_streamed = 0;  ///< Window-close events observed.
+  std::uint64_t groups_merged = 0;     ///< (page, window) groups solved.
+  std::uint64_t records = 0;           ///< Trace records replayed.
+  int shards = 0;                      ///< Resolved shard count used.
+};
+
+/// Result of one sharded replay.
+struct ShardedReplayResult {
+  ExperimentResult result;
+  ShardedReplayStats stats;
+};
+
+/// Replays `records` (sorted by arrival_ms; throws otherwise) through the
+/// two-level policy against server-delay model `g`, with per-page QoE
+/// models from `qoe_of_page`. Each group's offered load is estimated as its
+/// own arrival rate times `rps_planning_factor`; each record takes the
+/// decision its external delay maps to in the group's table and is charged
+/// the mean of that decision's delay distribution under the planned split.
+/// Shard resolution follows PolicyConfig::parallel_workers: 0 picks
+/// ThreadPool::DefaultWorkers(), 1 is serial, N > 1 uses N shards
+/// (negative throws). Fault plans are not supported (RequireNoFaultPlan).
+/// `qoe_of_page` (and the models it returns) must be safe to call from
+/// several shard threads at once — the standard selectors return immutable
+/// models and are.
+ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
+                                       const QoeModelSelector& qoe_of_page,
+                                       const ServerDelayModel& g,
+                                       const ShardedReplayConfig& config);
+
+}  // namespace e2e

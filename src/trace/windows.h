@@ -6,6 +6,7 @@
 // group.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <span>
 #include <utility>
@@ -28,6 +29,20 @@ struct WindowKey {
 /// input order.
 std::map<WindowKey, std::vector<TraceRecord>> GroupByWindow(
     std::span<const TraceRecord> records, double window_ms);
+
+/// Streaming counterpart of GroupByWindow for O(window) peak memory over an
+/// arrival-sorted trace: `on_record` fires once per record with its group
+/// key, in trace order; `on_close(window_index)` fires once per elapsed
+/// window index in strictly ascending order, as soon as the first record of
+/// a later window arrives (every group of that index — all page types — is
+/// complete at that point), and once more for the final window after the
+/// last record. A close for index i is emitted even when i held no records,
+/// so consumers can rely on one close per index in [first, last]. Throws
+/// when `window_ms <= 0` or the records are not sorted by arrival_ms.
+void StreamByWindow(
+    std::span<const TraceRecord> records, double window_ms,
+    const std::function<void(const WindowKey&, const TraceRecord&)>& on_record,
+    const std::function<void(std::int64_t)>& on_close);
 
 /// Selects, for each 10-minute stretch inside [begin_ms, end_ms), the last
 /// `window_ms` sub-window of records — the sampling scheme Fig. 6 uses

@@ -6,12 +6,13 @@
 
 namespace e2e {
 
-ThreadPool::ThreadPool(int workers) : workers_(workers) {
+ThreadPool::ThreadPool(int workers)
+    : workers_(std::min(workers, OversubscriptionCap())) {
   if (workers < 1) {
     throw std::invalid_argument("ThreadPool: workers < 1");
   }
-  threads_.reserve(static_cast<std::size_t>(workers - 1));
-  for (int i = 1; i < workers; ++i) {
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int i = 1; i < workers_; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -29,6 +30,10 @@ int ThreadPool::DefaultWorkers() {
   const unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) return 1;
   return static_cast<int>(std::min(hw, 16u));
+}
+
+int ThreadPool::OversubscriptionCap() {
+  return std::max(4, static_cast<int>(std::thread::hardware_concurrency()));
 }
 
 bool ThreadPool::DrainCurrentJob(std::unique_lock<std::mutex>& lock) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/controller.h"
@@ -237,7 +238,8 @@ TEST(DecisionTable, LookupClampsAndSearches) {
 TEST(ComputePolicy, ValidatesInputs) {
   const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
   const LinearReplicaModel g(3, 50.0, 10.0);
-  EXPECT_THROW(ComputePolicy(qoe, g, {}, 100.0, PolicyConfig{}),
+  EXPECT_THROW(
+      ComputePolicy(qoe, g, std::span<const DelayMs>{}, 100.0, PolicyConfig{}),
                std::invalid_argument);
   const std::vector<double> externals = {1000.0, 2000.0};
   EXPECT_THROW(ComputePolicy(qoe, g, externals, 0.0, PolicyConfig{}),

@@ -121,6 +121,18 @@ TEST(DetlintRules, RawThreadFixture) {
                       {"raw-thread", 8}}));
 }
 
+TEST(DetlintRules, RawThreadFanoutFixture) {
+  // The fan-out extension: execution policies, pthread_create, and OpenMP
+  // parallel regions are raw-thread findings too (shard fan-out must go
+  // through util/thread_pool.h).
+  EXPECT_EQ(RuleLines(ScanFixture("raw_thread_fanout.cc")),
+            (Expected{{"raw-thread", 10},
+                      {"raw-thread", 11},
+                      {"raw-thread", 12},
+                      {"raw-thread", 15},
+                      {"raw-thread", 16}}));
+}
+
 TEST(DetlintRules, IgnoredStatusFixture) {
   EXPECT_EQ(RuleLines(ScanFixture("ignored_status.cc")),
             (Expected{{"ignored-status", 9}}));

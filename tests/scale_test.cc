@@ -1,0 +1,547 @@
+// Scale tier (ctest label `scale`, docs/SCALE.md): proves the shard/merge
+// determinism contract behind the full-volume replay.
+//
+//  * Streaming bucketizer: Add/Merge over any split of a sample multiset
+//    rebuilds buckets bit-identical to the batch constructor over the
+//    concatenation (associativity + identity, property-checked), and the
+//    PR-5 batch-path fixes — duplicate per-request delays collapsing into
+//    one summed-weight bucket, contiguous tiling of the refined range —
+//    hold across shard merges too.
+//  * StreamByWindow: the O(window)-memory router visits exactly the groups
+//    GroupByWindow builds, closing window indices in ascending order.
+//  * ReplayTraceSharded: shard counts {1, 2, 4, 7} produce byte-for-byte
+//    identical ExperimentResult::Serialize() and telemetry exports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/policy.h"
+#include "core/server_delay_model.h"
+#include "proptest.h"
+#include "qoe/sigmoid_model.h"
+#include "stats/bucketizer.h"
+#include "stats/distribution.h"
+#include "testbed/sharded_replay.h"
+#include "trace/generator.h"
+#include "trace/windows.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/types.h"
+
+namespace e2e {
+namespace {
+
+// ---- Shared fixtures -------------------------------------------------------
+
+// A deterministic synthetic load profile: 8 levels up to 10 rps, delays
+// growing with load, the last level unstable. Small enough that per-group
+// policy solves stay cheap across hundreds of groups.
+LoadProfile SyntheticProfile() {
+  LoadProfile profile;
+  profile.max_rps = 10.0;
+  for (int level = 1; level <= 8; ++level) {
+    const double rps = 10.0 * static_cast<double>(level) / 8.0;
+    profile.level_rps.push_back(rps);
+    const double base = 40.0 + 15.0 * static_cast<double>(level);
+    profile.delays.emplace_back(
+        std::vector<double>{0.6 * base, base, 1.9 * base},
+        std::vector<double>{0.25, 0.5, 0.25});
+  }
+  profile.max_stable_rps = 8.75;
+  return profile;
+}
+
+const ProfiledReplicaModel& TestServerModel() {
+  static const ProfiledReplicaModel model(3, SyntheticProfile());
+  return model;
+}
+
+const QoeModel& TestQoe() {
+  static const SigmoidQoeModel model = SigmoidQoeModel::TraceTimeOnSite();
+  return model;
+}
+
+QoeModelSelector TestSelector() {
+  return [](PageType) -> const QoeModel& { return TestQoe(); };
+}
+
+// A small synthetic day: ~0.2% of the paper's volume keeps four full
+// replays (shards 1/2/4/7) fast while still covering hundreds of
+// (page, window) groups.
+const Trace& TestTrace() {
+  static const Trace trace = [] {
+    TraceGenParams params;
+    params.seed = 7;
+    params.scale = 0.002;
+    return TraceGenerator(params).Generate();
+  }();
+  return trace;
+}
+
+ShardedReplayConfig BaseReplayConfig(int shards) {
+  ShardedReplayConfig config;
+  config.common.seed = 42;
+  config.common.collect_telemetry = true;
+  config.common.controller.external.window_ms = 600000.0;  // 10 min groups.
+  config.common.controller.policy.target_buckets = 8;
+  config.common.controller.policy.max_bucket_span_ms = 2000.0;
+  config.common.controller.shards = shards;
+  return config;
+}
+
+// Random sample multiset with deliberate duplicates (the per-request
+// collapse case) and occasional wide outliers (the max-span split case).
+std::vector<double> RandomSamples(Rng& rng) {
+  const auto n = static_cast<std::size_t>(rng.UniformInt(1, 60));
+  std::vector<double> samples;
+  samples.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.push_back(rng.Uniform(0.0, rng.Uniform(0.0, 1.0) < 0.15
+                                           ? 30000.0
+                                           : 6000.0));
+    if (!samples.empty() && rng.Uniform(0.0, 1.0) < 0.3) {
+      samples.push_back(samples[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(samples.size()) - 1))]);
+    }
+  }
+  return samples;
+}
+
+// Splits `samples` into a random number of contiguous pieces and folds
+// them through streaming bucketizers in a random merge order.
+Bucketizer MergeRandomSplit(std::span<const double> samples, Rng& rng,
+                            int target_buckets, double max_span) {
+  const auto pieces = static_cast<std::size_t>(rng.UniformInt(1, 5));
+  std::vector<Bucketizer> parts;
+  parts.reserve(pieces);
+  for (std::size_t p = 0; p < pieces; ++p) parts.emplace_back(target_buckets, max_span);
+  for (const double s : samples) {
+    parts[static_cast<std::size_t>(
+              rng.UniformInt(0, static_cast<std::int64_t>(pieces) - 1))]
+        .Add(s);
+  }
+  Bucketizer merged(target_buckets, max_span);
+  for (const Bucketizer& part : parts) merged.Merge(part);
+  return merged;
+}
+
+void ExpectSameBuckets(const Bucketizer& actual, const Bucketizer& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const Bucket& a = actual.buckets()[i];
+    const Bucket& e = expected.buckets()[i];
+    EXPECT_EQ(a.lo, e.lo) << "bucket " << i;
+    EXPECT_EQ(a.hi, e.hi) << "bucket " << i;
+    EXPECT_EQ(a.representative, e.representative) << "bucket " << i;
+    EXPECT_EQ(a.population, e.population) << "bucket " << i;
+    EXPECT_EQ(a.weight, e.weight) << "bucket " << i;
+  }
+}
+
+// ---- Streaming bucketizer --------------------------------------------------
+
+TEST(ScaleBucketizer, MergeEqualsBatchOverConcatenation) {
+  proptest::Check("merge-equals-batch", [](Rng& rng) {
+    const std::vector<double> samples = RandomSamples(rng);
+    const int target = static_cast<int>(rng.UniformInt(1, 12));
+    const double max_span = rng.Uniform(100.0, 5000.0);
+    const Bucketizer merged =
+        MergeRandomSplit(samples, rng, target, max_span);
+    const Bucketizer batch(samples, target, max_span);
+    EXPECT_EQ(merged.sample_count(), samples.size());
+    ExpectSameBuckets(merged, batch);
+  });
+}
+
+TEST(ScaleBucketizer, MergeIsAssociative) {
+  proptest::Check("merge-associativity", [](Rng& rng) {
+    const std::vector<double> a = RandomSamples(rng);
+    const std::vector<double> b = RandomSamples(rng);
+    const std::vector<double> c = RandomSamples(rng);
+    const int target = static_cast<int>(rng.UniformInt(1, 12));
+    const double max_span = rng.Uniform(100.0, 5000.0);
+    const auto from = [&](std::span<const double> s) {
+      Bucketizer z(target, max_span);
+      for (const double v : s) z.Add(v);
+      return z;
+    };
+    // (a ∪ b) ∪ c
+    Bucketizer left = from(a);
+    left.Merge(from(b));
+    left.Merge(from(c));
+    // a ∪ (b ∪ c)
+    Bucketizer bc = from(b);
+    bc.Merge(from(c));
+    Bucketizer right = from(a);
+    right.Merge(bc);
+    // c ∪ a ∪ b (commutativity)
+    Bucketizer rotated = from(c);
+    rotated.Merge(from(a));
+    rotated.Merge(from(b));
+    ExpectSameBuckets(left, right);
+    ExpectSameBuckets(left, rotated);
+  });
+}
+
+TEST(ScaleBucketizer, MergeWithEmptyIsIdentity) {
+  Bucketizer filled(4, 1000.0);
+  for (const double v : {120.0, 340.0, 560.0, 780.0, 780.0}) filled.Add(v);
+  const Bucketizer batch(std::vector<double>{120.0, 340.0, 560.0, 780.0,
+                                             780.0},
+                         4, 1000.0);
+  Bucketizer empty(4, 1000.0);
+  EXPECT_TRUE(empty.empty());
+  filled.Merge(empty);  // Right identity.
+  ExpectSameBuckets(filled, batch);
+  Bucketizer target(4, 1000.0);
+  target.Merge(filled);  // Left identity.
+  ExpectSameBuckets(target, batch);
+}
+
+TEST(ScaleBucketizer, MergeRejectsMismatchedConfig) {
+  Bucketizer base(4, 1000.0);
+  EXPECT_THROW(base.Merge(Bucketizer(5, 1000.0)), std::invalid_argument);
+  EXPECT_THROW(base.Merge(Bucketizer(4, 999.0)), std::invalid_argument);
+}
+
+TEST(ScaleBucketizer, EmptyStreamingReadsThrow) {
+  const Bucketizer empty(4, 1000.0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.sample_count(), 0u);
+  EXPECT_THROW(empty.buckets(), std::logic_error);
+  EXPECT_THROW(empty.size(), std::logic_error);
+  EXPECT_THROW(empty.BucketIndex(10.0), std::logic_error);
+}
+
+TEST(ScaleBucketizer, ConstructorValidationUnchanged) {
+  EXPECT_THROW(Bucketizer(std::vector<double>{}, 4, 1000.0),
+               std::invalid_argument);
+  EXPECT_THROW(Bucketizer(std::vector<double>{1.0}, 0, 1000.0),
+               std::invalid_argument);
+  EXPECT_THROW(Bucketizer(std::vector<double>{1.0}, 4, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(Bucketizer(0, 1000.0), std::invalid_argument);
+  EXPECT_THROW(Bucketizer(4, -1.0), std::invalid_argument);
+}
+
+// ---- PR-5 regressions across shard merges ----------------------------------
+
+// Duplicate per-request delays must still collapse into one summed-weight
+// row when the delays reached the policy through merged shard-local
+// bucketizers instead of one flat span (batch-path coverage lives in
+// core_test; this locks the streaming path).
+TEST(ScaleRegression, PerRequestDuplicatesCollapseAcrossMerges) {
+  const std::vector<double> delays = {800.0, 1200.0, 1200.0, 1200.0,
+                                      3000.0, 3000.0, 5200.0};
+  // Split the duplicates across two "shards" so the collapse must happen
+  // after the merge, not within either side.
+  Bucketizer left(16, 1200.0);
+  for (const double d : {800.0, 1200.0, 3000.0}) left.Add(d);
+  Bucketizer right(16, 1200.0);
+  for (const double d : {1200.0, 1200.0, 3000.0, 5200.0}) right.Add(d);
+  left.Merge(right);
+
+  PolicyConfig config;
+  config.per_request = true;
+  const PolicyResult merged = ComputePolicy(TestQoe(), TestServerModel(),
+                                            left, 40.0, config);
+  const PolicyResult flat = ComputePolicy(TestQoe(), TestServerModel(),
+                                          std::span<const double>(delays),
+                                          40.0, config);
+  ASSERT_EQ(merged.table.rows.size(), 4u);  // Distinct delays, not 7 rows.
+  ASSERT_EQ(merged.table.rows.size(), flat.table.rows.size());
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < flat.table.rows.size(); ++i) {
+    EXPECT_EQ(merged.table.rows[i].lo, flat.table.rows[i].lo);
+    EXPECT_EQ(merged.table.rows[i].hi, flat.table.rows[i].hi);
+    EXPECT_EQ(merged.table.rows[i].weight, flat.table.rows[i].weight);
+    EXPECT_EQ(merged.table.rows[i].decision, flat.table.rows[i].decision);
+    weight_sum += merged.table.rows[i].weight;
+  }
+  EXPECT_NEAR(weight_sum, 1.0, 1e-12);
+  // The triplicated delay carries 3/7 of the weight in one row.
+  EXPECT_EQ(merged.table.rows[1].lo, 1200.0);
+  EXPECT_NEAR(merged.table.rows[1].weight, 3.0 / 7.0, 1e-12);
+}
+
+// The refined bucket range must tile contiguously (hi == next.lo, the PR-5
+// stitching fix) no matter how the samples were split across shards.
+TEST(ScaleRegression, RefinedRangeTilesContiguouslyAcrossMerges) {
+  proptest::Check("tiling-across-merges", [](Rng& rng) {
+    const std::vector<double> samples = RandomSamples(rng);
+    const int target = static_cast<int>(rng.UniformInt(1, 12));
+    const double max_span = rng.Uniform(100.0, 2000.0);
+    const Bucketizer merged =
+        MergeRandomSplit(samples, rng, target, max_span);
+    const auto buckets = merged.buckets();
+    ASSERT_FALSE(buckets.empty());
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      EXPECT_GT(buckets[i].population, 0u);
+      weight_sum += buckets[i].weight;
+      if (i + 1 < buckets.size()) {
+        EXPECT_EQ(buckets[i].hi, buckets[i + 1].lo) << "gap after bucket "
+                                                    << i;
+      }
+    }
+    EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+    const double min_sample = *std::min_element(samples.begin(),
+                                                samples.end());
+    const double max_sample = *std::max_element(samples.begin(),
+                                                samples.end());
+    EXPECT_EQ(buckets.front().lo, min_sample);
+    EXPECT_EQ(buckets.back().hi, max_sample);
+  });
+}
+
+TEST(ScalePolicy, BucketizerOverloadMatchesSpanOverload) {
+  proptest::Check(
+      "bucketizer-overload-equivalence",
+      [](Rng& rng) {
+        std::vector<double> samples = RandomSamples(rng);
+        // The policy needs a few samples to be interesting.
+        while (samples.size() < 4) samples.push_back(rng.Uniform(0.0, 6000.0));
+        PolicyConfig config;
+        config.target_buckets = static_cast<int>(rng.UniformInt(2, 10));
+        config.max_bucket_span_ms = rng.Uniform(500.0, 4000.0);
+        config.per_request = rng.Uniform(0.0, 1.0) < 0.25;
+        const double rps = rng.Uniform(1.0, 12.0);
+
+        Bucketizer streamed(config.target_buckets, config.max_bucket_span_ms);
+        for (const double s : samples) streamed.Add(s);
+        const PolicyResult via_bucketizer = ComputePolicy(
+            TestQoe(), TestServerModel(), streamed, rps, config);
+        const PolicyResult via_span = ComputePolicy(
+            TestQoe(), TestServerModel(), std::span<const double>(samples),
+            rps, config);
+        EXPECT_EQ(via_bucketizer.table.expected_mean_qoe,
+                  via_span.table.expected_mean_qoe);
+        ASSERT_EQ(via_bucketizer.table.rows.size(),
+                  via_span.table.rows.size());
+        for (std::size_t i = 0; i < via_span.table.rows.size(); ++i) {
+          EXPECT_EQ(via_bucketizer.table.rows[i].lo, via_span.table.rows[i].lo);
+          EXPECT_EQ(via_bucketizer.table.rows[i].hi, via_span.table.rows[i].hi);
+          EXPECT_EQ(via_bucketizer.table.rows[i].decision,
+                    via_span.table.rows[i].decision);
+          EXPECT_EQ(via_bucketizer.table.rows[i].expected_qoe,
+                    via_span.table.rows[i].expected_qoe);
+          EXPECT_EQ(via_bucketizer.table.rows[i].weight,
+                    via_span.table.rows[i].weight);
+        }
+        ASSERT_EQ(via_bucketizer.table.load_fractions.size(),
+                  via_span.table.load_fractions.size());
+        for (std::size_t d = 0; d < via_span.table.load_fractions.size();
+             ++d) {
+          EXPECT_EQ(via_bucketizer.table.load_fractions[d],
+                    via_span.table.load_fractions[d]);
+        }
+        EXPECT_EQ(via_bucketizer.stats.buckets, via_span.stats.buckets);
+        EXPECT_EQ(via_bucketizer.stats.hill_climb_steps,
+                  via_span.stats.hill_climb_steps);
+        EXPECT_EQ(via_bucketizer.stats.allocations_evaluated,
+                  via_span.stats.allocations_evaluated);
+      },
+      proptest::Config{.iterations = 15});
+}
+
+TEST(ScalePolicy, LookupRowMatchesLookup) {
+  const std::vector<double> delays = {500.0, 1500.0, 2500.0, 3500.0, 4500.0};
+  const PolicyResult pr =
+      ComputePolicy(TestQoe(), TestServerModel(),
+                    std::span<const double>(delays), 10.0, PolicyConfig{});
+  for (const double probe : {-100.0, 0.0, 500.0, 1999.0, 4500.0, 99999.0}) {
+    const DecisionTableRow& row = pr.table.LookupRow(probe);
+    EXPECT_EQ(row.decision, pr.table.Lookup(probe));
+  }
+  const DecisionTable empty;
+  EXPECT_THROW(empty.LookupRow(1.0), std::logic_error);
+}
+
+// ---- StreamByWindow --------------------------------------------------------
+
+TEST(ScaleStream, StreamByWindowMatchesGroupByWindow) {
+  const auto& records = TestTrace().records;
+  const std::span<const TraceRecord> slice(records.data(),
+                                           std::min<std::size_t>(
+                                               records.size(), 1500));
+  const double window_ms = 600000.0;
+  const auto batch = GroupByWindow(slice, window_ms);
+
+  std::map<WindowKey, std::vector<std::uint64_t>> streamed;
+  std::vector<std::int64_t> closes;
+  StreamByWindow(
+      slice, window_ms,
+      [&](const WindowKey& key, const TraceRecord& r) {
+        streamed[key].push_back(r.request_id);
+      },
+      [&](std::int64_t index) { closes.push_back(index); });
+
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (const auto& [key, group] : batch) {
+    const auto it = streamed.find(key);
+    ASSERT_NE(it, streamed.end());
+    ASSERT_EQ(it->second.size(), group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      EXPECT_EQ(it->second[i], group[i].request_id);  // Input order kept.
+    }
+  }
+  // Closes: one per index, strictly ascending and contiguous from the
+  // first record's window to the last record's window.
+  ASSERT_FALSE(closes.empty());
+  const auto first_index = static_cast<std::int64_t>(
+      std::floor(slice.front().arrival_ms / window_ms));
+  const auto last_index = static_cast<std::int64_t>(
+      std::floor(slice.back().arrival_ms / window_ms));
+  ASSERT_EQ(closes.size(),
+            static_cast<std::size_t>(last_index - first_index + 1));
+  for (std::size_t i = 0; i < closes.size(); ++i) {
+    EXPECT_EQ(closes[i], first_index + static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(ScaleStream, StreamByWindowValidatesInput) {
+  std::vector<TraceRecord> unsorted(2);
+  unsorted[0].arrival_ms = 100.0;
+  unsorted[1].arrival_ms = 50.0;
+  const auto sink_record = [](const WindowKey&, const TraceRecord&) {};
+  const auto sink_close = [](std::int64_t) {};
+  EXPECT_THROW(StreamByWindow(unsorted, 10.0, sink_record, sink_close),
+               std::invalid_argument);
+  EXPECT_THROW(StreamByWindow(unsorted, 0.0, sink_record, sink_close),
+               std::invalid_argument);
+  // An empty trace streams nothing and closes nothing.
+  bool called = false;
+  StreamByWindow(std::span<const TraceRecord>{}, 10.0,
+                 [&](const WindowKey&, const TraceRecord&) { called = true; },
+                 [&](std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// ---- Sharded replay byte-identity ------------------------------------------
+
+TEST(ScaleReplay, ShardCountsProduceByteIdenticalResults) {
+  const auto& records = TestTrace().records;
+  const ShardedReplayResult baseline = ReplayTraceSharded(
+      records, TestSelector(), TestServerModel(), BaseReplayConfig(1));
+  ASSERT_GT(baseline.stats.records, 0u);
+  ASSERT_GT(baseline.stats.groups_merged, 0u);
+  EXPECT_EQ(baseline.stats.shards, 1);
+  EXPECT_EQ(baseline.result.arrivals, records.size());
+  const std::string result_bytes = baseline.result.Serialize();
+  const std::string telemetry_text =
+      baseline.result.telemetry.SerializeText();
+  const std::string telemetry_json =
+      baseline.result.telemetry.SerializeJson();
+  EXPECT_FALSE(baseline.result.telemetry.empty());
+
+  for (const int shards : {2, 4, 7}) {
+    const ShardedReplayResult sharded =
+        ReplayTraceSharded(records, TestSelector(), TestServerModel(),
+                           BaseReplayConfig(shards));
+    EXPECT_EQ(sharded.stats.shards, shards);
+    EXPECT_EQ(sharded.stats.records, baseline.stats.records);
+    EXPECT_EQ(sharded.stats.groups_merged, baseline.stats.groups_merged);
+    EXPECT_EQ(sharded.stats.windows_streamed,
+              baseline.stats.windows_streamed);
+    EXPECT_EQ(sharded.result.Serialize(), result_bytes)
+        << "shards=" << shards;
+    EXPECT_EQ(sharded.result.telemetry.SerializeText(), telemetry_text)
+        << "shards=" << shards;
+    EXPECT_EQ(sharded.result.telemetry.SerializeJson(), telemetry_json)
+        << "shards=" << shards;
+  }
+}
+
+TEST(ScaleReplay, PerRequestModeIsShardCountInvariant) {
+  const auto& records = TestTrace().records;
+  const std::span<const TraceRecord> slice(records.data(),
+                                           std::min<std::size_t>(
+                                               records.size(), 1200));
+  ShardedReplayConfig config = BaseReplayConfig(1);
+  config.common.controller.policy.per_request = true;
+  const std::string baseline =
+      ReplayTraceSharded(slice, TestSelector(), TestServerModel(), config)
+          .result.Serialize();
+  config.common.controller.shards = 4;
+  EXPECT_EQ(ReplayTraceSharded(slice, TestSelector(), TestServerModel(),
+                               config)
+                .result.Serialize(),
+            baseline);
+}
+
+TEST(ScaleReplay, ShardsZeroPicksDefaultWorkersAndMatchesSerial) {
+  const auto& records = TestTrace().records;
+  const std::span<const TraceRecord> slice(records.data(),
+                                           std::min<std::size_t>(
+                                               records.size(), 1200));
+  const ShardedReplayResult serial = ReplayTraceSharded(
+      slice, TestSelector(), TestServerModel(), BaseReplayConfig(1));
+  const ShardedReplayResult auto_sharded = ReplayTraceSharded(
+      slice, TestSelector(), TestServerModel(), BaseReplayConfig(0));
+  EXPECT_EQ(auto_sharded.stats.shards, ThreadPool::DefaultWorkers());
+  EXPECT_EQ(auto_sharded.result.Serialize(), serial.result.Serialize());
+}
+
+TEST(ScaleReplay, AggregateOnlyModeMatchesOutcomeAggregates) {
+  const auto& records = TestTrace().records;
+  ShardedReplayConfig config = BaseReplayConfig(4);
+  const ShardedReplayResult with_outcomes = ReplayTraceSharded(
+      records, TestSelector(), TestServerModel(), config);
+  config.keep_outcomes = false;
+  const ShardedReplayResult aggregate_only = ReplayTraceSharded(
+      records, TestSelector(), TestServerModel(), config);
+  EXPECT_TRUE(aggregate_only.result.outcomes.empty());
+  EXPECT_FALSE(with_outcomes.result.outcomes.empty());
+  EXPECT_EQ(aggregate_only.result.arrivals, with_outcomes.result.arrivals);
+  EXPECT_EQ(aggregate_only.result.completed, with_outcomes.result.completed);
+  // Sums associate differently (per-group vs flat), so compare to a
+  // tolerance instead of byte-exactly.
+  EXPECT_NEAR(aggregate_only.result.mean_qoe, with_outcomes.result.mean_qoe,
+              1e-9 * std::abs(with_outcomes.result.mean_qoe));
+  EXPECT_NEAR(aggregate_only.result.mean_server_delay_ms,
+              with_outcomes.result.mean_server_delay_ms,
+              1e-9 * with_outcomes.result.mean_server_delay_ms);
+  EXPECT_EQ(aggregate_only.result.throughput_rps,
+            with_outcomes.result.throughput_rps);
+}
+
+TEST(ScaleReplay, InvalidConfigsThrow) {
+  const auto& records = TestTrace().records;
+  ShardedReplayConfig negative = BaseReplayConfig(-1);
+  EXPECT_THROW(ReplayTraceSharded(records, TestSelector(), TestServerModel(),
+                                  negative),
+               std::invalid_argument);
+  // The live Controller validates the shard knob too.
+  ControllerConfig ctrl;
+  ctrl.shards = -1;
+  EXPECT_THROW(
+      Controller("ctrl", ctrl,
+                 std::make_shared<const SigmoidQoeModel>(
+                     SigmoidQoeModel::TraceTimeOnSite()),
+                 std::make_shared<const ProfiledReplicaModel>(
+                     3, SyntheticProfile()),
+                 1),
+      std::invalid_argument);
+}
+
+TEST(ScaleReplay, EmptyTraceYieldsEmptyResult) {
+  const ShardedReplayResult out =
+      ReplayTraceSharded(std::span<const TraceRecord>{}, TestSelector(),
+                         TestServerModel(), BaseReplayConfig(3));
+  EXPECT_EQ(out.stats.records, 0u);
+  EXPECT_EQ(out.stats.groups_merged, 0u);
+  EXPECT_EQ(out.result.arrivals, 0u);
+  EXPECT_EQ(out.result.throughput_rps, 0.0);
+}
+
+}  // namespace
+}  // namespace e2e

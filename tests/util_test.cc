@@ -270,5 +270,25 @@ TEST(ThreadPool, InvalidWorkerCountThrows) {
   EXPECT_LE(ThreadPool::DefaultWorkers(), 16);
 }
 
+TEST(ThreadPool, ClampsOversubscribedWorkerCounts) {
+  const int cap = ThreadPool::OversubscriptionCap();
+  // Floor of 4 so small explicit counts stay honest even on tiny machines.
+  EXPECT_GE(cap, 4);
+  // A request far past any hardware is clamped to the cap, not honored by
+  // silently spawning hundreds of contending threads.
+  ThreadPool oversubscribed(10 * cap);
+  EXPECT_EQ(oversubscribed.workers(), cap);
+  // Requests at or under the cap are honored exactly.
+  ThreadPool at_cap(cap);
+  EXPECT_EQ(at_cap.workers(), cap);
+  ThreadPool under(2);
+  EXPECT_EQ(under.workers(), 2);
+  // The clamp must not change what ParallelFor computes.
+  std::vector<int> hits(123, 0);
+  oversubscribed.ParallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
 }  // namespace
 }  // namespace e2e

@@ -97,6 +97,12 @@ const std::vector<LineRule>& LineRules() {
                  "unless the merge is index-deterministic; use "
                  "util/thread_pool.h (ThreadPool is the single allowlisted "
                  "spawn site)"});
+    r.push_back({kRawThread, Severity::kError,
+                 std::regex(R"(\bstd\s*::\s*execution\s*::\s*(par\b|par_unseq\b|parallel_policy\b|parallel_unsequenced_policy\b)|\bpthread_create\s*\(|#\s*pragma\s+omp\s+parallel\b)"),
+                 "parallel fan-out primitive (execution policy, "
+                 "pthread_create, OpenMP) bypasses util/thread_pool.h: "
+                 "its scheduling order leaks into results; shard work "
+                 "through ThreadPool::ParallelFor instead"});
     r.push_back({kPtrKey, Severity::kError,
                  std::regex(R"(\b(map|set|multimap|multiset)\s*<\s*(const\s+)?[A-Za-z_][\w:]*\s*\*)"),
                  "ordered container keyed by pointer: iteration order "
@@ -564,8 +570,9 @@ const std::vector<RuleInfo>& Rules() {
        "std::sort with a single-key lambda comparator (tie order is "
        "unspecified; use std::stable_sort)"},
       {kRawThread, Severity::kError,
-       "raw std::thread/jthread/async spawn (use the deterministic "
-       "util/thread_pool.h pool)"},
+       "raw std::thread/jthread/async spawn or parallel fan-out primitive "
+       "(std::execution policies, pthread_create, OpenMP); use the "
+       "deterministic util/thread_pool.h pool"},
       {kStaleAllowlist, Severity::kError,
        "allowlist entry that matches no finding"},
       {kBadAllowlist, Severity::kError, "malformed allowlist entry"},

@@ -1,0 +1,28 @@
+// Positive and negative cases for the raw-thread rule's fan-out extension:
+// shard fan-out (docs/SCALE.md) must spawn only via util/thread_pool.h, so
+// the alternative parallel primitives are banned alongside std::thread.
+#include <algorithm>
+#include <vector>
+
+void* ShardBody(void*) { return nullptr; }
+
+void Spawns(std::vector<int>& v) {
+  std::sort(std::execution::par, v.begin(), v.end());
+  std::sort(std::execution::par_unseq, v.begin(), v.end());
+  std::for_each(std::execution::parallel_policy{}, v.begin(), v.end(),
+                [](int) {});
+  pthread_t tid;
+  pthread_create(&tid, nullptr, ShardBody, nullptr);
+#pragma omp parallel
+  {
+  }
+}
+
+void NotSpawns(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());  // Plain serial sort; not flagged.
+  int pthread_created = 0;        // Bare identifier, no call; not flagged.
+  int par = 0;                    // Not the execution policy; not flagged.
+  (void)pthread_created;
+  (void)par;
+  (void)v;
+}
