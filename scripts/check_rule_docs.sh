@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Drift check: every rule `detlint --list-rules` reports must appear in the
+# docs/STATIC_ANALYSIS.md rule table, and every rule id the table documents
+# must exist in the binary. Fails (exit 1) on drift so a rule can't be
+# added, renamed, or retired without its documentation following along.
+#
+# Usage: scripts/check_rule_docs.sh [path/to/detlint]
+# Default binary: build/tools/detlint/detlint (the default-preset output).
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root" || exit 2
+
+detlint_bin="${1:-build/tools/detlint/detlint}"
+docs="docs/STATIC_ANALYSIS.md"
+
+if [ ! -x "$detlint_bin" ]; then
+  echo "check_rule_docs: detlint binary not found at $detlint_bin" >&2
+  echo "check_rule_docs: build it first (cmake --build --preset default --target detlint)" >&2
+  exit 2
+fi
+if [ ! -f "$docs" ]; then
+  echo "check_rule_docs: $docs not found" >&2
+  exit 2
+fi
+
+# Rule ids straight from the binary: "<id> (<severity>): <summary>".
+binary_rules="$("$detlint_bin" --list-rules | sed -n 's/^\([a-z-]*\) (.*/\1/p' | sort)"
+
+# Rule ids from the docs table: lines like "| `rule-id` | ... |".
+doc_rules="$(sed -n 's/^| `\([a-z-]*\)` |.*/\1/p' "$docs" | sort -u)"
+
+drift=0
+missing_docs="$(comm -23 <(printf '%s\n' "$binary_rules") <(printf '%s\n' "$doc_rules"))"
+if [ -n "$missing_docs" ]; then
+  echo "check_rule_docs: rules in --list-rules but missing from $docs:" >&2
+  printf '  %s\n' $missing_docs >&2
+  drift=1
+fi
+phantom_rules="$(comm -13 <(printf '%s\n' "$binary_rules") <(printf '%s\n' "$doc_rules"))"
+if [ -n "$phantom_rules" ]; then
+  echo "check_rule_docs: rules documented in $docs but unknown to detlint:" >&2
+  printf '  %s\n' $phantom_rules >&2
+  drift=1
+fi
+
+if [ "$drift" -eq 0 ]; then
+  echo "check_rule_docs: $(printf '%s\n' "$binary_rules" | wc -l | tr -d ' ') rules, docs and binary agree."
+fi
+exit "$drift"

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Turn `detlint --json` output into GitHub Actions annotations.
+
+Reads the e2e.detlint.v1 JSON document from a file (or stdin with `-`)
+and prints one workflow command per finding:
+
+    ::error file=src/foo.cc,line=12,col=7,title=detlint clock-taint::...
+
+GitHub renders these as inline annotations on the PR diff. Exit status
+mirrors detlint's: 0 when there are no findings, 1 otherwise, 2 on bad
+input — so the CI step fails exactly when the lint gate does, but with
+the findings surfaced on the diff instead of buried in the log.
+
+Usage:
+    detlint --root . --allowlist tools/detlint/allowlist.txt --json \
+        src bench tests > findings.json || true
+    scripts/detlint_annotations.py findings.json
+"""
+
+import json
+import sys
+
+
+def sanitize(message: str) -> str:
+    """Escape a workflow-command message per the Actions spec."""
+    return (
+        message.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+def sanitize_property(value: str) -> str:
+    """Escape a workflow-command property (also escapes , and :)."""
+    return (
+        sanitize(value).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        if argv[1] == "-":
+            doc = json.load(sys.stdin)
+        else:
+            with open(argv[1], encoding="utf-8") as fh:
+                doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"detlint_annotations: cannot read findings: {err}",
+              file=sys.stderr)
+        return 2
+    if doc.get("schema") != "e2e.detlint.v1":
+        print(f"detlint_annotations: unexpected schema "
+              f"{doc.get('schema')!r}", file=sys.stderr)
+        return 2
+
+    findings = doc.get("findings", [])
+    for f in findings:
+        level = "warning" if f.get("severity") == "warning" else "error"
+        title = sanitize_property(f"detlint {f.get('rule', '?')}")
+        where = (
+            f"file={sanitize_property(str(f.get('file', '?')))},"
+            f"line={int(f.get('line', 1))},"
+            f"col={int(f.get('col', 1))},"
+            f"title={title}"
+        )
+        message = sanitize(str(f.get("message", "")))
+        excerpt = str(f.get("excerpt", ""))
+        if excerpt:
+            message += sanitize(f" | {excerpt}")
+        print(f"::{level} {where}::{message}")
+
+    print(f"detlint_annotations: {len(findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,10 +5,13 @@
 #include <cstdlib>
 #include <regex>
 
+#include "rules_flow.h"
+
 namespace detlint {
 namespace {
 
 // Rule ids. Keep in sync with Rules() and docs/STATIC_ANALYSIS.md.
+// (The flow-sensitive ids also appear as literals in rules_flow.cc.)
 constexpr char kWallClock[] = "wall-clock";
 constexpr char kUnseededRng[] = "unseeded-rng";
 constexpr char kUnorderedIter[] = "unordered-iter";
@@ -17,6 +20,9 @@ constexpr char kFloatEq[] = "float-eq";
 constexpr char kIgnoredStatus[] = "ignored-status";
 constexpr char kUnstableSort[] = "unstable-sort";
 constexpr char kRawThread[] = "raw-thread";
+constexpr char kParallelSharedWrite[] = "parallel-shared-write";
+constexpr char kClockTaint[] = "clock-taint";
+constexpr char kLockOrder[] = "lock-order";
 constexpr char kStaleAllowlist[] = "stale-allowlist";
 constexpr char kBadAllowlist[] = "bad-allowlist";
 
@@ -26,6 +32,14 @@ int LineOfOffset(std::string_view text, std::size_t offset) {
                             text.begin() + static_cast<std::ptrdiff_t>(
                                                std::min(offset, text.size())),
                             '\n'));
+}
+
+int ColOfOffset(std::string_view text, std::size_t offset) {
+  offset = std::min(offset, text.size());
+  const std::size_t nl = text.rfind('\n', offset == 0 ? 0 : offset - 1);
+  return nl == std::string_view::npos
+             ? static_cast<int>(offset) + 1
+             : static_cast<int>(offset - nl);
 }
 
 std::string_view LineAt(std::string_view text, int line) {
@@ -48,9 +62,9 @@ std::string Trim(std::string_view s) {
 }
 
 void Add(std::vector<Finding>* out, const std::string& path,
-         std::string_view original, int line, const char* rule,
+         std::string_view original, int line, int col, const char* rule,
          Severity severity, std::string message) {
-  out->push_back(Finding{path, line, rule, severity, std::move(message),
+  out->push_back(Finding{path, line, col, rule, severity, std::move(message),
                          Trim(LineAt(original, line))});
 }
 
@@ -137,183 +151,6 @@ bool IsZeroLiteral(const std::string& text) {
   }
   if (num.empty()) return false;
   return std::strtod(num.c_str(), nullptr) == 0.0;
-}
-
-// --- unordered-iter --------------------------------------------------------
-
-// Advances past a balanced <...> starting at `pos` (which must point at
-// '<'); returns the offset one past the matching '>', or npos.
-std::size_t SkipAngles(std::string_view text, std::size_t pos) {
-  int depth = 0;
-  for (std::size_t i = pos; i < text.size(); ++i) {
-    if (text[i] == '<') ++depth;
-    if (text[i] == '>') {
-      --depth;
-      if (depth == 0) return i + 1;
-    }
-    if (text[i] == ';' || text[i] == '{') return std::string_view::npos;
-  }
-  return std::string_view::npos;
-}
-
-// Names of variables/members/params declared with an unordered container
-// type anywhere in the file.
-std::set<std::string> UnorderedNames(std::string_view stripped) {
-  std::set<std::string> names;
-  static const std::regex decl_re(R"(\bunordered_(map|set|multimap|multiset)\s*<)");
-  auto begin = std::cregex_iterator(stripped.data(),
-                                    stripped.data() + stripped.size(), decl_re);
-  for (auto it = begin; it != std::cregex_iterator(); ++it) {
-    const std::size_t lt =
-        static_cast<std::size_t>(it->position() + it->length()) - 1;
-    std::size_t pos = SkipAngles(stripped, lt);
-    if (pos == std::string_view::npos) continue;
-    // Skip refs/pointers/whitespace between the type and the name.
-    while (pos < stripped.size() &&
-           (std::isspace(static_cast<unsigned char>(stripped[pos])) ||
-            stripped[pos] == '&' || stripped[pos] == '*')) {
-      ++pos;
-    }
-    std::string name;
-    while (pos < stripped.size() &&
-           (std::isalnum(static_cast<unsigned char>(stripped[pos])) ||
-            stripped[pos] == '_')) {
-      name += stripped[pos++];
-    }
-    if (!name.empty()) names.insert(name);
-  }
-  return names;
-}
-
-// Brace-delimited function-ish regions: `) ... {` through the matching `}`.
-struct Region {
-  std::size_t open = 0;
-  std::size_t close = 0;
-};
-
-std::vector<Region> FunctionRegions(std::string_view stripped) {
-  std::vector<Region> regions;
-  // `) ... {` heads: functions, lambdas, ctors (with init lists), but also
-  // if/for/while blocks — harmless extras, since the hazard test below
-  // looks at every enclosing region and the function body is one of them.
-  static const std::regex head_re(
-      R"(\)\s*((const|noexcept|override|final|mutable)\s*)*(:\s*[^{;]*)?\{)");
-  auto begin = std::cregex_iterator(stripped.data(),
-                                    stripped.data() + stripped.size(), head_re);
-  for (auto it = begin; it != std::cregex_iterator(); ++it) {
-    const std::size_t open =
-        static_cast<std::size_t>(it->position() + it->length()) - 1;
-    int depth = 0;
-    for (std::size_t i = open; i < stripped.size(); ++i) {
-      if (stripped[i] == '{') ++depth;
-      if (stripped[i] == '}') {
-        --depth;
-        if (depth == 0) {
-          regions.push_back({open, i});
-          break;
-        }
-      }
-    }
-  }
-  return regions;
-}
-
-bool RegionFeedsRngOrSerialize(std::string_view region) {
-  // Snapshot/Export cover the observability export path (src/obs/): metric
-  // and span snapshots must serialize byte-identically across runs, so an
-  // unordered iteration feeding them is the same hazard as one feeding
-  // Serialize().
-  static const std::regex marker_re(
-      R"(\bRng\b|\brng_?\b|\bengine_?\b|Serialize|Snapshot|Export|NextU64|Uniform|Normal|Bernoulli|Categorical|Shuffle|ExponentialMean)");
-  return std::regex_search(region.begin(), region.end(), marker_re);
-}
-
-void ScanUnorderedIter(const std::string& path, std::string_view original,
-                       std::string_view stripped,
-                       std::vector<Finding>* out) {
-  const std::set<std::string> names = UnorderedNames(stripped);
-  std::vector<Region> regions;
-  bool regions_built = false;
-
-  static const std::regex for_re(R"(\bfor\s*\()");
-  auto begin = std::cregex_iterator(stripped.data(),
-                                    stripped.data() + stripped.size(), for_re);
-  for (auto it = begin; it != std::cregex_iterator(); ++it) {
-    const std::size_t open =
-        static_cast<std::size_t>(it->position() + it->length()) - 1;
-    // Find the matching ')' and the top-level ':' of a range-for.
-    int depth = 0;
-    std::size_t close = std::string_view::npos;
-    std::size_t colon = std::string_view::npos;
-    bool has_semicolon = false;
-    for (std::size_t i = open; i < stripped.size(); ++i) {
-      const char c = stripped[i];
-      if (c == '(') ++depth;
-      if (c == ')') {
-        --depth;
-        if (depth == 0) {
-          close = i;
-          break;
-        }
-      }
-      if (depth == 1 && c == ';') has_semicolon = true;
-      if (depth == 1 && c == ':' && colon == std::string_view::npos) {
-        const bool double_colon = (i + 1 < stripped.size() &&
-                                   stripped[i + 1] == ':') ||
-                                  (i > 0 && stripped[i - 1] == ':');
-        if (!double_colon) colon = i;
-      }
-    }
-    if (close == std::string_view::npos || has_semicolon ||
-        colon == std::string_view::npos) {
-      continue;  // Classic three-clause for, or unparsable.
-    }
-    const std::string_view operand = stripped.substr(colon + 1, close - colon - 1);
-    // Does the operand mention a known unordered container (by declared
-    // name or spelled-out type)?
-    bool unordered = operand.find("unordered_") != std::string_view::npos;
-    if (!unordered) {
-      static const std::regex id_re(R"([A-Za-z_]\w*)");
-      auto ids = std::cregex_iterator(operand.data(),
-                                      operand.data() + operand.size(), id_re);
-      for (auto id = ids; id != std::cregex_iterator(); ++id) {
-        if (names.count(id->str()) != 0) {
-          unordered = true;
-          break;
-        }
-      }
-    }
-    if (!unordered) continue;
-
-    if (!regions_built) {
-      regions = FunctionRegions(stripped);
-      regions_built = true;
-    }
-    // The iteration is hazardous when any enclosing function-ish region
-    // also touches RNG state or Serialize() — order then leaks into draws
-    // or serialized bytes. No enclosing region at all is unparsable
-    // territory; stay conservative and flag.
-    bool enclosed = false;
-    bool hazardous = false;
-    for (const Region& r : regions) {
-      if (r.open <= open && close <= r.close) {
-        enclosed = true;
-        if (RegionFeedsRngOrSerialize(
-                stripped.substr(r.open, r.close - r.open))) {
-          hazardous = true;
-          break;
-        }
-      }
-    }
-    if (!enclosed) hazardous = true;
-    if (hazardous) {
-      Add(out, path, original, LineOfOffset(stripped, open), kUnorderedIter,
-          Severity::kError,
-          "iteration over an unordered container in a function that feeds "
-          "RNG draws or Serialize(): order is unspecified and varies across "
-          "libraries/runs; iterate a sorted copy or keep a parallel vector");
-    }
-  }
 }
 
 // --- unstable-sort ---------------------------------------------------------
@@ -491,8 +328,8 @@ void ScanUnstableSort(const std::string& path, std::string_view original,
         NormalizeSwapped(rhs, std::string(), std::string())) {
       continue;  // Not a pure parameter-swap-symmetric projection.
     }
-    Add(out, path, original, LineOfOffset(stripped, call), kUnstableSort,
-        Severity::kError,
+    Add(out, path, original, LineOfOffset(stripped, call),
+        ColOfOffset(stripped, call), kUnstableSort, Severity::kError,
         "std::sort with a single-key comparator leaves equal keys in "
         "unspecified relative order (varies across standard libraries); "
         "use std::stable_sort, or break ties explicitly (std::tie)");
@@ -535,8 +372,8 @@ void ScanIgnoredStatus(const std::string& path, std::string_view original,
       ++end;
     }
     if (end < stripped.size() && stripped[end] == ';') {
-      Add(out, path, original, LineOfOffset(stripped, pos), kIgnoredStatus,
-          Severity::kWarning,
+      Add(out, path, original, LineOfOffset(stripped, pos),
+          ColOfOffset(stripped, pos), kIgnoredStatus, Severity::kWarning,
           "result of [[nodiscard]] '" + callee +
               "' is silently dropped; handle it or discard explicitly "
               "with (void)");
@@ -558,8 +395,9 @@ const std::vector<RuleInfo>& Rules() {
        "non-seeded randomness (rand, random_device, default-constructed "
        "std engines)"},
       {kUnorderedIter, Severity::kError,
-       "unordered-container iteration in functions feeding RNG draws, "
-       "Serialize(), or telemetry Snapshot/Export"},
+       "unordered-container iteration whose hash order reaches an RNG "
+       "draw or a Serialize/Snapshot/Export sink (flow-sensitive: marker "
+       "in the loop body, or a loop-written variable flows into one)"},
       {kPtrKey, Severity::kError,
        "ordered map/set keyed by pointer (address-order nondeterminism)"},
       {kFloatEq, Severity::kWarning,
@@ -573,6 +411,16 @@ const std::vector<RuleInfo>& Rules() {
        "raw std::thread/jthread/async spawn or parallel fan-out primitive "
        "(std::execution policies, pthread_create, OpenMP); use the "
        "deterministic util/thread_pool.h pool"},
+      {kParallelSharedWrite, Severity::kError,
+       "task lambda passed to ThreadPool::ParallelFor/Submit writes "
+       "ref-captured or member state without indexing by the induction "
+       "variable (data race; scheduling order reaches the merged bytes)"},
+      {kClockTaint, Severity::kError,
+       "value derived from a RealClock/wall-clock read flows through "
+       "assignments and returns into Serialize/Snapshot/Export"},
+      {kLockOrder, Severity::kWarning,
+       "two mutexes acquired in opposite nesting orders in the same "
+       "translation unit (deadlock risk; std::scoped_lock(a, b) is exempt)"},
       {kStaleAllowlist, Severity::kError,
        "allowlist entry that matches no finding"},
       {kBadAllowlist, Severity::kError, "malformed allowlist entry"},
@@ -693,8 +541,10 @@ std::vector<Finding> ScanSource(const std::string& path,
     const std::string_view line = stripped.substr(start, end - start);
 
     for (const LineRule& rule : LineRules()) {
-      if (std::regex_search(line.begin(), line.end(), rule.pattern)) {
-        Add(&findings, path, original, line_no, rule.rule, rule.severity,
+      std::cmatch m;
+      if (std::regex_search(line.begin(), line.end(), m, rule.pattern)) {
+        Add(&findings, path, original, line_no,
+            static_cast<int>(m.position(0)) + 1, rule.rule, rule.severity,
             rule.message);
       }
     }
@@ -704,7 +554,9 @@ std::vector<Finding> ScanSource(const std::string& path,
       auto it = std::cregex_iterator(line.begin(), line.end(), *re);
       for (; it != std::cregex_iterator(); ++it) {
         if (!IsZeroLiteral(it->str())) {
-          Add(&findings, path, original, line_no, kFloatEq, Severity::kWarning,
+          Add(&findings, path, original, line_no,
+              static_cast<int>(it->position()) + 1, kFloatEq,
+              Severity::kWarning,
               "float equality against a non-zero literal is representation-"
               "dependent; compare with a tolerance or restructure");
           break;
@@ -716,18 +568,20 @@ std::vector<Finding> ScanSource(const std::string& path,
     start = end + 1;
   }
 
-  ScanUnorderedIter(path, original, stripped, &findings);
   ScanIgnoredStatus(path, original, stripped, must_check, &findings);
   ScanUnstableSort(path, original, stripped, &findings);
+  RunFlowRules(path, original, stripped, &findings);
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
               return a.rule < b.rule;
             });
   findings.erase(std::unique(findings.begin(), findings.end(),
                              [](const Finding& a, const Finding& b) {
-                               return a.line == b.line && a.rule == b.rule;
+                               return a.line == b.line && a.col == b.col &&
+                                      a.rule == b.rule;
                              }),
                  findings.end());
   return findings;
@@ -763,7 +617,7 @@ std::vector<AllowEntry> ParseAllowlist(const std::string& path,
     if (fields.size() != 4 || fields[0].empty() || fields[1].empty() ||
         fields[2].empty() || fields[3].empty()) {
       errors->push_back(Finding{
-          path, line_no, kBadAllowlist, Severity::kError,
+          path, line_no, 0, kBadAllowlist, Severity::kError,
           "expected 'rule|file-substring|line-substring|justification' "
           "with all four fields non-empty (the justification is mandatory)",
           line});
@@ -775,7 +629,8 @@ std::vector<AllowEntry> ParseAllowlist(const std::string& path,
         std::any_of(Rules().begin(), Rules().end(),
                     [&](const RuleInfo& r) { return fields[0] == r.id; });
     if (!known) {
-      errors->push_back(Finding{path, line_no, kBadAllowlist, Severity::kError,
+      errors->push_back(Finding{path, line_no, 0, kBadAllowlist,
+                                Severity::kError,
                                 "unknown rule id '" + fields[0] + "'", line});
       if (next > text.size()) break;
       continue;
@@ -808,7 +663,7 @@ std::vector<Finding> ApplyAllowlist(std::vector<Finding> findings,
   for (const AllowEntry& e : entries) {
     if (!e.used) {
       remaining.push_back(Finding{
-          allowlist_path, e.line, kStaleAllowlist, Severity::kError,
+          allowlist_path, e.line, 0, kStaleAllowlist, Severity::kError,
           "allowlist entry matches no finding — delete it so the list "
           "cannot rot",
           e.rule + "|" + e.file + "|" + e.pattern + "|" + e.justification});
@@ -818,12 +673,68 @@ std::vector<Finding> ApplyAllowlist(std::vector<Finding> findings,
 }
 
 std::string FormatFinding(const Finding& finding) {
-  std::string out = finding.file + ":" + std::to_string(finding.line) + ": " +
+  std::string out = finding.file + ":" + std::to_string(finding.line) + ":" +
+                    std::to_string(finding.col > 0 ? finding.col : 1) + ": " +
                     SeverityName(finding.severity) + ": [" + finding.rule +
                     "] " + finding.message;
   if (!finding.excerpt.empty()) {
     out += "\n    | " + finding.excerpt;
   }
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatFindingsJson(const std::vector<Finding>& findings) {
+  std::string out = "{\"schema\":\"e2e.detlint.v1\",\"findings\":[";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"file\":\"" + JsonEscape(f.file) +
+           "\",\"line\":" + std::to_string(f.line) +
+           ",\"col\":" + std::to_string(f.col > 0 ? f.col : 1) +
+           ",\"severity\":\"" + SeverityName(f.severity) + "\",\"rule\":\"" +
+           JsonEscape(f.rule) + "\",\"message\":\"" + JsonEscape(f.message) +
+           "\",\"excerpt\":\"" + JsonEscape(f.excerpt) + "\"}";
+  }
+  out += "]}\n";
   return out;
 }
 

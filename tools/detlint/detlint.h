@@ -3,10 +3,13 @@
 // The whole evaluation rests on bit-identical replay: identical seeds and
 // fault plans must produce byte-exact ExperimentResult::Serialize() output
 // (tests/proptest.h asserts exactly that). detlint is the tripwire that
-// keeps refactors from silently breaking the invariant: a token/regex-level
-// scanner (no libclang) that flags the hazard patterns which historically
-// cause replay drift — wall-clock reads, unseeded randomness, iteration
-// over unordered containers on RNG/serialization paths, pointer-keyed
+// keeps refactors from silently breaking the invariant. It is still
+// zero-dependency (no libclang), but since v2 it is no longer only a
+// line scanner: a lexer, balanced-brace scope tree, per-TU symbol table,
+// and intra-TU flow graph (lexer.h / scope_tree.h / symbols.h / flow.h)
+// power flow-sensitive rules — parallel-shared-write, clock-taint,
+// lock-order, and sink-reachability unordered-iter — alongside the v1
+// per-line rules for wall-clock reads, unseeded randomness, pointer-keyed
 // ordered containers, float equality against non-zero literals, and
 // silently dropped [[nodiscard]] results.
 //
@@ -30,6 +33,7 @@ const char* SeverityName(Severity severity);
 struct Finding {
   std::string file;     ///< Path as given to the scanner (repo-relative).
   int line = 0;         ///< 1-based source line.
+  int col = 0;          ///< 1-based byte column (0: line-granular rule).
   std::string rule;     ///< Rule id (see Rules()).
   Severity severity = Severity::kError;
   std::string message;  ///< Human-readable explanation.
@@ -87,7 +91,12 @@ std::vector<Finding> ApplyAllowlist(std::vector<Finding> findings,
                                     std::vector<AllowEntry>& entries,
                                     const std::string& allowlist_path);
 
-/// Formats a finding as `file:line: severity: [rule] message | excerpt`.
+/// Formats a finding as `file:line:col: severity: [rule] message | excerpt`.
 std::string FormatFinding(const Finding& finding);
+
+/// Formats findings as a stable JSON document:
+/// `{"schema":"e2e.detlint.v1","findings":[{...}, ...]}`. Consumed by
+/// scripts/detlint_annotations.py to publish CI annotations.
+std::string FormatFindingsJson(const std::vector<Finding>& findings);
 
 }  // namespace detlint

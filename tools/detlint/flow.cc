@@ -1,0 +1,229 @@
+#include "flow.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace detlint {
+namespace {
+
+// Root identifier of the lvalue path that ends just before `end` within
+// `stmt` (token indices into `tokens`). Walks backwards through
+// `ident`, `[...]`, `.member`, `->member` pieces: the leftmost
+// identifier of the path is what an assignment writes. Returns "" when
+// no path ends there (e.g. `f() = ...`).
+std::string LvalueRootBefore(const std::vector<Token>& tokens,
+                             const std::vector<std::size_t>& stmt,
+                             std::size_t end) {
+  std::string root;
+  bool expect_operand = true;  // ident or ']' next (walking leftwards).
+  std::size_t p = end;
+  while (p > 0) {
+    const Token& t = tokens[stmt[p - 1]];
+    if (expect_operand) {
+      if (t.Is("]")) {
+        // Skip backwards to the matching '['.
+        int depth = 0;
+        while (p > 0) {
+          const Token& u = tokens[stmt[p - 1]];
+          if (u.Is("]")) ++depth;
+          if (u.Is("[")) {
+            --depth;
+            if (depth == 0) break;
+          }
+          --p;
+        }
+        if (p == 0) return root;
+        --p;  // Past the '['.
+        expect_operand = false;  // A joiner or an ident may precede.
+        continue;
+      }
+      if (t.IsIdent() && !IsKeyword(t.text)) {
+        root = std::string(t.text);
+        --p;
+        expect_operand = false;
+        continue;
+      }
+      return root;  // Nothing path-like ends here.
+    }
+    // After an operand: only `.` / `->` / another subscript continues
+    // the path leftwards ( `a.b[i].c` ).
+    if (t.Is(".") || t.Is("->")) {
+      --p;
+      expect_operand = true;
+      continue;
+    }
+    if (t.Is("]")) {
+      expect_operand = true;
+      continue;  // Handled at the top of the loop.
+    }
+    break;  // Path complete; `root` holds its leftmost identifier.
+  }
+  return root;
+}
+
+}  // namespace
+
+bool IsAssignOp(std::string_view text) {
+  return text == "=" || text == "+=" || text == "-=" || text == "*=" ||
+         text == "/=" || text == "%=" || text == "&=" || text == "|=" ||
+         text == "^=" || text == "<<=" || text == ">>=";
+}
+
+std::vector<CallSite> CollectCallSites(const std::vector<Token>& tokens,
+                                       const SymbolTable& symbols) {
+  std::set<std::size_t> def_heads;
+  for (const FunctionDecl& fn : symbols.functions()) {
+    def_heads.insert(fn.name_tok);
+  }
+  std::vector<CallSite> calls;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!tokens[i].IsIdent() || IsKeyword(tokens[i].text)) continue;
+    if (!tokens[i + 1].Is("(")) continue;
+    if (def_heads.count(i) != 0) continue;
+    const std::size_t pend = MatchForward(tokens, i + 1);
+    CallSite c;
+    c.callee = std::string(tokens[i].text);
+    if (i >= 2 && (tokens[i - 1].Is(".") || tokens[i - 1].Is("->")) &&
+        tokens[i - 2].IsIdent()) {
+      c.receiver = std::string(tokens[i - 2].text);
+    }
+    c.name_tok = i;
+    c.args_begin = i + 2;
+    c.args_end = pend > 0 ? pend - 1 : i + 2;
+    c.func = symbols.FunctionAt(i);
+    calls.push_back(std::move(c));
+  }
+  return calls;
+}
+
+std::vector<TaintHit> PropagateTaint(const std::vector<Token>& tokens,
+                                     const SymbolTable& symbols,
+                                     const std::vector<CallSite>& calls,
+                                     const TaintSpec& spec) {
+  // (function, variable) -> origin token of its taint.
+  std::map<std::pair<int, std::string>, std::size_t> tainted;
+  std::map<int, std::size_t> returns_tainted;
+  for (const TaintSeed& s : spec.seeds) {
+    tainted.emplace(std::make_pair(s.func, s.var), s.origin_tok);
+  }
+
+  // callee name -> function indices (for return-taint propagation).
+  std::multimap<std::string, int> by_name;
+  for (std::size_t f = 0; f < symbols.functions().size(); ++f) {
+    const std::string& n = symbols.functions()[f].name;
+    if (!n.empty()) by_name.emplace(n, static_cast<int>(f));
+  }
+  // Call sites indexed by name token, for fast in-range scans.
+  std::map<std::size_t, const CallSite*> call_at;
+  for (const CallSite& c : calls) call_at.emplace(c.name_tok, &c);
+
+  // Does any token in stmt[lo, hi) carry taint in function f?
+  // Returns the origin via *origin.
+  const auto range_tainted = [&](int f, const std::vector<std::size_t>& stmt,
+                                 std::size_t lo, std::size_t hi,
+                                 std::size_t* origin) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      const std::size_t t = stmt[p];
+      if (tokens[t].IsIdent()) {
+        const auto it =
+            tainted.find(std::make_pair(f, std::string(tokens[t].text)));
+        if (it != tainted.end()) {
+          *origin = it->second;
+          return true;
+        }
+        const auto cit = call_at.find(t);
+        if (cit != call_at.end()) {
+          auto [b, e] = by_name.equal_range(cit->second->callee);
+          for (auto g = b; g != e; ++g) {
+            const auto rit = returns_tainted.find(g->second);
+            if (rit != returns_tainted.end()) {
+              *origin = rit->second;
+              return true;
+            }
+          }
+        }
+      }
+      if (spec.is_source_tok && spec.is_source_tok(tokens, t)) {
+        *origin = t;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Token indices owned by each function (nested lambdas excluded — they
+  // are functions of their own).
+  std::vector<std::vector<std::size_t>> owned(symbols.functions().size());
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const int f = symbols.FunctionAt(t);
+    if (f >= 0) owned[static_cast<std::size_t>(f)].push_back(t);
+  }
+
+  bool changed = true;
+  for (int pass = 0; pass < 10 && changed; ++pass) {
+    changed = false;
+    for (std::size_t f = 0; f < owned.size(); ++f) {
+      const int fi = static_cast<int>(f);
+      // Statement segmentation at ; { }.
+      std::vector<std::size_t> stmt;
+      const auto flush_stmt = [&] {
+        if (stmt.empty()) return;
+        if (tokens[stmt[0]].Is("return") || tokens[stmt[0]].Is("co_return")) {
+          std::size_t origin = 0;
+          if (returns_tainted.count(fi) == 0 &&
+              range_tainted(fi, stmt, 1, stmt.size(), &origin)) {
+            returns_tainted[fi] = origin;
+            changed = true;
+          }
+          stmt.clear();
+          return;
+        }
+        // First assignment operator splits LHS / RHS.
+        for (std::size_t p = 0; p < stmt.size(); ++p) {
+          if (!IsAssignOp(tokens[stmt[p]].text)) continue;
+          std::size_t origin = 0;
+          if (range_tainted(fi, stmt, p + 1, stmt.size(), &origin)) {
+            const std::string root = LvalueRootBefore(tokens, stmt, p);
+            if (!root.empty() &&
+                tainted
+                    .emplace(std::make_pair(fi, root), origin)
+                    .second) {
+              changed = true;
+            }
+          }
+          break;
+        }
+        stmt.clear();
+      };
+      for (const std::size_t t : owned[f]) {
+        if (tokens[t].Is(";") || tokens[t].Is("{") || tokens[t].Is("}")) {
+          flush_stmt();
+        } else {
+          stmt.push_back(t);
+        }
+      }
+      flush_stmt();
+    }
+  }
+
+  // Sink pass.
+  std::vector<TaintHit> hits;
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (const CallSite& c : calls) {
+    if (!spec.is_sink || !spec.is_sink(c)) continue;
+    std::vector<std::size_t> args;
+    for (std::size_t t = c.args_begin; t < c.args_end; ++t) {
+      args.push_back(t);
+    }
+    std::size_t origin = 0;
+    if (range_tainted(c.func, args, 0, args.size(), &origin)) {
+      if (seen.emplace(origin, c.name_tok).second) {
+        hits.push_back(TaintHit{origin, c.name_tok});
+      }
+    }
+  }
+  return hits;
+}
+
+}  // namespace detlint

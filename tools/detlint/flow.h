@@ -1,0 +1,81 @@
+// detlint v2 front half, stage 4: the intra-TU call/flow graph.
+//
+// Two pieces live here:
+//
+//   * call-site collection — every `callee(...)` in the token stream with
+//     its receiver, argument span, and enclosing function, which is what
+//     the rules traverse instead of grepping lines;
+//   * a generic taint engine — seed values (token predicates or
+//     per-function seeded variables), propagate them through assignments
+//     and declarations inside each function body, across `return`
+//     statements into intra-TU callers (to a fixpoint), and report every
+//     sink call whose arguments reach a tainted value.
+//
+// Both `clock-taint` (wall-clock reads → Serialize/telemetry exports)
+// and the sink-reachability half of `unordered-iter` (hash-order values
+// → RNG draws / serialization) are thin parameterizations of this one
+// engine; see rules_flow.cc.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "scope_tree.h"
+#include "symbols.h"
+
+namespace detlint {
+
+struct CallSite {
+  std::string callee;        ///< Last path component (`Foo` in `a->b::Foo`).
+  std::string receiver;      ///< Identifier before `.`/`->`, or "".
+  std::size_t name_tok = 0;  ///< Token index of the callee name.
+  std::size_t args_begin = 0;  ///< First token inside '(...)'.
+  std::size_t args_end = 0;    ///< One past the last token inside '(...)'.
+  int func = -1;             ///< Enclosing function (SymbolTable index).
+};
+
+/// Collects every call site. Function-definition heads are excluded.
+std::vector<CallSite> CollectCallSites(const std::vector<Token>& tokens,
+                                       const SymbolTable& symbols);
+
+/// A variable seeded as tainted inside one function, remembering the
+/// token that made it so (used as the finding's anchor).
+struct TaintSeed {
+  int func = -1;
+  std::string var;
+  std::size_t origin_tok = 0;
+};
+
+/// A sink call whose arguments reached a tainted value.
+struct TaintHit {
+  std::size_t origin_tok = 0;  ///< Where the taint was born.
+  std::size_t sink_tok = 0;    ///< The sink call's name token.
+};
+
+struct TaintSpec {
+  /// Non-null: true when a source *expression* begins at this token
+  /// (e.g. `RealClock`, `steady_clock :: now (`). Such tokens taint any
+  /// assignment/declaration/return whose right-hand side contains them
+  /// and fire sinks directly when they appear among sink arguments.
+  std::function<bool(const std::vector<Token>&, std::size_t)> is_source_tok;
+  /// True when a call is a sink (`Serialize`, `Snapshot`, `Export*`,
+  /// RNG draws — rule-specific).
+  std::function<bool(const CallSite&)> is_sink;
+  /// Pre-seeded tainted variables (unordered-iter seeds loop writes).
+  std::vector<TaintSeed> seeds;
+};
+
+/// Runs the taint engine to a fixpoint and returns every sink hit,
+/// deduplicated by (origin, sink).
+std::vector<TaintHit> PropagateTaint(const std::vector<Token>& tokens,
+                                     const SymbolTable& symbols,
+                                     const std::vector<CallSite>& calls,
+                                     const TaintSpec& spec);
+
+/// True if `text` is an assignment operator (`=`, `+=`, ..., `>>=`).
+bool IsAssignOp(std::string_view text);
+
+}  // namespace detlint

@@ -1,0 +1,151 @@
+#include "lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace detlint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first so maximal munch works with
+// a simple prefix scan.
+const char* const kPuncts3[] = {"<<=", ">>=", "...", "->*"};
+const char* const kPuncts2[] = {"::", "->", "++", "--", "+=", "-=", "*=",
+                                "/=", "%=", "&=", "|=", "^=", "==", "!=",
+                                "<=", ">=", "&&", "||", "<<", ">>"};
+
+}  // namespace
+
+bool IsKeyword(std::string_view ident) {
+  static const std::set<std::string_view> kKeywords = {
+      "alignas",   "alignof",  "auto",      "bool",     "break",
+      "case",      "catch",    "char",      "class",    "co_await",
+      "co_return", "co_yield", "const",     "consteval","constexpr",
+      "constinit", "continue", "decltype",  "default",  "delete",
+      "do",        "double",   "else",      "enum",     "explicit",
+      "export",    "extern",   "false",     "float",    "for",
+      "friend",    "goto",     "if",        "inline",   "int",
+      "long",      "mutable",  "namespace", "new",      "noexcept",
+      "nullptr",   "operator", "private",   "protected","public",
+      "register",  "requires", "return",    "short",    "signed",
+      "sizeof",    "static",   "struct",    "switch",   "template",
+      "this",      "throw",    "true",      "try",      "typedef",
+      "typeid",    "typename", "union",     "unsigned", "using",
+      "virtual",   "void",     "volatile",  "wchar_t",  "while"};
+  return kKeywords.count(ident) != 0;
+}
+
+std::vector<Token> Lex(std::string_view stripped) {
+  std::vector<Token> tokens;
+  tokens.reserve(stripped.size() / 4);
+  int line = 1;
+  int col = 1;
+  std::size_t i = 0;
+  bool at_line_start = true;  // Only whitespace seen on this line so far.
+  while (i < stripped.size()) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      ++col;
+      continue;
+    }
+    // Preprocessor directive: swallow the logical line (with backslash
+    // continuations) so #define bodies can't unbalance the scope tree.
+    if (c == '#' && at_line_start) {
+      while (i < stripped.size()) {
+        std::size_t nl = stripped.find('\n', i);
+        if (nl == std::string_view::npos) {
+          i = stripped.size();
+          break;
+        }
+        // Continuation if the last non-space char before the newline is a
+        // backslash.
+        std::size_t last = nl;
+        while (last > i &&
+               std::isspace(static_cast<unsigned char>(stripped[last - 1]))) {
+          --last;
+        }
+        const bool continues = last > i && stripped[last - 1] == '\\';
+        i = nl + 1;
+        ++line;
+        col = 1;
+        if (!continues) break;
+      }
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+
+    Token tok;
+    tok.offset = i;
+    tok.line = line;
+    tok.col = col;
+    if (IsIdentStart(c)) {
+      std::size_t end = i;
+      while (end < stripped.size() && IsIdentChar(stripped[end])) ++end;
+      tok.kind = Token::Kind::kIdent;
+      tok.text = stripped.substr(i, end - i);
+      col += static_cast<int>(end - i);
+      i = end;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < stripped.size() &&
+                std::isdigit(static_cast<unsigned char>(stripped[i + 1])))) {
+      // pp-number: digits, idents, dots, and exponent signs.
+      std::size_t end = i;
+      while (end < stripped.size()) {
+        const char n = stripped[end];
+        if (IsIdentChar(n) || n == '.') {
+          ++end;
+        } else if ((n == '+' || n == '-') && end > i &&
+                   (stripped[end - 1] == 'e' || stripped[end - 1] == 'E' ||
+                    stripped[end - 1] == 'p' || stripped[end - 1] == 'P')) {
+          ++end;
+        } else {
+          break;
+        }
+      }
+      tok.kind = Token::Kind::kNumber;
+      tok.text = stripped.substr(i, end - i);
+      col += static_cast<int>(end - i);
+      i = end;
+    } else {
+      tok.kind = Token::Kind::kPunct;
+      std::size_t len = 1;
+      for (const char* p : kPuncts3) {
+        if (stripped.compare(i, 3, p) == 0) {
+          len = 3;
+          break;
+        }
+      }
+      if (len == 1) {
+        for (const char* p : kPuncts2) {
+          if (stripped.compare(i, 2, p) == 0) {
+            len = 2;
+            break;
+          }
+        }
+      }
+      tok.text = stripped.substr(i, len);
+      col += static_cast<int>(len);
+      i += len;
+    }
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+}  // namespace detlint

@@ -1,0 +1,46 @@
+// detlint v2 front half, stage 1: the lexer.
+//
+// Turns stripped source (StripCommentsAndStrings output — comments and
+// literal bodies already blanked) into a flat token stream with precise
+// line:col spans. Everything downstream — the scope tree, the symbol
+// table, the flow graph, and the flow-sensitive rules — works on these
+// tokens instead of raw lines, which is what lets detlint v2 see lambda
+// captures, declarations, and data flow that the v1 regex scanner could
+// not. Preprocessor directive lines (including backslash continuations)
+// are dropped here so macro bodies with unbalanced braces cannot corrupt
+// the scope tree; the v1 per-line rules still see them in the stripped
+// text (e.g. the `#pragma omp parallel` raw-thread pattern).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlint {
+
+struct Token {
+  enum class Kind {
+    kIdent,   ///< Identifier or keyword.
+    kNumber,  ///< Numeric literal (pp-number; good enough for flow).
+    kPunct,   ///< Operator/punctuator; multi-char operators are one token.
+  };
+  Kind kind = Kind::kPunct;
+  std::string_view text;     ///< View into the stripped source.
+  std::size_t offset = 0;    ///< Byte offset in the stripped source.
+  int line = 1;              ///< 1-based.
+  int col = 1;               ///< 1-based byte column.
+
+  bool Is(std::string_view s) const { return text == s; }
+  bool IsIdent() const { return kind == Kind::kIdent; }
+};
+
+/// Lexes stripped source into tokens. Never fails: unrecognized bytes
+/// become single-char punctuators.
+std::vector<Token> Lex(std::string_view stripped);
+
+/// True for C++ keywords that can never be a variable/function name the
+/// flow rules care about (control flow, type specifiers, operators).
+bool IsKeyword(std::string_view ident);
+
+}  // namespace detlint

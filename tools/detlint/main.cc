@@ -1,11 +1,14 @@
 // detlint CLI. Usage:
 //
-//   detlint [--root DIR] [--allowlist FILE] [--list-rules] [paths...]
+//   detlint [--root DIR] [--allowlist FILE] [--list-rules] [--json]
+//           [paths...]
 //
 // Paths are directories or files relative to --root (default: the current
 // directory); when none are given the standard scan set {src, bench, tests}
 // is used. Exit status is 0 when no unallowlisted finding remains, 1
 // otherwise, 2 on usage/IO errors. Wired into ctest as `ctest -L lint`.
+// --json emits the machine-readable document CI turns into annotations
+// (scripts/detlint_annotations.py).
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -45,7 +48,7 @@ std::string RelativeName(const fs::path& path, const fs::path& root) {
 
 int Usage(std::ostream& out, int code) {
   out << "usage: detlint [--root DIR] [--allowlist FILE] [--list-rules] "
-         "[paths...]\n"
+         "[--json] [paths...]\n"
          "Scans C++ sources for determinism/correctness hazards "
          "(docs/STATIC_ANALYSIS.md).\n";
   return code;
@@ -56,6 +59,7 @@ int Usage(std::ostream& out, int code) {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   fs::path allowlist_path;
+  bool json = false;
   std::vector<std::string> wanted;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -63,6 +67,8 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--allowlist" && i + 1 < argc) {
       allowlist_path = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--list-rules") {
       for (const auto& rule : detlint::Rules()) {
         std::cout << rule.id << " (" << detlint::SeverityName(rule.severity)
@@ -164,8 +170,13 @@ int main(int argc, char** argv) {
             [](const detlint::Finding& a, const detlint::Finding& b) {
               if (a.file != b.file) return a.file < b.file;
               if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
               return a.rule < b.rule;
             });
+  if (json) {
+    std::cout << detlint::FormatFindingsJson(findings);
+    return findings.empty() ? 0 : 1;
+  }
   for (const auto& finding : findings) {
     std::cout << detlint::FormatFinding(finding) << "\n";
   }

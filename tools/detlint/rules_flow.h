@@ -1,0 +1,40 @@
+// detlint v2: the flow-sensitive rules.
+//
+// These run over the IR built by lexer/scope_tree/symbols/flow instead
+// of raw lines:
+//
+//   * parallel-shared-write — a lambda handed to ThreadPool::ParallelFor
+//     (or a pool's Submit) that captures by reference / via `this` and
+//     writes state not indexed by the loop induction variable. This is
+//     the exact race/nondeterminism shape the deterministic pool exists
+//     to prevent: per-index output slots merged in index order are safe
+//     (`out[i] = ...`), anything else lets scheduling reach the bytes.
+//   * clock-taint — values derived from RealClock / raw wall-clock reads
+//     propagated through assignments and returns (intra-TU, to a
+//     fixpoint) into Serialize()/Snapshot/Export sinks.
+//   * unordered-iter — range-for over an unordered container whose
+//     iteration order can *reach* an RNG draw or a serialization sink:
+//     either a marker call inside the loop body, or a variable written
+//     in the body that flows into one later. Replaces the v1
+//     same-function heuristic (a known FP/FN source) with the same
+//     sink-reachability machinery clock-taint uses.
+//   * lock-order — two mutexes acquired in opposite nesting orders
+//     anywhere in the TU (by mutex name, conservatively; std::scoped_lock
+//     multi-lock acquisitions are exempt because std::lock orders them).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detlint.h"
+
+namespace detlint {
+
+/// Builds the IR for one file and appends findings from the four
+/// flow-sensitive rules. `stripped` must be StripCommentsAndStrings
+/// output; `original` supplies excerpts.
+void RunFlowRules(const std::string& path, std::string_view original,
+                  std::string_view stripped, std::vector<Finding>* out);
+
+}  // namespace detlint

@@ -1,0 +1,62 @@
+#include "scope_tree.h"
+
+namespace detlint {
+
+ScopeTree::ScopeTree(const std::vector<Token>& tokens) {
+  Scope root;
+  root.open_tok = 0;
+  root.close_tok = tokens.size();
+  scopes_.push_back(root);
+
+  std::vector<int> stack = {0};
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].Is("{")) {
+      Scope s;
+      s.parent = stack.back();
+      s.open_tok = i;
+      s.close_tok = tokens.size();  // Patched when the '}' arrives.
+      const int index = static_cast<int>(scopes_.size());
+      scopes_.push_back(s);
+      scopes_[static_cast<std::size_t>(stack.back())].children.push_back(
+          index);
+      stack.push_back(index);
+    } else if (tokens[i].Is("}")) {
+      if (stack.size() > 1) {
+        scopes_[static_cast<std::size_t>(stack.back())].close_tok = i;
+        stack.pop_back();
+      }
+      // A stray '}' at root scope is ignored (tolerant parse).
+    }
+  }
+  // Unclosed scopes keep close_tok == tokens.size().
+}
+
+int ScopeTree::InnermostAt(std::size_t tok_index) const {
+  int best = 0;
+  // Scopes are recorded in opening order, so the last scope that contains
+  // the token is the innermost one.
+  for (std::size_t s = 1; s < scopes_.size(); ++s) {
+    if (scopes_[s].open_tok <= tok_index &&
+        tok_index <= scopes_[s].close_tok) {
+      best = static_cast<int>(s);
+    }
+  }
+  return best;
+}
+
+bool ScopeTree::IsWithin(int inner, int outer) const {
+  while (inner != -1) {
+    if (inner == outer) return true;
+    inner = scopes_[static_cast<std::size_t>(inner)].parent;
+  }
+  return false;
+}
+
+int ScopeTree::ScopeOpenedAt(std::size_t open_tok) const {
+  for (std::size_t s = 1; s < scopes_.size(); ++s) {
+    if (scopes_[s].open_tok == open_tok) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+}  // namespace detlint

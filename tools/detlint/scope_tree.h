@@ -1,0 +1,52 @@
+// detlint v2 front half, stage 2: the balanced-brace scope tree.
+//
+// Every `{...}` in the token stream becomes a node; the root scope spans
+// the whole translation unit. The tree answers the two questions the
+// symbol table and the flow rules keep asking: "which scope encloses
+// this token?" and "is scope A inside scope B?" — i.e. whether a write
+// inside a lambda body targets a lambda-local declaration or a captured
+// outer variable. Unbalanced input (truncated files, macro tricks the
+// lexer's directive-skipping didn't catch) degrades gracefully: open
+// braces with no partner close at end-of-stream.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lexer.h"
+
+namespace detlint {
+
+struct Scope {
+  int parent = -1;                    ///< Index into ScopeTree::scopes.
+  std::size_t open_tok = 0;           ///< Token index of '{' (root: 0).
+  std::size_t close_tok = 0;          ///< Token index of '}' (root: size).
+  std::vector<int> children;
+};
+
+class ScopeTree {
+ public:
+  /// Builds the tree; scopes_[0] is the root.
+  explicit ScopeTree(const std::vector<Token>& tokens);
+
+  const std::vector<Scope>& scopes() const { return scopes_; }
+  const Scope& at(int index) const {
+    return scopes_[static_cast<std::size_t>(index)];
+  }
+
+  /// Index of the innermost scope whose braces strictly contain the
+  /// token (root scope if none). For the '{' / '}' tokens themselves,
+  /// returns the scope they delimit.
+  int InnermostAt(std::size_t tok_index) const;
+
+  /// True when `inner` equals `outer` or is nested anywhere inside it.
+  bool IsWithin(int inner, int outer) const;
+
+  /// The scope opened by the '{' at `open_tok`, or -1.
+  int ScopeOpenedAt(std::size_t open_tok) const;
+
+ private:
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace detlint

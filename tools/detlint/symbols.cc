@@ -1,0 +1,474 @@
+#include "symbols.h"
+
+#include <algorithm>
+
+namespace detlint {
+namespace {
+
+// Type-position keywords that may appear inside a declarator's type.
+bool IsTypeKeyword(std::string_view t) {
+  return t == "const" || t == "auto" || t == "unsigned" || t == "signed" ||
+         t == "long" || t == "short" || t == "int" || t == "char" ||
+         t == "double" || t == "float" || t == "bool" || t == "void" ||
+         t == "volatile" || t == "struct" || t == "class" || t == "enum" ||
+         t == "typename" || t == "wchar_t" || t == "static" ||
+         t == "constexpr" || t == "mutable";
+}
+
+bool IsStopBeforeDecl(const Token& t) {
+  return t.Is(";") || t.Is("{") || t.Is("}") || t.Is("(") || t.Is(",");
+}
+
+// Extracts the declared name from one parameter declarator: the last
+// identifier, unless it is the tail of a qualified type name
+// (`std::size_t` — last ident preceded by `::` means the parameter is
+// unnamed). Returns "" for unnamed parameters.
+ParamDecl ParseParam(const std::vector<Token>& toks, std::size_t begin,
+                     std::size_t end) {
+  ParamDecl p;
+  std::size_t name_tok = end;
+  for (std::size_t i = end; i > begin; --i) {
+    const Token& t = toks[i - 1];
+    if (t.IsIdent() && !IsKeyword(t.text)) {
+      if (i - 1 > begin && toks[i - 2].Is("::")) break;  // Qualified type.
+      name_tok = i - 1;
+      break;
+    }
+    if (t.Is("=") ) continue;   // Default argument: keep walking left.
+    if (!t.IsIdent() && !t.Is("&") && !t.Is("&&") && !t.Is("*") &&
+        !t.Is(">") && !t.Is("...") && !t.Is("=")) {
+      // Default-argument expressions etc.: walk past them.
+      continue;
+    }
+  }
+  if (name_tok != end) {
+    p.name = std::string(toks[name_tok].text);
+    for (std::size_t i = begin; i < name_tok; ++i) {
+      if (!p.type.empty()) p.type += ' ';
+      p.type += std::string(toks[i].text);
+    }
+  } else {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!p.type.empty()) p.type += ' ';
+      p.type += std::string(toks[i].text);
+    }
+  }
+  return p;
+}
+
+// Walks backwards past one balanced <...> whose '>' is at `i`; returns
+// the index of the matching '<', or `i` when unbalanced.
+std::size_t SkipAnglesBackward(const std::vector<Token>& toks,
+                               std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i + 1; j > 0; --j) {
+    const Token& t = toks[j - 1];
+    if (t.Is(">")) depth += 1;
+    if (t.Is(">>")) depth += 2;
+    if (t.Is("<")) depth -= 1;
+    if (t.Is("<<")) depth -= 2;
+    if (depth <= 0) return j - 1;
+    if (t.Is(";") || t.Is("{") || t.Is("}")) break;
+  }
+  return i;
+}
+
+// Skips a balanced <...> starting at the '<' at `i`; returns the index
+// one past the matching '>', or i + 1 when unbalanced.
+std::size_t SkipAnglesForward(const std::vector<Token>& toks,
+                              std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.Is("<")) depth += 1;
+    if (t.Is("<<")) depth += 2;
+    if (t.Is(">")) depth -= 1;
+    if (t.Is(">>")) depth -= 2;
+    if (depth <= 0) return j + 1;
+    if (t.Is(";") || t.Is("{")) break;
+  }
+  return i + 1;
+}
+
+}  // namespace
+
+std::size_t MatchForward(const std::vector<Token>& tokens, std::size_t open) {
+  if (open >= tokens.size()) return tokens.size();
+  const std::string_view o = tokens[open].text;
+  std::string_view c;
+  if (o == "(") {
+    c = ")";
+  } else if (o == "[") {
+    c = "]";
+  } else if (o == "{") {
+    c = "}";
+  } else {
+    return tokens.size();
+  }
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].Is(o)) ++depth;
+    if (tokens[i].Is(c)) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return tokens.size();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> SplitTopLevelCommas(
+    const std::vector<Token>& tokens, std::size_t begin, std::size_t end) {
+  std::vector<std::pair<std::size_t, std::size_t>> pieces;
+  int depth = 0;
+  std::size_t start = begin;
+  for (std::size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.Is("(") || t.Is("[") || t.Is("{")) ++depth;
+    if (t.Is(")") || t.Is("]") || t.Is("}")) --depth;
+    if (depth == 0 && t.Is(",")) {
+      pieces.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  if (start < end) pieces.emplace_back(start, end);
+  return pieces;
+}
+
+SymbolTable::SymbolTable(const std::vector<Token>& tokens,
+                         const ScopeTree& tree) {
+  scope_depth_.assign(tree.scopes().size(), 0);
+  for (std::size_t s = 1; s < tree.scopes().size(); ++s) {
+    scope_depth_[s] =
+        scope_depth_[static_cast<std::size_t>(tree.scopes()[s].parent)] + 1;
+  }
+  ParseLambdas(tokens, tree);
+  ParseFunctions(tokens, tree);
+  ParseVarDecls(tokens, tree);
+  IndexFunctions(tokens, tree);
+}
+
+void SymbolTable::ParseLambdas(const std::vector<Token>& toks,
+                               const ScopeTree& tree) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].Is("[")) continue;
+    // Attributes [[...]] and subscripts a[i] / f()[i] are not lambdas.
+    if (i + 1 < toks.size() && toks[i + 1].Is("[")) continue;
+    if (i > 0) {
+      const Token& prev = toks[i - 1];
+      if (prev.Is("[")) continue;
+      if (prev.kind == Token::Kind::kNumber) continue;
+      if (prev.Is(")") || prev.Is("]")) continue;
+      if (prev.IsIdent() && !IsKeyword(prev.text)) continue;
+      if (prev.Is("auto")) continue;  // Structured binding.
+    }
+
+    LambdaInfo lam;
+    lam.intro_tok = i;
+    // Capture list: up to the matching ']'.
+    const std::size_t intro_end = MatchForward(toks, i);
+    const std::size_t close = intro_end - 1;  // ']'.
+    if (close <= i || close >= toks.size() || !toks[close].Is("]")) continue;
+    for (const auto& [b, e] : SplitTopLevelCommas(toks, i + 1, close)) {
+      if (b >= e) continue;
+      const Token& first = toks[b];
+      if (e - b == 1 && first.Is("&")) {
+        lam.default_ref = true;
+      } else if (e - b == 1 && first.Is("=")) {
+        lam.default_copy = true;
+      } else if (first.Is("this")) {
+        lam.captures_this = true;
+      } else if (first.Is("*") && b + 1 < e && toks[b + 1].Is("this")) {
+        lam.captures_this_copy = true;
+      } else if (first.Is("&")) {
+        for (std::size_t j = b + 1; j < e; ++j) {
+          if (toks[j].IsIdent()) {
+            lam.ref_captures.insert(std::string(toks[j].text));
+            break;
+          }
+        }
+      } else {
+        for (std::size_t j = b; j < e; ++j) {
+          if (toks[j].IsIdent()) {
+            lam.copy_captures.insert(std::string(toks[j].text));
+            break;
+          }
+        }
+      }
+    }
+
+    // Optional template intro, parameter list, specifiers, body.
+    std::size_t j = close + 1;
+    if (j < toks.size() && toks[j].Is("<")) j = SkipAnglesForward(toks, j);
+    if (j < toks.size() && toks[j].Is("(")) {
+      const std::size_t pend = MatchForward(toks, j);
+      for (const auto& [b, e] : SplitTopLevelCommas(toks, j + 1, pend - 1)) {
+        lam.params.push_back(ParseParam(toks, b, e));
+      }
+      j = pend;
+    }
+    bool found_body = false;
+    for (int guard = 0; guard < 64 && j < toks.size(); ++guard) {
+      const Token& t = toks[j];
+      if (t.Is("{")) {
+        found_body = true;
+        break;
+      }
+      if (t.Is(";") || t.Is(")") || t.Is(",") || t.Is("]") || t.Is("}")) {
+        break;  // Not a lambda after all (or a body-less declaration).
+      }
+      if (t.Is("(") || t.Is("<")) {
+        j = t.Is("(") ? MatchForward(toks, j) : SkipAnglesForward(toks, j);
+        continue;
+      }
+      ++j;
+    }
+    if (!found_body) continue;
+    lam.body_open_tok = j;
+    lam.body_scope = tree.ScopeOpenedAt(j);
+    if (lam.body_scope < 0) continue;
+    if (i >= 2 && toks[i - 1].Is("=") && toks[i - 2].IsIdent() &&
+        !IsKeyword(toks[i - 2].text)) {
+      lam.assigned_to = std::string(toks[i - 2].text);
+    }
+
+    const int lambda_index = static_cast<int>(lambdas_.size());
+    FunctionDecl fn;
+    fn.name = lam.assigned_to;
+    fn.params = lam.params;
+    fn.name_tok = i;
+    fn.body_open_tok = lam.body_open_tok;
+    fn.body_scope = lam.body_scope;
+    fn.lambda_index = lambda_index;
+    lambdas_.push_back(std::move(lam));
+    functions_.push_back(std::move(fn));
+  }
+}
+
+void SymbolTable::ParseFunctions(const std::vector<Token>& toks,
+                                 const ScopeTree& tree) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].IsIdent() || IsKeyword(toks[i].text)) continue;
+    if (!toks[i + 1].Is("(")) continue;
+    if (i > 0 && (toks[i - 1].Is(".") || toks[i - 1].Is("->"))) continue;
+
+    const std::size_t pend = MatchForward(toks, i + 1);
+    if (pend >= toks.size()) continue;
+    std::size_t j = pend;
+    // Cv/ref/noexcept qualifiers.
+    bool bad = false;
+    while (j < toks.size()) {
+      const Token& t = toks[j];
+      if (t.Is("const") || t.Is("override") || t.Is("final") ||
+          t.Is("mutable") || t.Is("&") || t.Is("&&")) {
+        ++j;
+      } else if (t.Is("noexcept")) {
+        ++j;
+        if (j < toks.size() && toks[j].Is("(")) j = MatchForward(toks, j);
+      } else if (t.Is("->")) {
+        // Trailing return type: walk type tokens until '{' or give up.
+        ++j;
+        int guard = 0;
+        while (j < toks.size() && guard++ < 64) {
+          if (toks[j].Is("{") || toks[j].Is(";") || toks[j].Is(":")) break;
+          if (toks[j].Is("<")) {
+            j = SkipAnglesForward(toks, j);
+          } else if (toks[j].Is("(")) {
+            j = MatchForward(toks, j);
+          } else if (toks[j].IsIdent() || toks[j].Is("::") || toks[j].Is("*") ||
+                     toks[j].Is("&") || toks[j].Is("&&")) {
+            ++j;
+          } else {
+            bad = true;
+            break;
+          }
+        }
+      } else {
+        break;
+      }
+    }
+    if (bad || j >= toks.size()) continue;
+    if (toks[j].Is(":")) {
+      // Constructor member-init list: ident[(...)|{...}] (, ...)* '{'.
+      ++j;
+      int guard = 0;
+      while (j < toks.size() && guard++ < 256) {
+        while (j < toks.size() &&
+               (toks[j].IsIdent() || toks[j].Is("::") || toks[j].Is("..."))) {
+          ++j;
+        }
+        if (j < toks.size() && toks[j].Is("<")) {
+          j = SkipAnglesForward(toks, j);
+          continue;
+        }
+        if (j >= toks.size() || (!toks[j].Is("(") && !toks[j].Is("{"))) {
+          bad = true;
+          break;
+        }
+        j = MatchForward(toks, j);
+        if (j < toks.size() && toks[j].Is(",")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (bad) continue;
+    }
+    if (j >= toks.size() || !toks[j].Is("{")) continue;
+    const int body_scope = tree.ScopeOpenedAt(j);
+    if (body_scope < 0) continue;
+
+    FunctionDecl fn;
+    fn.name = std::string(toks[i].text);
+    fn.name_tok = i;
+    fn.body_open_tok = j;
+    fn.body_scope = body_scope;
+    for (const auto& [b, e] : SplitTopLevelCommas(toks, i + 2, pend - 1)) {
+      fn.params.push_back(ParseParam(toks, b, e));
+    }
+    functions_.push_back(std::move(fn));
+  }
+}
+
+void SymbolTable::ParseVarDecls(const std::vector<Token>& toks,
+                                const ScopeTree& tree) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Structured bindings: auto [&] '[' a, b ']' = ...
+    if (toks[i].Is("[") && i > 0 &&
+        (toks[i - 1].Is("auto") ||
+         ((toks[i - 1].Is("&") || toks[i - 1].Is("&&")) && i > 1 &&
+          toks[i - 2].Is("auto")))) {
+      const std::size_t bend = MatchForward(toks, i);
+      for (std::size_t j = i + 1; j + 1 < bend; ++j) {
+        if (toks[j].IsIdent()) {
+          vars_.push_back(VarDecl{std::string(toks[j].text), "auto-binding",
+                                  tree.InnermostAt(j), j});
+        }
+      }
+      continue;
+    }
+
+    if (!toks[i].IsIdent() || IsKeyword(toks[i].text)) continue;
+    if (i + 1 >= toks.size()) continue;
+    const Token& next = toks[i + 1];
+    if (!next.Is("=") && !next.Is(";") && !next.Is("{") && !next.Is("(") &&
+        !next.Is(",") && !next.Is(")") && !next.Is(":")) {
+      continue;
+    }
+    if (next.Is(":") && i + 2 < toks.size() && toks[i + 2].Is(":")) continue;
+
+    // Gather the type backwards; reject unless the declarator is preceded
+    // by a plausible type run that starts a statement/parameter.
+    std::vector<std::size_t> type_toks;
+    bool valid = i == 0;
+    std::size_t j = i;
+    int guard = 0;
+    while (j > 0 && guard++ < 32) {
+      const Token& t = toks[j - 1];
+      if (IsStopBeforeDecl(t)) {
+        valid = true;
+        break;
+      }
+      if (t.Is(">") || t.Is(">>")) {
+        const std::size_t lt = SkipAnglesBackward(toks, j - 1);
+        if (lt == j - 1) break;  // Unbalanced: comparison, not a template.
+        for (std::size_t k = j; k > lt; --k) type_toks.push_back(k - 1);
+        j = lt;
+        continue;
+      }
+      if (t.Is("*") || t.Is("&") || t.Is("&&") || t.Is("::") ||
+          (t.IsIdent() && (!IsKeyword(t.text) || IsTypeKeyword(t.text)))) {
+        type_toks.push_back(j - 1);
+        --j;
+        continue;
+      }
+      break;  // Operator, '.', 'return', '=', ... — not a declaration.
+    }
+    if (!valid || type_toks.empty()) continue;
+    // The leftmost type token must be a name, not a '*' / '&'.
+    const Token& leftmost = toks[type_toks.back()];
+    if (!leftmost.IsIdent()) continue;
+
+    std::string type;
+    for (auto it = type_toks.rbegin(); it != type_toks.rend(); ++it) {
+      if (!type.empty()) type += ' ';
+      type += std::string(toks[*it].text);
+    }
+    vars_.push_back(
+        VarDecl{std::string(toks[i].text), type, tree.InnermostAt(i), i});
+  }
+
+  // Parameters are visible throughout their function body.
+  for (const FunctionDecl& fn : functions_) {
+    for (const ParamDecl& p : fn.params) {
+      if (p.name.empty()) continue;
+      vars_.push_back(VarDecl{p.name, p.type, fn.body_scope,
+                              fn.body_open_tok});
+    }
+  }
+
+  // Remember scope parents for Lookup (the tree itself may not outlive us).
+  scope_parent_.assign(tree.scopes().size(), -1);
+  for (std::size_t s = 0; s < tree.scopes().size(); ++s) {
+    scope_parent_[s] = tree.scopes()[s].parent;
+  }
+}
+
+void SymbolTable::IndexFunctions(const std::vector<Token>& toks,
+                                 const ScopeTree& tree) {
+  tok_func_.assign(toks.size(), -1);
+  for (std::size_t f = 0; f < functions_.size(); ++f) {
+    const FunctionDecl& fn = functions_[f];
+    const Scope& body = tree.at(fn.body_scope);
+    const int depth = scope_depth_[static_cast<std::size_t>(fn.body_scope)];
+    for (std::size_t t = body.open_tok;
+         t <= body.close_tok && t < toks.size(); ++t) {
+      const int cur = tok_func_[t];
+      if (cur == -1 ||
+          scope_depth_[static_cast<std::size_t>(
+              functions_[static_cast<std::size_t>(cur)].body_scope)] < depth) {
+        tok_func_[t] = static_cast<int>(f);
+      }
+    }
+  }
+}
+
+const VarDecl* SymbolTable::Lookup(int scope, std::string_view name) const {
+  const VarDecl* best = nullptr;
+  int best_depth = -1;
+  for (const VarDecl& v : vars_) {
+    if (v.name != name) continue;
+    // Is v.scope an ancestor-or-self of `scope`?
+    int s = scope;
+    while (s != -1 && s != v.scope) {
+      s = scope_parent_[static_cast<std::size_t>(s)];
+    }
+    if (s != v.scope) continue;
+    const int d = scope_depth_[static_cast<std::size_t>(v.scope)];
+    if (d > best_depth) {
+      best_depth = d;
+      best = &v;
+    }
+  }
+  return best;
+}
+
+const LambdaInfo* SymbolTable::LambdaNamed(std::string_view name) const {
+  for (auto it = lambdas_.rbegin(); it != lambdas_.rend(); ++it) {
+    if (it->assigned_to == name) return &*it;
+  }
+  return nullptr;
+}
+
+const LambdaInfo* SymbolTable::LambdaAtIntro(std::size_t intro_tok) const {
+  for (const LambdaInfo& l : lambdas_) {
+    if (l.intro_tok == intro_tok) return &l;
+  }
+  return nullptr;
+}
+
+int SymbolTable::FunctionAt(std::size_t tok_index) const {
+  if (tok_index >= tok_func_.size()) return -1;
+  return tok_func_[tok_index];
+}
+
+}  // namespace detlint

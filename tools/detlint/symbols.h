@@ -1,0 +1,116 @@
+// detlint v2 front half, stage 3: the per-TU symbol table.
+//
+// A deliberately pragmatic (no-preprocessor, no-template-instantiation)
+// model of one translation unit, built from the token stream + scope
+// tree:
+//
+//   * variable declarations  — `TYPE name [=({,;]` patterns, including
+//     range-for declarations and `auto [a, b] = ...` structured bindings,
+//     each attached to its innermost scope with its textual type;
+//   * lambdas                — capture defaults (`&`/`=`), explicit
+//     by-ref/by-value captures, `this`, parameter names, the body scope,
+//     and the variable the lambda is assigned to (so a call site can
+//     resolve `pool->ParallelFor(n, evaluate_move)` back to the lambda);
+//   * function definitions   — name, parameters, body scope; lambdas are
+//     registered as functions too (named by their assigned variable) so
+//     the intra-TU call/flow graph can chase `helper()` calls through
+//     both shapes.
+//
+// The model errs toward *missing* a declaration rather than inventing
+// one only where that keeps rules conservative; the flow rules document
+// which direction each lookup fails safe in.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+#include "scope_tree.h"
+
+namespace detlint {
+
+struct ParamDecl {
+  std::string name;  ///< Empty for unnamed parameters.
+  std::string type;  ///< Textual declarator prefix (may be approximate).
+};
+
+struct VarDecl {
+  std::string name;
+  std::string type;      ///< Type tokens joined by spaces ("std :: ...").
+  int scope = 0;         ///< Innermost scope containing the declaration.
+  std::size_t tok = 0;   ///< Token index of the declared name.
+};
+
+struct LambdaInfo {
+  std::size_t intro_tok = 0;      ///< Token index of '['.
+  std::size_t body_open_tok = 0;  ///< Token index of the body '{'.
+  int body_scope = -1;
+  bool default_ref = false;       ///< [&...]
+  bool default_copy = false;      ///< [=...]
+  bool captures_this = false;     ///< [this] (reference semantics).
+  bool captures_this_copy = false;  ///< [*this] (value semantics).
+  std::set<std::string> ref_captures;
+  std::set<std::string> copy_captures;  ///< Incl. by-value init-captures.
+  std::vector<ParamDecl> params;
+  std::string assigned_to;        ///< `auto NAME = [...]`, else empty.
+};
+
+struct FunctionDecl {
+  std::string name;  ///< Unqualified; lambdas use their assigned_to name.
+  std::vector<ParamDecl> params;
+  std::size_t name_tok = 0;       ///< Lambdas: the '[' token.
+  std::size_t body_open_tok = 0;
+  int body_scope = -1;
+  int lambda_index = -1;          ///< Into SymbolTable::lambdas, or -1.
+};
+
+class SymbolTable {
+ public:
+  SymbolTable(const std::vector<Token>& tokens, const ScopeTree& tree);
+
+  const std::vector<VarDecl>& vars() const { return vars_; }
+  const std::vector<LambdaInfo>& lambdas() const { return lambdas_; }
+  const std::vector<FunctionDecl>& functions() const { return functions_; }
+
+  /// Innermost declaration of `name` visible from `scope` (walking up
+  /// the scope chain), or nullptr. Fails toward nullptr, which rules
+  /// treat as "not provably local" — the conservative direction.
+  const VarDecl* Lookup(int scope, std::string_view name) const;
+
+  /// The last lambda assigned to a variable of this name, or nullptr.
+  const LambdaInfo* LambdaNamed(std::string_view name) const;
+
+  /// The lambda whose capture-intro '[' sits at this token, or nullptr.
+  const LambdaInfo* LambdaAtIntro(std::size_t intro_tok) const;
+
+  /// Index of the innermost function whose body contains the token, or
+  /// -1 (namespace scope). O(1) after construction.
+  int FunctionAt(std::size_t tok_index) const;
+
+ private:
+  void ParseLambdas(const std::vector<Token>& toks, const ScopeTree& tree);
+  void ParseFunctions(const std::vector<Token>& toks, const ScopeTree& tree);
+  void ParseVarDecls(const std::vector<Token>& toks, const ScopeTree& tree);
+  void IndexFunctions(const std::vector<Token>& toks, const ScopeTree& tree);
+
+  std::vector<VarDecl> vars_;
+  std::vector<LambdaInfo> lambdas_;
+  std::vector<FunctionDecl> functions_;
+  std::vector<int> tok_func_;   ///< Innermost function per token.
+  std::vector<int> scope_depth_;
+  std::vector<int> scope_parent_;  ///< Copied so Lookup outlives the tree.
+};
+
+/// Splits a balanced argument/parameter token range [begin, end) into
+/// top-level comma-separated pieces; returns (begin, end) index pairs.
+std::vector<std::pair<std::size_t, std::size_t>> SplitTopLevelCommas(
+    const std::vector<Token>& tokens, std::size_t begin, std::size_t end);
+
+/// Token index one past the match of the opener at `open` ('(' / '[' /
+/// '{'), or `tokens.size()` when unbalanced.
+std::size_t MatchForward(const std::vector<Token>& tokens, std::size_t open);
+
+}  // namespace detlint

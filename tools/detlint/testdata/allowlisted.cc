@@ -1,9 +1,51 @@
-// detlint fixture: a justified wall-clock read, suppressed by
-// allowlist_fixture.txt (the allowlisted case).
+// detlint fixture: justified findings, one per suppressible rule family,
+// all suppressed by allowlist_fixture.txt (the allowlisted cases).
 #include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <vector>
 
 double JustifiedRealClock() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+class ThreadPool {
+ public:
+  template <typename Fn>
+  void ParallelFor(std::size_t n, Fn&& fn);
+};
+
+// Justified parallel shared write (fixture pretext: the pool is built
+// with a single worker here, so the accumulation cannot race).
+double JustifiedSharedWrite(ThreadPool& pool,
+                            const std::vector<double>& xs) {
+  double sum = 0.0;
+  pool.ParallelFor(xs.size(), [&](std::size_t i) { sum += xs[i]; });
+  return sum;
+}
+
+// Justified clock taint (fixture pretext: a build stamp deliberately
+// embedded in a diagnostics-only export).
+void ExportBuildStamp(double v);
+void JustifiedClockExport() {
+  const auto t0 = std::chrono::system_clock::now();
+  ExportBuildStamp(static_cast<double>(t0.time_since_epoch().count()));
+}
+
+// Justified lock-order inversion (fixture pretext: the two call sites
+// are proven never concurrent). Both guard lines share the `second(`
+// token so one allowlist entry covers both findings.
+std::mutex order_a;
+std::mutex order_b;
+void JustifiedOrderOne(int* x) {
+  std::lock_guard<std::mutex> first(order_a);
+  std::lock_guard<std::mutex> second(order_b);
+  ++*x;
+}
+void JustifiedOrderTwo(int* x) {
+  std::lock_guard<std::mutex> first(order_b);
+  std::lock_guard<std::mutex> second(order_a);
+  ++*x;
 }

@@ -1,0 +1,48 @@
+// detlint fixture: clock-taint rule.
+//
+// Note this fixture also fires the line-granular wall-clock rule on the
+// raw ::now() reads; the clock-taint tests filter by rule id.
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+std::string Serialize(std::uint64_t v);
+void ExportMetric(double v);
+
+// Positive: the wall-clock read is laundered through a helper's return
+// value and a local before it reaches Serialize() — only visible to the
+// flow engine, not to any per-line scan.
+std::uint64_t NowWall() {
+  return static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+}
+std::string PositiveClockIntoSerialize() {
+  std::uint64_t stamp = NowWall();
+  return Serialize(stamp);
+}
+
+// Positive: direct read assigned to a local that feeds a telemetry
+// export.
+void PositiveClockIntoExport() {
+  const auto t0 = std::chrono::steady_clock::now();
+  ExportMetric(static_cast<double>(t0.time_since_epoch().count()));
+}
+
+// Negative: the sanctioned injection pattern — NowMicros() on an
+// abstract Clock is deterministic in sim runs (the virtual event-loop
+// clock), so it is deliberately not a taint source.
+struct Clock {
+  virtual ~Clock() = default;
+  virtual std::uint64_t NowMicros() = 0;
+};
+std::string NegativeInjectedClock(Clock* injected) {
+  const std::uint64_t t = injected->NowMicros();
+  return Serialize(t);
+}
+
+// Negative: a wall-clock read whose value never reaches a serialization
+// or export sink (wall-clock still fires, clock-taint must not).
+double NegativeClockUnreaching() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}

@@ -1,0 +1,64 @@
+// detlint fixture: lock-order rule.
+#include <mutex>
+
+std::mutex mu_a;
+std::mutex mu_b;
+std::mutex mu_c;
+
+// Positive pair: mu_a is held while mu_b is taken here...
+void PositiveFirstOrder(int* x) {
+  std::lock_guard<std::mutex> ga(mu_a);
+  std::lock_guard<std::mutex> gb(mu_b);
+  ++*x;
+}
+
+// ...and mu_b is held while mu_a is taken here. Both second-acquisition
+// sites are flagged.
+void PositiveSecondOrder(int* x) {
+  std::lock_guard<std::mutex> gb(mu_b);
+  std::lock_guard<std::mutex> ga(mu_a);
+  ++*x;
+}
+
+// Negative: the same nesting order everywhere is fine.
+void NegativeConsistent(int* x) {
+  std::lock_guard<std::mutex> ga(mu_a);
+  std::lock_guard<std::mutex> gc(mu_c);
+  ++*x;
+}
+void NegativeConsistentAgain(int* x) {
+  std::lock_guard<std::mutex> ga(mu_a);
+  std::lock_guard<std::mutex> gc(mu_c);
+  --*x;
+}
+
+// Negative: std::scoped_lock acquires both atomically via std::lock's
+// deadlock-avoidance algorithm, so the textual order is irrelevant.
+void NegativeScopedLock(int* x) {
+  std::scoped_lock both(mu_c, mu_b);
+  ++*x;
+}
+
+// Negative: sequential scopes — the first guard is destroyed before the
+// second is taken, so no ordering relationship exists (would otherwise
+// invert PositiveFirstOrder).
+void NegativeSequentialScopes(int* x) {
+  {
+    std::lock_guard<std::mutex> gb(mu_b);
+    ++*x;
+  }
+  {
+    std::lock_guard<std::mutex> ga(mu_a);
+    ++*x;
+  }
+}
+
+// Negative: manual lock()/unlock() released before the next acquisition
+// (would otherwise read as mu_b-then-mu_a).
+void NegativeManualRelease(int* x) {
+  mu_b.lock();
+  ++*x;
+  mu_b.unlock();
+  std::lock_guard<std::mutex> ga(mu_a);
+  ++*x;
+}

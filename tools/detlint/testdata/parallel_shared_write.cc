@@ -1,0 +1,97 @@
+// detlint fixture: parallel-shared-write rule.
+#include <cstddef>
+#include <vector>
+
+class ThreadPool {
+ public:
+  template <typename Fn>
+  void ParallelFor(std::size_t n, Fn&& fn);
+  template <typename Fn>
+  void Submit(Fn&& fn);
+  void Wait();
+};
+
+// Positive: by-ref capture written without indexing by the induction
+// variable — every iteration races on `sum` and the final value depends
+// on scheduling.
+double PositiveSharedAccumulator(ThreadPool& pool,
+                                 const std::vector<double>& xs) {
+  double sum = 0.0;
+  pool.ParallelFor(xs.size(), [&](std::size_t i) {
+    sum += xs[i];
+  });
+  return sum;
+}
+
+// Positive: member write through the captured `this` pointer.
+class Aggregator {
+ public:
+  void PositiveMemberWrite(ThreadPool& pool, std::size_t n) {
+    pool.ParallelFor(n, [this](std::size_t) { ++count_; });
+  }
+
+ private:
+  std::size_t count_ = 0;
+};
+
+// Positive: mutating method call on a ref-captured container (push_back
+// is not index-slotted even when the argument mentions the index).
+void PositiveMutatingMethod(ThreadPool& pool, std::vector<int>& out,
+                            std::size_t n) {
+  pool.ParallelFor(n, [&out](std::size_t v) {
+    out.push_back(static_cast<int>(v));
+  });
+}
+
+// Positive: the task is a *named* lambda, resolved through the symbol
+// table at the ParallelFor call site. The slotted hist[i] write is fine;
+// the unslotted counter is not.
+void PositiveNamedLambda(ThreadPool& pool, std::vector<int>& hist,
+                         std::size_t n) {
+  std::size_t hits = 0;
+  auto bump = [&](std::size_t i) {
+    hist[i] = 1;
+    hits += 1;
+  };
+  pool.ParallelFor(n, bump);
+}
+
+// Positive: Submit tasks have no induction variable at all, so any
+// shared write races with other submitted tasks.
+void PositiveSubmitShared(ThreadPool* pool, std::vector<int>& results) {
+  pool->Submit([&] { results.push_back(1); });
+  pool->Wait();
+}
+
+// Negative: per-index output slots — the sanctioned ParallelFor shape
+// (each iteration owns out[i]; the merge happens in index order).
+std::vector<double> NegativeSlotted(ThreadPool& pool,
+                                    const std::vector<double>& xs) {
+  std::vector<double> out(xs.size());
+  pool.ParallelFor(xs.size(), [&](std::size_t i) { out[i] = xs[i] * 2.0; });
+  return out;
+}
+
+// Negative: all writes target task-local variables.
+void NegativeTaskLocal(ThreadPool& pool, std::size_t n) {
+  pool.ParallelFor(n, [](std::size_t i) {
+    std::size_t acc = 0;
+    for (std::size_t j = 0; j < i; ++j) acc += j;
+  });
+}
+
+// Negative: by-value capture mutates the task's own copy.
+void NegativeCopyCapture(ThreadPool& pool, std::size_t n) {
+  std::size_t base = 10;
+  pool.ParallelFor(n, [base](std::size_t) mutable { base += 1; });
+}
+
+// Negative: Submit on a non-pool receiver — the deterministic event-loop
+// server runs submitted work serially, so the write cannot race.
+struct SimServer {
+  template <typename Fn>
+  void Submit(Fn&& fn);
+};
+void NegativeServerSubmit(SimServer& server, std::vector<int>& log) {
+  server.Submit([&] { log.push_back(1); });
+}

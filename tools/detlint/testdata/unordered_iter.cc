@@ -54,3 +54,24 @@ std::vector<int> PositiveTelemetryPath(
   for (const auto& kv : counters) out.push_back(ExportCounter(kv.second));
   return out;
 }
+
+// Positive (v2 sink-reachability): nothing suspicious inside the loop
+// body, but the vector filled in hash order is serialized afterwards —
+// the order-tainted value reaches the sink through a local variable.
+int SerializeAll(const std::vector<int>& order);
+int PositiveReachesSerializeLater(const std::unordered_set<int>& ids) {
+  std::vector<int> order;
+  for (int id : ids) order.push_back(id);
+  return SerializeAll(order);
+}
+
+// Regression (v1 false positive): the loop only aggregates, and the RNG
+// draw in the same function never consumes anything the loop wrote. The
+// v1 same-function heuristic flagged this; sink-reachability must not.
+std::uint64_t NegativeUnrelatedRngSameFunction(
+    const std::unordered_map<int, double>& weights, FakeRng& rng) {
+  double total = 0.0;
+  for (const auto& kv : weights) total += kv.second;
+  const std::uint64_t salt = rng.NextU64();
+  return salt ^ static_cast<std::uint64_t>(total);
+}
