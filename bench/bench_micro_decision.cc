@@ -169,6 +169,32 @@ BENCHMARK(BM_PolicyFullSolve)
     ->Args({1, 1})   // Hungarian reference, serial sweep.
     ->Unit(benchmark::kMillisecond);
 
+// The pluggable-objective overhead at the same operating point: the full
+// policy solve scored by each built-in objective family (objective =
+// ObjectiveKind: 0 mean, 1 p10, 2 mean-stdev, 3 fair-mean). The perf gate
+// (scripts/check_perf_regression.py) holds every non-default objective —
+// including the distribution-scoring ones, which materialize per-bucket
+// QoE value vectors — to <= 1.3x the scalar mean fast path.
+void BM_ObjectiveSolve(benchmark::State& state) {
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const WideModel g;
+  const auto externals = BenchExternals(256);
+  PolicyConfig config;
+  config.per_request = true;  // One bucket per distinct delay: n = 256.
+  config.max_hill_climb_steps = 2;
+  config.objective.kind = static_cast<ObjectiveKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePolicy(qoe, g, externals, 90.0, config));
+  }
+}
+BENCHMARK(BM_ObjectiveSolve)
+    ->ArgNames({"objective"})
+    ->Arg(0)   // Mean QoE (the scalar fast path).
+    ->Arg(1)   // Tail percentile (distribution path).
+    ->Arg(2)   // Mean minus stdev (distribution path).
+    ->Arg(3)   // Fairness-constrained mean (scalar path).
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TableLookup(benchmark::State& state) {
   const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
   const LinearModel g;

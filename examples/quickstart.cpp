@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   const DecisionTable* t = controller.CurrentTable();
   std::cout << "\nPlanned load split across replicas:";
   for (double f : t->load_fractions) std::cout << " " << TextTable::Pct(f * 100);
-  std::cout << "\nExpected mean QoE: " << TextTable::Num(t->expected_mean_qoe, 3)
+  std::cout << "\nExpected mean QoE: " << TextTable::Num(t->objective_value, 3)
             << "\nMean decision latency: "
             << TextTable::Num(controller.stats().MeanLookupWallUs(), 2)
             << " us/request\n";

@@ -9,7 +9,13 @@ Reads google-benchmark JSON for the policy micro-benchmarks and enforces:
    both the raw solve (BM_MappingSolve) and the end-to-end policy
    (BM_PolicyFullSolve).
 
-2. Regression gate (vs the committed baseline, speed-normalized): per
+2. Objective-overhead gate (in-run, machine-independent): every pluggable
+   policy objective (BM_ObjectiveSolve/objective:k, k > 0) must stay
+   within OBJECTIVE_OVERHEAD times the scalar mean objective
+   (objective:0) — distribution scoring is only allowed to cost a bounded
+   premium over the historical fast path.
+
+3. Regression gate (vs the committed baseline, speed-normalized): per
    benchmark, compute current/baseline; the median ratio estimates the
    machine-speed difference, and any benchmark slower than
    median * (1 + TOLERANCE) is a relative regression and fails. A
@@ -25,9 +31,12 @@ import sys
 
 MIN_SPEEDUP = 5.0
 TOLERANCE = 0.20
+OBJECTIVE_OVERHEAD = 1.3
 
 FAST = "mapping:0/workers:1"
 REFERENCE = "mapping:1/workers:1"
+OBJECTIVE_BENCH = "BM_ObjectiveSolve"
+OBJECTIVE_FAST = "objective:0"
 
 
 def load_times(path):
@@ -78,8 +87,37 @@ def check_speedup(times):
     return ok
 
 
+def check_objective_overhead(times):
+    mean_time = None
+    others = {}
+    for name, t in times.items():
+        if not name.startswith(OBJECTIVE_BENCH + "/"):
+            continue
+        if name.endswith(OBJECTIVE_FAST):
+            mean_time = t
+        else:
+            others[name] = t
+    if mean_time is None or not others:
+        print(f"check_perf_regression: {OBJECTIVE_BENCH}: missing "
+              "mean/objective runs in the input", file=sys.stderr)
+        return False
+    ok = True
+    for name in sorted(others):
+        ratio = others[name] / mean_time
+        status = "ok" if ratio <= OBJECTIVE_OVERHEAD else "FAIL"
+        print(f"{name}: {ratio:.2f}x the mean objective "
+              f"(gate: <= {OBJECTIVE_OVERHEAD:.1f}x) ... {status}")
+        if ratio > OBJECTIVE_OVERHEAD:
+            ok = False
+    return ok
+
+
 def check_regression(baseline, current):
-    shared = sorted(set(baseline) & set(current))
+    # The objective benches are gated by their in-run overhead ratio (gate
+    # 2), which is machine-independent; their absolute times are too noisy
+    # at 3 repetitions for the cross-run compare, so they are excluded here.
+    shared = sorted(name for name in set(baseline) & set(current)
+                    if not name.startswith(OBJECTIVE_BENCH + "/"))
     if not shared:
         print("check_perf_regression: baseline and current share no "
               "benchmarks", file=sys.stderr)
@@ -114,6 +152,7 @@ def main():
 
     current = load_times(args.current)
     ok = check_speedup(current)
+    ok = check_objective_overhead(current) and ok
     if not args.speedup_only:
         if not args.baseline:
             parser.error("--baseline is required unless --speedup-only")

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Policy perf-regression harness (docs/PERFORMANCE.md).
 #
-# Runs the policy micro-benchmarks (BM_MappingSolve, BM_PolicyFullSolve)
-# and either refreshes the committed baseline or gates against it:
+# Runs the policy micro-benchmarks (BM_MappingSolve, BM_PolicyFullSolve,
+# BM_ObjectiveSolve) and either refreshes the committed baseline or gates
+# against it:
 #
 #   scripts/run_perf_baseline.sh            # refresh bench/BENCH_policy.json
 #   scripts/run_perf_baseline.sh --check    # fail on regression vs baseline
@@ -29,7 +30,7 @@ current="$(mktemp)"
 trap 'rm -f "$current"' EXIT
 
 "$bench_bin" \
-  --benchmark_filter='BM_MappingSolve|BM_PolicyFullSolve' \
+  --benchmark_filter='BM_MappingSolve|BM_PolicyFullSolve|BM_ObjectiveSolve' \
   --benchmark_format=json \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=false \

@@ -104,7 +104,7 @@ bool Controller::Tick(double now_ms) {
     LogStream log(LogLevel::kDebug, name_);
     log << "t=" << now_ms << " rps=" << rps << " buckets="
         << result.stats.buckets << " expectedQ="
-        << result.table.expected_mean_qoe << " fractions:";
+        << result.table.objective_value << " fractions:";
     for (double f : result.table.load_fractions) log << ' ' << f;
   }
   cache_.Install(std::move(result.table),

@@ -90,7 +90,7 @@ double ExpectedQoe(const QoeModel& qoe, DelayMs c,
 
 // Result of evaluating one allocation.
 struct Evaluation {
-  double mean_qoe = 0.0;
+  double objective_value = 0.0;
   std::vector<int> decision_of_bucket;
   std::vector<double> expected_qoe_of_bucket;
 };
@@ -98,10 +98,12 @@ struct Evaluation {
 class AllocationEvaluator {
  public:
   AllocationEvaluator(const QoeModel& qoe, const ServerDelayModel& g,
+                      const Objective& objective,
                       std::span<const PolicyBucket> buckets, double total_rps,
                       const PolicyConfig& config, PolicyStats& stats)
       : qoe_(qoe),
         g_(g),
+        objective_(objective),
         buckets_(buckets),
         total_rps_(total_rps),
         config_(config),
@@ -180,12 +182,13 @@ class AllocationEvaluator {
         actual[static_cast<std::size_t>(eval.decision_of_bucket[b])] +=
             buckets_[b].weight;
       }
-      eval.mean_qoe = ScoreMapping(eval.decision_of_bucket, actual);
+      eval.objective_value = ScoreMapping(eval.decision_of_bucket, actual);
       if (config_.stress_weight > 0.0 && config_.stress_factor > 1.0) {
         const double stressed = ScoreMapping(eval.decision_of_bucket, actual,
                                              config_.stress_factor);
-        eval.mean_qoe = (1.0 - config_.stress_weight) * eval.mean_qoe +
-                        config_.stress_weight * stressed;
+        eval.objective_value =
+            (1.0 - config_.stress_weight) * eval.objective_value +
+            config_.stress_weight * stressed;
       }
       if (config_.instability_penalty > 0.0) {
         double overloaded_mass = 0.0;
@@ -195,15 +198,19 @@ class AllocationEvaluator {
             overloaded_mass += buckets_[b].weight;
           }
         }
-        eval.mean_qoe -=
+        eval.objective_value -=
             config_.instability_penalty * qoe_.Qoe(0.0) * overloaded_mass;
       }
     }
     return eval;
   }
 
-  // Mean QoE of a fixed mapping when G is driven by `fractions`, at
-  // `rate_factor` times the planned load.
+  // Objective score of a fixed mapping when G is driven by `fractions`, at
+  // `rate_factor` times the planned load. Builds one QoeBucketView per
+  // bucket, in bucket-index order; per-bucket QoE distributions (the view's
+  // value/probability spans) are only materialized when the objective asks
+  // for them, and for the mean fast path the expected-QoE accumulation is
+  // byte-for-byte the historical ExpectedQoe loop.
   double ScoreMapping(const std::vector<int>& decision_of_bucket,
                       const std::vector<double>& fractions,
                       double rate_factor = 1.0) const {
@@ -214,14 +221,39 @@ class AllocationEvaluator {
       delay_of_decision.push_back(
           g_.DelayDistribution(d, fractions, total_rps_ * rate_factor));
     }
-    double total = 0.0;
+    const bool need_distribution = objective_.NeedsDistribution();
+    std::vector<QoeBucketView> views(buckets_.size());
+    // Owns the per-bucket Q(rep + s) vectors the views alias; must outlive
+    // the Score call below.
+    std::vector<std::vector<double>> qoe_values;
+    if (need_distribution) qoe_values.resize(buckets_.size());
     for (std::size_t b = 0; b < buckets_.size(); ++b) {
-      total += buckets_[b].weight *
-               ExpectedQoe(qoe_, buckets_[b].representative,
-                           delay_of_decision[static_cast<std::size_t>(
-                               decision_of_bucket[b])]);
+      const DiscreteDistribution& f =
+          delay_of_decision[static_cast<std::size_t>(decision_of_bucket[b])];
+      QoeBucketView& view = views[b];
+      view.weight = buckets_[b].weight;
+      if (need_distribution) {
+        const auto values = f.values();
+        const auto probs = f.probabilities();
+        std::vector<double>& qv = qoe_values[b];
+        qv.resize(values.size());
+        // Same accumulation order and arithmetic as ExpectedQoe — qv[i]
+        // stores the exact double the historical loop multiplied — so the
+        // expected value is bitwise identical on both paths.
+        double expected = 0.0;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          qv[i] = qoe_.Qoe(buckets_[b].representative + values[i]);
+          expected += qv[i] * probs[i];
+        }
+        view.expected_qoe = expected;
+        view.qoe_values = qv;
+        view.probabilities = probs;
+      } else {
+        view.expected_qoe =
+            ExpectedQoe(qoe_, buckets_[b].representative, f);
+      }
     }
-    return total;
+    return objective_.Score(views);
   }
 
   Evaluation SolveWithFractions(const std::vector<int>& units,
@@ -343,14 +375,15 @@ class AllocationEvaluator {
       }
     }
 
-    for (std::size_t b = 0; b < n; ++b) {
-      eval.mean_qoe += buckets_[b].weight * eval.expected_qoe_of_bucket[b];
-    }
+    // No score here: EvaluateUncached always re-scores the final mapping at
+    // the split it actually creates, so an intermediate mean would be dead
+    // weight (and wrong for non-mean objectives).
     return eval;
   }
 
   const QoeModel& qoe_;
   const ServerDelayModel& g_;
+  const Objective& objective_;
   std::span<const PolicyBucket> buckets_;
   double total_rps_;
   const PolicyConfig& config_;
@@ -369,8 +402,10 @@ PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
   result.stats.buckets = static_cast<int>(buckets.size());
 
   const int num_decisions = g.NumDecisions();
-  AllocationEvaluator evaluator(qoe, g, buckets, total_rps, config,
-                                result.stats);
+  const std::unique_ptr<const Objective> objective =
+      MakeObjective(config.objective);
+  AllocationEvaluator evaluator(qoe, g, *objective, buckets, total_rps,
+                                config, result.stats);
 
   // Neighbor evaluations are independent given the shared (mutex-guarded)
   // cache, so the best-improvement sweep fans out across a small pool.
@@ -383,7 +418,7 @@ PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
 
   // Best-improvement hill climbing over single-unit transfers.
   auto climb = [&](std::vector<int> start) {
-    double qoe_now = evaluator.Evaluate(start).mean_qoe;
+    double qoe_now = evaluator.Evaluate(start).objective_value;
     for (int step = 0; step < config.max_hill_climb_steps; ++step) {
       // Deterministic neighbor enumeration: single-unit transfers in
       // (from, to) lexicographic order.
@@ -399,7 +434,7 @@ PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
         std::vector<int> neighbor = start;
         --neighbor[moves[i].first];
         ++neighbor[moves[i].second];
-        neighbor_qoe[i] = evaluator.Evaluate(neighbor).mean_qoe;
+        neighbor_qoe[i] = evaluator.Evaluate(neighbor).objective_value;
       };
       if (pool != nullptr) {
         pool->ParallelFor(moves.size(), evaluate_move);
@@ -448,7 +483,7 @@ PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
   // allocations by — any drift would mean the installed table and the
   // penalty-adjusted objective describe different plans.
   const Evaluation& eval = evaluator.Evaluate(best);
-  if (eval.mean_qoe != best_qoe) {
+  if (eval.objective_value != best_qoe) {
     throw std::logic_error(
         "RunPolicy: materialized table diverged from the winning climb "
         "score");
@@ -456,7 +491,7 @@ PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
   DecisionTable& table = result.table;
   table.rows.reserve(buckets.size());
   table.load_fractions.assign(static_cast<std::size_t>(num_decisions), 0.0);
-  table.expected_mean_qoe = eval.mean_qoe;
+  table.objective_value = eval.objective_value;
   for (std::size_t b = 0; b < buckets.size(); ++b) {
     DecisionTableRow row;
     row.lo = buckets[b].lo;
@@ -501,11 +536,19 @@ const DecisionTableRow& DecisionTable::LookupRow(
 PolicyResult ComputePolicy(const QoeModel& qoe, const ServerDelayModel& g,
                            std::span<const DelayMs> external_delays,
                            double total_rps, const PolicyConfig& config) {
+  // Thin wrapper: batch-load into a Bucketizer and delegate, so both entry
+  // points share one solver path. In per-request mode the bucketizer's
+  // sorted sample multiset feeds the same duplicate-collapsing path this
+  // overload used to run directly; in coarsened mode the Bucketizer is the
+  // one this overload used to construct internally. Byte-identical either
+  // way.
   if (external_delays.empty()) {
     throw std::invalid_argument("ComputePolicy: no external delays");
   }
-  return RunPolicy(qoe, g, BuildBuckets(external_delays, config), total_rps,
-                   config);
+  return ComputePolicy(qoe, g,
+                       Bucketizer(external_delays, config.target_buckets,
+                                  config.max_bucket_span_ms),
+                       total_rps, config);
 }
 
 PolicyResult ComputePolicy(const QoeModel& qoe, const ServerDelayModel& g,
@@ -522,11 +565,7 @@ PolicyResult ComputeSlopePolicy(const QoeModel& qoe, const ServerDelayModel& g,
                                 std::span<const DelayMs> external_delays,
                                 double total_rps, PolicyConfig config) {
   config.mapping = MappingAlgorithm::kSlopeBased;
-  if (external_delays.empty()) {
-    throw std::invalid_argument("ComputePolicy: no external delays");
-  }
-  return RunPolicy(qoe, g, BuildBuckets(external_delays, config), total_rps,
-                   config);
+  return ComputePolicy(qoe, g, external_delays, total_rps, config);
 }
 
 }  // namespace e2e

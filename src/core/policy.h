@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/server_delay_model.h"
+#include "qoe/objective.h"
 #include "qoe/qoe_model.h"
 #include "util/types.h"
 
@@ -85,6 +86,14 @@ struct PolicyConfig {
   /// only works at the mean is fragile.
   double stress_factor = 1.3;
   double stress_weight = 0.0;
+
+  /// What the top-level allocation search maximizes (qoe/objective.h). The
+  /// default mean-QoE objective scores bit-identically to the historical
+  /// evaluator, so stock configs keep producing byte-identical tables. The
+  /// bottom-level mapping solve always stays mean-optimal per allocation —
+  /// linearity is what keeps it exact — while this objective ranks the
+  /// candidate tables those solves produce.
+  ObjectiveConfig objective;
 };
 
 /// One row of the decision lookup table (§5): requests whose (estimated)
@@ -101,7 +110,18 @@ struct DecisionTableRow {
 struct DecisionTable {
   std::vector<DecisionTableRow> rows;   ///< Sorted by lo.
   std::vector<double> load_fractions;   ///< Resulting per-decision split.
-  double expected_mean_qoe = 0.0;       ///< Weighted mean E[Q].
+  /// Score of this table under the configured objective (weighted mean
+  /// E[Q] for the default mean objective), including any stress mix and
+  /// instability dock applied by the allocation search.
+  double objective_value = 0.0;
+
+  /// Pre-objective name for `objective_value`, kept as an accessor through
+  /// one release so downstream callers get a deprecation warning instead
+  /// of a silent break.
+  [[deprecated("renamed: use objective_value")]] double expected_mean_qoe()
+      const {
+    return objective_value;
+  }
 
   /// O(log n) decision lookup (out-of-range delays clamp to the
   /// first/last row). Requires a non-empty table.
@@ -135,19 +155,23 @@ struct PolicyResult {
   PolicyStats stats;
 };
 
-/// Computes the QoE-optimizing decision table for the requests described by
-/// `external_delays` arriving at `total_rps`, against the given QoE curve
-/// and server-delay model. Throws when inputs are empty/invalid.
+/// Computes the objective-optimizing decision table for the requests
+/// described by `external_delays` arriving at `total_rps`, against the given
+/// QoE curve and server-delay model. Thin wrapper over the Bucketizer
+/// overload below — it batch-loads the delays into a
+/// Bucketizer(config.target_buckets, config.max_bucket_span_ms) and
+/// delegates, so both entry points share one solver path and stay
+/// byte-identical by construction. Throws when inputs are empty/invalid.
 PolicyResult ComputePolicy(const QoeModel& qoe, const ServerDelayModel& g,
                            std::span<const DelayMs> external_delays,
                            double total_rps, const PolicyConfig& config);
 
-/// Overload taking a (possibly streamed/merged) Bucketizer instead of raw
-/// delays, so sharded replays can accumulate per-window stats incrementally
-/// and still get byte-identical tables: the streaming bucket view is bitwise
+/// The canonical entry point: takes a (possibly streamed/merged) Bucketizer,
+/// so sharded replays can accumulate per-window stats incrementally and
+/// still get byte-identical tables — the streaming bucket view is bitwise
 /// equal to the batch one, and when `config.per_request` the bucketizer's
-/// sorted sample multiset feeds the same per-request path the span overload
-/// uses. The bucketizer's own target_buckets/max_span govern coarsening
+/// sorted sample multiset feeds the same duplicate-collapsing per-request
+/// path. The bucketizer's own target_buckets/max_span govern coarsening
 /// (config.target_buckets/max_bucket_span_ms are ignored here). Throws when
 /// the bucketizer is empty.
 PolicyResult ComputePolicy(const QoeModel& qoe, const ServerDelayModel& g,

@@ -1,0 +1,70 @@
+#include "qoe/abandonment.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace e2e {
+namespace {
+
+// splitmix64: the standard 64-bit finalizer-based generator step. Used here
+// as a *hash*, not a stream: each (seed, session) pair gets its own two
+// output words, so thresholds are order-independent by construction.
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Top 53 bits to a double in (0, 1): never 0 (safe under log) and never 1.
+double ToUnit(std::uint64_t bits) {
+  return (static_cast<double>(bits >> 11) + 0.5) * 0x1.0p-53;
+}
+
+}  // namespace
+
+AbandonmentModel::AbandonmentModel(const AbandonmentConfig& config)
+    : config_(config) {
+  if (config.patience_fast_ms <= 0.0 || config.patience_sensitive_ms <= 0.0 ||
+      config.patience_slow_ms <= 0.0) {
+    throw std::invalid_argument("AbandonmentModel: patience must be > 0");
+  }
+  if (config.jitter_sigma < 0.0) {
+    throw std::invalid_argument("AbandonmentModel: jitter_sigma < 0");
+  }
+}
+
+DelayMs AbandonmentModel::PatienceMs(std::uint64_t session_id,
+                                     SensitivityClass cls) const {
+  double base = 0.0;
+  switch (cls) {
+    case SensitivityClass::kTooFastToMatter:
+      base = config_.patience_fast_ms;
+      break;
+    case SensitivityClass::kSensitive:
+      base = config_.patience_sensitive_ms;
+      break;
+    case SensitivityClass::kTooSlowToMatter:
+      base = config_.patience_slow_ms;
+      break;
+  }
+  if (config_.jitter_sigma == 0.0) return base;
+  // Box–Muller over two hash-derived uniforms: a standard normal that is a
+  // pure function of (seed, session_id).
+  std::uint64_t state = config_.seed ^ (session_id * 0x9e3779b97f4a7c15ULL);
+  const double u1 = ToUnit(SplitMix64(state));
+  const double u2 = ToUnit(SplitMix64(state));
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return base * std::exp(config_.jitter_sigma * z);
+}
+
+bool AbandonmentModel::Abandons(std::uint64_t session_id, SensitivityClass cls,
+                                DelayMs total_delay_ms) const {
+  if (!config_.enabled) return false;
+  return total_delay_ms > PatienceMs(session_id, cls);
+}
+
+}  // namespace e2e

@@ -1,0 +1,74 @@
+// Session abandonment (docs/OBJECTIVES.md §abandonment).
+//
+// Users do not wait forever: when a page load's total delay crosses the
+// user's patience, the session quits, and every later page load of that
+// session never happens — lost users become lost traffic that the diurnal
+// load curve feels (the cobalt web-perf OKRs in SNIPPETS.md track exactly
+// this as a first-class metric). The model here assigns each session a
+// patience threshold drawn from a seeded lognormal around a per-sensitivity-
+// class base: patient classes (too-fast / too-slow-to-matter) tolerate more,
+// the sensitive class quits earliest.
+//
+// Determinism contract: the per-session threshold is a *pure hash* of
+// (seed, session id) — not a sequential RNG draw — so it is independent of
+// arrival order, shard count, and thread interleaving. Any two replays of
+// the same trace and config agree on every abandonment decision, byte-exact.
+#pragma once
+
+#include <cstdint>
+
+#include "qoe/qoe_model.h"
+#include "util/types.h"
+
+namespace e2e {
+
+/// Abandonment knobs. Disabled by default: every runner then behaves (and
+/// serializes) exactly as before the model existed.
+struct AbandonmentConfig {
+  bool enabled = false;
+
+  /// Base patience (total page delay, ms) by the sensitivity class of the
+  /// session's *external* delay: users on fast paths expect speed but
+  /// tolerate a slow page; users in the sensitive band are actively
+  /// deciding whether to stay; users on hopeless paths have self-selected
+  /// for patience.
+  DelayMs patience_fast_ms = 15000.0;
+  DelayMs patience_sensitive_ms = 8000.0;
+  DelayMs patience_slow_ms = 30000.0;
+
+  /// Lognormal spread of per-session patience around the class base
+  /// (sigma of ln patience). 0 gives every session its class base exactly.
+  double jitter_sigma = 0.25;
+
+  /// Mixed into the per-session hash; replays with different seeds draw
+  /// different patience populations.
+  std::uint64_t seed = 0;
+};
+
+/// Stateless, thread-safe abandonment predicate. Const methods are pure
+/// functions; the model holds no mutable state, so shards and event-loop
+/// callbacks may query it concurrently.
+class AbandonmentModel {
+ public:
+  /// Validates the config: patience bases must be positive and
+  /// jitter_sigma non-negative (throws std::invalid_argument).
+  explicit AbandonmentModel(const AbandonmentConfig& config);
+
+  bool enabled() const { return config_.enabled; }
+  const AbandonmentConfig& config() const { return config_; }
+
+  /// The patience threshold of `session_id` given its sensitivity class:
+  /// class base × exp(jitter_sigma · z), z a standard normal derived by
+  /// hashing (seed, session_id).
+  DelayMs PatienceMs(std::uint64_t session_id, SensitivityClass cls) const;
+
+  /// True when a total page delay of `total_delay_ms` makes the session
+  /// quit. Always false when the model is disabled.
+  bool Abandons(std::uint64_t session_id, SensitivityClass cls,
+                DelayMs total_delay_ms) const;
+
+ private:
+  AbandonmentConfig config_;
+};
+
+}  // namespace e2e

@@ -47,6 +47,37 @@ double JainFairnessIndex(std::span<const double> values) {
   return sum * sum / (static_cast<double>(values.size()) * sum_sq);
 }
 
+double WeightedJainFairnessIndex(std::span<const double> values,
+                                 std::span<const double> weights) {
+  if (values.size() != weights.size()) {
+    throw std::invalid_argument("WeightedJainFairnessIndex: size mismatch");
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("WeightedJainFairnessIndex: empty input");
+  }
+  double total_weight = 0.0;
+  double weighted_sum = 0.0;
+  double weighted_sum_sq = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < 0.0) {
+      throw std::invalid_argument("WeightedJainFairnessIndex: negative value");
+    }
+    if (weights[i] < 0.0) {
+      throw std::invalid_argument(
+          "WeightedJainFairnessIndex: negative weight");
+    }
+    total_weight += weights[i];
+    weighted_sum += weights[i] * values[i];
+    weighted_sum_sq += weights[i] * values[i] * values[i];
+  }
+  if (total_weight == 0.0) {
+    throw std::invalid_argument(
+        "WeightedJainFairnessIndex: zero total weight");
+  }
+  if (weighted_sum_sq == 0.0) return 1.0;  // All-zero: trivially fair.
+  return weighted_sum * weighted_sum / (total_weight * weighted_sum_sq);
+}
+
 double PearsonCorrelation(std::span<const double> xs,
                           std::span<const double> ys) {
   if (xs.size() != ys.size()) {

@@ -10,6 +10,15 @@ namespace e2e {
 /// any value is negative.
 double JainFairnessIndex(std::span<const double> values);
 
+/// Population-weighted Jain index: (Σ w·x)² / (Σ w · Σ w·x²), in (0, 1].
+/// Reduces to JainFairnessIndex when all weights are equal; zero-weight
+/// entries never influence the result (so per-bucket fairness is invariant
+/// to empty buckets). All-zero values are trivially fair (1). Throws on
+/// size mismatch, empty input, negative values/weights, or zero total
+/// weight.
+double WeightedJainFairnessIndex(std::span<const double> values,
+                                 std::span<const double> weights);
+
 /// Pearson product-moment correlation of two equal-length series. Returns 0
 /// when either series has zero variance. Throws on size mismatch or < 2
 /// points.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace e2e {
 
@@ -76,6 +77,48 @@ std::vector<double> Percentiles(std::span<const double> samples,
   out.reserve(ps.size());
   for (double p : ps) out.push_back(PercentileSorted(sorted, p));
   return out;
+}
+
+double WeightedPercentile(std::span<const double> values,
+                          std::span<const double> weights, double p) {
+  if (values.size() != weights.size()) {
+    throw std::invalid_argument("WeightedPercentile: size mismatch");
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("WeightedPercentile: empty input");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("WeightedPercentile: p out of [0,100]");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("WeightedPercentile: negative weight");
+    }
+    total += w;
+  }
+  if (total == 0.0) {
+    throw std::invalid_argument("WeightedPercentile: zero total weight");
+  }
+  // Stable sort of point masses by value (equal values keep input order;
+  // their masses accumulate to the same cumulative sum either way, but the
+  // determinism lint rightly wants no unspecified ordering at all).
+  std::vector<std::pair<double, double>> mass;
+  mass.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (weights[i] > 0.0) mass.emplace_back(values[i], weights[i]);
+  }
+  std::stable_sort(mass.begin(), mass.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  const double target = p / 100.0 * total;
+  double cumulative = 0.0;
+  for (const auto& [value, weight] : mass) {
+    cumulative += weight;
+    if (cumulative >= target) return value;
+  }
+  return mass.back().first;  // Floating-point shortfall: clamp to the max.
 }
 
 }  // namespace e2e

@@ -62,4 +62,14 @@ double PercentileSorted(std::span<const double> sorted, double p);
 std::vector<double> Percentiles(std::span<const double> samples,
                                 std::span<const double> ps);
 
+/// The p-th percentile (p in [0, 100]) of the discrete distribution given
+/// by parallel `values`/`weights` spans: the smallest value whose cumulative
+/// weight reaches p% of the total (lower inverse-CDF; no interpolation —
+/// the inputs are genuine point masses, not samples of a continuum).
+/// Zero-weight entries never influence the result. Throws
+/// std::invalid_argument when the spans mismatch or are empty, p is out of
+/// range, any weight is negative, or the total weight is zero.
+double WeightedPercentile(std::span<const double> values,
+                          std::span<const double> weights, double p);
+
 }  // namespace e2e

@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -247,6 +248,18 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
   }
   if (breaker_scheduler != nullptr) breaker_scheduler->InstallHooks();
 
+  // --- Session abandonment ----------------------------------------------
+  // Same semantics as the db runner: keyed on the true external delay, the
+  // session set only touched from (single-threaded) event-loop callbacks,
+  // and the counter registered only when the model is live so stock
+  // telemetry exports stay byte-identical.
+  const AbandonmentModel abandonment(config.common.abandonment);
+  std::unordered_set<std::uint64_t> abandoned_sessions;
+  obs::Counter* metric_abandoned =
+      abandonment.enabled()
+          ? &telemetry.metrics.AddCounter("testbed.abandoned")
+          : nullptr;
+
   // --- Replay ------------------------------------------------------------
   const auto schedule = BuildReplaySchedule(records, config.common.speedup);
   ExperimentResult result;
@@ -293,14 +306,16 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
   // re-enter it; `forced_priority >= 0` pins an admission downgrade across
   // retries. With resilience off this reduces exactly to the legacy
   // publish-with-confirm (first_ms == the broker's publish time).
-  auto publish =
-      std::make_shared<std::function<void(broker::Message, int, double, int)>>();
+  auto publish = std::make_shared<
+      std::function<void(broker::Message, int, double, int, std::uint64_t)>>();
   *publish = [&, publish](broker::Message message, int failures,
-                          double first_ms, int forced_priority) {
-    auto confirm = [&result, &qoe, &loop, first_ms,
+                          double first_ms, int forced_priority,
+                          std::uint64_t session_id) {
+    auto confirm = [&result, &qoe, &loop, &abandonment, &abandoned_sessions,
+                    metric_abandoned, first_ms,
                     breaker = breaker_scheduler.get(), id = message.id,
-                    external = message.external_delay_ms](
-                       const broker::Delivery& delivery) {
+                    external = message.external_delay_ms,
+                    session_id](const broker::Delivery& delivery) {
       if (breaker != nullptr) {
         breaker->RecordDelivery(delivery.priority, delivery.QueueingDelayMs(),
                                 loop.Now());
@@ -312,8 +327,18 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
       // The retry wait counts against the request: server-side delay runs
       // from the first publish attempt, not the one that got through.
       outcome.server_delay_ms = delivery.deliver_ms - first_ms;
-      outcome.qoe = qoe.Qoe(external + outcome.server_delay_ms);
       outcome.decision = delivery.priority;
+      const double total_delay = external + outcome.server_delay_ms;
+      if (abandonment.enabled() &&
+          (abandoned_sessions.count(session_id) > 0 ||
+           abandonment.Abandons(session_id, qoe.Classify(external),
+                                total_delay))) {
+        outcome.status = RequestStatus::kAbandoned;
+        abandoned_sessions.insert(session_id);
+        if (metric_abandoned != nullptr) metric_abandoned->Increment();
+      } else {
+        outcome.qoe = qoe.Qoe(total_delay);
+      }
       result.outcomes.push_back(outcome);
     };
     const bool ok =
@@ -328,8 +353,9 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
     if (backoff.has_value()) {
       if (metric_retries != nullptr) metric_retries->Increment();
       loop.ScheduleAfter(*backoff, [publish, message, failures, first_ms,
-                                    forced_priority]() {
-        (*publish)(message, failures + 1, first_ms, forced_priority);
+                                    forced_priority, session_id]() {
+        (*publish)(message, failures + 1, first_ms, forced_priority,
+                   session_id);
       });
       return;
     }
@@ -347,6 +373,20 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
   for (const auto& arrival : schedule) {
     loop.Schedule(arrival.testbed_time_ms, [&, arrival]() {
       const TraceRecord& rec = arrival.record;
+      // A request from a session that already quit never reaches the
+      // controller, admission, or the broker: the user is gone, so the
+      // load is too.
+      if (abandonment.enabled() &&
+          abandoned_sessions.count(rec.session_id) > 0) {
+        RequestOutcome outcome;
+        outcome.id = rec.request_id;
+        outcome.arrival_ms = loop.Now();
+        outcome.external_delay_ms = rec.external_delay_ms;
+        outcome.status = RequestStatus::kAbandoned;
+        result.outcomes.push_back(outcome);
+        if (metric_abandoned != nullptr) metric_abandoned->Increment();
+        return;
+      }
       if (controllers != nullptr) {
         controllers->ObserveArrival(rec.external_delay_ms, loop.Now());
       }
@@ -369,13 +409,13 @@ ExperimentResult RunBrokerExperiment(std::span<const TraceRecord> records,
           }
           case resilience::AdmissionDecision::kDowngrade:
             (*publish)(message, 0, publish_ms,
-                       config.broker.priority_levels - 1);
+                       config.broker.priority_levels - 1, rec.session_id);
             return;
           case resilience::AdmissionDecision::kAdmit:
             break;
         }
       }
-      (*publish)(message, 0, publish_ms, -1);
+      (*publish)(message, 0, publish_ms, -1, rec.session_id);
     });
   }
 

@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -162,6 +163,18 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
     injector->Arm();
   }
 
+  // --- Session abandonment ----------------------------------------------
+  // User behavior, so it keys off the *true* external delay, not the
+  // frontend's estimate. The session set is only touched from event-loop
+  // callbacks (single-threaded), and the counter is registered only when
+  // the model is live so stock telemetry exports stay byte-identical.
+  const AbandonmentModel abandonment(config.common.abandonment);
+  std::unordered_set<std::uint64_t> abandoned_sessions;
+  obs::Counter* metric_abandoned =
+      abandonment.enabled()
+          ? &telemetry.metrics.AddCounter("testbed.abandoned")
+          : nullptr;
+
   // --- Replay ------------------------------------------------------------
   const auto schedule = BuildReplaySchedule(records, config.common.speedup);
   ExperimentResult result;
@@ -172,6 +185,19 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
   for (const auto& arrival : schedule) {
     loop.Schedule(arrival.testbed_time_ms, [&, arrival]() {
       const TraceRecord& rec = arrival.record;
+      // A request from a session that already quit never reaches the
+      // controller or the cluster: the user is gone, so the load is too.
+      if (abandonment.enabled() &&
+          abandoned_sessions.count(rec.session_id) > 0) {
+        RequestOutcome outcome;
+        outcome.id = rec.request_id;
+        outcome.arrival_ms = loop.Now();
+        outcome.external_delay_ms = rec.external_delay_ms;
+        outcome.status = RequestStatus::kAbandoned;
+        result.outcomes.push_back(outcome);
+        if (metric_abandoned != nullptr) metric_abandoned->Increment();
+        return;
+      }
       const DelayMs tagged_external =
           frontend != nullptr ? frontend->EstimateExternal(rec)
                               : rec.external_delay_ms;
@@ -194,17 +220,35 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
                 : resil.hedge.insensitive_delay_ms;
       }
       executor.ExecuteRangeRead(
-          request, [&result, rec, &qoe](db::ReadResult read) {
+          request, [&result, rec, &qoe, &abandonment, &abandoned_sessions,
+                    metric_abandoned](db::ReadResult read) {
             RequestOutcome outcome;
             outcome.id = rec.request_id;
             outcome.arrival_ms = read.timing.enqueue_ms;
             outcome.external_delay_ms = rec.external_delay_ms;
             outcome.server_delay_ms = read.timing.TotalDelayMs();
-            outcome.qoe =
-                qoe.Qoe(rec.external_delay_ms + outcome.server_delay_ms);
             outcome.decision = read.replica;
-            outcome.status = read.failed_over ? RequestStatus::kFailedOver
-                                              : RequestStatus::kCompleted;
+            const double total_delay =
+                rec.external_delay_ms + outcome.server_delay_ms;
+            // The session quits if this delivery crossed its patience —
+            // or if a sibling request already triggered the quit while
+            // this one was in flight.
+            if (abandonment.enabled() &&
+                (abandoned_sessions.count(rec.session_id) > 0 ||
+                 abandonment.Abandons(rec.session_id,
+                                      qoe.Classify(rec.external_delay_ms),
+                                      total_delay))) {
+              outcome.status = RequestStatus::kAbandoned;
+              abandoned_sessions.insert(rec.session_id);
+              if (metric_abandoned != nullptr) {
+                metric_abandoned->Increment();
+              }
+            } else {
+              outcome.qoe = qoe.Qoe(total_delay);
+              outcome.status = read.failed_over
+                                   ? RequestStatus::kFailedOver
+                                   : RequestStatus::kCompleted;
+            }
             result.outcomes.push_back(outcome);
           });
     });

@@ -17,6 +17,7 @@
 
 #include "core/controller.h"
 #include "fault/plan.h"
+#include "qoe/abandonment.h"
 #include "resilience/config.h"
 #include "util/clock.h"
 
@@ -60,6 +61,14 @@ struct ExperimentConfig {
   /// mechanisms default to disabled, in which case runs replay
   /// byte-identically to the pre-resilience testbed.
   resilience::ResilienceConfig resilience;
+
+  /// Session abandonment model (qoe/abandonment.h, docs/OBJECTIVES.md):
+  /// when enabled, a session whose total delay exceeds its seeded patience
+  /// threshold quits, and its remaining requests are removed from
+  /// downstream load instead of being served. Disabled by default, in
+  /// which case runs replay byte-identically to the pre-abandonment
+  /// testbed.
+  AbandonmentConfig abandonment;
 
   /// Convenience for the runner configs' per-runner defaults.
   static ExperimentConfig WithSeed(std::uint64_t seed, double speedup = 1.0) {

@@ -15,6 +15,7 @@ void ExperimentResult::Finalize() {
   failed_over = 0;
   dropped = 0;
   shed = 0;
+  abandoned = 0;
   for (const auto& o : outcomes) {
     switch (o.status) {
       case RequestStatus::kCompleted:
@@ -28,6 +29,9 @@ void ExperimentResult::Finalize() {
         break;
       case RequestStatus::kShed:
         ++shed;
+        break;
+      case RequestStatus::kAbandoned:
+        ++abandoned;
         break;
     }
   }
@@ -73,6 +77,13 @@ std::string ExperimentResult::Serialize() const {
   obs::AppendField(&out, "dropped", dropped);
   out += ' ';
   obs::AppendField(&out, "shed", shed);
+  // Emitted only when an abandonment model fired: stock scenarios keep the
+  // exact historical byte stream (the golden replay regressions depend on
+  // it), while abandonment runs still round-trip their conservation count.
+  if (abandoned != 0) {
+    out += ' ';
+    obs::AppendField(&out, "abandoned", abandoned);
+  }
   out += '\n';
   obs::AppendField(&out, "mean_qoe", mean_qoe);
   out += ' ';

@@ -17,13 +17,16 @@ namespace e2e {
 /// served (failed-over ones were rerouted around a partitioned replica or
 /// won by a hedged clone); dropped requests were lost to an injected broker
 /// fault; shed requests were refused by QoE-aware admission control under
-/// overload. Together the four statuses account for every arrival — the
-/// conservation invariant the fault and resilience property tests assert.
+/// overload; abandoned requests belong to sessions whose user quit after
+/// total delay crossed their patience threshold (qoe/abandonment.h).
+/// Together the five statuses account for every arrival — the conservation
+/// invariant the fault, resilience, and objective property tests assert.
 enum class RequestStatus : std::uint8_t {
   kCompleted = 0,
   kFailedOver = 1,
   kDropped = 2,
   kShed = 3,
+  kAbandoned = 4,
 };
 
 /// Per-request outcome of an experiment run.
@@ -77,6 +80,10 @@ struct ExperimentResult {
   std::uint64_t failed_over = 0;
   std::uint64_t dropped = 0;
   std::uint64_t shed = 0;
+  /// Requests whose session abandoned (zero unless an abandonment model
+  /// was enabled; serialized only when non-zero so stock results stay
+  /// byte-identical).
+  std::uint64_t abandoned = 0;
 
   /// Mitigation-decision counters (zeros for resilience-off runs).
   ResilienceStats resilience;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 #include <tuple>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -29,6 +30,10 @@ struct OpenGroup {
 
   Bucketizer externals;
   std::vector<const TraceRecord*> records;
+  /// Parallel to `records`: set when the record's session had already
+  /// abandoned before this window, so the record was excluded from
+  /// `externals` at routing time (always false with abandonment off).
+  std::vector<std::uint8_t> pre_abandoned;
 };
 
 // A closed group queued on its shard, waiting for the next flush.
@@ -45,6 +50,12 @@ struct SolvedGroup {
   int page_index = 0;
   std::vector<RequestOutcome> outcomes;
   PolicyStats policy_stats;
+  /// Page model's MaxQoe(), for per-page histogram normalization.
+  double max_qoe = 1.0;
+  /// Sessions that quit inside this group, in record order. Applied to the
+  /// global abandoned-session set only during the serial merge, so solve()
+  /// stays a pure function and shards never race on shared state.
+  std::vector<std::uint64_t> newly_abandoned;
 };
 
 }  // namespace
@@ -80,6 +91,18 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
   obs::Counter& metric_windows =
       telemetry.metrics.AddCounter("controller.windows_streamed");
 
+  // Session abandonment (qoe/abandonment.h). The global session set is
+  // read on the serial routing path (membership only — never iterated) and
+  // written on the serial merge path, so shard threads never touch it. The
+  // counter is registered only when the model is live, keeping stock runs'
+  // telemetry exports byte-identical.
+  const AbandonmentModel abandonment(config.common.abandonment);
+  const bool abandonment_on = abandonment.enabled();
+  std::unordered_set<std::uint64_t> abandoned_sessions;
+  obs::Counter* metric_abandoned =
+      abandonment_on ? &telemetry.metrics.AddCounter("replay.abandoned")
+                     : nullptr;
+
   // Per-shard state, touched only by the owning shard during a flush and by
   // the (serial) router between flushes.
   std::vector<std::map<std::pair<std::int64_t, int>, OpenGroup>> open(
@@ -101,6 +124,7 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
   double sum_qoe = 0.0;
   double sum_server = 0.0;
   std::uint64_t served = 0;
+  std::uint64_t abandoned = 0;
   bool first_seen = false;
   double first_arrival = 0.0;
   double last_arrival = 0.0;
@@ -112,16 +136,50 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
     sg.window_index = pg.window_index;
     sg.page_index = pg.page_index;
     const QoeModel& qoe = qoe_of_page(PageTypeFromIndex(pg.page_index));
-    const auto n = static_cast<double>(pg.group.records.size());
-    const double rps = n / (window_ms / 1000.0) * ctrl.rps_planning_factor;
+    sg.max_qoe = qoe.MaxQoe();
+    sg.outcomes.reserve(pg.group.records.size());
+    // Offered load counts only records whose sessions are still here:
+    // abandonment removes a session from downstream window load (its
+    // delays were already excluded from the bucketizer at routing time).
+    std::size_t live = 0;
+    for (const std::uint8_t gone : pg.group.pre_abandoned) {
+      if (gone == 0) ++live;
+    }
+    if (live == 0) {
+      // Every record belongs to an abandoned session — nothing to plan.
+      for (const TraceRecord* r : pg.group.records) {
+        RequestOutcome o;
+        o.id = r->request_id;
+        o.arrival_ms = r->arrival_ms;
+        o.external_delay_ms = r->external_delay_ms;
+        o.status = RequestStatus::kAbandoned;
+        sg.outcomes.push_back(o);
+      }
+      return sg;
+    }
+    const double rps = static_cast<double>(live) / (window_ms / 1000.0) *
+                       ctrl.rps_planning_factor;
     PolicyResult pr = ComputePolicy(qoe, g, pg.group.externals, rps, policy);
     sg.policy_stats = pr.stats;
     // Per-decision mean server delay under the installed split, computed
     // once per decision actually used.
     std::vector<double> mean_delay(
         static_cast<std::size_t>(g.NumDecisions()), -1.0);
-    sg.outcomes.reserve(pg.group.records.size());
-    for (const TraceRecord* r : pg.group.records) {
+    // Sessions that quit earlier in this same group (record order): their
+    // later records cascade to kAbandoned without being served.
+    std::unordered_set<std::uint64_t> quit_here;
+    for (std::size_t i = 0; i < pg.group.records.size(); ++i) {
+      const TraceRecord* r = pg.group.records[i];
+      RequestOutcome o;
+      o.id = r->request_id;
+      o.arrival_ms = r->arrival_ms;
+      o.external_delay_ms = r->external_delay_ms;
+      if (pg.group.pre_abandoned[i] != 0 ||
+          (abandonment_on && quit_here.count(r->session_id) > 0)) {
+        o.status = RequestStatus::kAbandoned;
+        sg.outcomes.push_back(o);
+        continue;
+      }
       const DecisionTableRow& row = pr.table.LookupRow(r->external_delay_ms);
       const auto d = static_cast<std::size_t>(row.decision);
       if (mean_delay[d] < 0.0) {
@@ -129,14 +187,23 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
             g.DelayDistribution(row.decision, pr.table.load_fractions, rps)
                 .Mean();
       }
-      RequestOutcome o;
-      o.id = r->request_id;
-      o.arrival_ms = r->arrival_ms;
-      o.external_delay_ms = r->external_delay_ms;
       o.server_delay_ms = mean_delay[d];
-      o.qoe = qoe.Qoe(r->external_delay_ms + mean_delay[d]);
       o.decision = row.decision;
-      o.status = RequestStatus::kCompleted;
+      const double total_delay = r->external_delay_ms + mean_delay[d];
+      if (abandonment_on &&
+          abandonment.Abandons(r->session_id,
+                               qoe.Classify(r->external_delay_ms),
+                               total_delay)) {
+        // The user quit waiting on this very request: it consumed service
+        // (decision and server delay stand) but yields no QoE, and the
+        // session is gone from here on.
+        o.status = RequestStatus::kAbandoned;
+        quit_here.insert(r->session_id);
+        sg.newly_abandoned.push_back(r->session_id);
+      } else {
+        o.qoe = qoe.Qoe(total_delay);
+        o.status = RequestStatus::kCompleted;
+      }
       sg.outcomes.push_back(o);
     }
     return sg;
@@ -180,11 +247,34 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
       ctrl_stats.decisions += sg->outcomes.size();
       ctrl_stats.observations += sg->outcomes.size();
       ctrl_stats.last_policy_stats = sg->policy_stats;
+      // Quits take effect from the next analysis window on; applying them
+      // here, in (window, page) order, is what makes the effect
+      // shard-count-invariant.
+      for (const std::uint64_t session : sg->newly_abandoned) {
+        abandoned_sessions.insert(session);
+        if (metric_abandoned != nullptr) metric_abandoned->Increment();
+      }
+      // Served-QoE distribution aggregates (summary + per-page-normalized
+      // histogram), maintained here on the serial path in both outcome
+      // modes so full-volume (aggregate-only) runs still yield a CDF.
+      for (const RequestOutcome& o : sg->outcomes) {
+        if (!o.Served()) continue;
+        out.qoe_summary.Add(o.qoe);
+        const double unit = sg->max_qoe > 0.0 ? o.qoe / sg->max_qoe : 0.0;
+        const auto bin = static_cast<std::size_t>(std::clamp(
+            static_cast<int>(unit * 100.0), 0,
+            static_cast<int>(out.qoe_histogram.size()) - 1));
+        ++out.qoe_histogram[bin];
+      }
       if (config.keep_outcomes) {
         out.result.outcomes.insert(out.result.outcomes.end(),
                                    sg->outcomes.begin(), sg->outcomes.end());
       } else {
         for (const RequestOutcome& o : sg->outcomes) {
+          if (!o.Served()) {
+            ++abandoned;  // Only kAbandoned reaches here in this replayer.
+            continue;
+          }
           sum_qoe += o.qoe;
           sum_server += o.server_delay_ms;
           ++served;
@@ -200,8 +290,14 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
     for (auto& p : pending) p.clear();
   };
 
+  // Abandonment requires every window's quits to be merged into the global
+  // session set before the next window's records route, so the model forces
+  // a flush at each window close. (A shard-dependent threshold would also
+  // make *when* quits land depend on the shard count.) Without abandonment
+  // the batching threshold is free to amortize pool dispatch.
   const auto flush_threshold =
-      static_cast<std::size_t>(std::max(4, 2 * shards));
+      abandonment_on ? std::size_t{1}
+                     : static_cast<std::size_t>(std::max(4, 2 * shards));
 
   StreamByWindow(
       records, window_ms,
@@ -213,8 +309,14 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
         const auto [it, inserted] = open[shard].try_emplace(
             std::pair<std::int64_t, int>(key.window_index, page),
             policy.target_buckets, policy.max_bucket_span_ms);
-        it->second.externals.Add(r.external_delay_ms);
+        // A session that abandoned in an earlier window contributes no
+        // load: its record is routed (for the conservation count and its
+        // kAbandoned outcome) but kept out of the group's bucketizer.
+        const bool gone = abandonment_on &&
+                          abandoned_sessions.count(r.session_id) > 0;
+        if (!gone) it->second.externals.Add(r.external_delay_ms);
         it->second.records.push_back(&r);
+        it->second.pre_abandoned.push_back(gone ? 1 : 0);
         ++out.stats.records;
       },
       [&](std::int64_t) {
@@ -244,6 +346,7 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
     out.result.Finalize();
   } else {
     out.result.completed = served;
+    out.result.abandoned = abandoned;
     if (served > 0) {
       const auto n = static_cast<double>(served);
       out.result.mean_qoe = sum_qoe / n;

@@ -20,8 +20,10 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/server_delay_model.h"
+#include "stats/summary.h"
 #include "testbed/counterfactual.h"
 #include "testbed/experiment_config.h"
 #include "testbed/metrics.h"
@@ -55,6 +57,19 @@ struct ShardedReplayStats {
 struct ShardedReplayResult {
   ExperimentResult result;
   ShardedReplayStats stats;
+
+  /// Streaming moments of served-request QoE, maintained on the serial
+  /// merge path in (window, page) order — shard-count-invariant, and
+  /// available even with `keep_outcomes == false` (full-volume runs), so
+  /// tail/variance objectives can be evaluated without retaining per-
+  /// request outcomes.
+  StreamingSummary qoe_summary;
+
+  /// 100-bin histogram of served-request QoE normalized per page by the
+  /// page model's MaxQoe() (bin = floor(100·q/MaxQoe), clamped to
+  /// [0, 99]). This is the replay-level QoE CDF the objective figures
+  /// plot; like qoe_summary it survives aggregate-only runs.
+  std::vector<std::uint64_t> qoe_histogram = std::vector<std::uint64_t>(100);
 };
 
 /// Replays `records` (sorted by arrival_ms; throws otherwise) through the
@@ -66,6 +81,16 @@ struct ShardedReplayResult {
 /// Shard resolution follows PolicyConfig::parallel_workers: 0 picks
 /// ThreadPool::DefaultWorkers(), 1 is serial, N > 1 uses N shards
 /// (negative throws). Fault plans are not supported (RequireNoFaultPlan).
+///
+/// When `common.abandonment.enabled`, a session whose total delay
+/// (external + planned mean server delay) exceeds its seeded patience quits:
+/// the triggering request and the session's later requests in the same
+/// group are marked kAbandoned, and from the *next* analysis window on the
+/// session's requests are excluded from group load (bucketizer and planned
+/// rps) entirely. Quits propagate through the global session set only on
+/// the serial merge path, and every window is flushed before the next one
+/// routes, so results stay byte-identical at any shard count
+/// (docs/OBJECTIVES.md has the full semantics).
 /// `qoe_of_page` (and the models it returns) must be safe to call from
 /// several shard threads at once — the standard selectors return immutable
 /// models and are.

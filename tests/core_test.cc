@@ -305,8 +305,8 @@ TEST(ComputePolicy, OptimalMatchingBeatsSlopeMapping) {
   const auto e2e_result = ComputePolicy(qoe, g, externals, 70.0, config);
   const auto slope_result =
       ComputeSlopePolicy(qoe, g, externals, 70.0, config);
-  EXPECT_GE(e2e_result.table.expected_mean_qoe,
-            slope_result.table.expected_mean_qoe - 1e-9);
+  EXPECT_GE(e2e_result.table.objective_value,
+            slope_result.table.objective_value - 1e-9);
 }
 
 TEST(ComputePolicy, PerRequestModeUsesOneBucketPerRequest) {
@@ -343,8 +343,8 @@ TEST(ComputePolicy, HillClimbImprovesOverDegenerateStart) {
   const auto degenerate = ComputePolicy(qoe, g, externals, 80.0, config);
   config.max_hill_climb_steps = 512;
   const auto climbed = ComputePolicy(qoe, g, externals, 80.0, config);
-  EXPECT_GT(climbed.table.expected_mean_qoe,
-            degenerate.table.expected_mean_qoe);
+  EXPECT_GT(climbed.table.objective_value,
+            degenerate.table.objective_value);
 }
 
 
@@ -367,7 +367,7 @@ TEST(ComputePolicy, DecisionsInvariantUnderQoeScaling) {
     EXPECT_EQ(a.table.rows[i].decision, b.table.rows[i].decision)
         << "row " << i;
   }
-  EXPECT_NEAR(b.table.expected_mean_qoe, a.table.expected_mean_qoe * 4.0,
+  EXPECT_NEAR(b.table.objective_value, a.table.objective_value * 4.0,
               1e-6);
 }
 
@@ -398,7 +398,7 @@ void ExpectIdenticalResults(const PolicyResult& a, const PolicyResult& b) {
     EXPECT_EQ(a.table.rows[i].weight, b.table.rows[i].weight) << "row " << i;
   }
   EXPECT_EQ(a.table.load_fractions, b.table.load_fractions);
-  EXPECT_EQ(a.table.expected_mean_qoe, b.table.expected_mean_qoe);
+  EXPECT_EQ(a.table.objective_value, b.table.objective_value);
   EXPECT_EQ(a.stats.buckets, b.stats.buckets);
   EXPECT_EQ(a.stats.hill_climb_steps, b.stats.hill_climb_steps);
   EXPECT_EQ(a.stats.allocations_evaluated, b.stats.allocations_evaluated);

@@ -208,9 +208,29 @@ TEST(ScaleBucketizer, MergeWithEmptyIsIdentity) {
 }
 
 TEST(ScaleBucketizer, MergeRejectsMismatchedConfig) {
+  // The error must name *which* field diverged and both values — a bare
+  // "config mismatch" surfacing from a sharded merge is undebuggable.
   Bucketizer base(4, 1000.0);
-  EXPECT_THROW(base.Merge(Bucketizer(5, 1000.0)), std::invalid_argument);
-  EXPECT_THROW(base.Merge(Bucketizer(4, 999.0)), std::invalid_argument);
+  try {
+    base.Merge(Bucketizer(5, 1000.0));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("target_buckets"), std::string::npos) << what;
+    EXPECT_NE(what.find("4"), std::string::npos) << what;
+    EXPECT_NE(what.find("5"), std::string::npos) << what;
+    EXPECT_EQ(what.find("max_span"), std::string::npos) << what;
+  }
+  try {
+    base.Merge(Bucketizer(4, 999.0));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("max_span"), std::string::npos) << what;
+    EXPECT_NE(what.find("1000"), std::string::npos) << what;
+    EXPECT_NE(what.find("999"), std::string::npos) << what;
+    EXPECT_EQ(what.find("target_buckets"), std::string::npos) << what;
+  }
 }
 
 TEST(ScaleBucketizer, EmptyStreamingReadsThrow) {
@@ -323,8 +343,8 @@ TEST(ScalePolicy, BucketizerOverloadMatchesSpanOverload) {
         const PolicyResult via_span = ComputePolicy(
             TestQoe(), TestServerModel(), std::span<const double>(samples),
             rps, config);
-        EXPECT_EQ(via_bucketizer.table.expected_mean_qoe,
-                  via_span.table.expected_mean_qoe);
+        EXPECT_EQ(via_bucketizer.table.objective_value,
+                  via_span.table.objective_value);
         ASSERT_EQ(via_bucketizer.table.rows.size(),
                   via_span.table.rows.size());
         for (std::size_t i = 0; i < via_span.table.rows.size(); ++i) {

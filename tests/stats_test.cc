@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "proptest.h"
 #include "stats/bucketizer.h"
 #include "stats/distribution.h"
 #include "stats/divergence.h"
@@ -338,6 +339,164 @@ TEST(Bucketizer, IdenticalSamples) {
   ASSERT_GE(bucketizer.size(), 1u);
   EXPECT_EQ(bucketizer.buckets()[0].population, 100u);
   EXPECT_EQ(bucketizer.BucketIndex(5.0), 0u);
+}
+
+// ---- WeightedPercentile ----------------------------------------------------
+
+TEST(WeightedPercentile, SingleSampleReturnsIt) {
+  const std::vector<double> v{42.0};
+  const std::vector<double> w{3.0};
+  for (const double p : {0.0, 10.0, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(WeightedPercentile(v, w, p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(WeightedPercentile, AllTiedReturnsTheValue) {
+  const std::vector<double> v{7.0, 7.0, 7.0, 7.0};
+  const std::vector<double> w{0.1, 2.0, 0.5, 1.4};
+  for (const double p : {0.0, 5.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(WeightedPercentile(v, w, p), 7.0) << "p=" << p;
+  }
+}
+
+TEST(WeightedPercentile, ZeroWeightEntriesNeverInfluenceResult) {
+  proptest::Check("wp-zero-weight-invariance", [](Rng& rng) {
+    const auto n = static_cast<std::size_t>(rng.UniformInt(1, 20));
+    std::vector<double> values, weights;
+    for (std::size_t i = 0; i < n; ++i) {
+      values.push_back(rng.Uniform(0.0, 100.0));
+      weights.push_back(rng.Uniform(0.1, 5.0));
+    }
+    const double p = rng.Uniform(0.0, 100.0);
+    const double base = WeightedPercentile(values, weights, p);
+    // Splice zero-weight entries (including extreme values) anywhere.
+    std::vector<double> padded_v = values, padded_w = weights;
+    padded_v.insert(padded_v.begin(), -1e9);
+    padded_w.insert(padded_w.begin(), 0.0);
+    padded_v.push_back(1e9);
+    padded_w.push_back(0.0);
+    EXPECT_DOUBLE_EQ(WeightedPercentile(padded_v, padded_w, p), base);
+  });
+}
+
+TEST(WeightedPercentile, EqualWeightsMatchStepCdfDefinition) {
+  // Inverse-CDF (lower) on equal weights: p in ((k-1)/n, k/n] picks the
+  // k-th smallest value.
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(WeightedPercentile(v, w, 25.0), 10.0);
+  EXPECT_DOUBLE_EQ(WeightedPercentile(v, w, 26.0), 20.0);
+  EXPECT_DOUBLE_EQ(WeightedPercentile(v, w, 50.0), 20.0);
+  EXPECT_DOUBLE_EQ(WeightedPercentile(v, w, 75.0), 30.0);
+  EXPECT_DOUBLE_EQ(WeightedPercentile(v, w, 100.0), 40.0);
+  // p == 0 returns the smallest positive-mass value.
+  EXPECT_DOUBLE_EQ(WeightedPercentile(v, w, 0.0), 10.0);
+}
+
+TEST(WeightedPercentile, ResultIsAlwaysAnInputValueAndMonotoneInP) {
+  proptest::Check("wp-membership-monotone", [](Rng& rng) {
+    const auto n = static_cast<std::size_t>(rng.UniformInt(1, 25));
+    std::vector<double> values, weights;
+    for (std::size_t i = 0; i < n; ++i) {
+      values.push_back(rng.Uniform(0.0, 1000.0));
+      weights.push_back(rng.Uniform(0.0, 1.0) < 0.2 ? 0.0
+                                                    : rng.Uniform(0.05, 4.0));
+    }
+    weights[0] = 1.0;  // Keep total weight positive.
+    double prev = -1e300;
+    for (const double p : {0.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+      const double q = WeightedPercentile(values, weights, p);
+      EXPECT_NE(std::find(values.begin(), values.end(), q), values.end());
+      EXPECT_GE(q, prev) << "p=" << p;
+      prev = q;
+    }
+  });
+}
+
+TEST(WeightedPercentile, InvalidInputsThrow) {
+  const std::vector<double> v{1.0, 2.0};
+  const std::vector<double> w{1.0, 1.0};
+  EXPECT_THROW(WeightedPercentile({}, {}, 50.0), std::invalid_argument);
+  EXPECT_THROW(WeightedPercentile(v, std::vector<double>{1.0}, 50.0),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedPercentile(v, w, -1.0), std::invalid_argument);
+  EXPECT_THROW(WeightedPercentile(v, w, 101.0), std::invalid_argument);
+  EXPECT_THROW(WeightedPercentile(v, std::vector<double>{1.0, -1.0}, 50.0),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedPercentile(v, std::vector<double>{0.0, 0.0}, 50.0),
+               std::invalid_argument);
+}
+
+// ---- WeightedJainFairnessIndex ---------------------------------------------
+
+TEST(WeightedJain, MatchesUnweightedOnEqualWeights) {
+  proptest::Check("wjain-equal-weights", [](Rng& rng) {
+    const auto n = static_cast<std::size_t>(rng.UniformInt(1, 20));
+    std::vector<double> values;
+    for (std::size_t i = 0; i < n; ++i) {
+      values.push_back(rng.Uniform(0.0, 10.0));
+    }
+    const std::vector<double> weights(n, rng.Uniform(0.5, 3.0));
+    EXPECT_NEAR(WeightedJainFairnessIndex(values, weights),
+                JainFairnessIndex(values), 1e-12);
+  });
+}
+
+TEST(WeightedJain, ZeroWeightEntriesNeverInfluenceResult) {
+  proptest::Check("wjain-zero-weight-invariance", [](Rng& rng) {
+    const auto n = static_cast<std::size_t>(rng.UniformInt(1, 20));
+    std::vector<double> values, weights;
+    for (std::size_t i = 0; i < n; ++i) {
+      values.push_back(rng.Uniform(0.0, 10.0));
+      weights.push_back(rng.Uniform(0.1, 5.0));
+    }
+    const double base = WeightedJainFairnessIndex(values, weights);
+    std::vector<double> padded_v = values, padded_w = weights;
+    padded_v.push_back(1e6);  // Extreme value, zero mass.
+    padded_w.push_back(0.0);
+    EXPECT_DOUBLE_EQ(WeightedJainFairnessIndex(padded_v, padded_w), base);
+  });
+}
+
+TEST(WeightedJain, KnownValuesAndInvariances) {
+  // Equal values are perfectly fair at any weights.
+  EXPECT_DOUBLE_EQ(
+      WeightedJainFairnessIndex(std::vector<double>{3.0, 3.0, 3.0},
+                                std::vector<double>{1.0, 5.0, 0.25}),
+      1.0);
+  // Single positive value among n equal weights gives 1/n.
+  EXPECT_NEAR(
+      WeightedJainFairnessIndex(std::vector<double>{1.0, 0.0, 0.0, 0.0},
+                                std::vector<double>{1.0, 1.0, 1.0, 1.0}),
+      0.25, 1e-12);
+  // All-zero values are trivially fair.
+  EXPECT_DOUBLE_EQ(
+      WeightedJainFairnessIndex(std::vector<double>{0.0, 0.0},
+                                std::vector<double>{1.0, 2.0}),
+      1.0);
+  // Scale invariance in the values.
+  const std::vector<double> v{1.0, 4.0, 2.0};
+  const std::vector<double> w{0.5, 1.5, 1.0};
+  EXPECT_NEAR(WeightedJainFairnessIndex(v, w),
+              WeightedJainFairnessIndex(std::vector<double>{10.0, 40.0, 20.0},
+                                        w),
+              1e-12);
+}
+
+TEST(WeightedJain, InvalidInputsThrow) {
+  EXPECT_THROW(WeightedJainFairnessIndex({}, {}), std::invalid_argument);
+  EXPECT_THROW(WeightedJainFairnessIndex(std::vector<double>{1.0},
+                                         std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedJainFairnessIndex(std::vector<double>{-1.0},
+                                         std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedJainFairnessIndex(std::vector<double>{1.0},
+                                         std::vector<double>{-1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(WeightedJainFairnessIndex(std::vector<double>{1.0, 2.0},
+                                         std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
 }
 
 }  // namespace
