@@ -96,11 +96,18 @@ int main(int argc, char** argv) {
   failing_config.common.fault_plan = plan;
   auto resilient_config = failing_config;
   resilient_config.common.resilience = StandardResilience();
+  // Fifth run: the same failing scenario with the processor-sharing cloning
+  // model deriving the hedge gates per window (the static knobs stay as the
+  // floor — docs/RESILIENCE.md "Model-driven cloning").
+  auto model_config = failing_config;
+  model_config.common.resilience = resilience::ResilienceConfig::ModelDriven();
   ExperimentResult failing;
   ExperimentResult resilient;
+  ExperimentResult model;
   try {
     failing = RunDbExperiment(slice, qoe, failing_config);
     resilient = RunDbExperiment(slice, qoe, resilient_config);
+    model = RunDbExperiment(slice, qoe, model_config);
   } catch (const std::invalid_argument& error) {
     // E.g. a plan clause targeting a component this testbed does not have.
     std::cerr << "bad --fault_plan: " << error.what() << "\n";
@@ -111,14 +118,17 @@ int main(int argc, char** argv) {
   WriteTelemetrySidecar(flags, "db.healthy", healthy);
   WriteTelemetrySidecar(flags, "db.failing", failing);
   WriteTelemetrySidecar(flags, "db.resilient", resilient);
+  WriteTelemetrySidecar(flags, "db.model", model);
 
   const auto def_buckets = QoePerBucket(def, bucket_ms);
   const auto healthy_buckets = QoePerBucket(healthy, bucket_ms);
   const auto failing_buckets = QoePerBucket(failing, bucket_ms);
   const auto resilient_buckets = QoePerBucket(resilient, bucket_ms);
+  const auto model_buckets = QoePerBucket(model, bucket_ms);
 
   TextTable table({"t (s)", "Gain w/o failure (%)", "Gain w/ failure (%)",
-                   "w/ failure+resilience (%)", "Phase"});
+                   "w/ failure+resilience (%)", "w/model-driven-hedging (%)",
+                   "Phase"});
   std::vector<double> series;
   const int last_bucket = static_cast<int>(120000.0 / bucket_ms);
   for (int b = 0; b <= last_bucket; ++b) {
@@ -126,14 +136,17 @@ int main(int argc, char** argv) {
     const auto h = healthy_buckets.find(b);
     const auto f = failing_buckets.find(b);
     const auto r = resilient_buckets.find(b);
+    const auto m = model_buckets.find(b);
     if (d == def_buckets.end() || h == healthy_buckets.end() ||
-        f == failing_buckets.end() || r == resilient_buckets.end()) {
+        f == failing_buckets.end() || r == resilient_buckets.end() ||
+        m == model_buckets.end()) {
       continue;
     }
     const double t_s = (b + 0.5) * bucket_ms / 1000.0;
     const double gain_h = QoeGainPercent(d->second, h->second);
     const double gain_f = QoeGainPercent(d->second, f->second);
     const double gain_r = QoeGainPercent(d->second, r->second);
+    const double gain_m = QoeGainPercent(d->second, m->second);
     std::string phase = "healthy";
     if (t_s * 1000.0 >= fail_at && t_s * 1000.0 < fail_at + election) {
       phase = "FAILED (stale cache)";
@@ -142,7 +155,7 @@ int main(int argc, char** argv) {
     }
     table.AddRow({TextTable::Num(t_s, 0), TextTable::Num(gain_h, 1),
                   TextTable::Num(gain_f, 1), TextTable::Num(gain_r, 1),
-                  phase});
+                  TextTable::Num(gain_m, 1), phase});
     series.push_back(gain_f);
   }
   table.Render(std::cout);
@@ -168,5 +181,11 @@ int main(int argc, char** argv) {
             << rs.hedges_won << " won), " << rs.shed << " shed, "
             << rs.downgraded << " downgraded, " << rs.breaker_opens
             << " breaker opens\n";
+
+  const ResilienceStats& ms = model.resilience;
+  std::cout << "Model-driven hedging (failing run): mean QoE "
+            << TextTable::Num(model.mean_qoe, 3) << " ("
+            << ms.hedges_issued << " hedges, " << ms.hedges_won << " won, "
+            << ms.model_recomputes << " model windows)\n";
   return 0;
 }

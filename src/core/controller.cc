@@ -34,6 +34,23 @@ void Controller::ObserveArrival(DelayMs external_delay_ms, double now_ms) {
   external_model_.Observe(external_delay_ms, now_ms);
 }
 
+void Controller::SetDecisionPenalties(std::vector<double> penalties_ms) {
+  if (!penalties_ms.empty() &&
+      static_cast<int>(penalties_ms.size()) != server_model_->NumDecisions()) {
+    throw std::invalid_argument(
+        "Controller::SetDecisionPenalties: size != decisions");
+  }
+  penalties_ms_ = std::move(penalties_ms);
+}
+
+void Controller::SetLoadDiscount(double fraction) {
+  if (fraction < 0.0 || fraction >= 1.0) {
+    throw std::invalid_argument(
+        "Controller::SetLoadDiscount: fraction outside [0, 1)");
+  }
+  load_discount_ = fraction;
+}
+
 void Controller::AttachTelemetry(obs::MetricsRegistry& registry,
                                  obs::Tracer* tracer,
                                  const std::string& prefix) {
@@ -69,8 +86,12 @@ bool Controller::Tick(double now_ms) {
   external_model_.MaybeRoll(now_ms);
   if (!external_model_.HasDistribution()) return false;
 
-  const double rps =
-      external_model_.PredictedRps(rng_) * config_.rps_planning_factor;
+  double rps = external_model_.PredictedRps(rng_) * config_.rps_planning_factor;
+  // Abandonment-aware planning: sessions that quit stop offering load, so
+  // the next window carries only the surviving fraction. Guarded so the
+  // default (0) keeps the historical multiplication-free code path — and
+  // its exact bytes.
+  if (load_discount_ > 0.0) rps *= 1.0 - load_discount_;
   if (rps <= 0.0) return false;
   if (!cache_.NeedsRefresh(external_model_.Samples(), rps)) return false;
 
@@ -84,8 +105,16 @@ bool Controller::Tick(double now_ms) {
   obs::Span span;
   if (tracer_ != nullptr) span = tracer_->StartSpan(span_name_);
   const double start_us = clock_->NowMicros();
-  PolicyResult result =
-      ComputePolicy(*qoe_, *server_model_, estimated, rps, config_.policy);
+  PolicyResult result = [&] {
+    if (penalties_ms_.empty()) {
+      return ComputePolicy(*qoe_, *server_model_, estimated, rps,
+                           config_.policy);
+    }
+    // Placement co-design: solve against the penalty-shifted view of the
+    // cluster so weight drifts off replicas resilience cannot rescue.
+    const PenalizedServerModel penalized(*server_model_, penalties_ms_);
+    return ComputePolicy(*qoe_, penalized, estimated, rps, config_.policy);
+  }();
   const double cost_us = clock_->NowMicros() - start_us;
   span.End();
   stats_.total_recompute_wall_us += cost_us;

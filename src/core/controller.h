@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/external_delay_model.h"
 #include "core/policy.h"
@@ -109,6 +110,25 @@ class Controller {
   }
   void SetRpsError(double rel) { external_model_.SetRpsError(rel); }
 
+  /// Placement co-design input (docs/RESILIENCE.md): per-decision delay
+  /// penalties in ms, applied to the server model inside the next policy
+  /// solves via PenalizedServerModel. Empty clears (the default — solves
+  /// then run the base model untouched, byte-identical to before this hook
+  /// existed). Throws when non-empty and sized != NumDecisions().
+  void SetDecisionPenalties(std::vector<double> penalties_ms);
+  const std::vector<double>& decision_penalties_ms() const {
+    return penalties_ms_;
+  }
+
+  /// Live abandonment input (docs/OBJECTIVES.md): fraction of observed
+  /// arrivals whose sessions have quit. The planner discounts its offered-
+  /// load estimate by it — a gone user stops loading the system, and
+  /// planning for their traffic overshoots capacity the survivors could
+  /// use. 0 (the default) leaves the estimate untouched. Throws outside
+  /// [0, 1).
+  void SetLoadDiscount(double fraction);
+  double load_discount() const { return load_discount_; }
+
   const ControllerStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
   const ExternalDelayModel& external_model() const { return external_model_; }
@@ -141,6 +161,8 @@ class Controller {
   const Clock* clock_;
   Rng rng_;
   bool failed_ = false;
+  std::vector<double> penalties_ms_;  // Empty = no placement penalty.
+  double load_discount_ = 0.0;        // 0 = plan for every observed arrival.
   ControllerStats stats_;
   double last_install_ms_ = 0.0;  // Virtual time the current table landed.
   // Telemetry (null until AttachTelemetry).

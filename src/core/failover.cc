@@ -68,6 +68,17 @@ void ReplicatedControllerGroup::SetExternalDelayError(double relative_error) {
   backup_->SetExternalDelayError(relative_error);
 }
 
+void ReplicatedControllerGroup::SetDecisionPenalties(
+    std::vector<double> penalties_ms) {
+  primary_->SetDecisionPenalties(penalties_ms);
+  backup_->SetDecisionPenalties(std::move(penalties_ms));
+}
+
+void ReplicatedControllerGroup::SetLoadDiscount(double fraction) {
+  primary_->SetLoadDiscount(fraction);
+  backup_->SetLoadDiscount(fraction);
+}
+
 const Controller& ReplicatedControllerGroup::active() const {
   return promoted_ ? *backup_ : *primary_;
 }

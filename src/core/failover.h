@@ -52,6 +52,15 @@ class ReplicatedControllerGroup {
   /// the fault injector's "skew est" clause drives this mid-run).
   void SetExternalDelayError(double relative_error);
 
+  /// Broadcasts placement penalties (docs/RESILIENCE.md) to both replicas,
+  /// so whichever controller is active after a failover keeps solving
+  /// against the same per-replica resilience view.
+  void SetDecisionPenalties(std::vector<double> penalties_ms);
+
+  /// Broadcasts the abandonment load discount (docs/OBJECTIVES.md) to both
+  /// replicas.
+  void SetLoadDiscount(double fraction);
+
   /// True while no controller is active (election in progress).
   bool InElection() const { return election_deadline_ms_.has_value(); }
 

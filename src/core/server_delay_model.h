@@ -9,6 +9,7 @@
 #include <limits>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,44 @@ class ServerDelayModel {
     (void)total_rps;
     return false;
   }
+};
+
+/// Non-owning decorator that shifts each decision's delay distribution by a
+/// per-decision penalty. The placement co-design (docs/RESILIENCE.md) uses
+/// it inside Controller::Tick: a replica whose breaker is rejecting and
+/// whose predicted cloning gain is zero is made to look `penalty_ms` slower
+/// to the policy solve, so the transportation step shifts weight away until
+/// the replica recovers. The base model must outlive the decorator; the
+/// penalty vector must have exactly NumDecisions() entries.
+class PenalizedServerModel final : public ServerDelayModel {
+ public:
+  PenalizedServerModel(const ServerDelayModel& base,
+                       std::span<const double> penalties_ms)
+      : base_(base), penalties_ms_(penalties_ms.begin(), penalties_ms.end()) {
+    if (static_cast<int>(penalties_ms_.size()) != base.NumDecisions()) {
+      throw std::invalid_argument(
+          "PenalizedServerModel: penalty count != decisions");
+    }
+  }
+
+  int NumDecisions() const override { return base_.NumDecisions(); }
+  DiscreteDistribution DelayDistribution(
+      int decision, std::span<const double> load_fractions,
+      double total_rps) const override {
+    const DiscreteDistribution d =
+        base_.DelayDistribution(decision, load_fractions, total_rps);
+    const double penalty = penalties_ms_[static_cast<std::size_t>(decision)];
+    return penalty == 0.0 ? d : d.ShiftedBy(penalty);
+  }
+  std::string Name() const override { return base_.Name() + "+penalized"; }
+  bool IsOverloaded(int decision, std::span<const double> load_fractions,
+                    double total_rps) const override {
+    return base_.IsOverloaded(decision, load_fractions, total_rps);
+  }
+
+ private:
+  const ServerDelayModel& base_;
+  std::vector<double> penalties_ms_;
 };
 
 /// A load→delay profile for one server, measured offline (§6: "we measure

@@ -1,5 +1,6 @@
 #include "db/cluster.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -264,6 +265,16 @@ void ReadExecutor::EnableResilience(
   resil_config_ = config;
   classify_ = std::move(classify);
   retry_.emplace(config.retry, rng);
+  effective_hedge_fraction_ = config.hedge.max_hedge_fraction;
+  effective_target_load_ = config.hedge.max_target_load;
+  model_driven_ = config.hedge.enabled &&
+                  config.hedge.mode == resilience::HedgeMode::kModelDriven;
+  if (model_driven_) {
+    const resilience::CloningModelConfig& model = config.hedge.model;
+    cloning_model_.emplace(model);  // Validates the knobs.
+    service_window_.emplace(model.target_buckets, model.max_span_ms);
+    next_model_recompute_ms_ = cluster_.loop().Now() + model.window_ms;
+  }
   breakers_.clear();
   slowness_.clear();
   breaker_spans_.resize(static_cast<std::size_t>(cluster_.NumReplicas()));
@@ -298,7 +309,113 @@ void ReadExecutor::AttachResilienceMetrics(obs::MetricsRegistry& registry,
   metric_hedge_cancels_ = &registry.AddCounter("db.resilience.hedge_cancels");
   metric_breaker_transitions_ =
       &registry.AddCounter("db.resilience.breaker_transitions");
+  if (model_driven_) {
+    metric_model_recomputes_ =
+        &registry.AddCounter("db.resilience.model.recomputes");
+    metric_model_fraction_ =
+        &registry.AddGauge("db.resilience.model.hedge_fraction");
+    metric_model_target_load_ =
+        &registry.AddGauge("db.resilience.model.target_load");
+    metric_model_gain_ =
+        &registry.AddGauge("db.resilience.model.predicted_gain_ms");
+  }
   tracer_ = tracer;
+}
+
+void ReadExecutor::MaybeRecomputeBudgets(double now_ms) {
+  if (!model_driven_) return;
+  const resilience::CloningModelConfig& model = resil_config_.hedge.model;
+  while (now_ms >= next_model_recompute_ms_) {
+    next_model_recompute_ms_ += model.window_ms;
+    // Thin windows (cold start, lulls) keep accumulating into the same
+    // summary instead of deriving gates from noise; the previous gates —
+    // the static config at cold start — stay in force.
+    if (util_count_ == 0 ||
+        service_window_->sample_count() <
+            static_cast<std::size_t>(model.min_samples)) {
+      continue;
+    }
+    const double utilization =
+        util_sum_ / static_cast<double>(util_count_);
+    last_prediction_ = cloning_model_->Predict(*service_window_, utilization);
+    // The static knobs are the operator's floor. The PS model assumes
+    // synchronized full cloning, so it undervalues the delay-triggered
+    // hedge path (which clones only stragglers, at a fraction of the
+    // modeled cost, and only into replicas the target-load gate already
+    // certifies as near-idle — the meltdown feedback loop is bounded
+    // before the model ever runs). Where the model predicts a significant
+    // gain the budget opens up to the derived gates; where it predicts
+    // none — or one inside its own error bar (min_gain_fraction) — the
+    // static gates stay in force rather than closing a rescue path the
+    // model cannot see.
+    if (last_prediction_.max_hedge_fraction > 0.0 &&
+        last_prediction_.predicted_gain_ms >
+            model.min_gain_fraction * last_prediction_.base_response_ms) {
+      effective_hedge_fraction_ =
+          std::max(last_prediction_.max_hedge_fraction,
+                   resil_config_.hedge.max_hedge_fraction);
+      effective_target_load_ = std::max(last_prediction_.max_target_load,
+                                        resil_config_.hedge.max_target_load);
+    } else {
+      effective_hedge_fraction_ = resil_config_.hedge.max_hedge_fraction;
+      effective_target_load_ = resil_config_.hedge.max_target_load;
+    }
+    ++resil_stats_.model_recomputes;
+    if (metric_model_recomputes_ != nullptr) {
+      metric_model_recomputes_->Increment();
+      metric_model_fraction_->Set(effective_hedge_fraction_);
+      metric_model_target_load_->Set(effective_target_load_);
+      metric_model_gain_->Set(last_prediction_.predicted_gain_ms);
+    }
+    service_window_.emplace(model.target_buckets, model.max_span_ms);
+    util_sum_ = 0.0;
+    util_count_ = 0;
+  }
+}
+
+std::vector<ReplicaResilienceSnapshot> ReadExecutor::SnapshotResilience(
+    double now_ms) const {
+  std::vector<ReplicaResilienceSnapshot> snaps;
+  if (!resilience_enabled_) return snaps;
+  const ClusterView view = cluster_.View();
+  const double capacity = cluster_.params().capacity;
+  const double budget =
+      effective_hedge_fraction_ * static_cast<double>(primary_reads_) -
+      static_cast<double>(resil_stats_.hedges_issued);
+  const double budget_remaining = budget > 0.0 ? budget : 0.0;
+  snaps.reserve(static_cast<std::size_t>(cluster_.NumReplicas()));
+  for (int r = 0; r < cluster_.NumReplicas(); ++r) {
+    ReplicaResilienceSnapshot snap;
+    snap.replica = r;
+    const auto idx = static_cast<std::size_t>(r);
+    if (!breakers_.empty()) snap.breaker_state = breakers_[idx].state();
+    snap.utilization = capacity > 0.0 ? view.loads[idx] / capacity : 0.0;
+    if (model_driven_ && last_prediction_.mean_service_ms > 0.0) {
+      snap.predicted_gain_ms =
+          cloning_model_
+              ->Predict(last_prediction_.mean_service_ms,
+                        last_prediction_.min_of_two_ms, snap.utilization)
+              .predicted_gain_ms;
+    }
+    const bool rejecting =
+        !breakers_.empty() && !breakers_[idx].WouldAllow(now_ms);
+    // A rejecting replica is still fine for placement when the hedge path
+    // can rescue its sensitive reads: a positive predicted cloning gain and
+    // budget headroom mean every read routed there gets a zero-delay clone.
+    // Static mode has no model, so it never reports un-rescuable (the
+    // placement penalty stays a model-driven co-design).
+    snap.rescuable = !rejecting ||
+                     (model_driven_ && snap.predicted_gain_ms > 0.0 &&
+                      budget_remaining >= 1.0);
+    if (!slowness_.empty() && slowness_[idx].baseline_ms() > 0.0) {
+      const double excess =
+          view.recent_delay_ms[idx] - slowness_[idx].baseline_ms();
+      snap.excess_delay_ms = excess > 0.0 ? excess : 0.0;
+    }
+    snap.hedge_budget_remaining = budget_remaining;
+    snaps.push_back(snap);
+  }
+  return snaps;
 }
 
 resilience::BreakerStats ReadExecutor::TotalBreakerStats() const {
@@ -353,7 +470,20 @@ void ReadExecutor::IssueWithRetries(const DbRequest& request,
                                     int failures, double first_start_ms) {
   EventLoop& loop = cluster_.loop();
   const double now = loop.Now();
+  MaybeRecomputeBudgets(now);
   const ClusterView view = cluster_.View();
+  if (model_driven_) {
+    // Arrival-sampled cluster utilization: total jobs in system over the
+    // aggregate capacity knee. The window mean feeds the PS model's rho0.
+    double total = 0.0;
+    for (const double load : view.loads) total += load;
+    const double knee = cluster_.params().capacity *
+                        static_cast<double>(cluster_.NumReplicas());
+    if (knee > 0.0) {
+      util_sum_ += total / knee;
+      ++util_count_;
+    }
+  }
   const int selected = selector_->SelectReplica(request, view);
   if (!cluster_.IsPartitioned(selected)) {
     // Reachable: the QoE-aware selection always stands. A breaker never
@@ -450,7 +580,7 @@ void ReadExecutor::ScheduleHedge(const DbRequest& request, int primary,
         // added load from feeding back into more slow reads (and thus more
         // hedges). Counter comparison only — bit-reproducible.
         if (static_cast<double>(resil_stats_.hedges_issued) >=
-            resil_config_.hedge.max_hedge_fraction *
+            effective_hedge_fraction_ *
                 static_cast<double>(primary_reads_)) {
           return;
         }
@@ -459,9 +589,12 @@ void ReadExecutor::ScheduleHedge(const DbRequest& request, int primary,
         const int best = BestAvailable(view, now, primary);
         if (best == -1) return;
         // Hedge only into idle capacity: a clone on a busy replica slows
-        // every request already queued there for one tail-shaving win.
+        // every request already queued there for one tail-shaving win. In
+        // kModelDriven mode both this gate and the budget above are the
+        // cloning model's per-window derivations rather than the static
+        // knobs (docs/RESILIENCE.md).
         if (view.loads[static_cast<std::size_t>(best)] >
-            resil_config_.hedge.max_target_load *
+            effective_target_load_ *
                 cluster_.params().capacity) {
           return;
         }
@@ -476,10 +609,24 @@ void ReadExecutor::IssueRead(const DbRequest& request, int replica,
                              int selected, bool is_hedge,
                              std::shared_ptr<ReadState> state) {
   if (!is_hedge) ++primary_reads_;
+  // The model's service-time summary is fed from the sensitive class only:
+  // that is the class the hedge budget rescues, and the E2E placement
+  // deliberately serves insensitive traffic from a slow sacrificial
+  // replica whose service times would masquerade as a heavy tail and talk
+  // the model into hedging against intentional slowness.
+  const bool model_sample =
+      model_driven_ &&
+      (classify_ ? classify_(request) : SensitivityClass::kSensitive) ==
+          SensitivityClass::kSensitive;
   cluster_.RangeRead(
       request.range_start, request.range_count, replica,
-      [this, replica, selected, is_hedge,
+      [this, replica, selected, is_hedge, model_sample,
        state = std::move(state)](ReadResult result) {
+        if (model_sample) {
+          // PS service requirement: the service delay alone (queueing is
+          // what the model predicts, not what it consumes as input).
+          service_window_->Add(result.timing.ServiceDelayMs());
+        }
         RecordBreakerOutcome(replica, result.timing);
         if (state->completed) {
           // Loser of a hedged pair: the other read already served the

@@ -19,10 +19,12 @@
 #include "obs/trace_span.h"
 #include "qoe/qoe_model.h"
 #include "resilience/circuit_breaker.h"
+#include "resilience/cloning_model.h"
 #include "resilience/config.h"
 #include "resilience/retry_policy.h"
 #include "sim/event_loop.h"
 #include "sim/server.h"
+#include "stats/bucketizer.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -173,6 +175,38 @@ struct ReadResilienceStats {
   std::uint64_t hedges_issued = 0;     ///< Clone reads sent.
   std::uint64_t hedges_won = 0;        ///< Clones that beat the primary.
   std::uint64_t hedges_cancelled = 0;  ///< Loser responses discarded.
+  /// Cloning-model windows that re-derived the hedge gates (kModelDriven
+  /// only; zero in static mode — the serializer skips zeros so static runs
+  /// keep their historical byte stream).
+  std::uint64_t model_recomputes = 0;
+};
+
+/// Per-replica resilience state exported to the placement co-design: the
+/// db testbed feeds it through src/obs gauges into the controller's
+/// per-window inputs, so the policy solve can shift weight away from
+/// replicas the cloning model says hedging cannot rescue
+/// (docs/RESILIENCE.md). Derived from virtual-clock state only.
+struct ReplicaResilienceSnapshot {
+  int replica = 0;
+  resilience::CircuitBreaker::State breaker_state =
+      resilience::CircuitBreaker::State::kClosed;
+  /// Instantaneous load (queued + in service) over the capacity knee.
+  double utilization = 0.0;
+  /// Cloning-model gain evaluated at this replica's utilization (0 in
+  /// static mode, where no model runs).
+  double predicted_gain_ms = 0.0;
+  /// False when the breaker is rejecting AND the model predicts cloning
+  /// buys nothing at this operating point (or the hedge budget is spent):
+  /// reads routed here can neither be served directly nor rescued by a
+  /// clone, so placement should shift weight away until the breaker
+  /// re-admits.
+  bool rescuable = true;
+  /// Recent mean total delay above the replica's healthy baseline
+  /// (SlownessTracker EWMA); 0 until a baseline exists. The placement
+  /// penalty for un-rescuable replicas, in ms.
+  double excess_delay_ms = 0.0;
+  /// Whole-cluster hedge clones still issuable under the current budget.
+  double hedge_budget_remaining = 0.0;
 };
 
 /// Client-side read executor: selection + load/delay tracking.
@@ -226,6 +260,32 @@ class ReadExecutor {
 
   const ReadResilienceStats& resilience_stats() const { return resil_stats_; }
 
+  /// Rolls the cloning-model window forward to `now_ms` and re-derives the
+  /// hedge gates at each boundary (kModelDriven only; no-op otherwise).
+  /// The read path drives this on every arrival; the db testbed also calls
+  /// it at controller ticks so gates stay fresh across arrival lulls.
+  void MaybeRecomputeBudgets(double now_ms);
+
+  /// Hedge gates currently in force. In kStatic mode these are the
+  /// HedgeConfig constants for the whole run; in kModelDriven mode they are
+  /// re-derived each model window (resilience/cloning_model.h), with the
+  /// static constants as the floor: the model opens the budget beyond them
+  /// when cloning is predicted significantly profitable and otherwise leaves
+  /// them in force — it never closes below the floor.
+  double effective_hedge_fraction() const { return effective_hedge_fraction_; }
+  double effective_target_load() const { return effective_target_load_; }
+
+  /// The cluster-level prediction from the last completed model window
+  /// (zeros until the first recompute, and always in static mode).
+  const resilience::CloningPrediction& last_prediction() const {
+    return last_prediction_;
+  }
+
+  /// Per-replica snapshot for the placement co-design (docs/RESILIENCE.md).
+  /// Empty when resilience is disabled.
+  std::vector<ReplicaResilienceSnapshot> SnapshotResilience(
+      double now_ms) const;
+
   /// Aggregated breaker counters across replicas (zeros when disabled).
   resilience::BreakerStats TotalBreakerStats() const;
 
@@ -277,12 +337,31 @@ class ReadExecutor {
   std::function<SensitivityClass(const DbRequest&)> classify_;
   std::uint64_t primary_reads_ = 0;  // Denominator of the hedge budget.
   ReadResilienceStats resil_stats_;
+  // Hedge gates in force: the static config values until (and unless) the
+  // cloning model re-derives them. ScheduleHedge reads only these, so the
+  // static mode runs the byte-identical comparisons it always has.
+  double effective_hedge_fraction_ = 0.0;
+  double effective_target_load_ = 0.0;
+  // Model-driven hedging (HedgeMode::kModelDriven; docs/RESILIENCE.md).
+  bool model_driven_ = false;
+  std::optional<resilience::CloningModel> cloning_model_;
+  std::optional<Bucketizer> service_window_;  // Current window's samples.
+  double util_sum_ = 0.0;  // Arrival-sampled cluster utilization integral.
+  std::uint64_t util_count_ = 0;
+  double next_model_recompute_ms_ = 0.0;
+  resilience::CloningPrediction last_prediction_;
   obs::Counter* metric_retries_ = nullptr;
   obs::Counter* metric_retries_exhausted_ = nullptr;
   obs::Counter* metric_hedges_ = nullptr;
   obs::Counter* metric_hedge_wins_ = nullptr;
   obs::Counter* metric_hedge_cancels_ = nullptr;
   obs::Counter* metric_breaker_transitions_ = nullptr;
+  // Model-driven gate telemetry (registered only in kModelDriven mode so
+  // static runs' exports stay byte-identical).
+  obs::Counter* metric_model_recomputes_ = nullptr;
+  obs::Gauge* metric_model_fraction_ = nullptr;
+  obs::Gauge* metric_model_target_load_ = nullptr;
+  obs::Gauge* metric_model_gain_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   std::vector<obs::Span> breaker_spans_;  // One per replica while open.
 };

@@ -1,0 +1,317 @@
+#include "fault/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace e2e::fault {
+namespace {
+
+// Discrete magnitude steps per kind. Small sets keep the search space
+// tractable and make "restep magnitude" mutations meaningful moves rather
+// than noise.
+constexpr double kDbDelaySteps[] = {1000.0, 2500.0, 5000.0, 10000.0, 20000.0};
+constexpr double kDbOverloadSteps[] = {2.0, 4.0, 8.0};
+constexpr double kSkewSteps[] = {0.5, 1.0, 2.0, 4.0};
+constexpr double kDropSteps[] = {0.05, 0.1, 0.25, 0.5};
+constexpr double kBrokerDelaySteps[] = {100.0, 500.0, 2000.0};
+constexpr double kBrokerOverloadSteps[] = {2.0, 4.0, 8.0};
+
+template <std::size_t N>
+double PickStep(Rng& rng, const double (&steps)[N]) {
+  return steps[static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(N) - 1))];
+}
+
+// Steps a magnitude to a random *different* entry of its set (no-op move
+// when the set has one entry).
+template <std::size_t N>
+double RestepFrom(Rng& rng, const double (&steps)[N], double current) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double next = PickStep(rng, steps);
+    if (next != current) return next;
+  }
+  return current;
+}
+
+bool IsDbReplicaKind(FaultKind kind) {
+  return kind == FaultKind::kDelayReplica ||
+         kind == FaultKind::kPartitionReplica ||
+         kind == FaultKind::kOverloadReplica;
+}
+
+// Re-anchors `follows` after chains were spliced: chains stay contiguous
+// (Validate() requires a child to follow its parent immediately), so a
+// child's parent is always the clause right before it.
+void ReanchorFollows(std::vector<FaultSpec>* faults) {
+  for (std::size_t i = 0; i < faults->size(); ++i) {
+    FaultSpec& spec = (*faults)[i];
+    if (spec.follows >= 0) spec.follows = static_cast<int>(i) - 1;
+  }
+}
+
+// Indices of top-level clauses (chain heads).
+std::vector<std::size_t> ChainHeads(const std::vector<FaultSpec>& faults) {
+  std::vector<std::size_t> heads;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (faults[i].follows < 0) heads.push_back(i);
+  }
+  return heads;
+}
+
+}  // namespace
+
+Adversary::Adversary(AdversaryConfig config) : config_(config) {
+  if (config_.iterations < 1) {
+    throw std::invalid_argument("Adversary: iterations must be >= 1");
+  }
+  if (config_.warmup < 1 || config_.warmup > config_.iterations) {
+    throw std::invalid_argument("Adversary: warmup outside [1, iterations]");
+  }
+  if (config_.patience < 1) {
+    throw std::invalid_argument("Adversary: patience must be >= 1");
+  }
+  if (!(config_.horizon_ms > 0.0) || !(config_.time_grid_ms > 0.0) ||
+      config_.horizon_ms < 2.0 * config_.time_grid_ms) {
+    throw std::invalid_argument(
+        "Adversary: horizon must cover at least two grid cells");
+  }
+  if (config_.replicas < 1) {
+    throw std::invalid_argument("Adversary: replicas must be >= 1");
+  }
+  if (config_.max_chains < 1) {
+    throw std::invalid_argument("Adversary: max_chains must be >= 1");
+  }
+}
+
+double Adversary::SnapTime(double ms) const {
+  return std::round(ms / config_.time_grid_ms) * config_.time_grid_ms;
+}
+
+void Adversary::SampleChain(Rng& rng, std::vector<FaultSpec>* out) const {
+  const auto cells =
+      static_cast<std::int64_t>(config_.horizon_ms / config_.time_grid_ms);
+  const std::int64_t start_cell = rng.UniformInt(0, cells - 2);
+  const std::int64_t max_len = std::min<std::int64_t>(4, cells - start_cell);
+  const std::int64_t len_cells = rng.UniformInt(1, max_len);
+
+  FaultSpec spec;
+  spec.start_ms = static_cast<double>(start_cell) * config_.time_grid_ms;
+  spec.end_ms = spec.start_ms +
+                static_cast<double>(len_cells) * config_.time_grid_ms;
+
+  const std::int64_t kinds = config_.broker_faults ? 8 : 5;
+  switch (rng.UniformInt(0, kinds - 1)) {
+    case 0:
+      spec.kind = FaultKind::kCrashController;
+      break;
+    case 1:
+      spec.kind = FaultKind::kDelayReplica;
+      spec.delta_ms = PickStep(rng, kDbDelaySteps);
+      spec.replica = static_cast<int>(rng.UniformInt(-1, config_.replicas - 1));
+      break;
+    case 2:
+      // Partitioning every replica trivially kills all reads — an
+      // uninteresting maximum — so partitions always target one replica.
+      spec.kind = FaultKind::kPartitionReplica;
+      spec.replica = static_cast<int>(rng.UniformInt(0, config_.replicas - 1));
+      break;
+    case 3:
+      spec.kind = FaultKind::kOverloadReplica;
+      spec.factor = PickStep(rng, kDbOverloadSteps);
+      spec.replica = static_cast<int>(rng.UniformInt(-1, config_.replicas - 1));
+      break;
+    case 4:
+      spec.kind = FaultKind::kSkewEstimator;
+      spec.error = PickStep(rng, kSkewSteps);
+      break;
+    case 5:
+      spec.kind = FaultKind::kDropMessages;
+      spec.probability = PickStep(rng, kDropSteps);
+      spec.seed = static_cast<std::uint64_t>(rng.UniformInt(1, 1 << 20));
+      break;
+    case 6:
+      spec.kind = FaultKind::kDelayMessages;
+      spec.delta_ms = PickStep(rng, kBrokerDelaySteps);
+      break;
+    default:
+      spec.kind = FaultKind::kOverloadBroker;
+      spec.factor = PickStep(rng, kBrokerOverloadSteps);
+      break;
+  }
+  out->push_back(spec);
+
+  // Correlated aftermath: a single-replica db fault grows a `survivors`
+  // overload child 1/3 of the time — the "failover dogpiles the healthy
+  // replicas" scenario the grammar's `then` chains exist for.
+  if (IsDbReplicaKind(spec.kind) && spec.replica >= 0 &&
+      rng.UniformInt(0, 2) == 0) {
+    FaultSpec child;
+    child.kind = FaultKind::kOverloadReplica;
+    child.factor = PickStep(rng, kDbOverloadSteps);
+    child.replica = kSurvivorsReplica;
+    child.follows = static_cast<int>(out->size()) - 1;
+    child.start_ms = spec.end_ms;
+    child.end_ms =
+        child.start_ms +
+        static_cast<double>(rng.UniformInt(1, 4)) * config_.time_grid_ms;
+    out->push_back(child);
+  }
+}
+
+FaultPlan Adversary::SamplePlan(Rng& rng) const {
+  FaultPlan plan;
+  const std::int64_t chains = rng.UniformInt(1, config_.max_chains);
+  for (std::int64_t c = 0; c < chains; ++c) {
+    SampleChain(rng, &plan.faults);
+  }
+  ReanchorFollows(&plan.faults);
+  plan.Validate();
+  return plan;
+}
+
+FaultPlan Adversary::MutatePlan(const FaultPlan& plan, Rng& rng) const {
+  FaultPlan mutated = plan;
+  auto& faults = mutated.faults;
+  if (faults.empty()) return SamplePlan(rng);
+
+  // Collect the operators applicable to this plan, then pick one.
+  enum Op { kShiftWindow, kRestep, kRetarget, kAddChain, kRemoveChain };
+  std::vector<Op> ops = {kShiftWindow, kRestep};
+  bool has_target = false;
+  for (const FaultSpec& spec : faults) {
+    if (IsDbReplicaKind(spec.kind) && spec.replica >= 0) has_target = true;
+  }
+  if (has_target && config_.replicas > 1) ops.push_back(kRetarget);
+  const auto heads = ChainHeads(faults);
+  if (static_cast<int>(heads.size()) < config_.max_chains) {
+    ops.push_back(kAddChain);
+  }
+  if (heads.size() > 1) ops.push_back(kRemoveChain);
+
+  const Op op = ops[static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(ops.size()) - 1))];
+  const auto pick = [&rng, &faults]() {
+    return static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(faults.size()) - 1));
+  };
+
+  switch (op) {
+    case kShiftWindow: {
+      FaultSpec& spec = faults[pick()];
+      const double shift =
+          rng.UniformInt(0, 1) == 0 ? -config_.time_grid_ms
+                                    : config_.time_grid_ms;
+      const double length =
+          spec.end_ms == kOpenEndMs ? kOpenEndMs : spec.end_ms - spec.start_ms;
+      spec.start_ms = std::max(0.0, SnapTime(spec.start_ms + shift));
+      if (length != kOpenEndMs) spec.end_ms = spec.start_ms + length;
+      break;
+    }
+    case kRestep: {
+      FaultSpec& spec = faults[pick()];
+      switch (spec.kind) {
+        case FaultKind::kDelayReplica:
+          spec.delta_ms = RestepFrom(rng, kDbDelaySteps, spec.delta_ms);
+          break;
+        case FaultKind::kOverloadReplica:
+          spec.factor = RestepFrom(rng, kDbOverloadSteps, spec.factor);
+          break;
+        case FaultKind::kSkewEstimator:
+          spec.error = RestepFrom(rng, kSkewSteps, spec.error);
+          break;
+        case FaultKind::kDropMessages:
+          spec.probability = RestepFrom(rng, kDropSteps, spec.probability);
+          break;
+        case FaultKind::kDelayMessages:
+          spec.delta_ms = RestepFrom(rng, kBrokerDelaySteps, spec.delta_ms);
+          break;
+        case FaultKind::kOverloadBroker:
+          spec.factor = RestepFrom(rng, kBrokerOverloadSteps, spec.factor);
+          break;
+        case FaultKind::kCrashController:
+        case FaultKind::kPartitionReplica: {
+          // No magnitude: stretch the window by one grid cell instead.
+          if (spec.end_ms != kOpenEndMs) spec.end_ms += config_.time_grid_ms;
+          break;
+        }
+      }
+      break;
+    }
+    case kRetarget: {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        FaultSpec& spec = faults[pick()];
+        if (!IsDbReplicaKind(spec.kind) || spec.replica < 0) continue;
+        spec.replica = static_cast<int>(
+            rng.UniformInt(0, config_.replicas - 1));
+        break;
+      }
+      break;
+    }
+    case kAddChain:
+      SampleChain(rng, &faults);
+      break;
+    case kRemoveChain: {
+      const auto heads2 = ChainHeads(faults);
+      const std::size_t head = heads2[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(heads2.size()) - 1))];
+      std::size_t end = head + 1;
+      while (end < faults.size() && faults[end].follows >= 0) ++end;
+      faults.erase(faults.begin() + static_cast<std::ptrdiff_t>(head),
+                   faults.begin() + static_cast<std::ptrdiff_t>(end));
+      break;
+    }
+  }
+
+  ReanchorFollows(&faults);
+  mutated.Validate();
+  return mutated;
+}
+
+AdversaryResult Adversary::Search(const Evaluator& evaluate) const {
+  if (!evaluate) {
+    throw std::invalid_argument("Adversary::Search: null evaluator");
+  }
+  Rng rng(config_.seed);
+  AdversaryResult result;
+  result.best_score = -std::numeric_limits<double>::infinity();
+  std::set<std::string> seen;
+  int since_improved = 0;
+
+  for (int i = 0; i < config_.iterations; ++i) {
+    const bool have_incumbent = std::isfinite(result.best_score);
+    bool fresh = !have_incumbent || i < config_.warmup ||
+                 since_improved >= config_.patience;
+    FaultPlan candidate;
+    bool novel = false;
+    for (int attempt = 0; attempt < 16 && !novel; ++attempt) {
+      candidate =
+          fresh ? SamplePlan(rng) : MutatePlan(result.best_plan, rng);
+      novel = seen.insert(candidate.ToString()).second;
+      // A saturated mutation neighborhood falls back to fresh sampling.
+      if (!novel && attempt >= 3) fresh = true;
+    }
+    if (!novel) continue;  // Space exhausted at this budget; spend on.
+
+    const double score = evaluate(candidate);
+    AdversaryStep step;
+    step.iteration = i;
+    step.score = score;
+    step.plan = candidate.ToString();
+    step.improved = score > result.best_score;
+    if (step.improved) {
+      result.best_plan = std::move(candidate);
+      result.best_score = score;
+      since_improved = 0;
+    } else {
+      ++since_improved;
+    }
+    result.history.push_back(std::move(step));
+  }
+  return result;
+}
+
+}  // namespace e2e::fault

@@ -1,0 +1,119 @@
+// Adversarial fault-plan search (docs/FAULTS.md, docs/RESILIENCE.md).
+//
+// The fault-plan grammar (fault/plan.h) spans a large space of failure
+// schedules: crash/drop/delay/partition/overload clauses, windows, replica
+// targets, and correlated `then`/`survivors` chains. Hand-written scenarios
+// (Fig. 18) only probe the corners a human thought of; this module searches
+// the grammar for the schedule that *maximizes* QoE regression under a
+// caller-supplied evaluator, so the resilience layer is regression-tested
+// against the worst plan the search can find, not the friendliest.
+//
+// The search is a seeded random-restart hill climb: a warmup phase samples
+// fresh plans from the grammar, then mutation steps perturb the incumbent
+// (shift a window, restep a magnitude, retarget a replica, add or drop a
+// chain). Times snap to a coarse grid and magnitudes step through small
+// discrete sets, which keeps the space enumerable-ish and the found plans
+// human-readable. Everything draws from one Rng, so a (config, evaluator)
+// pair reproduces the same search trajectory bit-for-bit — the committed
+// worst-plan fixture (testbed/worst_plan_fixture.h) is re-derivable by
+// rerun.
+//
+// The evaluator is a black box (typically "run the db testbed under this
+// plan, return baseline QoE minus faulted QoE"); this library deliberately
+// does not link the testbed, so the dependency arrow stays
+// testbed -> fault. tools/adversary wires the two together.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "util/rng.h"
+
+namespace e2e::fault {
+
+/// Search-space and budget knobs.
+struct AdversaryConfig {
+  std::uint64_t seed = 1;
+
+  /// Total plan evaluations (the expensive part: one testbed run each).
+  int iterations = 32;
+
+  /// Fresh grammar samples before mutation of the incumbent takes over.
+  /// Also the restart source: a mutation that fails to improve several
+  /// times in a row falls back to sampling.
+  int warmup = 8;
+
+  /// Mutations allowed without improvement before resampling fresh.
+  int patience = 6;
+
+  /// Plans place fault windows inside [0, horizon_ms].
+  double horizon_ms = 60000.0;
+
+  /// Window starts/lengths snap to this grid.
+  double time_grid_ms = 2500.0;
+
+  /// Replica targets are drawn from [0, replicas).
+  int replicas = 3;
+
+  /// Maximum top-level chains per plan (a `then` child rides its parent's
+  /// chain and does not count).
+  int max_chains = 3;
+
+  /// Include broker-targeting clauses (drop/delay broker, overload
+  /// broker). Off by default: against the db testbed they are no-ops and
+  /// only waste search budget.
+  bool broker_faults = false;
+};
+
+/// One evaluated plan in the search trajectory.
+struct AdversaryStep {
+  int iteration = 0;
+  double score = 0.0;    ///< Evaluator output (higher = worse for the SUT).
+  bool improved = false; ///< True when this step became the incumbent.
+  std::string plan;      ///< Canonical spec text.
+};
+
+/// Search outcome: the worst plan found and the full trajectory.
+struct AdversaryResult {
+  FaultPlan best_plan;
+  double best_score = 0.0;
+  std::vector<AdversaryStep> history;
+};
+
+/// Seeded adversarial search over the fault-plan grammar.
+class Adversary {
+ public:
+  /// Scores a plan; higher means a worse outcome for the system under
+  /// test (e.g. mean-QoE regression vs. a fault-free baseline). Must be
+  /// deterministic for reproducible searches.
+  using Evaluator = std::function<double(const FaultPlan&)>;
+
+  /// Throws std::invalid_argument on nonsensical configs.
+  explicit Adversary(AdversaryConfig config);
+
+  /// Draws a fresh plan from the grammar (always Validate()-clean).
+  FaultPlan SamplePlan(Rng& rng) const;
+
+  /// Perturbs `plan` by one mutation operator (always Validate()-clean).
+  FaultPlan MutatePlan(const FaultPlan& plan, Rng& rng) const;
+
+  /// Runs the full search; `evaluate` is called at most
+  /// `config.iterations` times (duplicate plans are skipped, not re-run).
+  AdversaryResult Search(const Evaluator& evaluate) const;
+
+  const AdversaryConfig& config() const { return config_; }
+
+ private:
+  /// One random top-level clause, optionally growing a `then` child;
+  /// appends 1–2 specs to `out`.
+  void SampleChain(Rng& rng, std::vector<FaultSpec>* out) const;
+
+  double SnapTime(double ms) const;
+
+  AdversaryConfig config_;
+};
+
+}  // namespace e2e::fault

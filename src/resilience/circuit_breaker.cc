@@ -38,6 +38,7 @@ const char* CircuitBreaker::StateName(State state) {
 void CircuitBreaker::Transition(State to, double now_ms) {
   const State from = state_;
   state_ = to;
+  probes_inflight_ = 0;
   switch (to) {
     case State::kOpen:
       ++stats_.opens;
@@ -61,7 +62,11 @@ void CircuitBreaker::Transition(State to, double now_ms) {
 
 bool CircuitBreaker::WouldAllow(double now_ms) const {
   if (!config_.enabled) return true;
-  return state_ != State::kOpen || now_ms >= open_until_ms_;
+  if (state_ == State::kOpen) return now_ms >= open_until_ms_;
+  if (state_ == State::kHalfOpen) {
+    return probes_inflight_ < config_.half_open_probes;
+  }
+  return true;
 }
 
 bool CircuitBreaker::AllowRequest(double now_ms) {
@@ -69,6 +74,18 @@ bool CircuitBreaker::AllowRequest(double now_ms) {
   if (state_ == State::kOpen) {
     if (now_ms >= open_until_ms_) {
       Transition(State::kHalfOpen, now_ms);
+      ++probes_inflight_;
+      return true;
+    }
+    ++stats_.rejections;
+    return false;
+  }
+  if (state_ == State::kHalfOpen) {
+    // Cap concurrent probes: an unbounded half-open would route a burst of
+    // requests (hedges, failover scans) into a replica whose recovery is
+    // still one unverified hypothesis.
+    if (probes_inflight_ < config_.half_open_probes) {
+      ++probes_inflight_;
       return true;
     }
     ++stats_.rejections;
@@ -85,6 +102,13 @@ void CircuitBreaker::RecordOutcome(bool failure, double now_ms) {
       // window already reset the sample window, so they are dropped.
       return;
     case State::kHalfOpen:
+      // Only admitted probes speak for the recovery hypothesis. An outcome
+      // with no probe outstanding belongs to a request issued before the
+      // breaker opened; counting it would let a stale slow success reopen
+      // (or spuriously close) the breaker under the live probes — the
+      // double-transition race the reentry property test pins down.
+      if (probes_inflight_ == 0) return;
+      --probes_inflight_;
       if (failure) {
         Transition(State::kOpen, now_ms);
       } else if (++probe_successes_ >= config_.half_open_probes) {

@@ -6,7 +6,14 @@
 //   closed ──(window failure rate >= threshold)──> open
 //   open ──(open_ms cool-down elapsed)──> half-open
 //   half-open ──(half_open_probes consecutive successes)──> closed
-//   half-open ──(any failure)──> open
+//   half-open ──(any probe failure)──> open
+//
+// Half-open admits at most `half_open_probes` concurrent probes; further
+// requests are rejected until a probe outcome frees a slot. Outcomes that
+// arrive in half-open with no probe outstanding belong to requests issued
+// before the breaker opened — they are ignored, so a stale slow response
+// racing the probes can neither reopen the breaker nor count toward
+// closing it.
 //
 // No RNG anywhere: transitions are a pure function of the recorded
 // outcomes and their times, so breaker decisions replay bit-identically.
@@ -82,12 +89,15 @@ class CircuitBreaker {
 
   /// True when a request may be routed through this circuit at `now_ms`.
   /// An open breaker whose cool-down elapsed transitions to half-open and
-  /// admits the probe. Counts a rejection when it refuses.
+  /// admits the probe; a half-open breaker admits probes only while fewer
+  /// than `half_open_probes` are outstanding. Counts a rejection when it
+  /// refuses.
   bool AllowRequest(double now_ms);
 
   /// Side-effect-free availability check (no rejection counting, no
-  /// half-open transition): false only while open and still cooling down.
-  /// Used to scan failover candidates without touching their state.
+  /// half-open transition): false while open and still cooling down, or
+  /// while half-open with every probe slot taken. Used to scan failover
+  /// candidates without touching their state.
   bool WouldAllow(double now_ms) const;
 
   /// Records an operation outcome. `slow` operations (caller compares
@@ -115,6 +125,7 @@ class CircuitBreaker {
   int window_failures_ = 0;
   double open_until_ms_ = 0.0;
   int probe_successes_ = 0;
+  int probes_inflight_ = 0;  // Admitted half-open probes awaiting outcomes.
   BreakerStats stats_;
   TransitionHook hook_;
 };

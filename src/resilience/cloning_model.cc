@@ -1,0 +1,119 @@
+#include "resilience/cloning_model.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace e2e::resilience {
+
+CloningModel::CloningModel(const CloningModelConfig& config)
+    : config_(config) {
+  if (config_.window_ms <= 0.0) {
+    throw std::invalid_argument("CloningModel: window_ms <= 0");
+  }
+  if (config_.target_buckets < 1) {
+    throw std::invalid_argument("CloningModel: target_buckets < 1");
+  }
+  if (config_.max_span_ms <= 0.0) {
+    throw std::invalid_argument("CloningModel: max_span_ms <= 0");
+  }
+  if (config_.min_samples < 2) {
+    // One sample cannot distinguish E[S] from E[min of two].
+    throw std::invalid_argument("CloningModel: min_samples < 2");
+  }
+  if (config_.max_fraction_cap <= 0.0 || config_.max_fraction_cap > 1.0) {
+    throw std::invalid_argument("CloningModel: max_fraction_cap not in (0,1]");
+  }
+  if (config_.fraction_grid < 2) {
+    throw std::invalid_argument("CloningModel: fraction_grid < 2");
+  }
+  if (config_.stability_margin <= 0.0 || config_.stability_margin >= 1.0) {
+    throw std::invalid_argument("CloningModel: stability_margin not in (0,1)");
+  }
+  if (config_.min_gain_fraction < 0.0 || config_.min_gain_fraction >= 1.0) {
+    throw std::invalid_argument("CloningModel: min_gain_fraction not in [0,1)");
+  }
+}
+
+double CloningModel::MinOfTwoMean(std::span<const double> sorted_samples) {
+  const std::size_t n = sorted_samples.size();
+  if (n == 0) return 0.0;
+  // Ordered pairs (i, j) over n samples: the min falls on sorted position i
+  // (0-based) for the 2 * (n - 1 - i) pairs against a strictly later
+  // position plus the (i, i) pair. Ties contribute symmetrically, so the
+  // count argument holds for any non-decreasing sequence.
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pairs = 2.0 * static_cast<double>(n - 1 - i) + 1.0;
+    weighted += sorted_samples[i] * pairs;
+  }
+  return weighted / (static_cast<double>(n) * static_cast<double>(n));
+}
+
+double CloningModel::ResponseMs(double mean_service_ms, double min_of_two_ms,
+                                double rho0, double h) {
+  if (mean_service_ms <= 0.0) return 0.0;
+  const double m = min_of_two_ms / mean_service_ms;
+  const double load = rho0 * ((1.0 - h) + 2.0 * h * m);
+  if (load >= 1.0) return std::numeric_limits<double>::infinity();
+  return mean_service_ms * ((1.0 - h) + h * m) / (1.0 - load);
+}
+
+CloningPrediction CloningModel::Predict(double mean_service_ms,
+                                        double min_of_two_ms,
+                                        double utilization) const {
+  CloningPrediction p;
+  p.mean_service_ms = mean_service_ms;
+  p.min_of_two_ms = min_of_two_ms;
+  p.utilization = std::clamp(utilization, 0.0, 1.0);
+  if (mean_service_ms <= 0.0) return p;
+  const double m = std::clamp(min_of_two_ms / mean_service_ms, 0.0, 1.0);
+  // Knee condition: d/dh T(h) at h = 0 is proportional to m - 1 + rho0 * m,
+  // so cloning helps iff rho0 < (1 - m) / m (unbounded as m -> 0: a heavy
+  // enough tail profits at any utilization).
+  p.critical_utilization =
+      m <= 0.0 ? 1.0 : std::clamp((1.0 - m) / m, 0.0, 1.0);
+  const double rho0 = std::min(p.utilization, config_.stability_margin);
+  p.base_response_ms = ResponseMs(mean_service_ms, min_of_two_ms, rho0, 0.0);
+  p.hedged_response_ms = p.base_response_ms;
+  // Argmin of T(h) over the grid, constrained to predicted-stable loads.
+  // The grid keeps the derivation exactly reproducible (no root finding
+  // against floating-point tolerances).
+  double best_h = 0.0;
+  double best_t = p.base_response_ms;
+  for (int i = 1; i <= config_.fraction_grid; ++i) {
+    const double h = config_.max_fraction_cap * static_cast<double>(i) /
+                     static_cast<double>(config_.fraction_grid);
+    const double load = rho0 * ((1.0 - h) + 2.0 * h * m);
+    // rho(h) is affine in h (slope 2m - 1), so once it crosses the margin
+    // the remaining grid points cannot come back under it.
+    if (load > config_.stability_margin) break;
+    const double t = ResponseMs(mean_service_ms, min_of_two_ms, rho0, h);
+    if (t < best_t) {
+      best_t = t;
+      best_h = h;
+    }
+  }
+  p.max_hedge_fraction = best_h;
+  p.hedged_response_ms = best_t;
+  p.predicted_gain_ms = p.base_response_ms - best_t;
+  p.max_target_load =
+      std::min(p.critical_utilization, config_.stability_margin);
+  return p;
+}
+
+CloningPrediction CloningModel::Predict(const Bucketizer& service_times,
+                                        double utilization) const {
+  if (service_times.empty()) {
+    CloningPrediction p;
+    p.utilization = std::clamp(utilization, 0.0, 1.0);
+    return p;
+  }
+  const std::span<const double> samples = service_times.samples();
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  const double mean = sum / static_cast<double>(samples.size());
+  return Predict(mean, MinOfTwoMean(samples), utilization);
+}
+
+}  // namespace e2e::resilience

@@ -1,0 +1,90 @@
+// Processor-sharing model of synchronized request cloning
+// (docs/RESILIENCE.md; PAPERS.md "Modeling of Request Cloning in Cloud
+// Server Systems using Processor Sharing").
+//
+// In an M/G/1-PS server the mean sojourn time is insensitive to the service
+// distribution beyond its mean: T = E[S] / (1 - rho). A synchronized clone
+// sends the same request to two servers and cancels the loser the instant
+// the winner completes, so the user waits for S_min = min(S1, S2) — but
+// *both* servers spend S_min of work on it. Hedging a fraction h of
+// requests therefore trades a shorter effective service requirement against
+// inflated cluster utilization:
+//
+//   m      = E[S_min] / E[S]                        (min-of-two ratio)
+//   rho(h) = rho0 * ((1 - h) + 2 h m)               (cluster utilization)
+//   T(h)   = E[S] * ((1 - h) + h m) / (1 - rho(h))  (mean response time)
+//
+// Differentiating at h = 0 gives the knee condition the reproducibility
+// report derives: cloning helps iff rho0 < (1 - m) / m. Deterministic
+// service (m = 1) never profits from cloning; an exponential tail
+// (m = 1/2) profits up to full utilization; a heavier tail always does.
+// Everything here is pure arithmetic over the sample multiset and the
+// utilization estimate — no RNG, no clock — so model-driven hedge budgets
+// replay bit-identically.
+#pragma once
+
+#include <span>
+
+#include "resilience/config.h"
+#include "stats/bucketizer.h"
+
+namespace e2e::resilience {
+
+/// One operating-point prediction. All times in virtual ms; utilizations
+/// are fractions of the capacity knee in [0, 1].
+struct CloningPrediction {
+  double mean_service_ms = 0.0;  ///< E[S] of the empirical distribution.
+  double min_of_two_ms = 0.0;    ///< E[min(S1, S2)] over two iid draws.
+  double utilization = 0.0;      ///< rho0 input (clamped to [0, 1)).
+  /// rho* = (1 - m) / m: cloning is predicted to help strictly below this
+  /// utilization and to hurt above it (clamped to [0, 1]).
+  double critical_utilization = 0.0;
+  double base_response_ms = 0.0;    ///< T(0) = E[S] / (1 - rho0).
+  double hedged_response_ms = 0.0;  ///< T(h*) at the derived fraction.
+  /// T(0) - T(h*): positive when cloning at h* is predicted to shave the
+  /// mean response, zero when the model keeps the budget shut.
+  double predicted_gain_ms = 0.0;
+  double max_hedge_fraction = 0.0;  ///< Derived h* (0 = no hedging).
+  double max_target_load = 0.0;     ///< Derived idle-capacity gate.
+};
+
+/// The deterministic predictor. Stateless beyond its config: callers feed
+/// it a per-window service-time summary plus a utilization estimate and
+/// wire the derived gates into the hedge path themselves (db::ReadExecutor
+/// does this per CloningModelConfig::window_ms).
+class CloningModel {
+ public:
+  /// Throws std::invalid_argument on out-of-range knobs.
+  explicit CloningModel(const CloningModelConfig& config);
+
+  /// E[min of two iid draws] of the empirical distribution given by
+  /// `sorted_samples` (ascending; Bucketizer::samples() qualifies).
+  /// Exact in O(n): a pair attains its min at sorted position i in
+  /// 2(n - i) + 1 of the n^2 ordered draws. Returns 0 for an empty span.
+  static double MinOfTwoMean(std::span<const double> sorted_samples);
+
+  /// Predicted mean response time T(h) at hedge fraction `h`, given the
+  /// empirical E[S], E[min-of-two], and base utilization rho0. Returns
+  /// +infinity when the hedged system is predicted unstable
+  /// (rho(h) >= 1).
+  static double ResponseMs(double mean_service_ms, double min_of_two_ms,
+                           double rho0, double h);
+
+  /// Full prediction at one operating point: derives h* as the argmin of
+  /// T(h) over the config's fraction grid subject to
+  /// rho(h) <= stability_margin, and the idle-capacity gate as
+  /// min(rho*, stability_margin).
+  CloningPrediction Predict(double mean_service_ms, double min_of_two_ms,
+                            double utilization) const;
+
+  /// Convenience over a window's streaming service-time summary.
+  CloningPrediction Predict(const Bucketizer& service_times,
+                            double utilization) const;
+
+  const CloningModelConfig& config() const { return config_; }
+
+ private:
+  CloningModelConfig config_;
+};
+
+}  // namespace e2e::resilience

@@ -36,12 +36,66 @@ struct RetryConfig {
   std::uint64_t budget_per_class = 0;
 };
 
+/// How the hedge gates (`max_hedge_fraction`, `max_target_load`) are
+/// chosen.
+enum class HedgeMode : std::uint8_t {
+  /// The static HedgeConfig values apply for the whole run — byte-identical
+  /// to the pre-model behavior (the golden replay regressions pin this).
+  kStatic = 0,
+  /// A processor-sharing cloning model (resilience/cloning_model.h) derives
+  /// both gates per analysis window from the measured utilization and the
+  /// empirical service-time distribution, so the hedge budget tracks the
+  /// operating point instead of a hand-tuned guess. The static values serve
+  /// as the cold-start fallback until a window has enough samples and as
+  /// the floor of the derived gates: the model opens the budget further
+  /// when cloning is predicted profitable beyond its significance threshold
+  /// (CloningModelConfig::min_gain_fraction) and otherwise leaves the static
+  /// gates in force — it never closes below the floor.
+  kModelDriven = 1,
+};
+
+/// Knobs of the processor-sharing cloning predictor (docs/RESILIENCE.md has
+/// the derivation). Only read when HedgeConfig::mode == kModelDriven.
+struct CloningModelConfig {
+  /// Budget recompute cadence in virtual ms: service-time samples and
+  /// utilization observations accumulate per window, and the derived gates
+  /// apply from the window boundary on.
+  double window_ms = 5000.0;
+  /// Granularity of the streaming service-time summary (stats/bucketizer.h
+  /// — the same mergeable bucketizer the policy solve rides).
+  int target_buckets = 32;
+  double max_span_ms = 500.0;
+  /// Minimum service-time samples in a window before the model overrides
+  /// the previous gates; thinner windows keep the last derived (or static,
+  /// at cold start) values.
+  int min_samples = 32;
+  /// Hard cap on the derived hedge fraction: even when the model predicts
+  /// cloning is free, at most this share of primaries is cloned.
+  double max_fraction_cap = 0.5;
+  /// Grid resolution of the argmin over hedge fractions in
+  /// [0, max_fraction_cap].
+  int fraction_grid = 64;
+  /// Predicted post-hedge utilization must stay below this fraction of the
+  /// capacity knee; the derived max_target_load is also clamped to it.
+  double stability_margin = 0.9;
+  /// The derived gates only replace the static floor when the predicted
+  /// gain exceeds this fraction of the predicted base response time —
+  /// marginal predictions are inside the model's own error and not worth
+  /// doubling load over. In [0, 1).
+  double min_gain_fraction = 0.02;
+};
+
 /// Hedged replica reads: when the primary read has not completed after the
 /// per-class hedge delay, clone it to the next-best reachable replica;
 /// first response wins, the loser's response is discarded and counted
 /// (conservation stays exact: issued = won outcomes + discarded losers).
 struct HedgeConfig {
   bool enabled = false;
+  /// Gate selection mode: static knobs (default, byte-identical to the
+  /// pre-model runs) or per-window processor-sharing model derivation.
+  HedgeMode mode = HedgeMode::kStatic;
+  /// Model knobs (kModelDriven only).
+  CloningModelConfig model;
   /// Hedge delay for requests in the sensitive class (ms of virtual time
   /// the primary is given before a clone is issued). Must sit above the
   /// healthy service-time tail: the E2E placement deliberately serves
@@ -131,6 +185,14 @@ struct ResilienceConfig {
     config.hedge.enabled = true;
     config.breaker.enabled = true;
     config.admission.enabled = true;
+    return config;
+  }
+
+  /// AllOn() with the hedge gates derived by the processor-sharing cloning
+  /// model instead of the static knobs.
+  static ResilienceConfig ModelDriven() {
+    ResilienceConfig config = AllOn();
+    config.hedge.mode = HedgeMode::kModelDriven;
     return config;
   }
 };

@@ -1,0 +1,66 @@
+// Shared evaluation harness for the adversarial fault-plan search
+// (fault/adversary.h) against the db testbed.
+//
+// The search, the committed worst-plan regression test, and the CI smoke
+// check (tools/adversary --check) must all score a plan *identically* —
+// the fixture records an exact hexfloat QoE regression, and any drift in
+// the harness setup shows up as a byte-level mismatch. Centralizing the
+// workload, config, and scoring here is what makes that exactness cheap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/adversary.h"
+#include "fault/plan.h"
+#include "testbed/db_experiment.h"
+#include "testbed/metrics.h"
+#include "trace/record.h"
+
+namespace e2e {
+
+/// Harness knobs. The defaults are what the committed fixture
+/// (testbed/worst_plan_fixture.h) was recorded under — change them and the
+/// fixture must be re-derived with tools/adversary.
+struct AdversaryHarnessConfig {
+  std::size_t requests = 400;
+  std::uint64_t workload_seed = 23;
+  double rps = 90.0;
+  /// Resilience mode the evaluated system defends with. The fixture
+  /// attacks the *model-driven* configuration: the search looks for the
+  /// plan the new hedging is worst at, and the regression test pins the
+  /// floor it must still hold.
+  bool model_driven = true;
+};
+
+/// Deterministic db-testbed evaluator for fault plans.
+class AdversaryHarness {
+ public:
+  explicit AdversaryHarness(AdversaryHarnessConfig config = {});
+
+  /// Runs the experiment under `plan` with the harness's resilience
+  /// configuration enabled.
+  ExperimentResult Run(const fault::FaultPlan& plan) const;
+
+  /// Score for the adversary: fault-free mean QoE minus the plan's mean
+  /// QoE (higher = worse damage). Deterministic per (harness, plan).
+  double Regression(const fault::FaultPlan& plan) const;
+
+  /// Mean QoE of the fault-free run under the same configuration.
+  double baseline_qoe() const { return baseline_qoe_; }
+
+  /// A search space sized to this harness's workload: the fault windows
+  /// cover the replay span, replica targets match the cluster.
+  fault::AdversaryConfig SearchSpace(std::uint64_t seed, int iterations) const;
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+ private:
+  DbExperimentConfig ExperimentConfigFor(const fault::FaultPlan& plan) const;
+
+  AdversaryHarnessConfig config_;
+  std::vector<TraceRecord> records_;
+  double baseline_qoe_ = 0.0;
+};
+
+}  // namespace e2e

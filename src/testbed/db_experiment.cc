@@ -1,5 +1,7 @@
 #include "testbed/db_experiment.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -135,6 +137,34 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
       executor.AttachResilienceMetrics(telemetry.metrics, &telemetry.tracer);
     }
   }
+  const bool model_driven =
+      resil.hedge.enabled && resil.hedge.mode == resilience::HedgeMode::kModelDriven;
+
+  // Per-replica resilience snapshot gauges (docs/RESILIENCE.md): the
+  // placement co-design's controller inputs, exported through src/obs so
+  // the policy shift away from un-rescuable replicas is observable.
+  // Registered only in model-driven mode — stock telemetry stays
+  // byte-identical.
+  struct ReplicaResilienceGauges {
+    obs::Gauge* utilization = nullptr;
+    obs::Gauge* predicted_gain = nullptr;
+    obs::Gauge* rescuable = nullptr;
+    obs::Gauge* penalty = nullptr;
+  };
+  std::vector<ReplicaResilienceGauges> replica_gauges;
+  if (model_driven && telemetry.enabled()) {
+    replica_gauges.resize(static_cast<std::size_t>(cluster.NumReplicas()));
+    for (int r = 0; r < cluster.NumReplicas(); ++r) {
+      const std::string prefix =
+          "db.resilience.replica" + std::to_string(r) + ".";
+      auto& g = replica_gauges[static_cast<std::size_t>(r)];
+      g.utilization = &telemetry.metrics.AddGauge(prefix + "utilization");
+      g.predicted_gain =
+          &telemetry.metrics.AddGauge(prefix + "predicted_gain_ms");
+      g.rescuable = &telemetry.metrics.AddGauge(prefix + "rescuable");
+      g.penalty = &telemetry.metrics.AddGauge(prefix + "penalty_ms");
+    }
+  }
 
   // --- Fault plan --------------------------------------------------------
   std::unique_ptr<fault::FaultInjector> injector;
@@ -174,6 +204,11 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
       abandonment.enabled()
           ? &telemetry.metrics.AddCounter("testbed.abandoned")
           : nullptr;
+  // Running arrival/abandonment counts feed the controller's load discount
+  // at each tick: sessions that quit stop offering load, so the planner
+  // should stop provisioning for them (docs/OBJECTIVES.md).
+  std::uint64_t arrivals_seen = 0;
+  std::uint64_t arrivals_abandoned = 0;
 
   // --- Replay ------------------------------------------------------------
   const auto schedule = BuildReplaySchedule(records, config.common.speedup);
@@ -185,6 +220,7 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
   for (const auto& arrival : schedule) {
     loop.Schedule(arrival.testbed_time_ms, [&, arrival]() {
       const TraceRecord& rec = arrival.record;
+      ++arrivals_seen;
       // A request from a session that already quit never reaches the
       // controller or the cluster: the user is gone, so the load is too.
       if (abandonment.enabled() &&
@@ -195,6 +231,7 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
         outcome.external_delay_ms = rec.external_delay_ms;
         outcome.status = RequestStatus::kAbandoned;
         result.outcomes.push_back(outcome);
+        ++arrivals_abandoned;
         if (metric_abandoned != nullptr) metric_abandoned->Increment();
         return;
       }
@@ -221,7 +258,7 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
       }
       executor.ExecuteRangeRead(
           request, [&result, rec, &qoe, &abandonment, &abandoned_sessions,
-                    metric_abandoned](db::ReadResult read) {
+                    &arrivals_abandoned, metric_abandoned](db::ReadResult read) {
             RequestOutcome outcome;
             outcome.id = rec.request_id;
             outcome.arrival_ms = read.timing.enqueue_ms;
@@ -240,6 +277,7 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
                                       total_delay))) {
               outcome.status = RequestStatus::kAbandoned;
               abandoned_sessions.insert(rec.session_id);
+              ++arrivals_abandoned;
               if (metric_abandoned != nullptr) {
                 metric_abandoned->Increment();
               }
@@ -261,6 +299,41 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
     for (double t = config.common.tick_interval_ms; t <= horizon_ms;
          t += config.common.tick_interval_ms) {
       loop.Schedule(t, [&]() {
+        if (model_driven) {
+          // Roll the cloning-model window even across arrival lulls, then
+          // feed the per-replica snapshot into the next policy solve: a
+          // replica the model says cloning cannot rescue is penalized by
+          // its measured excess delay, so weight drifts off it.
+          executor.MaybeRecomputeBudgets(loop.Now());
+          const auto snapshot = executor.SnapshotResilience(loop.Now());
+          std::vector<double> penalties(snapshot.size(), 0.0);
+          bool any_penalty = false;
+          for (std::size_t i = 0; i < snapshot.size(); ++i) {
+            const db::ReplicaResilienceSnapshot& snap = snapshot[i];
+            if (!snap.rescuable && snap.excess_delay_ms > 0.0) {
+              penalties[i] = snap.excess_delay_ms;
+              any_penalty = true;
+            }
+            if (!replica_gauges.empty()) {
+              const auto& g = replica_gauges[i];
+              g.utilization->Set(snap.utilization);
+              g.predicted_gain->Set(snap.predicted_gain_ms);
+              g.rescuable->Set(snap.rescuable ? 1.0 : 0.0);
+              g.penalty->Set(penalties[i]);
+            }
+          }
+          controllers->SetDecisionPenalties(
+              any_penalty ? std::move(penalties) : std::vector<double>{});
+        }
+        if (abandonment.enabled() && arrivals_seen > 0) {
+          // Live abandonment threading: plan only for the load that is
+          // still offered. Capped below 1 so a fully-quit window still
+          // keeps the planner well-defined.
+          const double quit_fraction =
+              static_cast<double>(arrivals_abandoned) /
+              static_cast<double>(arrivals_seen);
+          controllers->SetLoadDiscount(std::min(quit_fraction, 0.95));
+        }
         if (controllers->Tick(loop.Now())) {
           const DecisionTable* table =
               controllers->active().CurrentTable();
@@ -292,6 +365,7 @@ ExperimentResult RunDbExperiment(std::span<const TraceRecord> records,
     result.resilience.hedges_issued = reads.hedges_issued;
     result.resilience.hedges_won = reads.hedges_won;
     result.resilience.hedges_cancelled = reads.hedges_cancelled;
+    result.resilience.model_recomputes = reads.model_recomputes;
     const resilience::BreakerStats breakers = executor.TotalBreakerStats();
     result.resilience.breaker_opens = breakers.opens;
     result.resilience.breaker_half_opens = breakers.half_opens;

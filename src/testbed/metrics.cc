@@ -126,6 +126,12 @@ std::string ExperimentResult::Serialize() const {
   obs::AppendField(&out, "breaker_closes", resilience.breaker_closes);
   out += ' ';
   obs::AppendField(&out, "breaker_rejections", resilience.breaker_rejections);
+  // Like `abandoned` above: only model-driven runs carry the field, so
+  // every pre-model serialization stays byte-identical.
+  if (resilience.model_recomputes != 0) {
+    out += ' ';
+    obs::AppendField(&out, "model_recomputes", resilience.model_recomputes);
+  }
   out += '\n';
   char head[64];
   for (const auto& o : outcomes) {

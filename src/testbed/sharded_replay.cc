@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <tuple>
 #include <unordered_set>
@@ -58,84 +59,98 @@ struct SolvedGroup {
   std::vector<std::uint64_t> newly_abandoned;
 };
 
-}  // namespace
-
-ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
-                                       const QoeModelSelector& qoe_of_page,
-                                       const ServerDelayModel& g,
-                                       const ShardedReplayConfig& config) {
-  RequireNoFaultPlan(config.common, "ReplayTraceSharded");
-  const ControllerConfig& ctrl = config.common.controller;
-  if (ctrl.shards < 0) {
-    throw std::invalid_argument("ReplayTraceSharded: negative shard count");
+// Everything the batch and sharded replayers share: config validation, the
+// pure per-group solve, and the serial merge that owns the abandonment
+// session set, the model-driven metering, and the result aggregates. The
+// two entry points differ only in how groups are *built* — streamed into
+// per-shard maps vs. grouped up front — which the batch-vs-shard parity
+// test (tests/scale_test.cc) pins as unobservable in the output bytes.
+class ReplayEngine {
+ public:
+  ReplayEngine(const QoeModelSelector& qoe_of_page, const ServerDelayModel& g,
+               const ShardedReplayConfig& config, const char* caller)
+      : qoe_of_page_(qoe_of_page),
+        g_(g),
+        config_(config),
+        ctrl_(config.common.controller),
+        window_ms_(ctrl_.external.window_ms),
+        policy_(ctrl_.policy),
+        abandonment_(config.common.abandonment),
+        // Telemetry on the frozen virtual clock: counters are bumped only
+        // on the serial routing/merge paths, so exports are shard-count-
+        // invariant. The batch path registers the same metric names so its
+        // exports byte-match the sharded ones (the parity contract).
+        telemetry_(config.common.collect_telemetry, &VirtualClock::Frozen()),
+        metric_merges_(
+            telemetry_.metrics.AddCounter("controller.shard_merges")),
+        metric_windows_(
+            telemetry_.metrics.AddCounter("controller.windows_streamed")) {
+    RequireNoFaultPlan(config.common, caller);
+    // Groups are the unit of parallelism here; the per-group hill climb
+    // runs serially on its shard's thread (nesting pools would
+    // oversubscribe and buys nothing at this granularity).
+    policy_.parallel_workers = 1;
+    // Session abandonment (qoe/abandonment.h). The global session set is
+    // read on the serial routing path (membership only — never iterated)
+    // and written on the serial merge path, so shard threads never touch
+    // it. The counter is registered only when the model is live, keeping
+    // stock runs' telemetry exports byte-identical.
+    abandonment_on_ = abandonment_.enabled();
+    if (abandonment_on_) {
+      metric_abandoned_ = &telemetry_.metrics.AddCounter("replay.abandoned");
+    }
+    // Model-driven hedge-gate metering (resilience/cloning_model.h). The
+    // replay has no hedge path — it charges planned mean delays — so the
+    // mode derives and meters the PS-model gates per model window on the
+    // serial merge path without changing any decision: one HedgeMode flows
+    // end to end through ExperimentConfig, and the derived gates are
+    // exported for the same operators who read them from the testbeds.
+    // Registered only in model mode, so static/stock exports keep their
+    // historical byte stream.
+    const resilience::HedgeConfig& hedge = config.common.resilience.hedge;
+    model_driven_ = hedge.enabled &&
+                    hedge.mode == resilience::HedgeMode::kModelDriven;
+    if (model_driven_) {
+      cloning_model_.emplace(hedge.model);  // Validates the knobs.
+      service_window_.emplace(hedge.model.target_buckets,
+                              hedge.model.max_span_ms);
+      metric_model_recomputes_ =
+          &telemetry_.metrics.AddCounter("replay.model.recomputes");
+      metric_model_fraction_ =
+          &telemetry_.metrics.AddGauge("replay.model.hedge_fraction");
+      metric_model_target_load_ =
+          &telemetry_.metrics.AddGauge("replay.model.target_load");
+      metric_model_gain_ =
+          &telemetry_.metrics.AddGauge("replay.model.predicted_gain_ms");
+    }
   }
-  const int shards =
-      ctrl.shards == 0 ? ThreadPool::DefaultWorkers() : ctrl.shards;
-  const double window_ms = ctrl.external.window_ms;
 
-  // Groups are the unit of parallelism here; the per-group hill climb runs
-  // serially on its shard's thread (nesting pools would oversubscribe and
-  // buys nothing at this granularity).
-  PolicyConfig policy = ctrl.policy;
-  policy.parallel_workers = 1;
+  double window_ms() const { return window_ms_; }
+  const PolicyConfig& policy() const { return policy_; }
+  bool abandonment_on() const { return abandonment_on_; }
+  void set_shards(int shards) { out_.stats.shards = shards; }
 
-  ShardedReplayResult out;
-  out.stats.shards = shards;
-
-  // Telemetry on the frozen virtual clock: counters are bumped only on the
-  // serial routing/merge paths, so exports are shard-count-invariant.
-  obs::Telemetry telemetry(config.common.collect_telemetry,
-                           &VirtualClock::Frozen());
-  obs::Counter& metric_merges =
-      telemetry.metrics.AddCounter("controller.shard_merges");
-  obs::Counter& metric_windows =
-      telemetry.metrics.AddCounter("controller.windows_streamed");
-
-  // Session abandonment (qoe/abandonment.h). The global session set is
-  // read on the serial routing path (membership only — never iterated) and
-  // written on the serial merge path, so shard threads never touch it. The
-  // counter is registered only when the model is live, keeping stock runs'
-  // telemetry exports byte-identical.
-  const AbandonmentModel abandonment(config.common.abandonment);
-  const bool abandonment_on = abandonment.enabled();
-  std::unordered_set<std::uint64_t> abandoned_sessions;
-  obs::Counter* metric_abandoned =
-      abandonment_on ? &telemetry.metrics.AddCounter("replay.abandoned")
-                     : nullptr;
-
-  // Per-shard state, touched only by the owning shard during a flush and by
-  // the (serial) router between flushes.
-  std::vector<std::map<std::pair<std::int64_t, int>, OpenGroup>> open(
-      static_cast<std::size_t>(shards));
-  std::vector<std::vector<PendingGroup>> pending(
-      static_cast<std::size_t>(shards));
-  std::vector<std::vector<SolvedGroup>> solved(
-      static_cast<std::size_t>(shards));
-
-  std::unique_ptr<ThreadPool> pool;
-  if (shards > 1) {
-    pool = std::make_unique<ThreadPool>(
-        std::min(shards, ThreadPool::DefaultWorkers()));
+  /// True when `session_id` quit in an *earlier* analysis window (every
+  /// earlier window is merged before the current one routes/builds).
+  bool SessionGone(std::uint64_t session_id) const {
+    return abandonment_on_ && abandoned_sessions_.count(session_id) > 0;
   }
 
-  ControllerStats ctrl_stats;
+  void RecordRouted() { ++out_.stats.records; }
 
-  // Aggregate-only accumulators (keep_outcomes == false).
-  double sum_qoe = 0.0;
-  double sum_server = 0.0;
-  std::uint64_t served = 0;
-  std::uint64_t abandoned = 0;
-  bool first_seen = false;
-  double first_arrival = 0.0;
-  double last_arrival = 0.0;
+  void WindowClosed() {
+    ++out_.stats.windows_streamed;
+    metric_windows_.Increment();
+    ++ctrl_stats_.ticks;
+  }
 
   // Solves one closed group: a pure function of (records, config), so any
   // shard may run it in any order without touching the merged bytes.
-  const auto solve = [&](const PendingGroup& pg) {
+  SolvedGroup Solve(const PendingGroup& pg) const {
     SolvedGroup sg;
     sg.window_index = pg.window_index;
     sg.page_index = pg.page_index;
-    const QoeModel& qoe = qoe_of_page(PageTypeFromIndex(pg.page_index));
+    const QoeModel& qoe = qoe_of_page_(PageTypeFromIndex(pg.page_index));
     sg.max_qoe = qoe.MaxQoe();
     sg.outcomes.reserve(pg.group.records.size());
     // Offered load counts only records whose sessions are still here:
@@ -157,14 +172,15 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
       }
       return sg;
     }
-    const double rps = static_cast<double>(live) / (window_ms / 1000.0) *
-                       ctrl.rps_planning_factor;
-    PolicyResult pr = ComputePolicy(qoe, g, pg.group.externals, rps, policy);
+    const double rps = static_cast<double>(live) / (window_ms_ / 1000.0) *
+                       ctrl_.rps_planning_factor;
+    PolicyResult pr =
+        ComputePolicy(qoe, g_, pg.group.externals, rps, policy_);
     sg.policy_stats = pr.stats;
     // Per-decision mean server delay under the installed split, computed
     // once per decision actually used.
     std::vector<double> mean_delay(
-        static_cast<std::size_t>(g.NumDecisions()), -1.0);
+        static_cast<std::size_t>(g_.NumDecisions()), -1.0);
     // Sessions that quit earlier in this same group (record order): their
     // later records cascade to kAbandoned without being served.
     std::unordered_set<std::uint64_t> quit_here;
@@ -175,7 +191,7 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
       o.arrival_ms = r->arrival_ms;
       o.external_delay_ms = r->external_delay_ms;
       if (pg.group.pre_abandoned[i] != 0 ||
-          (abandonment_on && quit_here.count(r->session_id) > 0)) {
+          (abandonment_on_ && quit_here.count(r->session_id) > 0)) {
         o.status = RequestStatus::kAbandoned;
         sg.outcomes.push_back(o);
         continue;
@@ -184,16 +200,16 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
       const auto d = static_cast<std::size_t>(row.decision);
       if (mean_delay[d] < 0.0) {
         mean_delay[d] =
-            g.DelayDistribution(row.decision, pr.table.load_fractions, rps)
+            g_.DelayDistribution(row.decision, pr.table.load_fractions, rps)
                 .Mean();
       }
       o.server_delay_ms = mean_delay[d];
       o.decision = row.decision;
       const double total_delay = r->external_delay_ms + mean_delay[d];
-      if (abandonment_on &&
-          abandonment.Abandons(r->session_id,
-                               qoe.Classify(r->external_delay_ms),
-                               total_delay)) {
+      if (abandonment_on_ &&
+          abandonment_.Abandons(r->session_id,
+                                qoe.Classify(r->external_delay_ms),
+                                total_delay)) {
         // The user quit waiting on this very request: it consumed service
         // (decision and server delay stand) but yields no QoE, and the
         // session is gone from here on.
@@ -207,7 +223,207 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
       sg.outcomes.push_back(o);
     }
     return sg;
-  };
+  }
+
+  // Folds one solved group into the result. Serial path only, and callers
+  // must present groups in ascending (window_index, page_index) order —
+  // that ordering is what makes the abandonment set, the model metering,
+  // and the aggregates shard-count- and path-invariant.
+  void Merge(SolvedGroup& sg) {
+    AdvanceModel(static_cast<double>(sg.window_index) * window_ms_);
+    ++out_.stats.groups_merged;
+    metric_merges_.Increment();
+    ++ctrl_stats_.recomputes;
+    ctrl_stats_.decisions += sg.outcomes.size();
+    ctrl_stats_.observations += sg.outcomes.size();
+    ctrl_stats_.last_policy_stats = sg.policy_stats;
+    // Quits take effect from the next analysis window on; applying them
+    // here, in (window, page) order, is what makes the effect
+    // shard-count-invariant.
+    for (const std::uint64_t session : sg.newly_abandoned) {
+      abandoned_sessions_.insert(session);
+      if (metric_abandoned_ != nullptr) metric_abandoned_->Increment();
+    }
+    // Served-QoE distribution aggregates (summary + per-page-normalized
+    // histogram), maintained here on the serial path in both outcome
+    // modes so full-volume (aggregate-only) runs still yield a CDF.
+    for (const RequestOutcome& o : sg.outcomes) {
+      if (!o.Served()) continue;
+      out_.qoe_summary.Add(o.qoe);
+      const double unit = sg.max_qoe > 0.0 ? o.qoe / sg.max_qoe : 0.0;
+      const auto bin = static_cast<std::size_t>(std::clamp(
+          static_cast<int>(unit * 100.0), 0,
+          static_cast<int>(out_.qoe_histogram.size()) - 1));
+      ++out_.qoe_histogram[bin];
+      if (model_driven_) {
+        // The charged (planned mean) server delay doubles as the model's
+        // service-time sample; it includes planned queueing, so the
+        // utilization the model sees is biased high — i.e. toward keeping
+        // the hedge budget shut, the safe direction for a metered proxy.
+        service_window_->Add(o.server_delay_ms);
+        model_work_ms_ += o.server_delay_ms;
+      }
+    }
+    if (config_.keep_outcomes) {
+      out_.result.outcomes.insert(out_.result.outcomes.end(),
+                                  sg.outcomes.begin(), sg.outcomes.end());
+    } else {
+      for (const RequestOutcome& o : sg.outcomes) {
+        if (!o.Served()) {
+          ++abandoned_;  // Only kAbandoned reaches here in this replayer.
+          continue;
+        }
+        sum_qoe_ += o.qoe;
+        sum_server_ += o.server_delay_ms;
+        ++served_;
+        if (!first_seen_) {
+          first_seen_ = true;
+          first_arrival_ = last_arrival_ = o.arrival_ms;
+        }
+        first_arrival_ = std::min(first_arrival_, o.arrival_ms);
+        last_arrival_ = std::max(last_arrival_, o.arrival_ms);
+      }
+    }
+  }
+
+  ShardedReplayResult Finish(std::size_t arrivals) {
+    out_.result.controller_stats = ctrl_stats_;
+    out_.result.arrivals = arrivals;
+    out_.result.resilience.model_recomputes = model_recomputes_;
+    out_.model_prediction = last_prediction_;
+    if (config_.keep_outcomes) {
+      out_.result.Finalize();
+    } else {
+      out_.result.completed = served_;
+      out_.result.abandoned = abandoned_;
+      if (served_ > 0) {
+        const auto n = static_cast<double>(served_);
+        out_.result.mean_qoe = sum_qoe_ / n;
+        out_.result.mean_server_delay_ms = sum_server_ / n;
+        out_.result.throughput_rps =
+            last_arrival_ > first_arrival_
+                ? n / ((last_arrival_ - first_arrival_) / 1000.0)
+                : 0.0;
+      }
+    }
+    if (telemetry_.enabled()) out_.result.telemetry = telemetry_.Snapshot();
+    return std::move(out_);
+  }
+
+ private:
+  // Advances the model clock to `now_ms` (an analysis-window start on the
+  // merge path), re-deriving the gates at every elapsed model-window
+  // boundary that has enough samples. Thin windows keep accumulating into
+  // the same summary instead of deriving gates from noise — the same
+  // contract as db::ReadExecutor::MaybeRecomputeBudgets.
+  void AdvanceModel(double now_ms) {
+    if (!model_driven_) return;
+    const resilience::CloningModelConfig& model = cloning_model_->config();
+    if (!model_clock_seeded_) {
+      model_clock_seeded_ = true;
+      model_reset_ms_ = now_ms;
+      next_model_recompute_ms_ = now_ms + model.window_ms;
+      return;
+    }
+    while (now_ms >= next_model_recompute_ms_) {
+      const double boundary = next_model_recompute_ms_;
+      next_model_recompute_ms_ += model.window_ms;
+      if (service_window_->sample_count() <
+          static_cast<std::size_t>(model.min_samples)) {
+        continue;
+      }
+      // Busy-fraction proxy: charged work since the last recompute over
+      // the elapsed span, spread across the model's decision targets.
+      const double elapsed = boundary - model_reset_ms_;
+      const double utilization =
+          model_work_ms_ /
+          (elapsed * static_cast<double>(g_.NumDecisions()));
+      last_prediction_ = cloning_model_->Predict(*service_window_, utilization);
+      ++model_recomputes_;
+      if (metric_model_recomputes_ != nullptr) {
+        metric_model_recomputes_->Increment();
+        metric_model_fraction_->Set(last_prediction_.max_hedge_fraction);
+        metric_model_target_load_->Set(last_prediction_.max_target_load);
+        metric_model_gain_->Set(last_prediction_.predicted_gain_ms);
+      }
+      service_window_.emplace(model.target_buckets, model.max_span_ms);
+      model_work_ms_ = 0.0;
+      model_reset_ms_ = boundary;
+    }
+  }
+
+  const QoeModelSelector& qoe_of_page_;
+  const ServerDelayModel& g_;
+  const ShardedReplayConfig& config_;
+  const ControllerConfig& ctrl_;
+  double window_ms_;
+  PolicyConfig policy_;
+  AbandonmentModel abandonment_;
+  bool abandonment_on_ = false;
+  std::unordered_set<std::uint64_t> abandoned_sessions_;
+
+  obs::Telemetry telemetry_;
+  obs::Counter& metric_merges_;
+  obs::Counter& metric_windows_;
+  obs::Counter* metric_abandoned_ = nullptr;
+
+  bool model_driven_ = false;
+  std::optional<resilience::CloningModel> cloning_model_;
+  std::optional<Bucketizer> service_window_;
+  bool model_clock_seeded_ = false;
+  double model_reset_ms_ = 0.0;
+  double next_model_recompute_ms_ = 0.0;
+  double model_work_ms_ = 0.0;
+  std::uint64_t model_recomputes_ = 0;
+  resilience::CloningPrediction last_prediction_;
+  obs::Counter* metric_model_recomputes_ = nullptr;
+  obs::Gauge* metric_model_fraction_ = nullptr;
+  obs::Gauge* metric_model_target_load_ = nullptr;
+  obs::Gauge* metric_model_gain_ = nullptr;
+
+  ShardedReplayResult out_;
+  ControllerStats ctrl_stats_;
+
+  // Aggregate-only accumulators (keep_outcomes == false).
+  double sum_qoe_ = 0.0;
+  double sum_server_ = 0.0;
+  std::uint64_t served_ = 0;
+  std::uint64_t abandoned_ = 0;
+  bool first_seen_ = false;
+  double first_arrival_ = 0.0;
+  double last_arrival_ = 0.0;
+};
+
+}  // namespace
+
+ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
+                                       const QoeModelSelector& qoe_of_page,
+                                       const ServerDelayModel& g,
+                                       const ShardedReplayConfig& config) {
+  const ControllerConfig& ctrl = config.common.controller;
+  if (ctrl.shards < 0) {
+    throw std::invalid_argument("ReplayTraceSharded: negative shard count");
+  }
+  const int shards =
+      ctrl.shards == 0 ? ThreadPool::DefaultWorkers() : ctrl.shards;
+
+  ReplayEngine engine(qoe_of_page, g, config, "ReplayTraceSharded");
+  engine.set_shards(shards);
+
+  // Per-shard state, touched only by the owning shard during a flush and by
+  // the (serial) router between flushes.
+  std::vector<std::map<std::pair<std::int64_t, int>, OpenGroup>> open(
+      static_cast<std::size_t>(shards));
+  std::vector<std::vector<PendingGroup>> pending(
+      static_cast<std::size_t>(shards));
+  std::vector<std::vector<SolvedGroup>> solved(
+      static_cast<std::size_t>(shards));
+
+  std::unique_ptr<ThreadPool> pool;
+  if (shards > 1) {
+    pool = std::make_unique<ThreadPool>(
+        std::min(shards, ThreadPool::DefaultWorkers()));
+  }
 
   // Solves every pending group (fanned out one shard per index) and merges
   // the results serially in ascending (window, page) order. Closes arrive
@@ -222,7 +438,7 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
       solved[s].clear();
       solved[s].reserve(pending[s].size());
       for (const PendingGroup& pg : pending[s]) {
-        solved[s].push_back(solve(pg));
+        solved[s].push_back(engine.Solve(pg));
       }
     };
     if (pool != nullptr) {
@@ -240,53 +456,7 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
                 return std::tie(a->window_index, a->page_index) <
                        std::tie(b->window_index, b->page_index);
               });
-    for (SolvedGroup* sg : order) {
-      ++out.stats.groups_merged;
-      metric_merges.Increment();
-      ++ctrl_stats.recomputes;
-      ctrl_stats.decisions += sg->outcomes.size();
-      ctrl_stats.observations += sg->outcomes.size();
-      ctrl_stats.last_policy_stats = sg->policy_stats;
-      // Quits take effect from the next analysis window on; applying them
-      // here, in (window, page) order, is what makes the effect
-      // shard-count-invariant.
-      for (const std::uint64_t session : sg->newly_abandoned) {
-        abandoned_sessions.insert(session);
-        if (metric_abandoned != nullptr) metric_abandoned->Increment();
-      }
-      // Served-QoE distribution aggregates (summary + per-page-normalized
-      // histogram), maintained here on the serial path in both outcome
-      // modes so full-volume (aggregate-only) runs still yield a CDF.
-      for (const RequestOutcome& o : sg->outcomes) {
-        if (!o.Served()) continue;
-        out.qoe_summary.Add(o.qoe);
-        const double unit = sg->max_qoe > 0.0 ? o.qoe / sg->max_qoe : 0.0;
-        const auto bin = static_cast<std::size_t>(std::clamp(
-            static_cast<int>(unit * 100.0), 0,
-            static_cast<int>(out.qoe_histogram.size()) - 1));
-        ++out.qoe_histogram[bin];
-      }
-      if (config.keep_outcomes) {
-        out.result.outcomes.insert(out.result.outcomes.end(),
-                                   sg->outcomes.begin(), sg->outcomes.end());
-      } else {
-        for (const RequestOutcome& o : sg->outcomes) {
-          if (!o.Served()) {
-            ++abandoned;  // Only kAbandoned reaches here in this replayer.
-            continue;
-          }
-          sum_qoe += o.qoe;
-          sum_server += o.server_delay_ms;
-          ++served;
-          if (!first_seen) {
-            first_seen = true;
-            first_arrival = last_arrival = o.arrival_ms;
-          }
-          first_arrival = std::min(first_arrival, o.arrival_ms);
-          last_arrival = std::max(last_arrival, o.arrival_ms);
-        }
-      }
-    }
+    for (SolvedGroup* sg : order) engine.Merge(*sg);
     for (auto& p : pending) p.clear();
   };
 
@@ -296,11 +466,12 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
   // make *when* quits land depend on the shard count.) Without abandonment
   // the batching threshold is free to amortize pool dispatch.
   const auto flush_threshold =
-      abandonment_on ? std::size_t{1}
-                     : static_cast<std::size_t>(std::max(4, 2 * shards));
+      engine.abandonment_on()
+          ? std::size_t{1}
+          : static_cast<std::size_t>(std::max(4, 2 * shards));
 
   StreamByWindow(
-      records, window_ms,
+      records, engine.window_ms(),
       [&](const WindowKey& key, const TraceRecord& r) {
         const int page = Index(key.page_type);
         const auto shard = static_cast<std::size_t>(
@@ -308,21 +479,19 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
             static_cast<std::int64_t>(shards));
         const auto [it, inserted] = open[shard].try_emplace(
             std::pair<std::int64_t, int>(key.window_index, page),
-            policy.target_buckets, policy.max_bucket_span_ms);
+            engine.policy().target_buckets,
+            engine.policy().max_bucket_span_ms);
         // A session that abandoned in an earlier window contributes no
         // load: its record is routed (for the conservation count and its
         // kAbandoned outcome) but kept out of the group's bucketizer.
-        const bool gone = abandonment_on &&
-                          abandoned_sessions.count(r.session_id) > 0;
+        const bool gone = engine.SessionGone(r.session_id);
         if (!gone) it->second.externals.Add(r.external_delay_ms);
         it->second.records.push_back(&r);
         it->second.pre_abandoned.push_back(gone ? 1 : 0);
-        ++out.stats.records;
+        engine.RecordRouted();
       },
       [&](std::int64_t) {
-        ++out.stats.windows_streamed;
-        metric_windows.Increment();
-        ++ctrl_stats.ticks;
+        engine.WindowClosed();
         // Every group still open belongs to the index being closed (records
         // are sorted and all earlier indices were closed already); hand them
         // to their shards' pending queues.
@@ -339,26 +508,52 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
         if (total >= flush_threshold) flush();
       });
   flush();
+  return engine.Finish(records.size());
+}
 
-  out.result.controller_stats = ctrl_stats;
-  out.result.arrivals = out.stats.records;
-  if (config.keep_outcomes) {
-    out.result.Finalize();
-  } else {
-    out.result.completed = served;
-    out.result.abandoned = abandoned;
-    if (served > 0) {
-      const auto n = static_cast<double>(served);
-      out.result.mean_qoe = sum_qoe / n;
-      out.result.mean_server_delay_ms = sum_server / n;
-      out.result.throughput_rps =
-          last_arrival > first_arrival
-              ? n / ((last_arrival - first_arrival) / 1000.0)
-              : 0.0;
+ShardedReplayResult ReplayTrace(std::span<const TraceRecord> records,
+                                const QoeModelSelector& qoe_of_page,
+                                const ServerDelayModel& g,
+                                const ShardedReplayConfig& config) {
+  ReplayEngine engine(qoe_of_page, g, config, "ReplayTrace");
+  engine.set_shards(1);  // The batch path is inherently serial.
+
+  // Batch grouping: the whole day's (window, page) record lists are built
+  // up front — peak memory O(day), the bound the sharded path exists to
+  // beat. Only record *pointers* are grouped here; each group's bucketizer
+  // and pre-abandoned flags are built when its window comes up below, after
+  // every earlier window's quits merged — the same visibility the sharded
+  // router has, where all earlier windows flushed before a record routes.
+  std::map<std::int64_t, std::map<int, std::vector<const TraceRecord*>>> day;
+  StreamByWindow(
+      records, engine.window_ms(),
+      [&](const WindowKey& key, const TraceRecord& r) {
+        day[key.window_index][Index(key.page_type)].push_back(&r);
+        engine.RecordRouted();
+      },
+      [&](std::int64_t) { engine.WindowClosed(); });
+
+  for (auto& [window_index, pages] : day) {
+    // Build and solve every group of this window before merging any of
+    // them: a quit inside (w, p0) must not reach (w, p1)'s load — quits
+    // take effect from the next analysis window on.
+    std::vector<SolvedGroup> solved;
+    solved.reserve(pages.size());
+    for (auto& [page, group_records] : pages) {
+      PendingGroup pg{window_index, page,
+                      OpenGroup(engine.policy().target_buckets,
+                                engine.policy().max_bucket_span_ms)};
+      for (const TraceRecord* r : group_records) {
+        const bool gone = engine.SessionGone(r->session_id);
+        if (!gone) pg.group.externals.Add(r->external_delay_ms);
+        pg.group.records.push_back(r);
+        pg.group.pre_abandoned.push_back(gone ? 1 : 0);
+      }
+      solved.push_back(engine.Solve(pg));
     }
+    for (SolvedGroup& sg : solved) engine.Merge(sg);
   }
-  if (telemetry.enabled()) out.result.telemetry = telemetry.Snapshot();
-  return out;
+  return engine.Finish(records.size());
 }
 
 }  // namespace e2e

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/server_delay_model.h"
+#include "resilience/cloning_model.h"
 #include "stats/summary.h"
 #include "testbed/counterfactual.h"
 #include "testbed/experiment_config.h"
@@ -70,6 +71,14 @@ struct ShardedReplayResult {
   /// [0, 99]). This is the replay-level QoE CDF the objective figures
   /// plot; like qoe_summary it survives aggregate-only runs.
   std::vector<std::uint64_t> qoe_histogram = std::vector<std::uint64_t>(100);
+
+  /// Last hedge-gate prediction the model-driven metering derived on the
+  /// serial merge path (all zeros unless `resilience.hedge` is enabled in
+  /// HedgeMode::kModelDriven and at least one model window had enough
+  /// samples; `result.resilience.model_recomputes` counts the rederives).
+  /// The replay charges planned mean delays and has no hedge path, so the
+  /// gates are metered — exported, never applied to a decision.
+  resilience::CloningPrediction model_prediction;
 };
 
 /// Replays `records` (sorted by arrival_ms; throws otherwise) through the
@@ -98,5 +107,20 @@ ShardedReplayResult ReplayTraceSharded(std::span<const TraceRecord> records,
                                        const QoeModelSelector& qoe_of_page,
                                        const ServerDelayModel& g,
                                        const ShardedReplayConfig& config);
+
+/// Batch counterpart of ReplayTraceSharded: groups the whole trace by
+/// (window, page type) up front — peak memory O(day), the historical
+/// pre-sharding behavior docs/SCALE.md describes — then solves and merges
+/// the groups serially in ascending (window, page) order. Shares the
+/// per-group solve and serial merge with the sharded path, including the
+/// abandonment semantics and the model-driven gate metering, so its output
+/// (ExperimentResult::Serialize(), telemetry exports, qoe_summary,
+/// qoe_histogram) byte-matches ReplayTraceSharded at any shard count; the
+/// batch-vs-shard abandonment-parity test (tests/scale_test.cc) pins this.
+/// `ControllerConfig::shards` is ignored (the batch path is serial).
+ShardedReplayResult ReplayTrace(std::span<const TraceRecord> records,
+                                const QoeModelSelector& qoe_of_page,
+                                const ServerDelayModel& g,
+                                const ShardedReplayConfig& config);
 
 }  // namespace e2e

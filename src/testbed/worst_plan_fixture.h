@@ -1,0 +1,44 @@
+// The committed worst fault plan (docs/FAULTS.md "Adversarial plans").
+//
+// Produced by `tools/adversary` searching the fault-plan grammar against
+// the AdversaryHarness db testbed (model-driven resilience enabled): the
+// QoE-regression-maximizing schedule the seeded search found at the
+// recorded budget. The regression test (tests/fault_test.cc) asserts
+// model-driven hedging *survives* this plan — conservation holds and mean
+// QoE stays above the recorded floor — and the CI smoke step
+// (`tools/adversary --check`) re-evaluates the plan and compares the
+// regression byte-exactly, so any drift in testbed behavior under the
+// worst plan is caught, not silently absorbed.
+//
+// To re-derive after an intentional behavior change:
+//   build/tools/adversary/adversary --seed=7 --iterations=32
+// and paste the printed fixture block here.
+#pragma once
+
+#include <cstdint>
+
+namespace e2e::fixture {
+
+/// Search budget the fixture was recorded under.
+inline constexpr std::uint64_t kWorstPlanSeed = 7;
+inline constexpr int kWorstPlanIterations = 32;
+
+/// Canonical spec text of the worst plan found (fault/plan.h grammar).
+inline constexpr const char* kWorstPlanSpec =
+    "partition db r=2 t=[3s,5s]; delay db +10s r=0 t=[500ms,1500ms]; "
+    "delay db +5s t=[1500ms,2500ms]";
+
+/// Exact mean-QoE regression (baseline minus worst-plan mean QoE) the
+/// harness recorded for kWorstPlanSpec — hexfloat, compared with == by
+/// `tools/adversary --check`.
+inline constexpr double kWorstPlanRegression = 0x1.4744e0992a85cp-3;
+
+/// Mean QoE of the fault-free harness baseline (hexfloat, exact).
+inline constexpr double kWorstPlanBaselineQoe = 0x1.b1cb720b6a5bbp-2;
+
+/// Graceful-degradation floor: under the worst plan, model-driven
+/// resilience must keep mean QoE at or above this fraction of the
+/// fault-free baseline.
+inline constexpr double kWorstPlanQoeFloorFraction = 0.5;
+
+}  // namespace e2e::fixture

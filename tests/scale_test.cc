@@ -553,6 +553,119 @@ TEST(ScaleReplay, InvalidConfigsThrow) {
       std::invalid_argument);
 }
 
+// ---- Batch vs sharded parity ----------------------------------------------
+//
+// The batch ReplayTrace and the sharded replay share their per-group solve
+// and serial merge; these tests pin that the grouping difference (up-front
+// O(day) vs streamed O(window × shards)) never reaches the output bytes —
+// in particular through the abandonment session set, whose visibility rules
+// (quits land at window close, affect the *next* window's load) are exactly
+// where the two paths could diverge.
+
+void ExpectReplayParity(const ShardedReplayResult& batch,
+                        const ShardedReplayResult& sharded,
+                        const char* context) {
+  EXPECT_EQ(batch.result.Serialize(), sharded.result.Serialize()) << context;
+  EXPECT_EQ(batch.result.telemetry.SerializeText(),
+            sharded.result.telemetry.SerializeText())
+      << context;
+  EXPECT_EQ(batch.result.telemetry.SerializeJson(),
+            sharded.result.telemetry.SerializeJson())
+      << context;
+  EXPECT_EQ(batch.stats.records, sharded.stats.records) << context;
+  EXPECT_EQ(batch.stats.windows_streamed, sharded.stats.windows_streamed)
+      << context;
+  EXPECT_EQ(batch.stats.groups_merged, sharded.stats.groups_merged) << context;
+  EXPECT_EQ(batch.qoe_summary.count(), sharded.qoe_summary.count()) << context;
+  EXPECT_EQ(batch.qoe_summary.mean(), sharded.qoe_summary.mean()) << context;
+  EXPECT_EQ(batch.qoe_summary.variance(), sharded.qoe_summary.variance())
+      << context;
+  ASSERT_EQ(batch.qoe_histogram.size(), sharded.qoe_histogram.size());
+  for (std::size_t i = 0; i < batch.qoe_histogram.size(); ++i) {
+    EXPECT_EQ(batch.qoe_histogram[i], sharded.qoe_histogram[i])
+        << context << " bin " << i;
+  }
+}
+
+TEST(ScaleReplay, BatchReplayMatchesShardedStock) {
+  const auto& records = TestTrace().records;
+  const ShardedReplayResult batch = ReplayTrace(
+      records, TestSelector(), TestServerModel(), BaseReplayConfig(1));
+  EXPECT_EQ(batch.stats.shards, 1);
+  ASSERT_GT(batch.stats.groups_merged, 0u);
+  for (const int shards : {1, 4}) {
+    const ShardedReplayResult sharded =
+        ReplayTraceSharded(records, TestSelector(), TestServerModel(),
+                           BaseReplayConfig(shards));
+    ExpectReplayParity(batch, sharded,
+                       shards == 1 ? "stock shards=1" : "stock shards=4");
+  }
+}
+
+ShardedReplayConfig AbandonmentReplayConfig(int shards) {
+  ShardedReplayConfig config = BaseReplayConfig(shards);
+  config.common.abandonment.enabled = true;
+  // Patience low enough that the synthetic day actually loses sessions —
+  // a parity test over zero quits would prove nothing.
+  config.common.abandonment.patience_fast_ms = 2500.0;
+  config.common.abandonment.patience_sensitive_ms = 1200.0;
+  config.common.abandonment.patience_slow_ms = 5000.0;
+  config.common.abandonment.seed = 11;
+  return config;
+}
+
+TEST(ScaleReplay, BatchReplayMatchesShardedWithAbandonment) {
+  const auto& records = TestTrace().records;
+  const ShardedReplayResult batch = ReplayTrace(
+      records, TestSelector(), TestServerModel(), AbandonmentReplayConfig(1));
+  ASSERT_GT(batch.result.abandoned, 0u);
+  ASSERT_GT(batch.result.completed, 0u);
+  EXPECT_EQ(batch.result.abandoned + batch.result.completed,
+            batch.result.arrivals);  // Conservation with quits.
+  for (const int shards : {1, 4}) {
+    const ShardedReplayResult sharded = ReplayTraceSharded(
+        records, TestSelector(), TestServerModel(),
+        AbandonmentReplayConfig(shards));
+    EXPECT_EQ(sharded.result.abandoned, batch.result.abandoned);
+    ExpectReplayParity(batch, sharded,
+                       shards == 1 ? "abandonment shards=1"
+                                   : "abandonment shards=4");
+  }
+}
+
+// Model-driven mode must meter identically on both paths too: the gate
+// rederives ride the serial merge, so batch and any shard count agree on
+// every recompute and on the final derived gates.
+TEST(ScaleReplay, BatchReplayMatchesShardedModelDriven) {
+  const auto& records = TestTrace().records;
+  const std::span<const TraceRecord> slice(records.data(),
+                                           std::min<std::size_t>(
+                                               records.size(), 2000));
+  ShardedReplayConfig config = BaseReplayConfig(1);
+  config.common.resilience = resilience::ResilienceConfig::ModelDriven();
+  // One model window per analysis window keeps the recompute cadence
+  // aligned with the merge stream this replay meters on.
+  config.common.resilience.hedge.model.window_ms =
+      config.common.controller.external.window_ms;
+  config.common.resilience.hedge.model.min_samples = 16;
+  const ShardedReplayResult batch =
+      ReplayTrace(slice, TestSelector(), TestServerModel(), config);
+  ASSERT_GT(batch.result.resilience.model_recomputes, 0u);
+  EXPECT_GT(batch.model_prediction.mean_service_ms, 0.0);
+  config.common.controller.shards = 4;
+  const ShardedReplayResult sharded =
+      ReplayTraceSharded(slice, TestSelector(), TestServerModel(), config);
+  EXPECT_EQ(sharded.result.resilience.model_recomputes,
+            batch.result.resilience.model_recomputes);
+  EXPECT_EQ(sharded.model_prediction.max_hedge_fraction,
+            batch.model_prediction.max_hedge_fraction);
+  EXPECT_EQ(sharded.model_prediction.max_target_load,
+            batch.model_prediction.max_target_load);
+  EXPECT_EQ(sharded.model_prediction.predicted_gain_ms,
+            batch.model_prediction.predicted_gain_ms);
+  ExpectReplayParity(batch, sharded, "model-driven shards=4");
+}
+
 TEST(ScaleReplay, EmptyTraceYieldsEmptyResult) {
   const ShardedReplayResult out =
       ReplayTraceSharded(std::span<const TraceRecord>{}, TestSelector(),

@@ -1,0 +1,120 @@
+// Adversarial fault-plan search driver (docs/FAULTS.md).
+//
+// Default mode runs the seeded search (fault/adversary.h) against the
+// shared db-testbed harness (testbed/adversary_harness.h) and prints the
+// trajectory plus a paste-ready fixture block for
+// testbed/worst_plan_fixture.h.
+//
+//   adversary [--seed=N] [--iterations=N] [--static] [--quiet]
+//
+// --check re-evaluates the *committed* worst plan and compares its QoE
+// regression byte-exactly against the fixture constants; CI runs this as
+// the adversary smoke step. Exit 0 on exact match, 1 on drift.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "fault/adversary.h"
+#include "fault/plan.h"
+#include "obs/serialize.h"
+#include "testbed/adversary_harness.h"
+#include "testbed/worst_plan_fixture.h"
+
+namespace {
+
+using namespace e2e;
+
+std::string Hex(double value) {
+  std::string out;
+  obs::AppendHexDouble(&out, value);
+  return out;
+}
+
+bool ParseU64Flag(const std::string& arg, const std::string& name,
+                  std::uint64_t* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = std::stoull(arg.substr(prefix.size()));
+  return true;
+}
+
+int RunCheck() {
+  const AdversaryHarness harness;
+  const auto plan = fault::FaultPlan::Parse(fixture::kWorstPlanSpec);
+  const double baseline = harness.baseline_qoe();
+  const double regression = harness.Regression(plan);
+  std::cout << "committed plan: " << plan.ToString() << "\n"
+            << "baseline qoe:   " << Hex(baseline) << " (recorded "
+            << Hex(fixture::kWorstPlanBaselineQoe) << ")\n"
+            << "regression:     " << Hex(regression) << " (recorded "
+            << Hex(fixture::kWorstPlanRegression) << ")\n";
+  if (baseline != fixture::kWorstPlanBaselineQoe ||
+      regression != fixture::kWorstPlanRegression) {
+    std::cout << "MISMATCH: testbed behavior under the worst plan drifted; "
+                 "re-derive testbed/worst_plan_fixture.h if intentional\n";
+    return 1;
+  }
+  std::cout << "OK: fixture reproduces byte-exactly\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = fixture::kWorstPlanSeed;
+  std::uint64_t iterations = static_cast<std::uint64_t>(
+      fixture::kWorstPlanIterations);
+  bool check = false;
+  bool quiet = false;
+  AdversaryHarnessConfig harness_config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--static") {
+      harness_config.model_driven = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (ParseU64Flag(arg, "seed", &seed) ||
+               ParseU64Flag(arg, "iterations", &iterations)) {
+      // Parsed in the condition.
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: adversary [--seed=N] [--iterations=N] [--static] "
+                   "[--quiet] [--check]\n";
+      return 2;
+    }
+  }
+  if (check) return RunCheck();
+
+  const AdversaryHarness harness(harness_config);
+  const fault::Adversary adversary(
+      harness.SearchSpace(seed, static_cast<int>(iterations)));
+  std::cout << "searching " << iterations << " plans, seed " << seed
+            << ", baseline qoe " << Hex(harness.baseline_qoe()) << "\n";
+  const auto result = adversary.Search(
+      [&harness](const fault::FaultPlan& plan) {
+        return harness.Regression(plan);
+      });
+  if (!quiet) {
+    for (const auto& step : result.history) {
+      std::cout << (step.improved ? "  * " : "    ") << "#" << step.iteration
+                << " score=" << step.score << "  " << step.plan << "\n";
+    }
+  }
+  if (result.history.empty()) {
+    std::cerr << "search evaluated no plans\n";
+    return 1;
+  }
+  std::cout << "\nworst plan (regression " << result.best_score << "):\n  "
+            << result.best_plan.ToString() << "\n\n"
+            << "fixture block for src/testbed/worst_plan_fixture.h:\n"
+            << "  kWorstPlanSeed = " << seed << "\n"
+            << "  kWorstPlanIterations = " << iterations << "\n"
+            << "  kWorstPlanSpec = \"" << result.best_plan.ToString() << "\"\n"
+            << "  kWorstPlanRegression = " << Hex(result.best_score) << "\n"
+            << "  kWorstPlanBaselineQoe = " << Hex(harness.baseline_qoe())
+            << "\n";
+  return 0;
+}
