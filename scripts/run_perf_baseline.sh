@@ -2,14 +2,15 @@
 # Policy perf-regression harness (docs/PERFORMANCE.md).
 #
 # Runs the policy micro-benchmarks (BM_MappingSolve, BM_PolicyFullSolve,
-# BM_ObjectiveSolve) and either refreshes the committed baseline or gates
-# against it:
+# BM_IncrementalResolve, BM_ObjectiveSolve) and either refreshes the
+# committed baseline or gates against it:
 #
 #   scripts/run_perf_baseline.sh            # refresh bench/BENCH_policy.json
 #   scripts/run_perf_baseline.sh --check    # fail on regression vs baseline
 #
 # The check is machine-independent: scripts/check_perf_regression.py
-# compares in-run ratios (transportation vs Hungarian must stay >= 5x) and
+# compares in-run ratios (transportation vs Hungarian, warm vs cold
+# re-solve, objective overhead) and
 # normalizes cross-run comparisons by the median per-benchmark speed ratio,
 # so a uniformly slower machine passes while a >20% relative regression in
 # any one benchmark fails. BUILD_DIR overrides the build tree (default:
@@ -30,7 +31,7 @@ current="$(mktemp)"
 trap 'rm -f "$current"' EXIT
 
 "$bench_bin" \
-  --benchmark_filter='BM_MappingSolve|BM_PolicyFullSolve|BM_ObjectiveSolve' \
+  --benchmark_filter='BM_MappingSolve|BM_PolicyFullSolve|BM_IncrementalResolve|BM_ObjectiveSolve' \
   --benchmark_format=json \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=false \

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -88,6 +89,13 @@ double ExpectedQoe(const QoeModel& qoe, DelayMs c,
   return total;
 }
 
+bool SameMatrix(const WeightMatrix& a, const WeightMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const std::span<const double> da = a.Data();
+  const std::span<const double> db = b.Data();
+  return std::memcmp(da.data(), db.data(), da.size() * sizeof(double)) == 0;
+}
+
 // Result of evaluating one allocation.
 struct Evaluation {
   double objective_value = 0.0;
@@ -100,46 +108,64 @@ class AllocationEvaluator {
   AllocationEvaluator(const QoeModel& qoe, const ServerDelayModel& g,
                       const Objective& objective,
                       std::span<const PolicyBucket> buckets, double total_rps,
-                      const PolicyConfig& config, PolicyStats& stats)
+                      const PolicyConfig& config, PolicyStats& stats,
+                      ThreadPool* pool)
       : qoe_(qoe),
         g_(g),
         objective_(objective),
         buckets_(buckets),
         total_rps_(total_rps),
         config_(config),
-        stats_(stats) {}
+        stats_(stats),
+        pool_(pool) {}
 
   // Evaluates the allocation `units` (buckets per decision, summing to
   // buckets_.size()), caching by allocation vector. Safe to call
-  // concurrently from the parallel neighbor sweep: the cache and the stats
+  // concurrently from the parallel neighbor sweep: the caches and the stats
   // are mutex-guarded, the computation itself runs outside the lock, and
   // std::map nodes are reference-stable under insertion. Racing threads
   // computing the same key produce identical Evaluations (the computation
   // is a pure function of the inputs), and only the inserting thread
   // counts it, so PolicyStats stays independent of the worker count.
   const Evaluation& Evaluate(const std::vector<int>& units) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      const auto it = cache_.find(units);
-      if (it != cache_.end()) return it->second;
-    }
-    SolveCounts counts;
-    Evaluation eval = EvaluateUncached(units, counts);
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto [it, inserted] = cache_.emplace(units, std::move(eval));
-    if (inserted) {
-      ++stats_.allocations_evaluated;
-      stats_.matchings_solved += counts.matchings;
-      stats_.transport_solves += counts.transports;
-    }
-    return it->second;
+    return EvaluateImpl(units, /*base=*/false);
+  }
+
+  // Evaluation of a hill-climb start. Must be called from the thread that
+  // owns the pool (never from inside a sweep): it may fan the per-decision
+  // expected-QoE column fills out across the pool, and on a cache miss it
+  // installs the solved transportation state as the warm-start anchor the
+  // following neighbor evaluations re-solve against. Results are
+  // byte-identical to Evaluate() — both effects are pure accelerations.
+  const Evaluation& EvaluateBase(const std::vector<int>& units) {
+    return EvaluateImpl(units, /*base=*/true);
   }
 
  private:
   struct SolveCounts {
     int matchings = 0;
     int transports = 0;
+    int warm = 0;
   };
+
+  const Evaluation& EvaluateImpl(const std::vector<int>& units, bool base) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = cache_.find(units);
+      if (it != cache_.end()) return it->second;
+    }
+    SolveCounts counts;
+    Evaluation eval = EvaluateUncached(units, counts, base);
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] = cache_.emplace(units, std::move(eval));
+    if (inserted) {
+      ++stats_.allocations_evaluated;
+      stats_.matchings_solved += counts.matchings;
+      stats_.transport_solves += counts.transports;
+      stats_.warm_resolves += counts.warm;
+    }
+    return it->second;
+  }
 
   // Each evaluation is a small fixed point between the two subproblems
   // ("E2E solves the two subproblems iteratively", §4.2): the mapping is
@@ -150,7 +176,7 @@ class AllocationEvaluator {
   // reported QoE is therefore consistent with the load the installed table
   // would actually create.
   Evaluation EvaluateUncached(const std::vector<int>& units,
-                              SolveCounts& counts) const {
+                              SolveCounts& counts, bool base) {
     // Seed split: unit share (exact when buckets are equal-population).
     const double total_units = static_cast<double>(buckets_.size());
     std::vector<double> fractions(units.size());
@@ -158,7 +184,8 @@ class AllocationEvaluator {
       fractions[d] = static_cast<double>(units[d]) / total_units;
     }
 
-    Evaluation eval = SolveWithFractions(units, fractions, counts);
+    Evaluation eval = SolveWithFractions(units, fractions, counts,
+                                         /*install_anchor=*/base, base);
     const int max_rounds = config_.refine_fractions ? 3 : 0;
     for (int round = 0; round < max_rounds; ++round) {
       std::vector<double> actual(units.size(), 0.0);
@@ -172,7 +199,8 @@ class AllocationEvaluator {
       }
       if (moved < 0.02) break;  // Converged.
       fractions = std::move(actual);
-      eval = SolveWithFractions(units, fractions, counts);
+      eval = SolveWithFractions(units, fractions, counts,
+                                /*install_anchor=*/false, base);
     }
     // Score at the split the final mapping actually creates, docked by the
     // elective-overload safety margin (see PolicyConfig).
@@ -182,19 +210,31 @@ class AllocationEvaluator {
         actual[static_cast<std::size_t>(eval.decision_of_bucket[b])] +=
             buckets_[b].weight;
       }
-      eval.objective_value = ScoreMapping(eval.decision_of_bucket, actual);
+      eval.objective_value = ScoreMapping(eval.decision_of_bucket, actual,
+                                          base);
       if (config_.stress_weight > 0.0 && config_.stress_factor > 1.0) {
         const double stressed = ScoreMapping(eval.decision_of_bucket, actual,
-                                             config_.stress_factor);
+                                             base, config_.stress_factor);
         eval.objective_value =
             (1.0 - config_.stress_weight) * eval.objective_value +
             config_.stress_weight * stressed;
       }
       if (config_.instability_penalty > 0.0) {
+        // IsOverloaded depends only on (decision, fractions, rate), so ask
+        // once per decision instead of once per bucket; the per-bucket mass
+        // accumulation below keeps its historical order.
+        std::vector<char> overloaded(units.size(), 0);
+        for (std::size_t d = 0; d < units.size(); ++d) {
+          overloaded[d] =
+              g_.IsOverloaded(static_cast<int>(d), actual,
+                              total_rps_ * config_.overload_headroom)
+                  ? 1
+                  : 0;
+        }
         double overloaded_mass = 0.0;
         for (std::size_t b = 0; b < buckets_.size(); ++b) {
-          if (g_.IsOverloaded(eval.decision_of_bucket[b], actual,
-                              total_rps_ * config_.overload_headroom)) {
+          if (overloaded[static_cast<std::size_t>(
+                  eval.decision_of_bucket[b])] != 0) {
             overloaded_mass += buckets_[b].weight;
           }
         }
@@ -205,15 +245,56 @@ class AllocationEvaluator {
     return eval;
   }
 
+  // Per-bucket expected-QoE column for one slot delay distribution:
+  // column[b] = ExpectedQoe(qoe, buckets[b].representative, f). Cached by
+  // distribution *content* (values ++ probabilities — the two halves have
+  // equal length, so the concatenation is unambiguous): the hill climb
+  // revisits the same per-decision distributions across evaluations
+  // whenever load fractions land on the same grid points, and each column
+  // is a pure function of that content. Entries are mutex-guarded and
+  // node-stable; racing threads computing the same key produce bitwise
+  // identical columns (same accumulation, per-slot writes), so which
+  // insert wins is unobservable. When `allow_parallel` (base evaluations
+  // only — never from inside the pool) the per-bucket fills fan out over
+  // the pool into disjoint index slots.
+  const std::vector<double>& QoeColumn(const DiscreteDistribution& f,
+                                       bool allow_parallel) {
+    const auto values = f.values();
+    const auto probs = f.probabilities();
+    std::vector<double> key;
+    key.reserve(values.size() + probs.size());
+    key.insert(key.end(), values.begin(), values.end());
+    key.insert(key.end(), probs.begin(), probs.end());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = qoe_columns_.find(key);
+      if (it != qoe_columns_.end()) return it->second;
+    }
+    std::vector<double> column(buckets_.size());
+    const auto fill = [&](std::size_t b) {
+      column[b] = ExpectedQoe(qoe_, buckets_[b].representative, f);
+    };
+    if (allow_parallel && pool_ != nullptr) {
+      pool_->ParallelFor(column.size(), fill);
+    } else {
+      for (std::size_t b = 0; b < column.size(); ++b) fill(b);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, inserted] =
+        qoe_columns_.emplace(std::move(key), std::move(column));
+    return it->second;
+  }
+
   // Objective score of a fixed mapping when G is driven by `fractions`, at
   // `rate_factor` times the planned load. Builds one QoeBucketView per
   // bucket, in bucket-index order; per-bucket QoE distributions (the view's
   // value/probability spans) are only materialized when the objective asks
   // for them, and for the mean fast path the expected-QoE accumulation is
-  // byte-for-byte the historical ExpectedQoe loop.
+  // byte-for-byte the historical ExpectedQoe loop (shared with the mapping
+  // solves through the column cache).
   double ScoreMapping(const std::vector<int>& decision_of_bucket,
                       const std::vector<double>& fractions,
-                      double rate_factor = 1.0) const {
+                      bool allow_parallel, double rate_factor = 1.0) {
     std::vector<DiscreteDistribution> delay_of_decision;
     const int num_decisions = g_.NumDecisions();
     delay_of_decision.reserve(static_cast<std::size_t>(num_decisions));
@@ -227,9 +308,14 @@ class AllocationEvaluator {
     // the Score call below.
     std::vector<std::vector<double>> qoe_values;
     if (need_distribution) qoe_values.resize(buckets_.size());
+    // Mean fast path: per-decision columns, fetched lazily so decisions no
+    // bucket routed to cost nothing.
+    std::vector<const std::vector<double>*> columns(
+        static_cast<std::size_t>(num_decisions), nullptr);
     for (std::size_t b = 0; b < buckets_.size(); ++b) {
-      const DiscreteDistribution& f =
-          delay_of_decision[static_cast<std::size_t>(decision_of_bucket[b])];
+      const std::size_t d =
+          static_cast<std::size_t>(decision_of_bucket[b]);
+      const DiscreteDistribution& f = delay_of_decision[d];
       QoeBucketView& view = views[b];
       view.weight = buckets_[b].weight;
       if (need_distribution) {
@@ -249,8 +335,10 @@ class AllocationEvaluator {
         view.qoe_values = qv;
         view.probabilities = probs;
       } else {
-        view.expected_qoe =
-            ExpectedQoe(qoe_, buckets_[b].representative, f);
+        if (columns[d] == nullptr) {
+          columns[d] = &QoeColumn(f, allow_parallel);
+        }
+        view.expected_qoe = (*columns[d])[b];
       }
     }
     return objective_.Score(views);
@@ -258,7 +346,8 @@ class AllocationEvaluator {
 
   Evaluation SolveWithFractions(const std::vector<int>& units,
                                 const std::vector<double>& fractions,
-                                SolveCounts& counts) const {
+                                SolveCounts& counts, bool install_anchor,
+                                bool allow_parallel) {
     const int num_decisions = g_.NumDecisions();
     const std::size_t n = buckets_.size();
     std::size_t assigned = 0;
@@ -276,15 +365,14 @@ class AllocationEvaluator {
     }
 
     // Edge weights depend only on (bucket, decision) — all slots of one
-    // decision share a byte-identical weight column.
-    std::vector<std::vector<double>> qoe_of(n);
-    for (std::size_t b = 0; b < n; ++b) {
-      qoe_of[b].resize(static_cast<std::size_t>(num_decisions));
-      for (int d = 0; d < num_decisions; ++d) {
-        qoe_of[b][static_cast<std::size_t>(d)] = ExpectedQoe(
-            qoe_, buckets_[b].representative,
-            delay_of_decision[static_cast<std::size_t>(d)]);
-      }
+    // decision share a byte-identical weight column, fetched through the
+    // content-keyed column cache (and filled in parallel on base
+    // evaluations).
+    std::vector<const std::vector<double>*> qoe_col(
+        static_cast<std::size_t>(num_decisions));
+    for (int d = 0; d < num_decisions; ++d) {
+      qoe_col[static_cast<std::size_t>(d)] = &QoeColumn(
+          delay_of_decision[static_cast<std::size_t>(d)], allow_parallel);
     }
 
     Evaluation eval;
@@ -296,19 +384,43 @@ class AllocationEvaluator {
       // decisions, O(n²·D) instead of Hungarian's O(n³) over the expanded
       // slot matrix (matching/transportation.h).
       WeightMatrix weights(n, units.size());
-      for (std::size_t b = 0; b < n; ++b) {
-        for (std::size_t d = 0; d < units.size(); ++d) {
-          weights.At(b, d) = buckets_[b].weight * qoe_of[b][d];
+      for (std::size_t d = 0; d < units.size(); ++d) {
+        const std::vector<double>& col = *qoe_col[d];
+        for (std::size_t b = 0; b < n; ++b) {
+          weights.At(b, d) = buckets_[b].weight * col[b];
         }
       }
-      const TransportationResult mapping =
-          SolveMaxWeightTransportation(weights, units);
-      ++counts.transports;
+      TransportationResult mapping;
+      bool solved_warm = false;
+      if (!install_anchor && warm_ != nullptr &&
+          SameMatrix(warm_->matrix(), weights)) {
+        // Same weight matrix as the anchor, different capacity vector: the
+        // incremental re-solve replays only the rows the capacity shift can
+        // affect and is byte-identical to the cold solve it replaces —
+        // including the count below, so transport_solves telemetry matches
+        // the cold path exactly.
+        mapping = warm_->Resolve(units);
+        ++counts.transports;
+        ++counts.warm;
+        solved_warm = true;
+      }
+      if (!solved_warm) {
+        // Replay state is only ever consumed through the warm anchor, so
+        // throwaway neighbor solves skip recording it.
+        auto solver = std::make_unique<TransportationSolver>(
+            std::move(weights), units, /*maximize=*/true,
+            /*record_replay=*/install_anchor);
+        mapping = solver->Solve();
+        ++counts.transports;
+        // Anchor installs happen only on (serial) base evaluations, so the
+        // sweep's concurrent readers never race this write.
+        if (install_anchor) warm_ = std::move(solver);
+      }
       for (std::size_t b = 0; b < n; ++b) {
         const int d = static_cast<int>(mapping.column_of_row[b]);
         eval.decision_of_bucket[b] = d;
         eval.expected_qoe_of_bucket[b] =
-            qoe_of[b][static_cast<std::size_t>(d)];
+            (*qoe_col[static_cast<std::size_t>(d)])[b];
       }
     } else if (config_.mapping == MappingAlgorithm::kOptimalMatching) {
       // Expanded mapping kept for cross-checks: units[d] slots per
@@ -321,11 +433,11 @@ class AllocationEvaluator {
         }
       }
       WeightMatrix weights(n, n);
-      for (std::size_t b = 0; b < n; ++b) {
-        for (std::size_t s = 0; s < n; ++s) {
-          weights.At(b, s) =
-              buckets_[b].weight *
-              qoe_of[b][static_cast<std::size_t>(decision_of_slot[s])];
+      for (std::size_t s = 0; s < n; ++s) {
+        const std::vector<double>& col =
+            *qoe_col[static_cast<std::size_t>(decision_of_slot[s])];
+        for (std::size_t b = 0; b < n; ++b) {
+          weights.At(b, s) = buckets_[b].weight * col[b];
         }
       }
       const AssignmentResult matching = SolveMaxWeightAssignment(weights);
@@ -334,7 +446,7 @@ class AllocationEvaluator {
         const int d = decision_of_slot[matching.column_of_row[b]];
         eval.decision_of_bucket[b] = d;
         eval.expected_qoe_of_bucket[b] =
-            qoe_of[b][static_cast<std::size_t>(d)];
+            (*qoe_col[static_cast<std::size_t>(d)])[b];
       }
     } else {
       // Slope-based mapping: steepest-slope bucket gets the lowest-mean-
@@ -371,7 +483,7 @@ class AllocationEvaluator {
         const int d = decision_of_slot[slot_order[i]];
         eval.decision_of_bucket[b] = d;
         eval.expected_qoe_of_bucket[b] =
-            qoe_of[b][static_cast<std::size_t>(d)];
+            (*qoe_col[static_cast<std::size_t>(d)])[b];
       }
     }
 
@@ -388,8 +500,16 @@ class AllocationEvaluator {
   double total_rps_;
   const PolicyConfig& config_;
   PolicyStats& stats_;
-  mutable std::mutex mu_;  // Guards cache_ and stats_.
+  ThreadPool* pool_;  // May be null (serial config); not owned.
+  mutable std::mutex mu_;  // Guards cache_, qoe_columns_, and stats_.
   std::map<std::vector<int>, Evaluation> cache_;
+  // Content-keyed expected-QoE columns (see QoeColumn).
+  std::map<std::vector<double>, std::vector<double>> qoe_columns_;
+  // Warm-start anchor: the solved transportation state of the most recent
+  // base evaluation's first (seed-fraction) solve. Written only on base
+  // evaluations (serial by contract — see EvaluateBase); neighbor
+  // evaluations only read it, and TransportationSolver::Resolve is const.
+  std::unique_ptr<TransportationSolver> warm_;
 };
 
 PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
@@ -404,11 +524,10 @@ PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
   const int num_decisions = g.NumDecisions();
   const std::unique_ptr<const Objective> objective =
       MakeObjective(config.objective);
-  AllocationEvaluator evaluator(qoe, g, *objective, buckets, total_rps,
-                                config, result.stats);
 
   // Neighbor evaluations are independent given the shared (mutex-guarded)
-  // cache, so the best-improvement sweep fans out across a small pool.
+  // cache, so the best-improvement sweep fans out across a small pool; base
+  // evaluations reuse the same pool for their expected-QoE column fills.
   // A pool of 1 (the default) spawns no threads and runs serially.
   const int workers =
       std::max(1, config.parallel_workers == 0 ? ThreadPool::DefaultWorkers()
@@ -416,9 +535,12 @@ PolicyResult RunPolicy(const QoeModel& qoe, const ServerDelayModel& g,
   std::unique_ptr<ThreadPool> pool;
   if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
 
+  AllocationEvaluator evaluator(qoe, g, *objective, buckets, total_rps,
+                                config, result.stats, pool.get());
+
   // Best-improvement hill climbing over single-unit transfers.
   auto climb = [&](std::vector<int> start) {
-    double qoe_now = evaluator.Evaluate(start).objective_value;
+    double qoe_now = evaluator.EvaluateBase(start).objective_value;
     for (int step = 0; step < config.max_hill_climb_steps; ++step) {
       // Deterministic neighbor enumeration: single-unit transfers in
       // (from, to) lexicographic order.

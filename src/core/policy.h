@@ -53,12 +53,14 @@ struct PolicyConfig {
   /// Hill-climbing bound; the search almost always converges much earlier.
   int max_hill_climb_steps = 512;
 
-  /// Worker threads for the best-improvement neighbor sweep: 0 picks
+  /// Worker threads for the best-improvement neighbor sweep and for the
+  /// per-bucket expected-QoE column precompute on base evaluations: 0 picks
   /// ThreadPool::DefaultWorkers() for this machine, 1 forces the serial
   /// path, N > 1 uses N threads. Any value produces byte-identical tables
   /// and stats: neighbor evaluations are independent given the shared
-  /// evaluation cache, and results merge in neighbor-index order
-  /// (docs/PERFORMANCE.md has the determinism argument).
+  /// evaluation cache, results merge in neighbor-index order, and the
+  /// column fills write disjoint index slots (docs/PERFORMANCE.md has the
+  /// determinism argument).
   int parallel_workers = 1;
 
   /// Refine load fractions once from the matched bucket weights and re-run
@@ -112,16 +114,10 @@ struct DecisionTable {
   std::vector<double> load_fractions;   ///< Resulting per-decision split.
   /// Score of this table under the configured objective (weighted mean
   /// E[Q] for the default mean objective), including any stress mix and
-  /// instability dock applied by the allocation search.
+  /// instability dock applied by the allocation search. (The pre-objective
+  /// `expected_mean_qoe` accessor rode through one release as a deprecated
+  /// alias and is gone; this is the only name.)
   double objective_value = 0.0;
-
-  /// Pre-objective name for `objective_value`, kept as an accessor through
-  /// one release so downstream callers get a deprecation warning instead
-  /// of a silent break.
-  [[deprecated("renamed: use objective_value")]] double expected_mean_qoe()
-      const {
-    return objective_value;
-  }
 
   /// O(log n) decision lookup (out-of-range delays clamp to the
   /// first/last row). Requires a non-empty table.
@@ -143,7 +139,15 @@ struct PolicyStats {
   /// Expanded n×n Hungarian solves (mapping == kOptimalMatching).
   int matchings_solved = 0;
   /// Collapsed n×D transportation solves (mapping == kTransportation).
+  /// Includes warm-started incremental re-solves — each replaces exactly one
+  /// cold solve, so this count is identical with warm starts on or off.
   int transport_solves = 0;
+  /// Of the transport_solves, how many were answered by the warm-start
+  /// incremental path (replaying only the capacity-affected suffix of the
+  /// base solve). Deterministic for a given input/config at any worker
+  /// count: the warm anchor is installed only on the serial base
+  /// evaluations, and the cache admits each allocation once.
+  int warm_resolves = 0;
   /// Neighbor evaluations dispatched through the thread pool (0 on the
   /// serial path).
   int parallel_evals = 0;

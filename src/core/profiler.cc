@@ -1,83 +1,146 @@
 #include "core/profiler.h"
 
+#include <cstddef>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/event_loop.h"
 #include "sim/server.h"
+#include "util/thread_pool.h"
 
 namespace e2e {
+namespace {
+
+// Everything one load level contributes to the profile, computed
+// independently of every other level.
+struct LevelOutcome {
+  double rps = 0.0;
+  std::optional<DiscreteDistribution> delays;
+  // True when the level's steady-window delays kept climbing (no steady
+  // state); the serial merge below turns this into max_stable_rps.
+  bool unstable = false;
+};
+
+// Simulates one load level. Pure function of (config, rps, the two RNG
+// streams) — levels share no state, which is what makes the parallel sweep
+// byte-identical to the serial one.
+LevelOutcome RunLevel(const ProfilerConfig& config, double rps,
+                      Rng server_rng, Rng arrival_rng) {
+  LevelOutcome out;
+  out.rps = rps;
+
+  EventLoop loop;
+  SimServer server(
+      "profilee", loop, config.concurrency,
+      MakeConvexLoadProfile(config.base_service_ms, config.capacity,
+                            config.service_alpha, config.service_beta,
+                            config.jitter_sigma),
+      std::move(server_rng));
+
+  std::vector<double> samples;
+  const double mean_gap_ms = 1000.0 / rps;
+  // Poisson (exponential-gap) open-loop arrivals across the window.
+  double t = arrival_rng.ExponentialMean(mean_gap_ms);
+  while (t < config.duration_ms) {
+    loop.Schedule(t, [&server, &samples]() {
+      server.Submit([&samples](const JobTiming& timing) {
+        samples.push_back(timing.TotalDelayMs());
+      });
+    });
+    t += arrival_rng.ExponentialMean(mean_gap_ms);
+  }
+  loop.Run();
+
+  // Discard the warm-up fifth when the sample count allows it, so
+  // transients do not bias the profile.
+  std::vector<double> steady;
+  if (samples.size() >= 200) {
+    steady.assign(
+        samples.begin() + static_cast<std::ptrdiff_t>(samples.size() / 5),
+        samples.end());
+  } else {
+    steady = samples;
+  }
+  if (steady.empty()) {
+    steady.push_back(config.base_service_ms);
+  }
+  out.delays =
+      DiscreteDistribution::FromSamples(steady, config.distribution_points);
+
+  // Stationarity check: a level whose delays keep climbing through the
+  // window has no steady state (the server is overloaded there).
+  if (steady.size() >= 40) {
+    const std::size_t half = steady.size() / 2;
+    double first = 0.0, second = 0.0;
+    for (std::size_t i = 0; i < half; ++i) first += steady[i];
+    for (std::size_t i = half; i < steady.size(); ++i) second += steady[i];
+    first /= static_cast<double>(half);
+    second /= static_cast<double>(steady.size() - half);
+    out.unstable = second > first * 1.4;
+  }
+  return out;
+}
+
+}  // namespace
 
 LoadProfile ProfileServerOffline(const ProfilerConfig& config) {
   if (config.levels < 1 || config.max_rps <= 0.0 ||
-      config.duration_ms <= 0.0 || config.distribution_points < 1) {
+      config.duration_ms <= 0.0 || config.distribution_points < 1 ||
+      config.parallel_workers < 0) {
     throw std::invalid_argument("ProfileServerOffline: bad config");
   }
+  const std::size_t levels = static_cast<std::size_t>(config.levels);
+
+  // Fork every level's streams up front, serially, in the exact order the
+  // historical serial loop forked them (Rng::Fork advances the parent, so
+  // the order is semantic). The parallel sweep then only touches pre-forked
+  // copies.
+  Rng root(config.seed);
+  std::vector<Rng> server_rngs;
+  std::vector<Rng> arrival_rngs;
+  server_rngs.reserve(levels);
+  arrival_rngs.reserve(levels);
+  for (std::size_t idx = 0; idx < levels; ++idx) {
+    const auto level = static_cast<std::uint64_t>(idx + 1);
+    server_rngs.push_back(root.Fork(level));
+    arrival_rngs.push_back(root.Fork(1000 + level));
+  }
+
+  // Per-level sweep: each index writes only its own slot.
+  std::vector<LevelOutcome> slots(levels);
+  const auto run_level = [&](std::size_t idx) {
+    const double rps = config.max_rps * static_cast<double>(idx + 1) /
+                       static_cast<double>(config.levels);
+    slots[idx] = RunLevel(config, rps, server_rngs[idx], arrival_rngs[idx]);
+  };
+  const int workers = config.parallel_workers == 0
+                          ? ThreadPool::DefaultWorkers()
+                          : config.parallel_workers;
+  if (workers > 1 && levels > 1) {
+    ThreadPool pool(workers);
+    pool.ParallelFor(levels, run_level);
+  } else {
+    for (std::size_t idx = 0; idx < levels; ++idx) run_level(idx);
+  }
+
+  // Serial merge in ascending level order — byte-identical to the
+  // historical in-loop bookkeeping. Only the first unstable level can pass
+  // the max_stable_rps guard (later levels have strictly larger rps), and
+  // it backs the ceiling off to the last level before instability showed.
   LoadProfile profile;
   profile.max_rps = config.max_rps;
-  Rng root(config.seed);
-
-  for (int level = 1; level <= config.levels; ++level) {
-    const double rps = config.max_rps * static_cast<double>(level) /
-                       static_cast<double>(config.levels);
-    EventLoop loop;
-    SimServer server(
-        "profilee", loop, config.concurrency,
-        MakeConvexLoadProfile(config.base_service_ms, config.capacity,
-                              config.service_alpha, config.service_beta,
-                              config.jitter_sigma),
-        root.Fork(static_cast<std::uint64_t>(level)));
-    Rng arrivals = root.Fork(1000 + static_cast<std::uint64_t>(level));
-
-    std::vector<double> samples;
-    const double mean_gap_ms = 1000.0 / rps;
-    // Poisson (exponential-gap) open-loop arrivals across the window.
-    double t = arrivals.ExponentialMean(mean_gap_ms);
-    while (t < config.duration_ms) {
-      loop.Schedule(t, [&server, &samples]() {
-        server.Submit([&samples](const JobTiming& timing) {
-          samples.push_back(timing.TotalDelayMs());
-        });
-      });
-      t += arrivals.ExponentialMean(mean_gap_ms);
-    }
-    loop.Run();
-
-    // Discard the warm-up half when the level is heavily loaded and the
-    // sample count allows it, so transients do not bias the profile.
-    std::vector<double> steady;
-    if (samples.size() >= 200) {
-      steady.assign(samples.begin() + static_cast<std::ptrdiff_t>(
-                                          samples.size() / 5),
-                    samples.end());
-    } else {
-      steady = samples;
-    }
-    if (steady.empty()) {
-      steady.push_back(config.base_service_ms);
-    }
-    profile.level_rps.push_back(rps);
-    profile.delays.push_back(DiscreteDistribution::FromSamples(
-        steady, config.distribution_points));
-
-    // Stationarity check: a level whose delays keep climbing through the
-    // window has no steady state (the server is overloaded there). Record
-    // the last stable level so interpolation treats anything beyond it as
-    // sustained overload.
-    if (steady.size() >= 40) {
-      const std::size_t half = steady.size() / 2;
-      double first = 0.0, second = 0.0;
-      for (std::size_t i = 0; i < half; ++i) first += steady[i];
-      for (std::size_t i = half; i < steady.size(); ++i) second += steady[i];
-      first /= static_cast<double>(half);
-      second /= static_cast<double>(steady.size() - half);
-      if (second > first * 1.4 &&
-          profile.max_stable_rps >
-              profile.level_rps[profile.level_rps.size() - 1]) {
-        const std::size_t idx = profile.level_rps.size();
-        profile.max_stable_rps =
-            idx >= 2 ? profile.level_rps[idx - 2] : profile.level_rps[0];
-      }
+  for (std::size_t idx = 0; idx < levels; ++idx) {
+    LevelOutcome& out = slots[idx];
+    profile.level_rps.push_back(out.rps);
+    profile.delays.push_back(std::move(*out.delays));
+    if (out.unstable &&
+        profile.max_stable_rps >
+            profile.level_rps[profile.level_rps.size() - 1]) {
+      const std::size_t count = profile.level_rps.size();
+      profile.max_stable_rps =
+          count >= 2 ? profile.level_rps[count - 2] : profile.level_rps[0];
     }
   }
   return profile;

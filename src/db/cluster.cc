@@ -274,6 +274,8 @@ void ReadExecutor::EnableResilience(
     cloning_model_.emplace(model);  // Validates the knobs.
     service_window_.emplace(model.target_buckets, model.max_span_ms);
     next_model_recompute_ms_ = cluster_.loop().Now() + model.window_ms;
+    util_window_start_ms_ = cluster_.loop().Now();
+    busy_at_window_start_ms_ = ClusterBusyServerMs(util_window_start_ms_);
   }
   breakers_.clear();
   slowness_.clear();
@@ -330,13 +332,25 @@ void ReadExecutor::MaybeRecomputeBudgets(double now_ms) {
     // Thin windows (cold start, lulls) keep accumulating into the same
     // summary instead of deriving gates from noise; the previous gates —
     // the static config at cold start — stay in force.
-    if (util_count_ == 0 ||
+    const double elapsed_ms = now_ms - util_window_start_ms_;
+    if (elapsed_ms <= 0.0 ||
         service_window_->sample_count() <
             static_cast<std::size_t>(model.min_samples)) {
       continue;
     }
+    // Busy-period utilization: the replicas' exact ∫ in_service dt over the
+    // window, divided by the servable capacity (capacity knee × replicas ×
+    // elapsed time). This is the rho0 the PS model is defined over; the
+    // arrival-sampled load mean it replaces conflated "load seen by
+    // arrivals" with "time-average load" and mis-gated the hedge budget
+    // whenever arrivals bunched onto busy periods.
+    const double knee = cluster_.params().capacity *
+                        static_cast<double>(cluster_.NumReplicas());
+    const double busy_now_ms = ClusterBusyServerMs(now_ms);
     const double utilization =
-        util_sum_ / static_cast<double>(util_count_);
+        knee > 0.0
+            ? (busy_now_ms - busy_at_window_start_ms_) / (elapsed_ms * knee)
+            : 0.0;
     last_prediction_ = cloning_model_->Predict(*service_window_, utilization);
     // The static knobs are the operator's floor. The PS model assumes
     // synchronized full cloning, so it undervalues the delay-triggered
@@ -368,9 +382,18 @@ void ReadExecutor::MaybeRecomputeBudgets(double now_ms) {
       metric_model_gain_->Set(last_prediction_.predicted_gain_ms);
     }
     service_window_.emplace(model.target_buckets, model.max_span_ms);
-    util_sum_ = 0.0;
-    util_count_ = 0;
+    util_window_start_ms_ = now_ms;
+    busy_at_window_start_ms_ = busy_now_ms;
   }
+}
+
+double ReadExecutor::ClusterBusyServerMs(double now_ms) const {
+  double total = 0.0;
+  const Cluster& cluster = cluster_;
+  for (int r = 0; r < cluster.NumReplicas(); ++r) {
+    total += cluster.replica(r).server().BusyServerMs(now_ms);
+  }
+  return total;
 }
 
 std::vector<ReplicaResilienceSnapshot> ReadExecutor::SnapshotResilience(
@@ -472,18 +495,6 @@ void ReadExecutor::IssueWithRetries(const DbRequest& request,
   const double now = loop.Now();
   MaybeRecomputeBudgets(now);
   const ClusterView view = cluster_.View();
-  if (model_driven_) {
-    // Arrival-sampled cluster utilization: total jobs in system over the
-    // aggregate capacity knee. The window mean feeds the PS model's rho0.
-    double total = 0.0;
-    for (const double load : view.loads) total += load;
-    const double knee = cluster_.params().capacity *
-                        static_cast<double>(cluster_.NumReplicas());
-    if (knee > 0.0) {
-      util_sum_ += total / knee;
-      ++util_count_;
-    }
-  }
   const int selected = selector_->SelectReplica(request, view);
   if (!cluster_.IsPartitioned(selected)) {
     // Reachable: the QoE-aware selection always stands. A breaker never

@@ -320,6 +320,9 @@ class ReadExecutor {
   /// excluding `exclude` (-1 = none); -1 when no candidate exists.
   int BestAvailable(const ClusterView& view, double now_ms, int exclude) const;
   void RecordBreakerOutcome(int replica, const JobTiming& timing);
+  /// Sum of every replica server's busy-milliseconds integral at `now_ms`
+  /// (SimServer::BusyServerMs).
+  double ClusterBusyServerMs(double now_ms) const;
 
   Cluster& cluster_;
   std::shared_ptr<ReplicaSelector> selector_;
@@ -346,8 +349,14 @@ class ReadExecutor {
   bool model_driven_ = false;
   std::optional<resilience::CloningModel> cloning_model_;
   std::optional<Bucketizer> service_window_;  // Current window's samples.
-  double util_sum_ = 0.0;  // Arrival-sampled cluster utilization integral.
-  std::uint64_t util_count_ = 0;
+  // Busy-period utilization window: virtual time and cluster busy-ms
+  // integral at the last successful recompute (or at EnableResilience).
+  // The window's utilization is Δbusy / (Δtime × capacity × replicas) — an
+  // exact time average, where the arrival-sampled mean it replaces was
+  // biased high precisely when arrivals clustered on busy periods
+  // (docs/RESILIENCE.md §2).
+  double util_window_start_ms_ = 0.0;
+  double busy_at_window_start_ms_ = 0.0;
   double next_model_recompute_ms_ = 0.0;
   resilience::CloningPrediction last_prediction_;
   obs::Counter* metric_retries_ = nullptr;

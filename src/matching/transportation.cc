@@ -1,6 +1,7 @@
 #include "matching/transportation.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -9,54 +10,86 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-}  // namespace
+// Target number of replay checkpoints recorded across a cold solve. More
+// checkpoints shorten replays but cost O(state) memory each.
+constexpr std::size_t kTargetCheckpoints = 8;
 
-TransportationResult SolveMinCostTransportation(
-    const WeightMatrix& cost, std::span<const int> capacity) {
-  const std::size_t n = cost.rows();
-  const std::size_t num_cols = cost.cols();
-  if (capacity.size() != num_cols) {
+// How a column was reached during one row's Dijkstra.
+struct Arrival {
+  std::size_t prev_col = 0;   // Meaningful when !entry.
+  std::size_t moved_row = 0;  // Row that moves prev_col → this col.
+  bool entry = true;          // Reached directly from the new row.
+};
+
+void ValidateCapacity(std::span<const int> capacity, std::size_t rows,
+                      std::size_t cols) {
+  if (capacity.size() != cols) {
     throw std::invalid_argument(
-        "SolveMinCostTransportation: capacity size != columns");
+        "TransportationSolver: capacity size != columns");
   }
   std::size_t total_capacity = 0;
   for (const int c : capacity) {
     if (c < 0) {
-      throw std::invalid_argument(
-          "SolveMinCostTransportation: negative capacity");
+      throw std::invalid_argument("TransportationSolver: negative capacity");
     }
     total_capacity += static_cast<std::size_t>(c);
   }
-  if (total_capacity < n) {
-    throw std::invalid_argument(
-        "SolveMinCostTransportation: total capacity < rows");
+  if (total_capacity < rows) {
+    throw std::invalid_argument("TransportationSolver: total capacity < rows");
   }
+}
 
-  // Successive shortest augmenting paths with column potentials. The
-  // alternating path bucket→column→assigned-bucket→column… only ever
-  // changes state at columns, so Dijkstra runs over the `num_cols` column
-  // nodes; a transition col→col' costs the cheapest reduced reassignment of
-  // any row currently on col. The complementary-slackness invariant (every
-  // assigned row minimizes cost(r,·) − potential[·] at its column) keeps
-  // transition costs non-negative, so Dijkstra applies; entry labels may be
-  // negative, which only shifts all labels by a constant.
-  std::vector<double> potential(num_cols, 0.0);
-  std::vector<std::vector<std::size_t>> rows_of_col(num_cols);
-  std::vector<std::size_t> column_of_row(n, 0);
+}  // namespace
 
-  struct Arrival {
-    std::size_t prev_col = 0;   // Meaningful when !entry.
-    std::size_t moved_row = 0;  // Row that moves prev_col → this col.
-    bool entry = true;          // Reached directly from the new row.
-  };
+TransportationSolver::TransportationSolver(WeightMatrix matrix,
+                                           std::vector<int> capacity,
+                                           bool maximize, bool record_replay)
+    : matrix_(std::move(matrix)),
+      capacity_(std::move(capacity)),
+      maximize_(maximize),
+      record_replay_(record_replay) {
+  ValidateCapacity(capacity_, matrix_.rows(), matrix_.cols());
+}
+
+// Successive shortest augmenting paths with column potentials. The
+// alternating path bucket→column→assigned-bucket→column… only ever changes
+// state at columns, so Dijkstra runs over the `num_cols` column nodes; a
+// transition col→col' costs the cheapest reduced reassignment of any row
+// currently on col. The complementary-slackness invariant (every assigned
+// row minimizes cost(r,·) − potential[·] at its column) keeps transition
+// costs non-negative, so Dijkstra applies; entry labels may be negative,
+// which only shifts all labels by a constant.
+//
+// Capacity is read at exactly one point — the termination test on a freshly
+// finalized column — which is what makes the recorded fill/saturation rows
+// sufficient for Resolve() to bound where a perturbed capacity vector can
+// first change the control flow.
+void TransportationSolver::RunRows(std::span<const double> cost,
+                                   std::size_t rows, std::size_t cols,
+                                   SearchState& state, std::size_t first_row,
+                                   std::span<const int> capacity,
+                                   TransportationSolver* record) {
+  const std::size_t n = rows;
+  const std::size_t num_cols = cols;
+  std::vector<double>& potential = state.potential;
+  std::vector<std::vector<std::size_t>>& rows_of_col = state.rows_of_col;
+  std::vector<std::size_t>& column_of_row = state.column_of_row;
+
   std::vector<double> dist(num_cols, 0.0);
-  std::vector<bool> finalized(num_cols, false);
+  std::vector<std::uint8_t> finalized(num_cols, 0);
   std::vector<Arrival> arrival(num_cols);
+  // Scratch, reused across rows: the reduced cost of each row assigned to
+  // the column being relaxed, at that column — constant across target
+  // columns, so hoisted out of the per-target loop.
+  std::vector<double> at_cur;
 
-  for (std::size_t r = 0; r < n; ++r) {
+  for (std::size_t r = first_row; r < n; ++r) {
+    if (record != nullptr && r % record->checkpoint_stride_ == 0) {
+      record->checkpoints_.push_back(Checkpoint{r, state});
+    }
     for (std::size_t c = 0; c < num_cols; ++c) {
-      dist[c] = cost.At(r, c) - potential[c];
-      finalized[c] = false;
+      dist[c] = cost[c * n + r] - potential[c];
+      finalized[c] = 0;
       arrival[c] = Arrival{};
     }
     std::size_t final_col = num_cols;
@@ -65,29 +98,56 @@ TransportationResult SolveMinCostTransportation(
       // smallest index, deterministically.
       std::size_t cur = num_cols;
       for (std::size_t c = 0; c < num_cols; ++c) {
-        if (!finalized[c] && (cur == num_cols || dist[c] < dist[cur])) {
+        if (finalized[c] == 0 && (cur == num_cols || dist[c] < dist[cur])) {
           cur = c;
         }
       }
       if (cur == num_cols || dist[cur] == kInf) {
-        throw std::logic_error(
-            "SolveMinCostTransportation: no augmenting path");
+        throw std::logic_error("TransportationSolver: no augmenting path");
       }
-      finalized[cur] = true;
-      if (rows_of_col[cur].size() <
-          static_cast<std::size_t>(capacity[cur])) {
+      finalized[cur] = 1;
+      if (rows_of_col[cur].size() < static_cast<std::size_t>(capacity[cur])) {
+        // Occupancy of `cur` grows here (the only place it ever changes —
+        // augment chains shift rows through saturated columns net-zero).
+        if (record != nullptr) record->fill_rows_[cur].push_back(r);
         final_col = cur;
         break;
       }
+      if (record != nullptr && record->sat_select_row_[cur] == n) {
+        record->sat_select_row_[cur] = r;
+      }
+      const std::vector<std::size_t>& assigned = rows_of_col[cur];
+      if (assigned.empty()) continue;
+      const std::size_t occupants = assigned.size();
+      at_cur.resize(occupants);
+      const double* const cur_col = cost.data() + cur * n;
+      const double potential_cur = potential[cur];
+      for (std::size_t i = 0; i < occupants; ++i) {
+        at_cur[i] = cur_col[assigned[i]] - potential_cur;
+      }
+      const double dist_cur = dist[cur];
       for (std::size_t c = 0; c < num_cols; ++c) {
-        if (finalized[c]) continue;
-        for (const std::size_t moved : rows_of_col[cur]) {
-          const double step = (cost.At(moved, c) - potential[c]) -
-                              (cost.At(moved, cur) - potential[cur]);
-          if (dist[cur] + step < dist[c]) {
-            dist[c] = dist[cur] + step;
-            arrival[c] = Arrival{cur, moved, false};
+        if (finalized[c] != 0) continue;
+        const double* const col = cost.data() + c * n;
+        const double potential_c = potential[c];
+        // One pass per target column with the running minimum in a
+        // register. The candidate expression and the strict-< update are
+        // exactly the historical relax step — the final arrival is the
+        // first occupant attaining the minimum (later equal candidates
+        // fail the strict <).
+        double best = dist[c];
+        std::size_t best_i = occupants;
+        for (std::size_t i = 0; i < occupants; ++i) {
+          const double cand =
+              dist_cur + ((col[assigned[i]] - potential_c) - at_cur[i]);
+          if (cand < best) {
+            best = cand;
+            best_i = i;
           }
+        }
+        if (best_i != occupants) {
+          dist[c] = best;
+          arrival[c] = Arrival{cur, assigned[best_i], false};
         }
       }
     }
@@ -114,26 +174,118 @@ TransportationResult SolveMinCostTransportation(
     rows_of_col[cur].push_back(r);
     column_of_row[r] = cur;
   }
+}
 
+TransportationResult TransportationSolver::MakeResult(
+    SearchState&& state) const {
   TransportationResult result;
-  result.column_of_row = std::move(column_of_row);
-  for (std::size_t r = 0; r < n; ++r) {
-    result.total += cost.At(r, result.column_of_row[r]);
+  result.column_of_row = std::move(state.column_of_row);
+  for (std::size_t r = 0; r < result.column_of_row.size(); ++r) {
+    result.total += CostAt(r, result.column_of_row[r]);
   }
+  if (maximize_) result.total = -result.total;
   return result;
+}
+
+const TransportationResult& TransportationSolver::Solve() {
+  if (solved_) return result_;
+  const std::size_t n = matrix_.rows();
+  const std::size_t num_cols = matrix_.cols();
+  checkpoint_stride_ = std::max<std::size_t>(1, n / kTargetCheckpoints);
+  checkpoints_.clear();
+  fill_rows_.assign(num_cols, {});
+  sat_select_row_.assign(num_cols, n);
+
+  // Column-major cost copy, negated for the max objective, so the relax
+  // inner loops scan contiguous columns with no per-access branch.
+  const std::span<const double> data = matrix_.Data();  // column-major
+  cost_.resize(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    cost_[i] = maximize_ ? -data[i] : data[i];
+  }
+
+  SearchState state;
+  state.potential.assign(num_cols, 0.0);
+  state.rows_of_col.assign(num_cols, {});
+  state.column_of_row.assign(n, 0);
+  RunRows(cost_, n, num_cols, state, 0, capacity_,
+          record_replay_ ? this : nullptr);
+  result_ = MakeResult(std::move(state));
+  solved_ = true;
+  return result_;
+}
+
+TransportationResult TransportationSolver::Resolve(
+    std::span<const int> new_capacity, std::size_t* rows_replayed) const {
+  if (!solved_) {
+    throw std::logic_error("TransportationSolver: Resolve before Solve");
+  }
+  if (!record_replay_) {
+    throw std::logic_error(
+        "TransportationSolver: Resolve without replay recording");
+  }
+  const std::size_t n = matrix_.rows();
+  ValidateCapacity(new_capacity, n, matrix_.cols());
+
+  // First row whose search can observe the perturbation. Capacity[c] is read
+  // only when a search finalizes c: the test (occupancy < capacity[c])
+  // changes outcome iff occupancy lies in [min(old,new), max(old,new)).
+  // Occupancy is monotone and every value it takes is witnessed by a
+  // recorded fill (growth) or saturated-selection event, so the earliest
+  // such event across perturbed columns is the first possible divergence;
+  // every earlier row search runs bit-identically under either vector.
+  std::size_t divergence = n;
+  for (std::size_t c = 0; c < new_capacity.size(); ++c) {
+    if (new_capacity[c] == capacity_[c]) continue;
+    if (new_capacity[c] > capacity_[c]) {
+      // Old run refused to terminate at saturated c; a larger capacity
+      // terminates there.
+      divergence = std::min(divergence, sat_select_row_[c]);
+    } else if (fill_rows_[c].size() >
+               static_cast<std::size_t>(new_capacity[c])) {
+      // Old run grew c past the new cap; the growth step at occupancy ==
+      // new_capacity[c] would no longer terminate there.
+      divergence = std::min(
+          divergence,
+          fill_rows_[c][static_cast<std::size_t>(new_capacity[c])]);
+    }
+  }
+  if (divergence >= n) {
+    // No row search ever observes the difference: the cold solve under
+    // new_capacity is the recorded solve.
+    if (rows_replayed != nullptr) *rows_replayed = 0;
+    return result_;
+  }
+
+  const Checkpoint* nearest = &checkpoints_.front();
+  for (const Checkpoint& ck : checkpoints_) {
+    if (ck.row <= divergence) {
+      nearest = &ck;
+    } else {
+      break;
+    }
+  }
+  SearchState state = nearest->state;
+  RunRows(cost_, n, matrix_.cols(), state, nearest->row, new_capacity,
+          /*record=*/nullptr);
+  if (rows_replayed != nullptr) *rows_replayed = n - nearest->row;
+  return MakeResult(std::move(state));
+}
+
+TransportationResult SolveMinCostTransportation(
+    const WeightMatrix& cost, std::span<const int> capacity) {
+  TransportationSolver solver(
+      cost, std::vector<int>(capacity.begin(), capacity.end()),
+      /*maximize=*/false, /*record_replay=*/false);
+  return solver.Solve();
 }
 
 TransportationResult SolveMaxWeightTransportation(
     const WeightMatrix& weight, std::span<const int> capacity) {
-  WeightMatrix negated(weight.rows(), weight.cols());
-  for (std::size_t r = 0; r < weight.rows(); ++r) {
-    for (std::size_t c = 0; c < weight.cols(); ++c) {
-      negated.At(r, c) = -weight.At(r, c);
-    }
-  }
-  TransportationResult result = SolveMinCostTransportation(negated, capacity);
-  result.total = -result.total;
-  return result;
+  TransportationSolver solver(
+      weight, std::vector<int>(capacity.begin(), capacity.end()),
+      /*maximize=*/true, /*record_replay=*/false);
+  return solver.Solve();
 }
 
 }  // namespace e2e

@@ -18,6 +18,22 @@
 // smallest index. Two runs on the same input produce identical assignments,
 // and tests/matching_test.cc checks the objective is always exactly the
 // optimum the expanded Hungarian solve finds.
+//
+// Incremental re-solves: the hill climb in core/policy.cc evaluates
+// neighboring allocations that differ from a solved base by shifting a few
+// capacity units while the cost matrix stays bitwise identical.
+// TransportationSolver records, during the cold solve, (a) periodic
+// checkpoints of the full solver state and (b) for every column the rows at
+// which its occupancy grew and the first row that finalized it while
+// saturated. Capacities are read at exactly one point of the algorithm — the
+// "did the search terminate here" test — so the first row whose search can
+// behave differently under a perturbed capacity vector is computable from
+// those event rows, and Resolve() replays the recorded algorithm from the
+// last checkpoint at or before it. The replay runs the identical code over
+// the identical matrix, so the result is byte-for-byte what a cold solve
+// under the new capacities would produce (tests/matching_test.cc pins this
+// property over randomized perturbations; docs/PERFORMANCE.md has the
+// argument).
 #pragma once
 
 #include <cstddef>
@@ -38,6 +54,101 @@ struct TransportationResult {
   double total = 0.0;
 };
 
+/// Stateful transportation solver: owns the matrix, solves once cold, and
+/// then answers capacity-perturbed re-solves by replaying only the suffix of
+/// rows whose searches can observe the perturbation. `maximize` selects the
+/// max-weight objective; internally costs are the negated weights, applied
+/// per element access (IEEE negation is exact and addition is
+/// sign-symmetric, so this is bitwise identical to solving an explicitly
+/// negated copy, minus the copy).
+///
+/// Thread safety: Solve() mutates; Resolve() is const and touches only the
+/// recorded state plus call-local scratch, so any number of threads may call
+/// Resolve() concurrently after the one Solve().
+class TransportationSolver {
+ public:
+  /// Validates like the free functions below: capacity.size() must equal
+  /// matrix.cols(), all capacities >= 0, sum(capacity) >= matrix.rows().
+  /// `record_replay` controls whether Solve() records the checkpoint/event
+  /// state Resolve() replays from; pass false for throwaway solves to skip
+  /// the recording cost (Resolve() then throws).
+  TransportationSolver(WeightMatrix matrix, std::vector<int> capacity,
+                       bool maximize, bool record_replay = true);
+
+  /// Runs the cold solve (recording replay state) and returns the result.
+  /// Idempotent: later calls return the cached result.
+  const TransportationResult& Solve();
+
+  /// Incremental re-solve under a new capacity vector (same matrix). The
+  /// result is byte-identical — assignment, tie-breaking, and total — to a
+  /// cold solve over (matrix, new_capacity). Requires Solve() to have run;
+  /// validates new_capacity like the constructor. `rows_replayed`, when
+  /// non-null, receives the number of row searches actually re-run (0 when
+  /// the perturbation provably cannot change the solve).
+  TransportationResult Resolve(std::span<const int> new_capacity,
+                               std::size_t* rows_replayed = nullptr) const;
+
+  bool solved() const { return solved_; }
+  const WeightMatrix& matrix() const { return matrix_; }
+  std::span<const int> capacity() const { return capacity_; }
+
+ private:
+  // Full solver state between row searches: the column potentials, the
+  // per-column assigned-row lists (order matters — relax loops and augment
+  // erases iterate them in insertion order), and the row→column map.
+  struct SearchState {
+    std::vector<double> potential;
+    std::vector<std::vector<std::size_t>> rows_of_col;
+    std::vector<std::size_t> column_of_row;
+  };
+  struct Checkpoint {
+    std::size_t row = 0;  // State is "all rows < row processed".
+    SearchState state;
+  };
+
+  double CostAt(std::size_t r, std::size_t c) const {
+    const double w = matrix_.At(r, c);
+    return maximize_ ? -w : w;
+  }
+
+  // Runs row searches [first_row, n) over `state` with `capacity`, reading
+  // the pre-materialized column-major cost array (already negated for the
+  // max-weight objective). When `record` is non-null (cold solve only)
+  // fills its checkpoints_/fill_rows_/sat_select_row_. Static so the const
+  // Resolve() path can run it without touching `this`.
+  static void RunRows(std::span<const double> cost, std::size_t rows,
+                      std::size_t cols, SearchState& state,
+                      std::size_t first_row, std::span<const int> capacity,
+                      TransportationSolver* record);
+
+  TransportationResult MakeResult(SearchState&& state) const;
+
+  WeightMatrix matrix_;
+  std::vector<int> capacity_;
+  bool maximize_ = false;
+  bool record_replay_ = true;
+  bool solved_ = false;
+  TransportationResult result_;
+  // Column-major cost copy the row searches read: the matrix data as-is for
+  // the min objective, element-wise negated for max. IEEE negation is exact,
+  // so the stored doubles are bit-identical to negating at each access —
+  // this just keeps the branch out of the Dijkstra inner loops, which scan
+  // contiguous columns.
+  std::vector<double> cost_;
+
+  // Replay state recorded by the cold solve.
+  std::size_t checkpoint_stride_ = 1;
+  std::vector<Checkpoint> checkpoints_;
+  // fill_rows_[c][k] = row whose search terminated at column c while it held
+  // k rows (its occupancy grew k → k+1 there). Occupancy only ever grows, and
+  // only at search terminations, so this is the full occupancy trajectory.
+  std::vector<std::vector<std::size_t>> fill_rows_;
+  // sat_select_row_[c] = first row whose search finalized column c while it
+  // was saturated (occupancy == capacity, search continued through it);
+  // rows() when that never happened.
+  std::vector<std::size_t> sat_select_row_;
+};
+
 /// Solves the minimum-cost transportation problem for `cost` (rows are
 /// unit-supply sources, columns are sinks with the given capacities).
 /// Requires capacity.size() == cost.cols(), all capacities >= 0, and
@@ -46,8 +157,8 @@ struct TransportationResult {
 TransportationResult SolveMinCostTransportation(
     const WeightMatrix& cost, std::span<const int> capacity);
 
-/// Solves the maximum-weight transportation problem (negates and
-/// delegates). Optimal.
+/// Solves the maximum-weight transportation problem (negated costs, applied
+/// inline). Optimal.
 TransportationResult SolveMaxWeightTransportation(
     const WeightMatrix& weight, std::span<const int> capacity);
 

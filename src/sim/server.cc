@@ -38,10 +38,18 @@ void SimServer::SetExtraServiceDelayMs(double extra_ms) {
   extra_service_delay_ms_ = extra_ms;
 }
 
+void SimServer::AccumulateBusy() {
+  const double now = loop_.Now();
+  busy_ms_integral_ +=
+      static_cast<double>(in_service_) * (now - busy_last_update_ms_);
+  busy_last_update_ms_ = now;
+}
+
 void SimServer::TryStart() {
   while (in_service_ < concurrency_ && !queue_.empty()) {
     Pending job = std::move(queue_.front());
     queue_.pop_front();
+    AccumulateBusy();
     ++in_service_;
     // Contention signal: jobs being served concurrently (including this
     // one). Queue depth deliberately excluded — otherwise service slowdown
@@ -56,6 +64,7 @@ void SimServer::TryStart() {
     timing.finish_ms = loop_.Now() + service_ms;
     loop_.Schedule(timing.finish_ms,
                    [this, timing, done = std::move(job.done)]() {
+                     AccumulateBusy();
                      --in_service_;
                      ++completed_;
                      total_stats_.Add(timing.TotalDelayMs());

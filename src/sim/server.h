@@ -63,6 +63,19 @@ class SimServer {
   std::uint64_t completed_count() const { return completed_; }
   const std::string& name() const { return name_; }
 
+  /// Busy server-milliseconds integral up to `now_ms`: the exact
+  /// ∫ in_service(t) dt of this server's virtual history. Dividing a
+  /// window's increment by (window length × capacity) yields the true
+  /// busy-period utilization over that window — unlike sampling the load at
+  /// arrival instants, which oversamples busy periods exactly when arrivals
+  /// cluster (the PASTA property only holds for Poisson arrivals, and
+  /// replayed traces are anything but). `now_ms` must not precede the last
+  /// state transition (any current loop time is safe).
+  double BusyServerMs(double now_ms) const {
+    return busy_ms_integral_ +
+           static_cast<double>(in_service_) * (now_ms - busy_last_update_ms_);
+  }
+
  private:
   struct Pending {
     Completion done;
@@ -70,6 +83,9 @@ class SimServer {
   };
 
   void TryStart();
+  // Folds the elapsed span at the current in_service_ level into
+  // busy_ms_integral_; call immediately before every in_service_ change.
+  void AccumulateBusy();
 
   std::string name_;
   EventLoop& loop_;
@@ -79,6 +95,8 @@ class SimServer {
   std::deque<Pending> queue_;
   double extra_service_delay_ms_ = 0.0;
   int in_service_ = 0;
+  double busy_ms_integral_ = 0.0;
+  double busy_last_update_ms_ = 0.0;
   std::uint64_t completed_ = 0;
   StreamingSummary total_stats_;
   StreamingSummary service_stats_;

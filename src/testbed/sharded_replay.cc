@@ -114,6 +114,7 @@ class ReplayEngine {
       cloning_model_.emplace(hedge.model);  // Validates the knobs.
       service_window_.emplace(hedge.model.target_buckets,
                               hedge.model.max_span_ms);
+      model_work_ms_.assign(static_cast<std::size_t>(g_.NumDecisions()), 0.0);
       metric_model_recomputes_ =
           &telemetry_.metrics.AddCounter("replay.model.recomputes");
       metric_model_fraction_ =
@@ -260,8 +261,11 @@ class ReplayEngine {
         // service-time sample; it includes planned queueing, so the
         // utilization the model sees is biased high — i.e. toward keeping
         // the hedge budget shut, the safe direction for a metered proxy.
+        // Work is metered per decision so one saturated decision cannot
+        // masquerade as cluster-wide busyness (the clamp in AdvanceModel).
         service_window_->Add(o.server_delay_ms);
-        model_work_ms_ += o.server_delay_ms;
+        model_work_ms_[static_cast<std::size_t>(o.decision)] +=
+            o.server_delay_ms;
       }
     }
     if (config_.keep_outcomes) {
@@ -332,12 +336,19 @@ class ReplayEngine {
           static_cast<std::size_t>(model.min_samples)) {
         continue;
       }
-      // Busy-fraction proxy: charged work since the last recompute over
-      // the elapsed span, spread across the model's decision targets.
+      // Busy-fraction estimate: each decision target's charged work since
+      // the last recompute is a busy-period integral for that target, and
+      // no target can be more than fully busy — hence the per-decision
+      // min(1, work/elapsed) clamp before averaging. The old scalar sum
+      // let one saturated decision push the cluster-wide figure past its
+      // own share (even past 1.0), shutting the hedge budget while the
+      // other decisions sat idle and could have absorbed clones.
       const double elapsed = boundary - model_reset_ms_;
-      const double utilization =
-          model_work_ms_ /
-          (elapsed * static_cast<double>(g_.NumDecisions()));
+      double utilization = 0.0;
+      for (const double work_ms : model_work_ms_) {
+        utilization += std::min(1.0, work_ms / elapsed);
+      }
+      utilization /= static_cast<double>(g_.NumDecisions());
       last_prediction_ = cloning_model_->Predict(*service_window_, utilization);
       ++model_recomputes_;
       if (metric_model_recomputes_ != nullptr) {
@@ -347,7 +358,7 @@ class ReplayEngine {
         metric_model_gain_->Set(last_prediction_.predicted_gain_ms);
       }
       service_window_.emplace(model.target_buckets, model.max_span_ms);
-      model_work_ms_ = 0.0;
+      std::fill(model_work_ms_.begin(), model_work_ms_.end(), 0.0);
       model_reset_ms_ = boundary;
     }
   }
@@ -373,7 +384,9 @@ class ReplayEngine {
   bool model_clock_seeded_ = false;
   double model_reset_ms_ = 0.0;
   double next_model_recompute_ms_ = 0.0;
-  double model_work_ms_ = 0.0;
+  // Charged (planned mean) server-delay work per decision target since the
+  // last recompute, in ms of busy time.
+  std::vector<double> model_work_ms_;
   std::uint64_t model_recomputes_ = 0;
   resilience::CloningPrediction last_prediction_;
   obs::Counter* metric_model_recomputes_ = nullptr;

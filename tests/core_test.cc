@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <span>
@@ -41,6 +42,31 @@ class LinearReplicaModel final : public ServerDelayModel {
   int replicas_;
   double base_ms_;
   double slope_ms_;
+};
+
+// A replica model whose per-decision delay ignores the load split. The
+// policy's weight matrix is then bitwise identical across every allocation
+// the hill climb evaluates, which is exactly the regime where the
+// transportation warm anchor fires (see PolicyStats::warm_resolves).
+class TieredReplicaModel final : public ServerDelayModel {
+ public:
+  TieredReplicaModel(int replicas, double base_ms, double step_ms)
+      : replicas_(replicas), base_ms_(base_ms), step_ms_(step_ms) {}
+
+  int NumDecisions() const override { return replicas_; }
+
+  DiscreteDistribution DelayDistribution(
+      int decision, std::span<const double>, double) const override {
+    return DiscreteDistribution::PointMass(base_ms_ +
+                                           step_ms_ * static_cast<double>(decision));
+  }
+
+  std::string Name() const override { return "tiered"; }
+
+ private:
+  int replicas_;
+  double base_ms_;
+  double step_ms_;
 };
 
 std::vector<double> SensitiveHeavyExternals(int n, Rng& rng) {
@@ -185,6 +211,51 @@ TEST(ProfileServerOffline, ProducesMonotoneCongestionCurve) {
   for (std::size_t i = 1; i < profile.level_rps.size(); ++i) {
     EXPECT_GT(profile.level_rps[i], profile.level_rps[i - 1]);
   }
+}
+
+TEST(ProfileServerOffline, ParallelSweepMatchesSerialByteForByte) {
+  // parallel_workers must never change the profile: the per-level RNG
+  // streams are pre-forked serially in the historical interleaved order,
+  // level outcomes land in index slots, and the stationarity merge runs
+  // serially over those slots. Includes unstable top levels so the
+  // max_stable_rps backoff logic is exercised, and a worker count above
+  // the level count.
+  ProfilerConfig config;
+  config.concurrency = 2;
+  config.base_service_ms = 100.0;  // Saturation ~20/s fully busy.
+  config.capacity = 2.0;
+  config.levels = 7;
+  config.max_rps = 60.0;
+  config.duration_ms = 20000.0;
+  config.parallel_workers = 1;
+  const LoadProfile serial = ProfileServerOffline(config);
+  ASSERT_LT(serial.max_stable_rps, config.max_rps);  // Backoff engaged.
+  for (const int workers : {2, 7}) {
+    config.parallel_workers = workers;
+    const LoadProfile parallel = ProfileServerOffline(config);
+    EXPECT_EQ(parallel.max_rps, serial.max_rps) << "workers " << workers;
+    EXPECT_EQ(parallel.max_stable_rps, serial.max_stable_rps)
+        << "workers " << workers;
+    EXPECT_EQ(parallel.level_rps, serial.level_rps) << "workers " << workers;
+    ASSERT_EQ(parallel.delays.size(), serial.delays.size());
+    for (std::size_t i = 0; i < serial.delays.size(); ++i) {
+      const auto sv = serial.delays[i].values();
+      const auto pv = parallel.delays[i].values();
+      const auto sp = serial.delays[i].probabilities();
+      const auto pp = parallel.delays[i].probabilities();
+      EXPECT_TRUE(std::equal(sv.begin(), sv.end(), pv.begin(), pv.end()))
+          << "level " << i << " workers " << workers;
+      EXPECT_TRUE(std::equal(sp.begin(), sp.end(), pp.begin(), pp.end()))
+          << "level " << i << " workers " << workers;
+    }
+  }
+  EXPECT_THROW(
+      [] {
+        ProfilerConfig bad;
+        bad.parallel_workers = -1;
+        ProfileServerOffline(bad);
+      }(),
+      std::invalid_argument);
 }
 
 TEST(PriorityQueueModel, HigherPriorityWaitsLess) {
@@ -465,6 +536,35 @@ TEST(ComputePolicy, TransportationMatchesHungarianByteForByte) {
   EXPECT_EQ(fast.stats.transport_solves, reference.stats.matchings_solved);
 }
 
+TEST(ComputePolicy, WarmResolvesFireAndMatchHungarianByteForByte) {
+  // With a fraction-insensitive delay model the weight matrix is bitwise
+  // identical across every allocation, so all non-anchor transportation
+  // solves take the incremental Resolve() path — and the table they
+  // produce must still equal the expanded Hungarian reference byte for
+  // byte, with matching per-allocation solve telemetry.
+  const auto qoe = SigmoidQoeModel::TraceTimeOnSite();
+  const TieredReplicaModel g(3, 60.0, 500.0);
+  Rng rng(41);
+  const auto externals = SensitiveHeavyExternals(400, rng);
+  PolicyConfig config;
+  config.target_buckets = 12;
+  config.mapping = MappingAlgorithm::kTransportation;
+  const auto warm = ComputePolicy(qoe, g, externals, 50.0, config);
+  EXPECT_GT(warm.stats.warm_resolves, 0);
+  EXPECT_LE(warm.stats.warm_resolves, warm.stats.transport_solves);
+  config.mapping = MappingAlgorithm::kOptimalMatching;
+  const auto reference = ComputePolicy(qoe, g, externals, 50.0, config);
+  ExpectIdenticalResults(warm, reference);
+  // Warm re-solves replace cold solves one-for-one, so the transport count
+  // still matches the Hungarian solve count exactly.
+  EXPECT_EQ(warm.stats.transport_solves, reference.stats.matchings_solved);
+  // And the warm accounting itself is reproducible.
+  config.mapping = MappingAlgorithm::kTransportation;
+  const auto again = ComputePolicy(qoe, g, externals, 50.0, config);
+  ExpectIdenticalResults(warm, again);
+  EXPECT_EQ(warm.stats.warm_resolves, again.stats.warm_resolves);
+}
+
 TEST(ComputePolicy, ParallelSweepMatchesSerialByteForByte) {
   // parallel_workers must never change the result: neighbor results merge
   // in index order, so the climb takes the same trajectory.
@@ -488,6 +588,22 @@ TEST(ComputePolicy, ParallelSweepMatchesSerialByteForByte) {
   ExpectIdenticalResults(parallel, parallel_again);
   EXPECT_EQ(parallel.stats.parallel_evals,
             parallel_again.stats.parallel_evals);
+  // The worker count is never a tuning knob for the answer: other counts —
+  // including one above the core count — land on the same bytes, and the
+  // warm-resolve accounting (anchored on serial base evaluations only) is
+  // identical at every count.
+  for (const int workers : {2, 7}) {
+    config.parallel_workers = workers;
+    const auto other = ComputePolicy(qoe, g, externals, 60.0, config);
+    ExpectIdenticalResults(serial, other);
+    EXPECT_EQ(serial.stats.transport_solves, other.stats.transport_solves)
+        << "workers " << workers;
+    EXPECT_EQ(serial.stats.warm_resolves, other.stats.warm_resolves)
+        << "workers " << workers;
+  }
+  // Warm re-solves replace cold solves one-for-one, so they are bounded by
+  // (and counted inside) the transport solves.
+  EXPECT_LE(serial.stats.warm_resolves, serial.stats.transport_solves);
 }
 
 // ---- Table cache -----------------------------------------------------------

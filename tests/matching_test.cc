@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 #include "matching/assignment.h"
@@ -304,6 +305,90 @@ TEST(Transportation, MinAndMaxSolversMirror) {
     EXPECT_EQ(max_side.column_of_row, min_side.column_of_row);
     EXPECT_NEAR(max_side.total, -min_side.total, 1e-9);
   });
+}
+
+TEST(Transportation, WarmResolveMatchesColdByteForByte) {
+  // The incremental Resolve() contract: for any capacity perturbation, the
+  // replayed suffix produces the exact assignment — same tie-breaking, same
+  // floating-point total bit for bit — that a cold solve under the new
+  // capacities would. Exercises padded/rectangular (surplus capacity),
+  // all-tied matrices (maximal tie-breaking pressure), both objectives, and
+  // multi-column increase/decrease perturbations.
+  proptest::Check("transportation-warm-vs-cold", [](Rng& rng) {
+    const auto rows = static_cast<std::size_t>(rng.UniformInt(1, 32));
+    const auto cols = static_cast<std::size_t>(rng.UniformInt(1, 8));
+    const bool all_tied = rng.UniformInt(0, 4) == 0;
+    const WeightMatrix m = all_tied
+                               ? WeightMatrix(rows, cols, rng.Uniform(-5.0, 5.0))
+                               : RandomMatrix(rows, cols, rng);
+    const bool maximize = rng.UniformInt(0, 1) == 1;
+    std::vector<int> capacity(cols, 0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      ++capacity[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(cols) - 1))];
+    }
+    const auto surplus = rng.UniformInt(0, 3);
+    for (std::int64_t s = 0; s < surplus; ++s) {
+      ++capacity[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(cols) - 1))];
+    }
+
+    TransportationSolver solver(m, capacity, maximize);
+    const auto& base = solver.Solve();
+
+    // Unchanged capacities: provably nothing to replay, cached result.
+    std::size_t replayed = rows + 1;
+    const auto same = solver.Resolve(capacity, &replayed);
+    EXPECT_EQ(replayed, 0u);
+    EXPECT_EQ(same.column_of_row, base.column_of_row);
+    EXPECT_EQ(same.total, base.total);
+
+    std::size_t total_rows = 0;
+    for (const int c : capacity) total_rows += static_cast<std::size_t>(c);
+    for (int perturbation = 0; perturbation < 4; ++perturbation) {
+      std::vector<int> perturbed = capacity;
+      std::size_t sum = total_rows;
+      const auto moves = rng.UniformInt(1, 3);
+      for (std::int64_t mv = 0; mv < moves; ++mv) {
+        const auto c = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(cols) - 1));
+        if (rng.UniformInt(0, 1) == 0 && perturbed[c] > 0 && sum > rows) {
+          --perturbed[c];
+          --sum;
+        } else {
+          ++perturbed[c];
+          ++sum;
+        }
+      }
+      const auto warm = solver.Resolve(perturbed);
+      TransportationSolver cold(m, perturbed, maximize);
+      const auto& reference = cold.Solve();
+      EXPECT_EQ(warm.column_of_row, reference.column_of_row);
+      EXPECT_EQ(warm.total, reference.total);
+    }
+  });
+}
+
+TEST(Transportation, ResolveRequiresSolveAndRecording) {
+  const WeightMatrix m(3, 2, 1.0);
+  const std::vector<int> capacity = {2, 1};
+
+  TransportationSolver unsolved(m, capacity, /*maximize=*/true);
+  EXPECT_THROW(unsolved.Resolve(capacity), std::logic_error);
+
+  TransportationSolver no_replay(m, capacity, /*maximize=*/true,
+                                 /*record_replay=*/false);
+  no_replay.Solve();
+  EXPECT_THROW(no_replay.Resolve(capacity), std::logic_error);
+
+  TransportationSolver solver(m, capacity, /*maximize=*/true);
+  solver.Solve();
+  const std::vector<int> wrong_size = {3};
+  const std::vector<int> negative = {4, -1};
+  const std::vector<int> scarce = {1, 1};
+  EXPECT_THROW(solver.Resolve(wrong_size), std::invalid_argument);
+  EXPECT_THROW(solver.Resolve(negative), std::invalid_argument);
+  EXPECT_THROW(solver.Resolve(scarce), std::invalid_argument);
 }
 
 }  // namespace
